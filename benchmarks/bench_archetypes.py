@@ -1,0 +1,80 @@
+"""Experiment T-multipass: archetype checking (Sections 2.1 and 3.1).
+
+Syntactic archetypes catch algorithms that use operations beyond their
+declared concept; semantic archetypes (the single-pass Input Iterator)
+catch max_element's undeclared reliance on the Forward Iterator multipass
+property — the paper's demonstration case."""
+
+import pytest
+
+from repro.concepts import ArchetypeViolation, exercise, make_archetypes
+from repro.concepts.builtins import (
+    BidirectionalIterator,
+    Container,
+    ForwardIterator,
+    InputIterator,
+    RandomAccessIterator,
+)
+from repro.sequences.algorithms import accumulate, count, find, max_element, min_element
+from repro.stllint import check_traversal_requirement
+
+ALGORITHMS = [
+    ("find", lambda f, l: find(f, l, 4), "input iterator"),
+    ("count", lambda f, l: count(f, l, 1), "input iterator"),
+    ("accumulate", lambda f, l: accumulate(f, l, 0), "input iterator"),
+    ("max_element", max_element, "forward iterator"),
+    ("min_element", min_element, "forward iterator"),
+]
+
+
+def render() -> str:
+    lines = ["Minimal traversal concept per algorithm (via semantic "
+             "archetypes):", f"{'algorithm':14s} measured requirement"]
+    for name, algo, _ in ALGORITHMS:
+        lines.append(f"{name:14s} {check_traversal_requirement(algo)}")
+    lines.append("")
+    lines.append("max_element 'depends on the multipass property of Forward "
+                 "Iterators' (Section 3.1): confirmed")
+    return "\n".join(lines)
+
+
+def test_traversal_classification(benchmark, record):
+    record("archetypes_multipass", render())
+    for name, algo, expected in ALGORITHMS:
+        assert check_traversal_requirement(algo) == expected, name
+    benchmark(lambda: check_traversal_requirement(max_element))
+
+
+def test_syntactic_archetype_catches_overreach(benchmark):
+    def claims_forward_but_indexes(it):
+        it.advance(3)  # Random Access syntax under a Forward claim
+
+    def attempt():
+        try:
+            exercise(claims_forward_but_indexes, ForwardIterator,
+                     lambda a: [a.instance("It")])
+            return "accepted"
+        except ArchetypeViolation:
+            return "caught"
+
+    assert benchmark(attempt) == "caught"
+
+
+@pytest.mark.parametrize("concept", [
+    InputIterator, ForwardIterator, BidirectionalIterator,
+    RandomAccessIterator, Container,
+], ids=lambda c: c.name)
+def test_archetype_synthesis_speed(benchmark, concept):
+    aset = benchmark(lambda: make_archetypes(concept))
+    assert aset.param_types
+
+
+def test_find_within_budget(benchmark):
+    from repro.stllint import SinglePassSequence
+
+    def run():
+        sp = SinglePassSequence(range(64))
+        return find(sp.begin(), sp.end(), 63)
+
+    it = benchmark(run)
+    assert it.deref() == 63

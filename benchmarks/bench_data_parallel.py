@@ -1,0 +1,109 @@
+"""Experiment T-dataparallel: the data-parallel library's cost shapes
+(Section 4).
+
+Speedup curves saturate at work/span; tree reduce's span is logarithmic
+while the sequential baseline's is linear; numpy-vectorized execution beats
+a Python loop (the guides' vectorization idiom); and the Semigroup guard
+rejects unsound combines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    Machine,
+    UnsoundReductionError,
+    parallel_sum,
+    parray,
+    prefix_sums,
+    sequential_sum,
+)
+
+
+def render() -> str:
+    m = Machine()
+    n = 2 ** 16
+    parallel_sum(np.ones(n), m)
+    lines = [f"tree-sum of n={n}: {m.log.summary()}",
+             "",
+             f"{'p':>8s} {'T_p (model)':>12s} {'speedup':>9s}"]
+    for p in (1, 2, 4, 8, 16, 64, 256, 4096):
+        lines.append(f"{p:8d} {m.log.time_on(p):12.1f} {m.log.speedup(p):9.2f}")
+    _, seq = sequential_sum(np.ones(n))
+    lines.append("")
+    lines.append(f"sequential baseline: {seq.summary()} "
+                 f"(speedup capped at {seq.parallelism:.1f})")
+    return "\n".join(lines)
+
+
+def test_speedup_curve_shape(benchmark, record):
+    record("data_parallel_speedup", render())
+    m = Machine()
+    n = 2 ** 16
+    parallel_sum(np.ones(n), m)
+    # Near-linear early...
+    assert m.log.speedup(2) == pytest.approx(2.0, rel=0.05)
+    assert m.log.speedup(8) == pytest.approx(8.0, rel=0.05)
+    # ...saturating at work/span.
+    assert m.log.speedup(10 ** 9) <= m.log.parallelism + 1
+    # The sequential baseline cannot speed up at all.
+    _, seq = sequential_sum(np.ones(n))
+    assert seq.speedup(1024) < 2.0
+    benchmark(lambda: parallel_sum(np.ones(4096), Machine()))
+
+
+@pytest.mark.parametrize("n", [2 ** 12, 2 ** 16, 2 ** 20])
+def test_vectorized_reduce(benchmark, n):
+    data = np.random.default_rng(0).standard_normal(n)
+    total = benchmark(lambda: parallel_sum(data, Machine()))
+    assert total == pytest.approx(float(data.sum()), rel=1e-9)
+
+
+@pytest.mark.parametrize("n", [2 ** 12, 2 ** 16])
+def test_python_loop_baseline(benchmark, n):
+    """The anti-idiom the HPC guides warn about, for scale."""
+    data = list(np.random.default_rng(0).standard_normal(n))
+
+    def loop_sum():
+        acc = 0.0
+        for x in data:
+            acc += x
+        return acc
+
+    benchmark(loop_sum)
+
+
+def test_vectorized_beats_loop(benchmark, record):
+    import timeit
+
+    n = 2 ** 16
+    arr = np.random.default_rng(1).standard_normal(n)
+    lst = list(arr)
+    t_vec = min(timeit.repeat(lambda: parallel_sum(arr, Machine()),
+                              number=10, repeat=3)) / 10
+    t_loop = min(timeit.repeat(lambda: sum(lst), number=10, repeat=3)) / 10
+    record("data_parallel_vectorization",
+           f"n={n}: vectorized reduce {t_vec * 1e3:.2f}ms vs python loop "
+           f"{t_loop * 1e3:.2f}ms ({t_loop / t_vec:.1f}x)")
+    assert t_vec < t_loop
+    benchmark(lambda: parallel_sum(arr, Machine()))
+
+
+def test_scan_span_logarithmic(benchmark):
+    m = Machine()
+    prefix_sums(np.ones(2 ** 14), m)
+    op = m.log.ops[-1]
+    assert op.span == 2 * 14      # 2 log2 n
+    assert op.work == 2 * 2 ** 14
+    benchmark(lambda: prefix_sums(np.ones(2 ** 14), Machine()))
+
+
+def test_concept_guard(benchmark):
+    def attempt():
+        try:
+            parray(np.arange(16)).reduce("sat+")
+            return "accepted"
+        except UnsoundReductionError:
+            return "rejected"
+
+    assert benchmark(attempt) == "rejected"

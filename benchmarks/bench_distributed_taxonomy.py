@@ -1,0 +1,202 @@
+"""Experiment T-distributed: the Section 4 taxonomy's measurements.
+
+Regenerates the message/time/local-computation tables the taxonomy
+organizes: Chang–Roberts Θ(n²) vs Hirschberg–Sinclair O(n log n) worst-case
+messages with the crossover, echo's exact 2E, flooding time = eccentricity
+under synchronous timing, failure-tolerance differences, and
+local-computation accounting (the dimension "rarely accounted for").
+"""
+
+import math
+
+import pytest
+
+from repro.distributed import (
+    Complete,
+    Grid,
+    Line,
+    Ring,
+    Star,
+    Synchronous,
+    crash,
+    standard_taxonomy,
+)
+from repro.distributed.algorithms import (
+    run_chang_roberts,
+    run_echo,
+    run_flooding,
+    run_hirschberg_sinclair,
+    run_bully,
+    worst_case_ids,
+)
+
+
+def election_table() -> tuple[str, dict]:
+    lines = [f"{'n':>5s} {'CR msgs':>9s} {'HS msgs':>9s} {'n^2/2':>8s} "
+             f"{'n log n':>8s} {'CR comp':>8s} {'HS comp':>8s}"]
+    data = {}
+    for n in (8, 16, 32, 64, 128, 256):
+        cr = run_chang_roberts(n, ids=worst_case_ids(n))
+        hs = run_hirschberg_sinclair(n, ids=worst_case_ids(n))
+        data[n] = (cr.messages_sent, hs.messages_sent)
+        lines.append(
+            f"{n:5d} {cr.messages_sent:9d} {hs.messages_sent:9d} "
+            f"{n * n // 2:8d} {int(n * math.log2(n)):8d} "
+            f"{cr.total_local_computation:8d} {hs.total_local_computation:8d}"
+        )
+    return "\n".join(lines), data
+
+
+def test_election_complexity_shapes(benchmark, record):
+    table, data = election_table()
+    record("distributed_election", table)
+    # CR worst case is exactly n(n+1)/2 + n.
+    for n, (cr, _) in data.items():
+        assert cr == n * (n + 1) // 2 + n
+    # HS stays within c * n log n.
+    for n, (_, hs) in data.items():
+        assert hs <= 10 * n * (math.log2(n) + 1)
+    # Crossover: CR wins tiny rings, HS wins large ones.
+    assert data[8][0] < data[8][1]
+    assert data[64][1] < data[64][0]
+    assert data[256][1] < data[256][0] / 10
+    benchmark(lambda: run_chang_roberts(32, ids=worst_case_ids(32)))
+
+
+def test_hs_message_benchmark(benchmark):
+    m = benchmark(lambda: run_hirschberg_sinclair(64, ids=worst_case_ids(64)))
+    assert m.consensus() == 64
+
+
+def test_echo_exact_2e(benchmark, record):
+    lines = [f"{'topology':16s} {'links':>6s} {'messages':>9s} {'2E':>6s}"]
+    for topo in (Ring(16), Complete(10), Star(16), Grid(4, 5)):
+        m = run_echo(topo)
+        e = topo.num_links()
+        lines.append(f"{type(topo).__name__:16s} {e:6d} "
+                     f"{m.messages_sent:9d} {2 * e:6d}")
+        assert m.messages_sent == 2 * e
+        assert m.decisions[0] == topo.n
+    record("distributed_echo", "\n".join(lines))
+    benchmark(lambda: run_echo(Grid(4, 5)))
+
+
+def test_flooding_time_is_eccentricity(benchmark, record):
+    lines = [f"{'topology':12s} {'rounds':>7s} {'expected':>9s}"]
+    # Expected rounds = initiator eccentricity, plus one redundant round
+    # on topologies where the last-informed node still forwards to
+    # already-informed neighbours (ring, grid).
+    cases = [
+        (Line(12), 11),          # far end is 11 hops away
+        (Ring(12), 7),           # halfway around (6) + redundant forward
+        (Star(12), 1),           # hub to leaves (initiator 0 = hub)
+        (Grid(4, 4), 7),         # Manhattan corner-to-corner (6) + redundant
+    ]
+    for topo, expected in cases:
+        m = run_flooding(topo, timing=Synchronous())
+        lines.append(f"{type(topo).__name__:12s} {m.rounds:7d} {expected:9d}")
+        assert m.rounds == expected
+    record("distributed_flooding", "\n".join(lines))
+    benchmark(lambda: run_flooding(Grid(4, 4), timing=Synchronous()))
+
+
+def test_failure_tolerance_matrix(benchmark, record):
+    """Taxonomy dimension 3, measured: the ring elections tolerate no crash;
+    bully tolerates crashes of anyone (including the would-be leader)."""
+    lines = ["algorithm x failure -> outcome"]
+    m = run_chang_roberts(8)
+    lines.append(f"chang-roberts, no failures: leader={m.consensus()}")
+    m = run_chang_roberts(8, failures=crash(3, at=0.0))
+    survivors = [r for r in range(8) if r != 3]
+    outcome = m.agreement_among(survivors)
+    lines.append(f"chang-roberts, crash(3): leader={outcome}")
+    assert outcome is None
+    m = run_bully(8, failures=crash(7, at=0.0))
+    outcome = m.agreement_among(list(range(7)))
+    lines.append(f"bully, crash(7 = max id): leader={outcome}")
+    assert outcome == 6
+    record("distributed_failures", "\n".join(lines))
+    benchmark(lambda: run_bully(8, failures=crash(7, at=0.0)))
+
+
+def test_local_computation_accounting(benchmark, record):
+    """The dimension the paper says is 'rarely accounted for': HS does
+    asymptotically less per-node work than CR on worst-case rings — the
+    kind of distinction that matters 'where local computation is at a
+    premium' (sensor networks)."""
+    n = 128
+    cr = run_chang_roberts(n, ids=worst_case_ids(n))
+    hs = run_hirschberg_sinclair(n, ids=worst_case_ids(n))
+    record("distributed_local_comp",
+           f"n={n} worst-case ring:\n"
+           f"  chang-roberts      total={cr.total_local_computation} "
+           f"max/node={cr.max_local_computation}\n"
+           f"  hirschberg-sinclair total={hs.total_local_computation} "
+           f"max/node={hs.max_local_computation}")
+    assert hs.total_local_computation < cr.total_local_computation
+    assert hs.max_local_computation < cr.max_local_computation
+    benchmark(lambda: run_chang_roberts(64, ids=worst_case_ids(64)))
+
+
+def test_taxonomy_selection_agrees_with_measurement(benchmark, record):
+    tax = standard_taxonomy()
+    best = tax.select("messages", problem="leader election",
+                      topology="bidirectional ring")
+    n = 128
+    cr = run_chang_roberts(n, ids=worst_case_ids(n)).messages_sent
+    hs = run_hirschberg_sinclair(n, ids=worst_case_ids(n)).messages_sent
+    record("distributed_selection",
+           f"taxonomy picks: {best.name}\n"
+           f"measured at n={n}: chang-roberts={cr}, hirschberg-sinclair={hs}")
+    assert best.name == "hirschberg-sinclair"
+    assert hs < cr
+    benchmark(lambda: tax.select("messages", problem="leader election",
+                                 topology="bidirectional ring"))
+
+
+def test_extension_floodset_consensus(benchmark, record):
+    """Extension: the gap query found no consensus algorithm; FloodSet was
+    designed to fill the synchronous/crash cell.  Measured complexity:
+    (f+1) rounds of n(n-1) messages."""
+    from repro.distributed import crash
+    from repro.distributed.algorithms import run_floodset
+
+    lines = [f"{'n':>5s} {'f':>3s} {'messages':>9s} {'(f+1)n(n-1)':>12s}"]
+    for n, f in ((6, 1), (10, 1), (10, 2), (16, 2)):
+        m = run_floodset(n, f=f)
+        expected = (f + 1) * n * (n - 1)
+        lines.append(f"{n:5d} {f:3d} {m.messages_sent:9d} {expected:12d}")
+        assert m.messages_sent == expected
+        assert m.consensus() == 0
+    # agreement under a crash of the minimum holder, mid-protocol
+    m = run_floodset(8, f=1, values=[9, 4, 7, 2, 8, 5, 6, 3],
+                     failures=crash(3, at=1.6))
+    live = [r for r in range(8) if r != 3]
+    lines.append(f"crash(min-holder @1.6): agreement on "
+                 f"{m.agreement_among(live)}")
+    assert m.agreement_among(live) is not None
+    record("distributed_floodset", "\n".join(lines))
+    benchmark(lambda: run_floodset(10, f=1))
+
+
+def test_extension_itai_rodeh_randomized(benchmark, record):
+    """Extension: randomized election on an ANONYMOUS ring (the
+    'randomized' strategy dimension): exactly one leader per run, expected
+    O(n log n) messages."""
+    import statistics
+
+    from repro.distributed.algorithms import run_itai_rodeh
+
+    n = 64
+    counts = []
+    for seed in range(8):
+        m = run_itai_rodeh(n, seed=seed)
+        assert len(m.leaders) == 1
+        counts.append(m.messages_sent)
+    avg = statistics.mean(counts)
+    record("distributed_itai_rodeh",
+           f"n={n}, 8 seeds: avg {avg:.0f} messages "
+           f"(n log n = {int(n * math.log2(n))}, n^2/2 = {n * n // 2}); "
+           f"always exactly one leader")
+    assert avg < n * n / 4
+    benchmark(lambda: run_itai_rodeh(n, seed=1))

@@ -1,0 +1,60 @@
+"""Experiment Fig-2: regenerate the Incidence Graph concept table; check
+three structurally different candidates (two models, one non-model);
+measure checking including nested concept requirements and same-type
+constraints."""
+
+import pytest
+
+from repro.concepts import ModelRegistry, check_concept
+from repro.graphs import (
+    AdjacencyList,
+    EdgeListGraphImpl,
+    GridGraph,
+    IncidenceGraph,
+)
+
+
+def render_fig2() -> str:
+    lines = [f"{'Expression':50s} {'Return Type or Description'}", "-" * 80]
+    for expr, desc in IncidenceGraph.table():
+        lines.append(f"{expr:50s} {desc}")
+    lines.append("")
+    for cls in (AdjacencyList, GridGraph, EdgeListGraphImpl):
+        report = check_concept(IncidenceGraph, cls)
+        lines.append(f"{cls.__name__} models Incidence Graph: {report.ok}")
+        if not report.ok:
+            for f in report.failures[:2]:
+                lines.append(f"    missing: {f.requirement}")
+    return "\n".join(lines)
+
+
+def test_fig2_table(benchmark, record):
+    record("fig2_incidence_graph", render_fig2())
+    rendered = {r[0] for r in IncidenceGraph.table()}
+    # the paper's rows, modulo rendering
+    assert "Graph::vertex_type" in rendered
+    assert "Graph::edge_type" in rendered
+    assert "Graph::out_edge_iterator" in rendered
+    assert "Graph::out_edge_iterator::value_type == Graph::edge_type" in rendered
+    assert any("models Graph Edge" in r for r in rendered)
+    assert "out_edges(v, g)" in rendered
+    assert "out_degree(v, g)" in rendered
+    assert check_concept(IncidenceGraph, AdjacencyList).ok
+    assert check_concept(IncidenceGraph, GridGraph).ok
+    assert not check_concept(IncidenceGraph, EdgeListGraphImpl).ok
+    benchmark(render_fig2)
+
+
+@pytest.mark.parametrize("cls", [AdjacencyList, GridGraph])
+def test_fig2_check_model(benchmark, cls):
+    def cold():
+        return ModelRegistry().check(IncidenceGraph, cls).ok
+
+    assert benchmark(cold)
+
+
+def test_fig2_reject_nonmodel(benchmark):
+    def cold():
+        return ModelRegistry().check(IncidenceGraph, EdgeListGraphImpl).ok
+
+    assert not benchmark(cold)

@@ -1,0 +1,96 @@
+"""Experiment T-lidia: user-extensible, library-specific rewrite rules
+(Section 3.2).
+
+The LiDIA author's rule ``1.0/f -> f.Inverse()``: register it, rewrite
+through it, and measure why it exists — Inverse() swaps an already-reduced
+numerator/denominator (O(1)) while generic division re-reduces via gcd.
+Shape: the specialization wins, and the win grows with operand size.
+"""
+
+import timeit
+
+import pytest
+
+from repro.simplicissimus import (
+    BinOp,
+    Const,
+    Inverse,
+    LiDIAFloat,
+    MethodCall,
+    Simplifier,
+    Var,
+    lidia_simplifier,
+)
+
+
+def _big(digits: int) -> LiDIAFloat:
+    num = int("123456789" * (digits // 9 + 1))
+    den = int("987654321" * (digits // 9 + 1)) + 2  # avoid common factors
+    return LiDIAFloat(num, den)
+
+
+def render() -> str:
+    s = lidia_simplifier()
+    f = Var("f")
+    r = s.simplify(BinOp("/", Const(1.0), f), {"f": LiDIAFloat})
+    lines = [f"library rule: 1.0/f  ->  {r.expr}   (f : LiDIAFloat)"]
+    plain = Simplifier()
+    r2 = plain.simplify(BinOp("/", Const(1.0), f), {"f": LiDIAFloat})
+    lines.append(f"without the rule:   1.0/f  ->  {r2.expr}")
+    lines.append("")
+    lines.append(f"{'digits':>8s} {'1/f (gcd)':>12s} {'Inverse()':>10s} "
+                 f"{'speedup':>8s}")
+    for digits in (18, 90, 900, 3600):
+        f_val = _big(digits)
+        t_div = min(timeit.repeat(lambda: LiDIAFloat(1) / f_val,
+                                  number=200, repeat=3)) / 200
+        t_inv = min(timeit.repeat(lambda: f_val.Inverse(),
+                                  number=200, repeat=3)) / 200
+        lines.append(f"{digits:8d} {t_div * 1e6:10.2f}us {t_inv * 1e6:8.2f}us "
+                     f"{t_div / t_inv:7.1f}x")
+    return "\n".join(lines)
+
+
+def test_lidia_rule_and_payoff(benchmark, record):
+    record("lidia_rules", render())
+    s = lidia_simplifier()
+    f = Var("f")
+    r = s.simplify(BinOp("/", Const(1.0), f), {"f": LiDIAFloat})
+    assert r.expr == MethodCall(f, "Inverse")
+    # Rule does not leak to other types.
+    r2 = s.simplify(BinOp("/", Const(1.0), f), {"f": float})
+    assert r2.expr == Inverse(f, "*")
+    benchmark(lambda: s.simplify(BinOp("/", Const(1.0), f),
+                                 {"f": LiDIAFloat}))
+
+
+def test_inverse_beats_division(benchmark, record):
+    f_val = _big(900)
+    t_div = min(timeit.repeat(lambda: LiDIAFloat(1) / f_val,
+                              number=500, repeat=3))
+    t_inv = min(timeit.repeat(lambda: f_val.Inverse(),
+                              number=500, repeat=3))
+    record("lidia_speedup_900digits",
+           f"1/f: {t_div * 2:.2f}us  Inverse(): {t_inv * 2:.2f}us  "
+           f"speedup {t_div / t_inv:.1f}x")
+    assert f_val.Inverse() == LiDIAFloat(1) / f_val
+    assert t_inv < t_div
+    benchmark(lambda: f_val.Inverse())
+
+
+def test_generic_division(benchmark):
+    f_val = _big(900)
+    out = benchmark(lambda: LiDIAFloat(1) / f_val)
+    assert out == f_val.Inverse()
+
+
+def test_rewritten_expression_evaluates_faster(benchmark):
+    """End to end: simplify then evaluate, vs evaluate the original."""
+    s = lidia_simplifier()
+    f = Var("f")
+    expr = BinOp("/", Const(LiDIAFloat(1)), f)
+    rewritten = s.simplify(expr, {"f": LiDIAFloat}).expr
+    f_val = _big(900)
+    env = {"f": f_val}
+    assert rewritten.evaluate(env) == f_val.Inverse()
+    benchmark(lambda: rewritten.evaluate(env))

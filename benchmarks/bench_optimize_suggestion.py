@@ -1,0 +1,101 @@
+"""Experiment T-optimize: STLlint's algorithm-selection advice and its
+payoff (Section 3.2).
+
+Regenerates the paper's suggestion ("Consider replacing this algorithm with
+one specialized for sorted sequences (e.g., lower_bound)") on a
+sort-then-find program, then measures the suggested change: linear find vs
+binary lower_bound over a size sweep — the asymptotic separation (n vs
+log n) that "complete verification ... would permit high-level
+optimizations that improve the asymptotic performance".
+"""
+
+import timeit
+
+import pytest
+
+from repro.sequences import Vector
+from repro.sequences.algorithms import find, lower_bound
+from repro.stllint import MSG_SORTED_LINEAR_FIND, check_source
+
+PROGRAM = '''
+def lookup(v: "vector"):
+    sort(v.begin(), v.end())
+    i = find(v.begin(), v.end(), 42)
+    if not i.equals(v.end()):
+        return i.deref()
+'''
+
+IMPROVED = PROGRAM.replace("find(", "lower_bound(")
+
+
+def render() -> str:
+    lines = ["STLlint on sort-then-linear-find:"]
+    lines.append(check_source(PROGRAM).render())
+    lines.append("")
+    lines.append("after applying the suggestion (lower_bound):")
+    improved = check_source(IMPROVED)
+    lines.append(improved.render() or "no diagnostics")
+    lines.append("")
+    lines.append("measured payoff (worst-case probe at the end):")
+    lines.append(f"{'n':>8s} {'find (linear)':>15s} {'lower_bound':>13s} "
+                 f"{'speedup':>8s}")
+    for exp in (8, 10, 12, 14):
+        n = 2 ** exp
+        v = Vector(sorted(range(n)))
+        needle = n - 1
+        t_lin = min(timeit.repeat(
+            lambda: find(v.begin(), v.end(), needle), number=3, repeat=3)) / 3
+        t_bin = min(timeit.repeat(
+            lambda: lower_bound(v.begin(), v.end(), needle),
+            number=3, repeat=3)) / 3
+        lines.append(f"{n:8d} {t_lin * 1e6:13.1f}us {t_bin * 1e6:11.1f}us "
+                     f"{t_lin / t_bin:7.1f}x")
+    return "\n".join(lines)
+
+
+def test_suggestion_emitted(benchmark, record):
+    record("optimize_suggestion", render())
+    report = check_source(PROGRAM)
+    assert any(d.message == MSG_SORTED_LINEAR_FIND for d in report.suggestions)
+    # After the rewrite, the suggestion is gone and nothing else fires.
+    improved = check_source(IMPROVED)
+    assert not improved.suggestions
+    assert improved.clean
+    benchmark(lambda: check_source(PROGRAM))
+
+
+@pytest.mark.parametrize("exp", [8, 12, 16])
+def test_linear_find(benchmark, exp):
+    n = 2 ** exp
+    v = Vector(sorted(range(n)))
+    it = benchmark(lambda: find(v.begin(), v.end(), n - 1))
+    assert it.deref() == n - 1
+
+
+@pytest.mark.parametrize("exp", [8, 12, 16])
+def test_binary_lower_bound(benchmark, exp):
+    n = 2 ** exp
+    v = Vector(sorted(range(n)))
+    it = benchmark(lambda: lower_bound(v.begin(), v.end(), n - 1))
+    assert it.deref() == n - 1
+
+
+def test_asymptotic_separation(benchmark, record):
+    """Shape: speedup grows with n roughly like n / log n."""
+    speedups = {}
+    for exp in (8, 12, 14):
+        n = 2 ** exp
+        v = Vector(sorted(range(n)))
+        t_lin = min(timeit.repeat(
+            lambda: find(v.begin(), v.end(), n - 1), number=2, repeat=3))
+        t_bin = min(timeit.repeat(
+            lambda: lower_bound(v.begin(), v.end(), n - 1),
+            number=2, repeat=3))
+        speedups[n] = t_lin / t_bin
+    record("optimize_separation",
+           "\n".join(f"n={n}: {s:.1f}x" for n, s in speedups.items()))
+    ns = sorted(speedups)
+    assert speedups[ns[-1]] > speedups[ns[0]]   # separation grows
+    assert speedups[ns[-1]] > 10                # and is large at 16k
+    v = Vector(sorted(range(2 ** 12)))
+    benchmark(lambda: lower_bound(v.begin(), v.end(), 2 ** 12 - 1))

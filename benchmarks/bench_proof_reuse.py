@@ -1,0 +1,105 @@
+"""Experiment T-proofreuse: generic proofs instantiated many times
+(Section 3.3).
+
+One proof text; k instances.  Shapes: checking cost is linear in instances
+(amortizing the authoring effort "over the many possible instances"),
+every instance's theorems also hold empirically on its model's samples,
+and checking a supplied proof is far cheaper than searching for one.
+"""
+
+import timeit
+from fractions import Fraction
+
+import pytest
+
+from repro.athena import (
+    And,
+    Atom,
+    GroupSig,
+    Proof,
+    forward_chaining_search,
+    instantiate_group_proofs,
+    prove_group_theorems,
+)
+from repro.concepts.algebra import algebra
+
+INSTANCES = [(int, "+"), (float, "*"), (float, "+"),
+             (Fraction, "*"), (Fraction, "+")]
+
+
+def render() -> str:
+    lines = ["One generic proof, many instances:"]
+    total_steps = 0
+    for typ, op in INSTANCES:
+        report = instantiate_group_proofs(algebra.lookup(typ, op))
+        total_steps += report.proof_steps
+        lines.append(
+            f"  ({typ.__name__:8s}, '{op}')  {report.proof_steps:4d} checked "
+            f"steps, {report.samples_checked} sample evaluations, "
+            f"empirical: {'ok' if report.empirical_ok else 'FAIL'}"
+        )
+    lines.append(f"total: {total_steps} steps for {len(INSTANCES)} instances "
+                 f"(proof authored once)")
+    return "\n".join(lines)
+
+
+def test_instantiation_table(benchmark, record):
+    record("proof_reuse", render())
+    for typ, op in INSTANCES:
+        report = instantiate_group_proofs(algebra.lookup(typ, op))
+        assert report.empirical_ok
+    benchmark(lambda: instantiate_group_proofs(algebra.lookup(int, "+")))
+
+
+def test_checking_scales_linearly_in_instances(benchmark, record):
+    """Check time for k instances ≈ k x per-instance time."""
+    def check_k(k: int) -> float:
+        structures = [algebra.lookup(*INSTANCES[i % len(INSTANCES)])
+                      for i in range(k)]
+        start = timeit.default_timer()
+        for s in structures:
+            instantiate_group_proofs(s)
+        return timeit.default_timer() - start
+
+    t1 = min(check_k(1) for _ in range(3))
+    t5 = min(check_k(5) for _ in range(3))
+    ratio = t5 / t1
+    record("proof_reuse_scaling", f"k=1: {t1 * 1e3:.1f}ms  k=5: "
+           f"{t5 * 1e3:.1f}ms  ratio {ratio:.1f} (linear would be 5.0)")
+    assert ratio < 12  # linear-ish, certainly not exponential
+    benchmark(lambda: check_k(1))
+
+
+def test_check_proof(benchmark):
+    sig = GroupSig()
+    out = benchmark(lambda: prove_group_theorems(sig))
+    assert len(out[1]) == 3
+
+
+def test_check_vs_search(benchmark, record):
+    """'It is much more efficient to check a given proof than it is to
+    search for an a priori unknown proof.'"""
+    A, B, C, D = Atom("A"), Atom("B"), Atom("C"), Atom("D")
+    axioms = [A, B, C, D]
+    goal = And(And(D, C), And(B, A))
+
+    def check() -> int:
+        pf = Proof(axioms)
+        dc = pf.both(D, C)
+        ba = pf.both(B, A)
+        pf.both(dc, ba)
+        return pf.steps
+
+    search_cost = forward_chaining_search(axioms, goal)
+    check_steps = check()
+    t_check = min(timeit.repeat(check, number=100, repeat=3)) / 100
+    t_search = min(timeit.repeat(
+        lambda: forward_chaining_search(axioms, goal), number=3, repeat=3)) / 3
+    record("proof_check_vs_search",
+           f"checking: {check_steps} steps, {t_check * 1e6:.0f}us\n"
+           f"searching: {search_cost} facts generated, {t_search * 1e6:.0f}us\n"
+           f"search/check time ratio: {t_search / t_check:.0f}x")
+    assert search_cost is not None
+    assert check_steps < search_cost
+    assert t_check < t_search
+    benchmark(check)

@@ -1,0 +1,78 @@
+"""Experiment T-propagation: constraint propagation (Section 2.3).
+
+Regenerates the paper's ``first_neighbor`` declaration pair (terse with
+propagation, exhaustive without), counts written vs derived constraints for
+a family of real signatures, and times the propagation closure itself (the
+cost a compiler pays so programmers don't)."""
+
+import pytest
+
+from repro.concepts import AlgorithmSignature, Constraint, Param, propagate
+from repro.concepts.builtins import (
+    Container,
+    RandomAccessContainer,
+    ReversibleContainer,
+    Sequence,
+)
+from repro.graphs import BidirectionalGraph, IncidenceGraph
+
+G = Param("G")
+
+
+def first_neighbor_signature() -> AlgorithmSignature:
+    return AlgorithmSignature(
+        "first_neighbor", ("G", "G_Vertex"),
+        (Constraint(IncidenceGraph, (G,)),),
+        doc="the Section 2.3 running example",
+    )
+
+
+def render() -> str:
+    sig = first_neighbor_signature()
+    lines = ["Section 2.3's first_neighbor, with constraint propagation:"]
+    lines.append("  " + sig.declaration(with_propagation=True).replace("\n", "\n  "))
+    lines.append("")
+    lines.append("and without (every derived constraint spelled out):")
+    lines.append("  " + sig.declaration(with_propagation=False).replace("\n", "\n  "))
+    lines.append("")
+    lines.append(f"{'signature':24s} {'written':>8s} {'full closure':>13s}")
+    for concept, name in [
+        (IncidenceGraph, "first_neighbor"),
+        (BidirectionalGraph, "in_neighbors"),
+        (Container, "find"),
+        (Sequence, "remove_if"),
+        (ReversibleContainer, "reverse"),
+        (RandomAccessContainer, "sort"),
+    ]:
+        s = AlgorithmSignature(name, ("T",), (Constraint(concept, (Param("T"),)),))
+        w, t = s.constraint_counts()
+        lines.append(f"{name:24s} {w:8d} {t:13d}")
+    return "\n".join(lines)
+
+
+def test_propagation_table(benchmark, record):
+    record("propagation", render())
+    sig = first_neighbor_signature()
+    w, t = sig.constraint_counts()
+    assert w == 1          # programmer writes one constraint
+    assert t >= 2          # compiler derives the GraphEdge/iterator ones
+    full = sig.declaration(with_propagation=False)
+    assert "Graph Edge" in full
+    terse = sig.declaration(with_propagation=True)
+    assert "Graph Edge" not in terse
+    benchmark(render)
+
+
+def test_propagation_closure_speed(benchmark):
+    constraints = [(IncidenceGraph, (G,))]
+    out = benchmark(lambda: propagate(constraints))
+    assert out.total_count() >= 2
+
+
+def test_deep_closure_speed(benchmark):
+    constraints = [
+        (BidirectionalGraph, (G,)),
+        (RandomAccessContainer, (Param("C"),)),
+    ]
+    out = benchmark(lambda: propagate(constraints, max_depth=8))
+    assert out.total_count() > 2

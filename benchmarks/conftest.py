@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates its figure/table into ``benchmarks/out/<name>.txt``
+(so the artifacts survive pytest's stdout capture) and asserts the *shape*
+of the result — who wins, by roughly what factor, where crossovers fall —
+per DESIGN.md's experiment index.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """record(name, text): persist a regenerated table/figure."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}] written to {path}\n{text}")
+
+    return _record

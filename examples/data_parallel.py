@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The data-parallel library over the simulated work/span machine
+(Section 4), with Semigroup-guarded collectives.
+
+Run:  python examples/data_parallel.py
+"""
+
+import numpy as np
+
+from repro.parallel import (
+    Machine,
+    UnsoundReductionError,
+    jacobi_smooth,
+    parallel_dot,
+    parallel_normalize,
+    parallel_sum,
+    parray,
+    prefix_sums,
+    sequential_sum,
+)
+
+print("=== Think in parallel, abstractly ===")
+m = Machine(processors=16)
+data = np.arange(1.0, 1_000_001.0)
+total = parallel_sum(data, m)
+print(f"  sum of 1..10^6 = {total:.0f}")
+print(f"  cost: {m.log.summary()}")
+print(f"  simulated time on 16 procs: {m.time():.0f} "
+      f"(sequential: {sequential_sum(data)[1].time_on(16):.0f})")
+
+print("\n=== Speedup curve: linear, then saturating at work/span ===")
+m2 = Machine()
+parallel_sum(np.ones(2 ** 16), m2)
+for p, s in m2.speedup_curve([1, 2, 4, 8, 16, 64, 256, 4096, 65536]):
+    bar = "#" * int(min(s, 70))
+    print(f"  p={p:6d}  speedup={s:8.1f}  {bar}")
+print(f"  parallelism (work/span) = {m2.log.parallelism:.0f}")
+
+print("\n=== Composition: dot, scan, normalize, stencil ===")
+print("  dot([1,2,3],[4,5,6]) =", parallel_dot([1, 2, 3], [4, 5, 6]))
+print("  prefix_sums(1..6)    =", prefix_sums(range(1, 7)).to_numpy().tolist())
+print("  normalize([1,3])     =", parallel_normalize([1.0, 3.0]).to_numpy().tolist())
+spike = np.zeros(11)
+spike[5] = 1.0
+print("  jacobi(spike, 2 it)  =",
+      np.round(jacobi_smooth(spike, 2).to_numpy(), 3).tolist())
+
+print("\n=== The concept guard on reductions ===")
+ok = parray(np.arange(8)).reduce("+")   # (int, +) models Semigroup: fine
+print("  reduce('+') =", ok)
+try:
+    parray(np.arange(8)).reduce("sat+")
+except UnsoundReductionError as e:
+    print("  reduce('sat+') rejected:")
+    print("   ", str(e).splitlines()[0])
+print("  reduce('sat+', unsafe=True) would run —",
+      "the caller owns the regrouping risk.")

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Quickstart: first-class concepts in five minutes.
+
+Defines a concept, checks types against it (structurally and nominally),
+dispatches a generic function on concepts, and lets constraint propagation
+shorten a declaration — the core loop of the paper's Section 2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.concepts import (
+    AlgorithmSignature,
+    Assoc,
+    AssociatedType,
+    Concept,
+    ConceptCheckError,
+    ConceptRequirement,
+    Constraint,
+    GenericFunction,
+    Param,
+    check_concept,
+    declare_model,
+    method,
+    ops_for,
+)
+
+# ---------------------------------------------------------------------------
+# 1. Define concepts: a small shape hierarchy.
+# ---------------------------------------------------------------------------
+
+T = Param("T")
+
+Drawable = Concept(
+    "Drawable",
+    requirements=[method("s.draw()", "draw", [T])],
+    doc="Anything that can render itself.",
+)
+
+Scalable = Concept(
+    "Scalable",
+    refines=[Drawable],
+    requirements=[method("s.scale(f)", "scale", [T])],
+    doc="Drawable that can also be resized.",
+)
+
+
+# ---------------------------------------------------------------------------
+# 2. Model the concepts: structurally (duck-typed) or via adaptation.
+# ---------------------------------------------------------------------------
+
+class Circle:
+    def draw(self):
+        return "circle"
+
+    def scale(self, f):
+        return f"circle x{f}"
+
+
+class AsciiArt:  # no draw() method — structurally non-conforming
+    def render_text(self):
+        return "<ascii>"
+
+
+print("Circle models Scalable:", check_concept(Scalable, Circle).ok)
+print("AsciiArt models Drawable:", check_concept(Drawable, AsciiArt).ok)
+
+# Adapt AsciiArt with a concept map (nominal modeling, C++0x-style):
+declare_model(Drawable, AsciiArt,
+              operation_impls={"draw": lambda self: self.render_text()})
+print("AsciiArt after concept map:", check_concept(Drawable, AsciiArt).ok)
+
+# A failed check is a *call-site* diagnostic, not a stack of template guts:
+class Nothing:
+    pass
+
+try:
+    check_concept(Scalable, Nothing).raise_if_failed(context="render_scene()")
+except ConceptCheckError as e:
+    print("\ndiagnostic for a non-model:")
+    print(e)
+
+
+# ---------------------------------------------------------------------------
+# 3. Concept-based overloading: most refined concept wins.
+# ---------------------------------------------------------------------------
+
+render = GenericFunction("render")
+
+
+@render.overload(requires=[(Drawable, 0)])
+def _render_plain(x):
+    # Invoke through the concept's resolved operations so *adapted* models
+    # (operations supplied by a concept map) work too.
+    ops = ops_for(Drawable, type(x))
+    return f"[draw] {ops.draw(x)}"
+
+
+@render.overload(requires=[(Scalable, 0)])
+def _render_scaled(x):
+    return f"[scaled draw] {x.scale(2)}"
+
+
+print("\nrender(Circle())  ->", render(Circle()))    # picks the Scalable overload
+print("render(AsciiArt()) ->", render(AsciiArt()))   # falls back to Drawable
+
+
+# ---------------------------------------------------------------------------
+# 4. Constraint propagation: declare one constraint, derive the rest.
+# ---------------------------------------------------------------------------
+
+Part = Concept("Part", requirements=[method("p.mass()", "mass", [T])])
+Assembly = Concept(
+    "Assembly",
+    requirements=[
+        AssociatedType("part_type", T),
+        ConceptRequirement(Part, (Assoc(T, "part_type"),)),
+        method("a.parts()", "parts", [T]),
+    ],
+)
+
+sig = AlgorithmSignature(
+    "total_mass", ("A",), (Constraint(Assembly, (Param("A"),)),)
+)
+print("\nwith propagation   :", sig.declaration(with_propagation=True))
+print("without propagation:", sig.declaration(with_propagation=False))
+written, total = sig.constraint_counts()
+print(f"constraints written: {written} (propagation derives {total - written} more)")

@@ -1,0 +1,113 @@
+"""``python -m repro`` — library self-check and inventory.
+
+Prints the system inventory, runs one fast end-to-end exercise per system,
+and reports pass/fail — a smoke check for fresh installs.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _check_concepts() -> str:
+    from repro.concepts import check_concept
+    from repro.graphs import Edge, GraphEdge
+
+    assert check_concept(GraphEdge, Edge).ok
+    return "Fig. 1 Graph Edge conformance"
+
+
+def _check_sequences() -> str:
+    from repro.sequences import Vector
+    from repro.sequences.algorithms import is_sorted, sort
+
+    v = Vector([3, 1, 2])
+    sort(v)
+    assert is_sorted(v.begin(), v.end())
+    return "concept-dispatched sort"
+
+
+def _check_stllint() -> str:
+    from repro.stllint import MSG_SINGULAR_DEREF, check_source
+
+    report = check_source('''
+def f(v: "vector"):
+    it = v.begin()
+    v.erase(it)
+    x = it.deref()
+''')
+    assert any(d.message == MSG_SINGULAR_DEREF for d in report.warnings)
+    return "Fig. 4 invalidation warning"
+
+
+def _check_simplicissimus() -> str:
+    from repro.simplicissimus import BinOp, Const, Var, simplify
+
+    assert simplify(BinOp("*", Var("x"), Const(1)), {"x": int}).expr == Var("x")
+    return "Fig. 5 Monoid rewrite"
+
+
+def _check_athena() -> str:
+    from repro.athena import OrderSig, prove_equivalence_properties
+
+    pf, theorems = prove_equivalence_properties(OrderSig("<"))
+    assert len(theorems) == 3
+    return "Fig. 6 derived theorems"
+
+
+def _check_distributed() -> str:
+    from repro.distributed.algorithms import run_chang_roberts
+
+    assert run_chang_roberts(8).consensus() == 7
+    return "ring leader election"
+
+
+def _check_parallel() -> str:
+    import numpy as np
+
+    from repro.parallel import Machine, parallel_sum
+
+    m = Machine()
+    assert parallel_sum(np.arange(100.0), m) == 4950
+    assert m.log.parallelism > 1
+    return "guarded tree reduction"
+
+
+CHECKS = [
+    ("concepts", _check_concepts),
+    ("sequences", _check_sequences),
+    ("stllint", _check_stllint),
+    ("simplicissimus", _check_simplicissimus),
+    ("athena", _check_athena),
+    ("distributed", _check_distributed),
+    ("parallel", _check_parallel),
+]
+
+
+def main() -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — reproduction of "
+          f"'Generic Programming and High-Performance Libraries' (2004)")
+    print(repro.__doc__.split("Subpackages", 1)[0].strip())
+    print()
+    failures = 0
+    for name, check in CHECKS:
+        try:
+            detail = check()
+            print(f"  [ok]   repro.{name:15s} {detail}")
+        except Exception as exc:  # noqa: BLE001 - smoke check reporting
+            failures += 1
+            print(f"  [FAIL] repro.{name:15s} {exc}")
+    print()
+    if failures:
+        print(f"{failures} subsystem check(s) FAILED")
+        return 1
+    print("all subsystem checks passed; run `pytest tests/` for the full "
+          "suite and `pytest benchmarks/ --benchmark-only` to regenerate "
+          "every figure/table")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

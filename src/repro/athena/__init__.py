@@ -1,0 +1,95 @@
+"""Athena-style Denotational Proof Language (Section 3.3): assumption base,
+primitive deductions, first-class methods, theories as operator-mapped
+functions, and generic proofs instantiated per model.
+
+Quick use::
+
+    from repro.athena import OrderSig, prove_equivalence_properties
+
+    pf, theorems = prove_equivalence_properties(OrderSig("<"))
+    # theorems: E reflexive, E symmetric (derived), E transitive (axiom)
+"""
+
+from .instantiation import (
+    InstanceReport,
+    check_axioms_empirically,
+    eval_equation,
+    eval_term,
+    instantiate_group_proofs,
+    sig_for_structure,
+)
+from .methods import (
+    Method,
+    conj_idem,
+    conj_swap,
+    forward_chaining_search,
+    hypothetical_syllogism,
+    method,
+)
+from .proof import AssumptionBase, Proof, ProofError
+from .proofs import (
+    prove_equivalence_properties,
+    prove_mul_zero,
+    prove_ring_theorems,
+    prove_equiv_reflexive,
+    prove_equiv_symmetric,
+    prove_group_theorems,
+    prove_inverse_involution,
+    prove_left_identity,
+    prove_left_inverse,
+)
+from .proofs.range_theory import prove_reaches_kth_successor, range_session
+from .proofs.strict_weak_order import instance_of, swo_session
+from .proofs.group_theory import group_session
+from .props import (
+    And,
+    Atom,
+    Exists,
+    Falsity,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Prop,
+    equals,
+    forall,
+)
+from .terms import App, Term, Var, const, replace_subterm
+from .theories import (
+    THEORIES,
+    GroupSig,
+    OrderSig,
+    RangeSig,
+    RingSig,
+    abelian_axioms,
+    group_axioms,
+    monoid_axioms,
+    range_axioms,
+    ring_axioms,
+    semigroup_axioms,
+    strict_partial_order_axioms,
+    strict_weak_order_axioms,
+    total_order_axioms,
+)
+
+__all__ = [
+    "App", "Term", "Var", "const", "replace_subterm",
+    "And", "Atom", "Exists", "Falsity", "Forall", "Iff", "Implies", "Not",
+    "Or", "Prop", "equals", "forall",
+    "AssumptionBase", "Proof", "ProofError",
+    "Method", "method", "conj_swap", "conj_idem", "hypothetical_syllogism",
+    "forward_chaining_search",
+    "OrderSig", "GroupSig", "RingSig", "RangeSig", "THEORIES",
+    "strict_weak_order_axioms", "strict_partial_order_axioms",
+    "total_order_axioms", "semigroup_axioms", "monoid_axioms",
+    "group_axioms", "abelian_axioms", "ring_axioms", "range_axioms",
+    "prove_equiv_reflexive", "prove_equiv_symmetric",
+    "prove_equivalence_properties", "prove_left_inverse",
+    "prove_left_identity", "prove_inverse_involution",
+    "prove_group_theorems", "prove_mul_zero", "prove_ring_theorems",
+    "swo_session", "group_session", "range_session", "instance_of",
+    "prove_reaches_kth_successor",
+    "InstanceReport", "instantiate_group_proofs", "sig_for_structure",
+    "eval_term", "eval_equation", "check_axioms_empirically",
+]

@@ -1,0 +1,138 @@
+"""First-class methods and the check-vs-search comparison.
+
+"Athena has ... first-class *methods*, the analog of ordinary functions,
+whose purpose is to carry out proofs" — a :class:`Method` is a named,
+composable proof procedure you can pass around like any value.
+
+:func:`forward_chaining_search` is the counterpoint for the paper's
+efficiency claim ("it is much more efficient to check a given proof than it
+is to search for an a priori unknown proof"): a small breadth-first
+forward-chaining prover that *searches* for a proposition instead of
+checking a supplied deduction.  The proof-reuse bench times both.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .proof import Proof, ProofError
+from .props import And, Forall, Implies, Not, Prop
+from .terms import Term, Var
+
+
+@dataclass
+class Method:
+    """A named proof procedure: ``body(proof, *args) -> theorem``."""
+
+    name: str
+    body: Callable[..., Prop]
+    doc: str = ""
+
+    def __call__(self, pf: Proof, *args) -> Prop:
+        return self.body(pf, *args)
+
+    def then(self, other: "Method") -> "Method":
+        """Sequential composition: run self, feed its theorem to other."""
+
+        def composed(pf: Proof, *args) -> Prop:
+            theorem = self.body(pf, *args)
+            return other.body(pf, theorem)
+
+        return Method(f"{self.name};{other.name}", composed)
+
+    def __repr__(self) -> str:
+        return f"Method({self.name})"
+
+
+def method(name: str, doc: str = "") -> Callable[[Callable], Method]:
+    """Decorator form: ``@method('conj-swap')``."""
+
+    def deco(fn: Callable[..., Prop]) -> Method:
+        return Method(name, fn, doc)
+
+    return deco
+
+
+# -- standard programmed methods -------------------------------------------
+
+
+@method("conj-swap", "A & B |- B & A")
+def conj_swap(pf: Proof, conj: Prop) -> Prop:
+    left = pf.left_and(conj)
+    right = pf.right_and(conj)
+    return pf.both(right, left)
+
+
+@method("conj-idem", "A |- A & A")
+def conj_idem(pf: Proof, p: Prop) -> Prop:
+    pf.claim(p)
+    return pf.both(p, p)
+
+
+@method("hypothetical-syllogism", "A==>B, B==>C |- A==>C")
+def hypothetical_syllogism(pf: Proof, ab: Prop, bc: Prop) -> Prop:
+    assert isinstance(ab, Implies) and isinstance(bc, Implies)
+
+    def body(p: Proof) -> Prop:
+        b = p.modus_ponens(ab, p.claim(ab.antecedent))
+        return p.modus_ponens(bc, b)
+
+    return pf.assume(ab.antecedent, body)
+
+
+# -- forward-chaining search (the expensive alternative) ---------------------
+
+
+def forward_chaining_search(
+    axioms: Iterable[Prop],
+    goal: Prop,
+    instantiation_terms: Iterable[Term] = (),
+    max_rounds: int = 6,
+    max_facts: int = 20_000,
+) -> Optional[int]:
+    """Breadth-first proof *search*: saturate the fact set with ∧-intro/elim,
+    modus ponens, and universal specialization over ``instantiation_terms``
+    until the goal appears.  Returns the number of facts generated (the
+    search cost) or None on failure within bounds.
+
+    Deliberately naive — it is the baseline demonstrating why DPL-style
+    *checking* scales where search does not.
+    """
+    facts: set[Prop] = set(axioms)
+    terms = list(instantiation_terms)
+    generated = 0
+    for _ in range(max_rounds):
+        if goal in facts:
+            return generated
+        new: set[Prop] = set()
+
+        def emit(p: Prop) -> None:
+            nonlocal generated
+            if p not in facts and p not in new:
+                new.add(p)
+
+        for p in facts:
+            if isinstance(p, And):
+                emit(p.left)
+                emit(p.right)
+            if isinstance(p, Forall):
+                for t in terms:
+                    emit(p.instantiate(t))
+            if isinstance(p, Implies) and p.antecedent in facts:
+                emit(p.consequent)
+        # Conjunction introduction over a bounded frontier (quadratic!).
+        frontier = list(facts)[:60]
+        for a, b in itertools.product(frontier, frontier):
+            emit(And(a, b))
+            if len(new) + len(facts) > max_facts:
+                break
+        generated += len(new)
+        if not new:
+            break
+        facts |= new
+        if len(facts) > max_facts:
+            break
+    return generated if goal in facts else None

@@ -1,0 +1,357 @@
+"""The assumption base and the primitive deduction methods.
+
+"Athena has proof language constructs similar to those for ordinary
+computation, including first-class *methods* ... whose purpose is to carry
+out proofs, updating the *assumption base*, an associative memory of
+propositions that have been asserted or proved in a proof session.  The
+assumption base is fundamental to Athena's approach to deduction; all proof
+activity centers around it.  ...  Proper deductions (ones which correctly
+use primitive or programmed inference methods) produce theorems and add
+them to the assumption base; improper deductions result in an error
+condition."
+
+:class:`Proof` is a proof session.  Every primitive method validates its
+premises against the assumption base and either *returns the conclusion*
+(now in the base) or raises :class:`ProofError` — checking, never searching.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Optional, Sequence
+
+from .props import (
+    And,
+    Atom,
+    Exists,
+    Falsity,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Prop,
+)
+from .terms import App, Term, Var, replace_subterm
+
+_fresh = itertools.count(1)
+
+
+class ProofError(Exception):
+    """An improper deduction: a premise missing from the assumption base,
+    a malformed rule application, a non-fresh generalization variable."""
+
+
+class AssumptionBase:
+    """An associative memory of propositions."""
+
+    def __init__(self, props: Iterable[Prop] = ()) -> None:
+        self._props: set[Prop] = set(props)
+
+    def holds(self, p: Prop) -> bool:
+        return p in self._props
+
+    def add(self, p: Prop) -> None:
+        self._props.add(p)
+
+    def extend(self, props: Iterable[Prop]) -> None:
+        self._props.update(props)
+
+    def child(self, extra: Iterable[Prop] = ()) -> "AssumptionBase":
+        out = AssumptionBase(self._props)
+        out.extend(extra)
+        return out
+
+    def free_variables(self) -> set[str]:
+        out: set[str] = set()
+        for p in self._props:
+            out |= p.free_variables()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._props)
+
+    def __iter__(self):
+        return iter(self._props)
+
+    def __contains__(self, p: Prop) -> bool:
+        return self.holds(p)
+
+
+class Proof:
+    """A proof session over an assumption base.
+
+    Every method is a *deduction*: its return value is a theorem that has
+    been added to the base.  ``trace`` records the deduction steps so tests
+    and benches can inspect proof sizes.
+    """
+
+    def __init__(self, assumptions: Iterable[Prop] = (),
+                 base: Optional[AssumptionBase] = None) -> None:
+        self.base = base if base is not None else AssumptionBase()
+        self.base.extend(assumptions)
+        self.trace: list[str] = []
+        self.steps = 0
+
+    # -- internal ---------------------------------------------------------------
+
+    def _require(self, p: Prop, why: str) -> None:
+        if not self.base.holds(p):
+            raise ProofError(f"{why}: {p} is not in the assumption base")
+
+    def _conclude(self, p: Prop, rule: str) -> Prop:
+        self.base.add(p)
+        self.steps += 1
+        self.trace.append(f"{rule}: {p}")
+        return p
+
+    # -- structural primitives ------------------------------------------------------
+
+    def claim(self, p: Prop) -> Prop:
+        """Reiterate a proposition already in the base."""
+        self._require(p, "claim")
+        return self._conclude(p, "claim")
+
+    def both(self, p: Prop, q: Prop) -> Prop:
+        """∧-introduction."""
+        self._require(p, "both (left)")
+        self._require(q, "both (right)")
+        return self._conclude(And(p, q), "both")
+
+    def left_and(self, conj: Prop) -> Prop:
+        """∧-elimination (left)."""
+        self._require(conj, "left-and")
+        if not isinstance(conj, And):
+            raise ProofError(f"left-and: {conj} is not a conjunction")
+        return self._conclude(conj.left, "left-and")
+
+    def right_and(self, conj: Prop) -> Prop:
+        self._require(conj, "right-and")
+        if not isinstance(conj, And):
+            raise ProofError(f"right-and: {conj} is not a conjunction")
+        return self._conclude(conj.right, "right-and")
+
+    def modus_ponens(self, implication: Prop, antecedent: Prop) -> Prop:
+        """→-elimination."""
+        self._require(implication, "modus-ponens (implication)")
+        self._require(antecedent, "modus-ponens (antecedent)")
+        if not isinstance(implication, Implies):
+            raise ProofError(f"modus-ponens: {implication} is not an implication")
+        if implication.antecedent != antecedent:
+            raise ProofError(
+                f"modus-ponens: antecedent mismatch — implication expects "
+                f"{implication.antecedent}, got {antecedent}"
+            )
+        return self._conclude(implication.consequent, "modus-ponens")
+
+    def assume(self, hypothesis: Prop,
+               body: Callable[["Proof"], Prop]) -> Prop:
+        """→-introduction: run ``body`` in a child session whose base also
+        holds ``hypothesis``; discharge to an implication.  This is Athena's
+        ``assume`` deduction form."""
+        child = Proof(base=self.base.child([hypothesis]))
+        conclusion = body(child)
+        if not child.base.holds(conclusion):
+            raise ProofError(
+                "assume: the body's return value was never established"
+            )
+        self.steps += child.steps
+        self.trace.extend("  " + t for t in child.trace)
+        return self._conclude(Implies(hypothesis, conclusion), "assume")
+
+    def either(self, p: Prop, other: Prop, left: bool = True) -> Prop:
+        """∨-introduction."""
+        self._require(p, "either")
+        return self._conclude(Or(p, other) if left else Or(other, p), "either")
+
+    def cases(self, disjunction: Prop,
+              left_body: Callable[["Proof"], Prop],
+              right_body: Callable[["Proof"], Prop]) -> Prop:
+        """∨-elimination: both branches must derive the same conclusion."""
+        self._require(disjunction, "cases")
+        if not isinstance(disjunction, Or):
+            raise ProofError(f"cases: {disjunction} is not a disjunction")
+        lchild = Proof(base=self.base.child([disjunction.left]))
+        lconc = left_body(lchild)
+        if not lchild.base.holds(lconc):
+            raise ProofError("cases: left branch conclusion not established")
+        rchild = Proof(base=self.base.child([disjunction.right]))
+        rconc = right_body(rchild)
+        if not rchild.base.holds(rconc):
+            raise ProofError("cases: right branch conclusion not established")
+        if lconc != rconc:
+            raise ProofError(
+                f"cases: branches disagree ({lconc} vs {rconc})"
+            )
+        self.steps += lchild.steps + rchild.steps
+        return self._conclude(lconc, "cases")
+
+    def absurd(self, p: Prop, not_p: Prop) -> Prop:
+        """¬-elimination: p and ¬p yield falsity."""
+        self._require(p, "absurd")
+        self._require(not_p, "absurd")
+        if not_p != Not(p):
+            raise ProofError(f"absurd: {not_p} is not the negation of {p}")
+        return self._conclude(Falsity(), "absurd")
+
+    def by_contradiction(self, goal: Prop,
+                         body: Callable[["Proof"], Prop]) -> Prop:
+        """¬-introduction / classical reductio: assume ¬goal, derive false."""
+        hypothesis = goal.operand if isinstance(goal, Not) else Not(goal)
+        child = Proof(base=self.base.child([hypothesis]))
+        conclusion = body(child)
+        if conclusion != Falsity() or not child.base.holds(Falsity()):
+            raise ProofError("by-contradiction: body did not derive falsity")
+        self.steps += child.steps
+        return self._conclude(goal, "by-contradiction")
+
+    def double_negation(self, p: Prop) -> Prop:
+        self._require(p, "double-negation")
+        if not (isinstance(p, Not) and isinstance(p.operand, Not)):
+            raise ProofError(f"double-negation: {p} is not doubly negated")
+        return self._conclude(p.operand.operand, "double-negation")
+
+    # -- iff ---------------------------------------------------------------------------
+
+    def equiv(self, forward: Prop, backward: Prop) -> Prop:
+        """↔-introduction from the two implications."""
+        self._require(forward, "equiv")
+        self._require(backward, "equiv")
+        if not (isinstance(forward, Implies) and isinstance(backward, Implies)):
+            raise ProofError("equiv: both premises must be implications")
+        if (
+            forward.antecedent != backward.consequent
+            or forward.consequent != backward.antecedent
+        ):
+            raise ProofError("equiv: implications are not mutual")
+        return self._conclude(Iff(forward.antecedent, forward.consequent), "equiv")
+
+    def left_iff(self, iff: Prop) -> Prop:
+        self._require(iff, "left-iff")
+        if not isinstance(iff, Iff):
+            raise ProofError(f"left-iff: {iff} is not a biconditional")
+        return self._conclude(Implies(iff.left, iff.right), "left-iff")
+
+    def right_iff(self, iff: Prop) -> Prop:
+        self._require(iff, "right-iff")
+        if not isinstance(iff, Iff):
+            raise ProofError(f"right-iff: {iff} is not a biconditional")
+        return self._conclude(Implies(iff.right, iff.left), "right-iff")
+
+    # -- quantifiers -------------------------------------------------------------------
+
+    def uspec(self, universal: Prop, term: Term) -> Prop:
+        """∀-elimination (universal specialization)."""
+        self._require(universal, "uspec")
+        if not isinstance(universal, Forall):
+            raise ProofError(f"uspec: {universal} is not universal")
+        return self._conclude(universal.instantiate(term), "uspec")
+
+    def pick_any(self, body: Callable[["Proof", Var], Prop],
+                 hint: str = "a") -> Prop:
+        """∀-introduction (universal generalization): run ``body`` with a
+        fresh variable; generalize its conclusion.  Freshness is enforced —
+        the variable cannot already occur free in the base."""
+        name = f"{hint}{next(_fresh)}"
+        if name in self.base.free_variables():  # pragma: no cover - counter
+            name = f"{name}_{next(_fresh)}"
+        v = Var(name)
+        child = Proof(base=self.base.child())
+        conclusion = body(child, v)
+        if not child.base.holds(conclusion):
+            raise ProofError("pick-any: conclusion not established")
+        self.steps += child.steps
+        self.trace.extend("  " + t for t in child.trace)
+        generalized = Forall(name, conclusion)
+        return self._conclude(generalized, "pick-any")
+
+    def egen(self, existential: Exists, witness: Term, instance: Prop) -> Prop:
+        """∃-introduction from a witness."""
+        self._require(instance, "egen")
+        if existential.instantiate(witness) != instance:
+            raise ProofError(
+                f"egen: {instance} is not {existential} at witness {witness}"
+            )
+        return self._conclude(existential, "egen")
+
+    # -- equality ---------------------------------------------------------------------
+
+    def reflexivity(self, t: Term) -> Prop:
+        return self._conclude(Atom("=", (t, t)), "reflexivity")
+
+    def symmetry(self, eq: Prop) -> Prop:
+        self._require(eq, "symmetry")
+        if not (isinstance(eq, Atom) and eq.pred == "=" and len(eq.args) == 2):
+            raise ProofError(f"symmetry: {eq} is not an equality")
+        return self._conclude(Atom("=", (eq.args[1], eq.args[0])), "symmetry")
+
+    def transitivity(self, eq1: Prop, eq2: Prop) -> Prop:
+        self._require(eq1, "transitivity")
+        self._require(eq2, "transitivity")
+        for eq in (eq1, eq2):
+            if not (isinstance(eq, Atom) and eq.pred == "="):
+                raise ProofError(f"transitivity: {eq} is not an equality")
+        if eq1.args[1] != eq2.args[0]:
+            raise ProofError(
+                f"transitivity: {eq1} and {eq2} do not chain"
+            )
+        return self._conclude(
+            Atom("=", (eq1.args[0], eq2.args[1])), "transitivity"
+        )
+
+    def congruence(self, eq: Prop, context: Term, hole: Var) -> Prop:
+        """Leibniz/congruence: from ``a = b`` conclude
+        ``context[hole := a] = context[hole := b]``."""
+        self._require(eq, "congruence")
+        if not (isinstance(eq, Atom) and eq.pred == "=" and len(eq.args) == 2):
+            raise ProofError(f"congruence: {eq} is not an equality")
+        a, b = eq.args
+        left = context.substitute({hole.name: a})
+        right = context.substitute({hole.name: b})
+        return self._conclude(Atom("=", (left, right)), "congruence")
+
+    def rewrite(self, target: Prop, eq: Prop) -> Prop:
+        """Leibniz on propositions: rewrite occurrences of the equality's
+        left side in an established proposition."""
+        self._require(target, "rewrite")
+        self._require(eq, "rewrite")
+        if not (isinstance(eq, Atom) and eq.pred == "=" and len(eq.args) == 2):
+            raise ProofError(f"rewrite: {eq} is not an equality")
+        a, b = eq.args
+        out = _rewrite_prop(target, a, b)
+        if out == target:
+            raise ProofError(f"rewrite: {a} does not occur in {target}")
+        return self._conclude(out, "rewrite")
+
+    def chain(self, *equalities: Prop) -> Prop:
+        """Transitivity over a whole calculational chain."""
+        if len(equalities) < 2:
+            raise ProofError("chain: need at least two equalities")
+        out = equalities[0]
+        for nxt in equalities[1:]:
+            out = self.transitivity(out, nxt)
+        return out
+
+
+def _rewrite_prop(p: Prop, old: Term, new: Term) -> Prop:
+    if isinstance(p, Atom):
+        return Atom(p.pred, tuple(replace_subterm(a, old, new) for a in p.args))
+    if isinstance(p, Not):
+        return Not(_rewrite_prop(p.operand, old, new))
+    if isinstance(p, And):
+        return And(_rewrite_prop(p.left, old, new), _rewrite_prop(p.right, old, new))
+    if isinstance(p, Or):
+        return Or(_rewrite_prop(p.left, old, new), _rewrite_prop(p.right, old, new))
+    if isinstance(p, Implies):
+        return Implies(
+            _rewrite_prop(p.antecedent, old, new),
+            _rewrite_prop(p.consequent, old, new),
+        )
+    if isinstance(p, Iff):
+        return Iff(_rewrite_prop(p.left, old, new), _rewrite_prop(p.right, old, new))
+    if isinstance(p, (Forall, Exists)):
+        if p.var in old.variables() | new.variables():
+            return p
+        body = _rewrite_prop(p.body, old, new)
+        return type(p)(p.var, body)
+    return p

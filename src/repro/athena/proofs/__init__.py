@@ -1,0 +1,36 @@
+"""Generic proofs: written once, instantiated for every model.
+
+"In such a system, proofs can themselves be generic components, in the
+sense that one can express a proof once and subsequently instantiate it
+many times to prove more specific cases, in much the same way as one does
+with generic algorithms."
+"""
+
+from .strict_weak_order import (
+    prove_equivalence_properties,
+    prove_equiv_reflexive,
+    prove_equiv_symmetric,
+)
+from .group_theory import (
+    prove_group_theorems,
+    prove_inverse_involution,
+    prove_left_identity,
+    prove_left_inverse,
+)
+from .ring_theory import prove_mul_zero, prove_ring_theorems, ring_session
+from .range_theory import prove_reaches_kth_successor, range_session
+
+__all__ = [
+    "prove_equiv_reflexive",
+    "prove_equiv_symmetric",
+    "prove_equivalence_properties",
+    "prove_left_inverse",
+    "prove_left_identity",
+    "prove_inverse_involution",
+    "prove_group_theorems",
+    "prove_mul_zero",
+    "prove_ring_theorems",
+    "ring_session",
+    "prove_reaches_kth_successor",
+    "range_session",
+]

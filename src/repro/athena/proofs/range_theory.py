@@ -1,0 +1,41 @@
+"""Range/iterator theory proofs: the "sequential computation concepts
+(container, iterator, range)" the paper says were formalized and used in
+proofs.
+
+From the two range axioms — every position reaches itself, and
+reachability extends through the successor — derive that any position
+reaches its k-th successor.  This is the deductive backbone of STLlint's
+range validity reasoning: ``[first, advance(first, k))`` is a valid range.
+"""
+
+from __future__ import annotations
+
+from ..proof import Proof
+from ..props import Prop
+from ..terms import Term, Var
+from ..theories import RangeSig, range_axioms
+
+
+def range_session(sig: RangeSig) -> Proof:
+    return Proof(range_axioms(sig))
+
+
+def prove_reaches_kth_successor(pf: Proof, sig: RangeSig, k: int) -> Prop:
+    """Theorem: ∀i. reaches(i, next^k(i)) — proved by k chained
+    modus-ponens steps through the extension axiom (a *computed* proof:
+    the deduction's length depends on k, which is exactly the 'proofs as
+    ordinary computation' interplay DPLs are built for)."""
+    if k < 0:
+        raise ValueError("k must be nonnegative")
+    reflexive, extend = range_axioms(sig)
+
+    def body(p: Proof, i: Var) -> Prop:
+        fact = p.uspec(reflexive, i)         # reaches(i, i)
+        j: Term = i
+        for _ in range(k):
+            step = p.uspec(p.uspec(extend, i), j)
+            fact = p.modus_ponens(step, fact)
+            j = sig.nxt(j)
+        return fact
+
+    return pf.pick_any(body, hint="i")

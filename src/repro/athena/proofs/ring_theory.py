@@ -1,0 +1,141 @@
+"""Ring theory: the annihilation theorem ``x * 0 = 0``.
+
+A showcase of cross-theory generic proof: the derivation uses the
+*distributivity* axiom of the Ring together with group reasoning in the
+additive component (cancellation via the additive inverse) — two theories
+packaged as functions, composed by passing their operator mappings around,
+exactly the organization Section 3.3 describes.
+"""
+
+from __future__ import annotations
+
+from ..proof import Proof
+from ..props import Forall, Prop, equals
+from ..terms import App, Term, Var
+from ..theories import RingSig, ring_axioms
+
+HOLE = Var("HOLE")
+
+
+def ring_session(sig: RingSig) -> Proof:
+    return Proof(ring_axioms(sig))
+
+
+def prove_mul_zero(pf: Proof, sig: RingSig) -> Prop:
+    """Theorem: ∀x. x·0 = 0.
+
+    Chain: x·0 = x·(0+0) = x·0 + x·0, then cancel one x·0 using the
+    additive inverse.
+    """
+    a, m = sig.add, sig.mul
+    axioms = ring_axioms(sig)
+    # Locate the axioms we need by shape (the theory function's order is
+    # stable, but matching by content keeps this robust to extension).
+    add_right_id = _find_axiom(pf, axioms, "additive right identity",
+                               lambda p: _is_right_identity(p, a))
+    add_right_inv = _find_axiom(pf, axioms, "additive right inverse",
+                                lambda p: _is_right_inverse(p, a))
+    add_assoc = _find_axiom(pf, axioms, "additive associativity",
+                            lambda p: _is_associativity(p, a))
+    left_distrib = _find_axiom(pf, axioms, "left distributivity",
+                               lambda p: _is_left_distributivity(p, sig))
+
+    zero = a.identity()
+
+    def body(p: Proof, x: Var) -> Prop:
+        t = m.ap(x, zero)                       # x*0
+        # 1. t = x*(0+0)   [0 = 0+0 in context x*HOLE]
+        zz = p.uspec(add_right_id, zero)        # 0+0 = 0
+        s1 = p.congruence(p.symmetry(zz), m.ap(x, HOLE), HOLE)
+        # 2. x*(0+0) = x*0 + x*0    [distributivity at (x, 0, 0)]
+        s2 = p.uspec(p.uspec(p.uspec(left_distrib, x), zero), zero)
+        # 3. t = t + t
+        doubled = p.chain(s1, s2)
+        # 4. 0 = t + neg(t)          [right inverse at t, reversed]
+        rv_t = p.uspec(add_right_inv, t)        # t + neg(t) = 0
+        s4 = p.symmetry(rv_t)
+        nt = a.inverse(t)
+        # 5. t + neg(t) = (t+t) + neg(t)   [doubled in context HOLE + neg(t)]
+        s5 = p.congruence(doubled, a.ap(HOLE, nt), HOLE)
+        # 6. (t+t) + neg(t) = t + (t + neg(t))   [associativity]
+        s6 = p.uspec(p.uspec(p.uspec(add_assoc, t), t), nt)
+        # 7. t + (t+neg(t)) = t + 0    [right inverse in context t + HOLE]
+        s7 = p.congruence(rv_t, a.ap(t, HOLE), HOLE)
+        # 8. t + 0 = t                 [right identity at t]
+        s8 = p.uspec(add_right_id, t)
+        # 0 = t, flip to t = 0.
+        zero_is_t = p.chain(s4, s5, s6, s7, s8)
+        return p.symmetry(zero_is_t)
+
+    return pf.pick_any(body, hint="x")
+
+
+def prove_ring_theorems(sig: RingSig) -> tuple[Proof, dict[str, Prop]]:
+    pf = ring_session(sig)
+    return pf, {"annihilation": prove_mul_zero(pf, sig)}
+
+
+# -- axiom shape matchers ------------------------------------------------------
+
+
+def _strip(p: Prop) -> Prop:
+    while isinstance(p, Forall):
+        p = p.body
+    return p
+
+
+def _is_right_identity(p: Prop, g) -> bool:
+    body = _strip(p)
+    if not (hasattr(body, "pred") and body.pred == "="):
+        return False
+    lhs, rhs = body.args
+    return (
+        isinstance(lhs, App) and lhs.fsym == g.op
+        and lhs.args[1] == g.identity() and lhs.args[0] == rhs
+    )
+
+
+def _is_right_inverse(p: Prop, g) -> bool:
+    body = _strip(p)
+    if not (hasattr(body, "pred") and body.pred == "="):
+        return False
+    lhs, rhs = body.args
+    return (
+        isinstance(lhs, App) and lhs.fsym == g.op
+        and isinstance(lhs.args[1], App) and lhs.args[1].fsym == g.inv
+        and rhs == g.identity()
+    )
+
+
+def _is_associativity(p: Prop, g) -> bool:
+    body = _strip(p)
+    if not (hasattr(body, "pred") and body.pred == "="):
+        return False
+    lhs, rhs = body.args
+    return (
+        isinstance(lhs, App) and lhs.fsym == g.op
+        and isinstance(lhs.args[0], App) and lhs.args[0].fsym == g.op
+        and isinstance(rhs, App) and rhs.fsym == g.op
+        and isinstance(rhs.args[1], App) and rhs.args[1].fsym == g.op
+    )
+
+
+def _is_left_distributivity(p: Prop, sig: RingSig) -> bool:
+    body = _strip(p)
+    if not (hasattr(body, "pred") and body.pred == "="):
+        return False
+    lhs, rhs = body.args
+    return (
+        isinstance(lhs, App) and lhs.fsym == sig.mul.op
+        and isinstance(lhs.args[1], App) and lhs.args[1].fsym == sig.add.op
+        and isinstance(rhs, App) and rhs.fsym == sig.add.op
+    )
+
+
+def _find_axiom(pf: Proof, axioms, label: str, matcher) -> Prop:
+    for ax in axioms:
+        if matcher(ax) and pf.base.holds(ax):
+            return ax
+    from ..proof import ProofError
+
+    raise ProofError(f"required axiom not in the assumption base: {label}")

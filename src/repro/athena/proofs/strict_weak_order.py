@@ -1,0 +1,85 @@
+"""Fig. 6's derived theorems, proved generically.
+
+"From these axioms two additional properties of E, symmetry and
+reflexivity, can be derived as theorems, showing that E is in fact an
+equivalence relation."
+
+The proofs are *generic*: they take an :class:`OrderSig` operator mapping,
+so the same deduction text proves the theorems for ``<`` on ints, on
+strings, on a user type — "one can express a proof once and subsequently
+instantiate it many times".
+"""
+
+from __future__ import annotations
+
+from ..proof import Proof
+from ..props import And, Forall, Implies, Not, Prop
+from ..terms import Term, Var
+from ..theories import OrderSig, strict_weak_order_axioms
+
+
+def swo_session(sig: OrderSig) -> Proof:
+    """A proof session whose assumption base holds the Fig. 6 axioms."""
+    return Proof(strict_weak_order_axioms(sig))
+
+
+def prove_equiv_reflexive(pf: Proof, sig: OrderSig) -> Prop:
+    """Theorem: ∀x. E(x, x).
+
+    Deduction: for any a, specialize irreflexivity to get ~(a < a), then
+    conjoin it with itself — that conjunction *is* E(a, a).
+    """
+    irreflexivity = strict_weak_order_axioms(sig)[0]
+
+    def body(p: Proof, a: Var) -> Prop:
+        not_lt = p.uspec(irreflexivity, a)         # ~(a < a)
+        return p.both(not_lt, not_lt)              # E(a, a)
+
+    return pf.pick_any(body, hint="x")
+
+
+def prove_equiv_symmetric(pf: Proof, sig: OrderSig) -> Prop:
+    """Theorem: ∀x, y. E(x, y) ==> E(y, x).
+
+    Deduction: assume E(a, b) = ~(a<b) & ~(b<a); its two conjuncts,
+    re-conjoined in the opposite order, are E(b, a).
+    """
+
+    def inner(p: Proof, a: Var) -> Prop:
+        def innermost(p2: Proof, b: Var) -> Prop:
+            e_ab = sig.equiv(a, b)
+
+            def discharge(p3: Proof) -> Prop:
+                left = p3.left_and(e_ab)            # ~(a < b)
+                right = p3.right_and(e_ab)          # ~(b < a)
+                return p3.both(right, left)         # E(b, a)
+
+            return p2.assume(e_ab, discharge)
+
+        return p.pick_any(innermost, hint="y")
+
+    return pf.pick_any(inner, hint="x")
+
+
+def prove_equivalence_properties(sig: OrderSig) -> tuple[Proof, list[Prop]]:
+    """Run both Fig. 6 derivations in one session; returns the session and
+    the theorems [reflexivity of E, symmetry of E, transitivity of E].
+    (Transitivity of E is an axiom of the Strict Weak Order concept, so the
+    three together establish that E is an equivalence relation.)"""
+    pf = swo_session(sig)
+    reflexive = prove_equiv_reflexive(pf, sig)
+    symmetric = prove_equiv_symmetric(pf, sig)
+    transitivity_axiom = strict_weak_order_axioms(sig)[2]
+    pf.claim(transitivity_axiom)
+    return pf, [reflexive, symmetric, transitivity_axiom]
+
+
+def instance_of(theorem: Prop, *terms: Term) -> Prop:
+    """Instantiate a (possibly nested) universal theorem at concrete terms —
+    how callers consume a generic theorem, and how the tests verify it has
+    the expected shape regardless of bound-variable names."""
+    out = theorem
+    for t in terms:
+        assert isinstance(out, Forall), f"{out} is not universal"
+        out = out.instantiate(t)
+    return out

@@ -1,0 +1,90 @@
+"""First-order terms for the Athena-style proof language.
+
+Terms are variables and function applications (constants are nullary
+applications).  Everything is immutable and structurally hashable — the
+assumption base is "an associative memory of propositions", which needs
+structural identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+
+class Term:
+    """Base class of first-order terms."""
+
+    def variables(self) -> set[str]:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Term"]) -> "Term":
+        raise NotImplementedError
+
+    def subterms(self) -> Iterator["Term"]:
+        yield self
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A term variable."""
+
+    name: str
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def substitute(self, mapping: Mapping[str, Term]) -> Term:
+        return mapping.get(self.name, self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application of a function symbol: ``App('op', (x, y))`` renders as
+    ``op(x, y)``; nullary applications are constants (``App('e')`` is the
+    identity element)."""
+
+    fsym: str
+    args: tuple[Term, ...] = ()
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def substitute(self, mapping: Mapping[str, Term]) -> Term:
+        return App(self.fsym, tuple(a.substitute(mapping) for a in self.args))
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+        for a in self.args:
+            yield from a.subterms()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.fsym
+        if len(self.args) == 2 and not self.fsym.isalnum():
+            return f"({self.args[0]} {self.fsym} {self.args[1]})"
+        return f"{self.fsym}({', '.join(map(str, self.args))})"
+
+
+def const(name: str) -> App:
+    """A constant symbol."""
+    return App(name)
+
+
+def replace_subterm(term: Term, old: Term, new: Term) -> Term:
+    """Replace every occurrence of ``old`` inside ``term`` with ``new`` —
+    the term-side workhorse of equational rewriting."""
+    if term == old:
+        return new
+    if isinstance(term, App):
+        return App(
+            term.fsym,
+            tuple(replace_subterm(a, old, new) for a in term.args),
+        )
+    return term

@@ -1,0 +1,412 @@
+"""Algebraic concepts and operation-tagged models.
+
+Fig. 5's rewrite rules are guarded by *pairs*: "(x, +) models Monoid" — the
+same type can model Monoid under ``+`` and under ``*`` with different
+identities.  The concept system keys models by type tuples, so algebraic
+modeling gets its own registry keyed by ``(type, operator symbol)``; this is
+the generalization of the "tagging of certain operators with semantic
+attributes such as commutativity and associativity" the paper cites from
+Axiom/Maude, upgraded with identity/inverse witnesses and sample-based axiom
+testing.
+
+The hierarchy — Semigroup ⊂ Monoid ⊂ Group ⊂ AbelianGroup, and Ring/Field
+over two operations — mirrors the concepts the authors "have already
+formalized and used in proofs" (Section 3.3); the Athena theories in
+:mod:`repro.athena.theories` state the same axioms deductively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from .concept import Concept
+from .errors import SemanticAxiomViolation
+from .requirements import (
+    AnyType,
+    Param,
+    SemanticAxiom,
+    function,
+)
+
+T = Param("T")
+
+# ---------------------------------------------------------------------------
+# The concept hierarchy (semantic concepts: signatures + axioms)
+# ---------------------------------------------------------------------------
+
+Magma = Concept(
+    "Magma",
+    params=("T",),
+    requirements=[
+        function("op(a, b)", "op", [T, T], T),
+    ],
+    doc="A set with a closed binary operation.",
+)
+
+Semigroup = Concept(
+    "Semigroup",
+    params=("T",),
+    refines=[Magma],
+    requirements=[
+        SemanticAxiom(
+            "associativity",
+            ("a", "b", "c"),
+            lambda ops, a, b, c: ops.op(ops.op(a, b), c) == ops.op(a, ops.op(b, c)),
+            "op(op(a, b), c) == op(a, op(b, c))",
+        ),
+    ],
+    doc="Associative magma.",
+)
+
+Monoid = Concept(
+    "Monoid",
+    params=("T",),
+    refines=[Semigroup],
+    requirements=[
+        function("identity()", "identity", [T], T),
+        SemanticAxiom(
+            "right identity",
+            ("a",),
+            lambda ops, a: ops.op(a, ops.identity(a)) == a,
+            "op(a, e) == a  —  the Fig. 5 rule x + 0 -> x",
+        ),
+        SemanticAxiom(
+            "left identity",
+            ("a",),
+            lambda ops, a: ops.op(ops.identity(a), a) == a,
+            "op(e, a) == a",
+        ),
+    ],
+    doc="Semigroup with identity.",
+)
+
+Group = Concept(
+    "Group",
+    params=("T",),
+    refines=[Monoid],
+    requirements=[
+        function("inverse(a)", "inverse", [T], T),
+        SemanticAxiom(
+            "right inverse",
+            ("a",),
+            lambda ops, a: ops.op(a, ops.inverse(a)) == ops.identity(a),
+            "op(a, inverse(a)) == e  —  the Fig. 5 rule x + (-x) -> 0",
+        ),
+    ],
+    doc="Monoid with inverses.",
+)
+
+AbelianGroup = Concept(
+    "Abelian Group",
+    params=("T",),
+    refines=[Group],
+    requirements=[
+        SemanticAxiom(
+            "commutativity",
+            ("a", "b"),
+            lambda ops, a, b: ops.op(a, b) == ops.op(b, a),
+            "op(a, b) == op(b, a)",
+        ),
+    ],
+    doc="Commutative group.",
+)
+
+#: Fig. 3 names this structure for the additive part of a vector space.
+AdditiveAbelianGroup = Concept(
+    "Additive Abelian Group",
+    params=("T",),
+    refines=[AbelianGroup],
+    doc="Abelian group written additively (Fig. 3's vector-addition part).",
+)
+
+Ring = Concept(
+    "Ring",
+    params=("T",),
+    refines=[AdditiveAbelianGroup],
+    requirements=[
+        function("mul(a, b)", "mul", [T, T], T),
+        function("one()", "one", [T], T),
+        SemanticAxiom(
+            "distributivity",
+            ("a", "b", "c"),
+            lambda ops, a, b, c: ops.mul(a, ops.op(b, c))
+            == ops.op(ops.mul(a, b), ops.mul(a, c)),
+            "a*(b+c) == a*b + a*c",
+        ),
+        SemanticAxiom(
+            "multiplicative associativity",
+            ("a", "b", "c"),
+            lambda ops, a, b, c: ops.mul(ops.mul(a, b), c)
+            == ops.mul(a, ops.mul(b, c)),
+            "(a*b)*c == a*(b*c)",
+        ),
+    ],
+    doc="Ring: additive abelian group with associative, distributive mul.",
+)
+
+Field = Concept(
+    "Field",
+    params=("T",),
+    refines=[Ring],
+    requirements=[
+        function("reciprocal(a)", "reciprocal", [T], T),
+        SemanticAxiom(
+            "multiplicative inverse",
+            ("a",),
+            lambda ops, a: a == ops.identity(a)
+            or ops.mul(a, ops.reciprocal(a)) == ops.one(a),
+            "a != 0 implies a * (1/a) == 1",
+        ),
+    ],
+    doc="Ring whose nonzero elements form a multiplicative group.",
+)
+
+V, S = Param("V"), Param("S")
+
+#: Fig. 3: "Types V and S model the Vector Space concept if, in addition to
+#: the type S modeling the Field concept and the type V modeling the
+#: Additive Abelian Group concept, the above requirements are satisfied."
+VectorSpace = Concept(
+    "Vector Space",
+    params=("V", "S"),
+    refines=[(AdditiveAbelianGroup, (V,)), (Field, (S,))],
+    requirements=[
+        function("mult(v, s)", "mult", [V, S], V),
+        function("mult(s, v)", "mult", [S, V], V, owner_index=1),
+        SemanticAxiom(
+            "scalar distributivity",
+            ("v", "w", "s"),
+            lambda ops, v, w, s: ops.mult(ops.op(v, w), s)
+            == ops.op(ops.mult(v, s), ops.mult(w, s)),
+            "(v + w)*s == v*s + w*s",
+        ),
+    ],
+    doc="The multi-type concept of Fig. 3; scalar type is NOT an associated "
+        "type of the vector type (the CLA-CRM argument of Section 2.4).",
+)
+
+
+# ---------------------------------------------------------------------------
+# Operation-tagged algebraic structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AlgebraicStructure:
+    """A declaration that ``(typ, op_symbol)`` models an algebraic concept.
+
+    ``identity_value``/``is_identity`` witness the identity element;
+    ``is_identity`` exists separately because for shape-dependent identities
+    (the identity matrix) membership cannot be tested with ``==`` against a
+    single value.  ``inverse`` is required at Group level and above.
+    """
+
+    typ: type
+    op_symbol: str
+    concept: Concept
+    apply: Callable[[Any, Any], Any]
+    identity_value: Any = None
+    is_identity: Optional[Callable[[Any], bool]] = None
+    inverse: Optional[Callable[[Any], Any]] = None
+    commutative: bool = False
+    samples: tuple = ()
+    make_identity: Optional[Callable[[Any], Any]] = None
+
+    def identity_for(self, like: Any) -> Any:
+        """The identity element, possibly shaped like ``like`` (matrices)."""
+        if self.make_identity is not None:
+            return self.make_identity(like)
+        return self.identity_value
+
+    def identity_test(self, value: Any) -> bool:
+        if self.is_identity is not None:
+            return bool(self.is_identity(value))
+        try:
+            return bool(value == self.identity_value)
+        except Exception:  # noqa: BLE001 - foreign __eq__
+            return False
+
+
+class AlgebraRegistry:
+    """Registry of :class:`AlgebraicStructure` keyed by (type, operator).
+
+    Lookup walks the type's MRO so structures declared for a base class
+    cover subclasses, matching :class:`~repro.concepts.modeling
+    .OperationRegistry` semantics.
+    """
+
+    def __init__(self) -> None:
+        self._structures: dict[tuple[type, str], AlgebraicStructure] = {}
+
+    def declare(
+        self, structure: AlgebraicStructure, check_axioms: bool = True
+    ) -> AlgebraicStructure:
+        if check_axioms and structure.samples:
+            self.verify_axioms(structure)
+        self._structures[(structure.typ, structure.op_symbol)] = structure
+        return structure
+
+    def verify_axioms(self, structure: AlgebraicStructure) -> None:
+        """Sampling-based axiom check: a failing sample *refutes* the
+        declaration (raises); passing samples do not prove it — proving is
+        :mod:`repro.athena`'s job."""
+        ops = _StructureOps(structure)
+        for axiom in structure.concept.axioms():
+            for sample in structure.samples:
+                values = sample if isinstance(sample, tuple) else (sample,)
+                if len(values) < len(axiom.variables):
+                    # Recycle values for higher-arity axioms.
+                    values = (values * 3)[: len(axiom.variables)]
+                args = values[: len(axiom.variables)]
+                try:
+                    ok = axiom.predicate(ops, *args)
+                except NotImplementedError:
+                    continue
+                if not ok:
+                    raise SemanticAxiomViolation(
+                        structure.concept.name, axiom.name, args
+                    )
+
+    def lookup(self, typ: type, op_symbol: str) -> Optional[AlgebraicStructure]:
+        for base in typ.__mro__:
+            found = self._structures.get((base, op_symbol))
+            if found is not None:
+                return found
+        return None
+
+    def models(self, typ: type, op_symbol: str, concept: Concept) -> bool:
+        """Does ``(typ, op_symbol)`` model ``concept`` (possibly via a more
+        refined declaration)?  This is Simplicissimus's applicability test:
+        ``(x, +) models Monoid``."""
+        s = self.lookup(typ, op_symbol)
+        return s is not None and s.concept.refines_concept(concept)
+
+    def structures(self) -> list[AlgebraicStructure]:
+        return list(self._structures.values())
+
+
+class _StructureOps:
+    """Adapter letting concept axioms run against an AlgebraicStructure."""
+
+    def __init__(self, s: AlgebraicStructure) -> None:
+        self._s = s
+
+    def op(self, a: Any, b: Any) -> Any:
+        return self._s.apply(a, b)
+
+    def identity(self, like: Any) -> Any:
+        return self._s.identity_for(like)
+
+    def inverse(self, a: Any) -> Any:
+        if self._s.inverse is None:
+            raise NotImplementedError
+        return self._s.inverse(a)
+
+    def __getattr__(self, name: str) -> Any:
+        raise NotImplementedError(name)
+
+
+#: Default process-wide algebra registry, pre-populated below with the
+#: built-in instances from Fig. 5's table.
+algebra = AlgebraRegistry()
+
+
+def declare_standard_structures(registry: AlgebraRegistry) -> None:
+    """Declare the Fig. 5 built-in instances (user-defined ones — strings,
+    matrices, rationals — are declared by their home modules)."""
+    from fractions import Fraction
+
+    registry.declare(
+        AlgebraicStructure(
+            int, "+", AbelianGroup, lambda a, b: a + b,
+            identity_value=0, inverse=lambda a: -a, commutative=True,
+            samples=((3, 5, 7), (-2, 11, 0), (1, 1, 1)),
+        )
+    )
+    registry.declare(
+        AlgebraicStructure(
+            int, "*", Monoid, lambda a, b: a * b,
+            identity_value=1, commutative=True,
+            samples=((3, 5, 7), (-2, 11, 1)),
+        )
+    )
+    # Exactly-representable samples keep float associativity honest; floats
+    # are declared Monoid/Group by convention (as Fig. 5 does with f*1.0->f),
+    # with the caveat living in the sample choice.
+    registry.declare(
+        AlgebraicStructure(
+            float, "*", Group, lambda a, b: a * b,
+            identity_value=1.0, inverse=lambda a: 1.0 / a, commutative=True,
+            samples=((2.0, 4.0, 0.5), (8.0, 0.25, 1.0)),
+        )
+    )
+    registry.declare(
+        AlgebraicStructure(
+            float, "+", AbelianGroup, lambda a, b: a + b,
+            identity_value=0.0, inverse=lambda a: -a, commutative=True,
+            samples=((2.0, 4.0, 0.5), (8.0, 0.25, 0.0)),
+        )
+    )
+    registry.declare(
+        AlgebraicStructure(
+            bool, "and", Monoid, lambda a, b: a and b,
+            identity_value=True, commutative=True,
+            samples=((True, False, True), (False, False, True)),
+        )
+    )
+    registry.declare(
+        AlgebraicStructure(
+            bool, "or", Monoid, lambda a, b: a or b,
+            identity_value=False, commutative=True,
+            samples=((True, False, True), (False, False, True)),
+        )
+    )
+    # Bitwise AND over Python's unbounded ints: the identity is the all-ones
+    # pattern -1 (the role 0xFFF... plays at fixed width in Fig. 5).
+    registry.declare(
+        AlgebraicStructure(
+            int, "&", Monoid, lambda a, b: a & b,
+            identity_value=-1, commutative=True,
+            samples=((0b1010, 0b0110, 0b1111), (7, 3, -1)),
+        )
+    )
+    registry.declare(
+        AlgebraicStructure(
+            int, "|", Monoid, lambda a, b: a | b,
+            identity_value=0, commutative=True,
+            samples=((0b1010, 0b0110, 0), (7, 3, 1)),
+        )
+    )
+    registry.declare(
+        AlgebraicStructure(
+            str, "concat", Monoid, lambda a, b: a + b,
+            identity_value="",
+            samples=(("ab", "c", ""), ("", "xy", "z")),
+        )
+    )
+    registry.declare(
+        AlgebraicStructure(
+            Fraction, "*", Group, lambda a, b: a * b,
+            identity_value=Fraction(1), inverse=lambda a: 1 / a,
+            commutative=True,
+            samples=(
+                (Fraction(2, 3), Fraction(5, 7), Fraction(1)),
+                (Fraction(-4, 9), Fraction(3, 2), Fraction(11)),
+            ),
+        )
+    )
+    registry.declare(
+        AlgebraicStructure(
+            Fraction, "+", AbelianGroup, lambda a, b: a + b,
+            identity_value=Fraction(0), inverse=lambda a: -a,
+            commutative=True,
+            samples=(
+                (Fraction(2, 3), Fraction(5, 7), Fraction(0)),
+                (Fraction(-4, 9), Fraction(3, 2), Fraction(11)),
+            ),
+        )
+    )
+
+
+declare_standard_structures(algebra)

@@ -1,0 +1,352 @@
+"""Concept archetypes (Sections 2.1 and 3.1).
+
+"Concept archetypes ... are minimal syntactic models of concepts that can be
+passed to generic functions to verify that the generic functions do not
+require syntax not captured in a concept."  Given a concept, this module
+*synthesizes* such a model: one fresh class per concept parameter and per
+associated type, exposing exactly the operations the concept grants and
+raising :class:`ArchetypeViolation` for anything else.
+
+STLlint's *semantic* archetypes (Section 3.1) — which "emulate the behavior
+of the most restrictive model of a particular concept" — are built on the
+same machinery via the ``behaviors`` hook: a behavior replaces the default
+stub for an operation with real (restrictive) semantics, e.g. an Input
+Iterator that physically cannot be traversed twice.  See
+:mod:`repro.stllint.archetype_check`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from .concept import Concept
+from .errors import ArchetypeViolation, ConceptDefinitionError
+from .modeling import ModelRegistry, models as default_registry
+from .requirements import (
+    AnyType,
+    Assoc,
+    AssociatedType,
+    ConceptRequirement,
+    Exact,
+    Param,
+    SameType,
+    TypeExpr,
+    ValidExpression,
+)
+
+#: Dunders stubbed out with violation-raisers on every archetype so that
+#: using an operator the concept does not grant yields a concept-level
+#: diagnostic instead of a bare TypeError.
+_GUARDED_DUNDERS = (
+    "__add__", "__sub__", "__mul__", "__truediv__", "__and__", "__or__",
+    "__xor__", "__lt__", "__le__", "__gt__", "__ge__", "__getitem__",
+    "__setitem__", "__len__", "__iter__", "__next__", "__neg__",
+    "__invert__", "__contains__", "__call__",
+)
+
+_DUNDER_TO_OP = {v: k for k, v in ValidExpression.OPERATOR_DUNDER.items()}
+
+
+class OpaqueValue:
+    """The value of an expression whose type the concept leaves open."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<opaque>"
+
+
+def _expr_key(expr: TypeExpr) -> str:
+    return str(expr)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[str, str] = {}
+
+    def find(self, x: str) -> str:
+        self.parent.setdefault(x, x)
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+class ArchetypeSet:
+    """The synthesized archetype classes for one concept.
+
+    Attributes:
+        concept: The source concept.
+        classes: Mapping from type-expression rendering (``"Graph"``,
+            ``"Graph::vertex_type"``) to the synthesized class.
+        param_types: The classes bound to the concept's parameters, in order
+            — ready to pass to :meth:`ModelRegistry.check`.
+    """
+
+    def __init__(
+        self,
+        concept: Concept,
+        registry: Optional[ModelRegistry] = None,
+        behaviors: Optional[Mapping[str, Callable]] = None,
+        exact_defaults: Optional[Mapping[type, Callable[[], Any]]] = None,
+    ) -> None:
+        self.concept = concept
+        self.registry = registry if registry is not None else default_registry
+        self.behaviors = dict(behaviors or {})
+        self.exact_defaults: dict[type, Callable[[], Any]] = {
+            int: lambda: 0,
+            float: lambda: 0.0,
+            bool: lambda: False,
+            str: lambda: "",
+        }
+        if exact_defaults:
+            self.exact_defaults.update(exact_defaults)
+        self.classes: dict[str, type] = {}
+        self._build()
+        self.param_types: tuple[type, ...] = tuple(
+            self.classes[_expr_key(p)] for p in concept.params
+        )
+
+    # -- synthesis -----------------------------------------------------------
+
+    def _collect_type_exprs(self) -> tuple[list[TypeExpr], _UnionFind]:
+        exprs: dict[str, TypeExpr] = {}
+        uf = _UnionFind()
+
+        def note(e: TypeExpr) -> None:
+            if isinstance(e, (Param, Assoc)):
+                exprs.setdefault(_expr_key(e), e)
+                if isinstance(e, Assoc):
+                    note(e.base)
+
+        for p in self.concept.params:
+            note(p)
+        for req in self.concept.all_requirements():
+            if isinstance(req, AssociatedType):
+                note(Assoc(req.of, req.name))
+            elif isinstance(req, ValidExpression):
+                for a in req.args:
+                    note(a)
+                if req.result is not None:
+                    note(req.result)
+            elif isinstance(req, SameType):
+                note(req.a)
+                note(req.b)
+                uf.union(_expr_key(req.a), _expr_key(req.b))
+            elif isinstance(req, ConceptRequirement):
+                for a in req.args:
+                    note(a)
+        return list(exprs.values()), uf
+
+    def _build(self) -> None:
+        exprs, uf = self._collect_type_exprs()
+        # One class per union-find representative.
+        rep_to_class: dict[str, type] = {}
+        for expr in exprs:
+            rep = uf.find(_expr_key(expr))
+            if rep not in rep_to_class:
+                rep_to_class[rep] = self._make_class(rep)
+            self.classes[_expr_key(expr)] = rep_to_class[rep]
+
+        # Bind associated types as class attributes so structural resolution
+        # (CheckContext.resolve) finds them.
+        for req in self.concept.all_requirements():
+            if isinstance(req, AssociatedType):
+                owner = self.classes[_expr_key(req.of)]
+                setattr(owner, req.name, self.classes[_expr_key(Assoc(req.of, req.name))])
+
+        # Grant each valid expression on its owner class.
+        for req in self.concept.all_requirements():
+            if isinstance(req, ValidExpression):
+                self._grant(req)
+
+        # Nested concept requirements: recursively archetype the nested
+        # concept and graft its grants onto our classes for shared exprs.
+        for req in self.concept.all_requirements():
+            if isinstance(req, ConceptRequirement):
+                self._graft_nested(req)
+
+    def _make_class(self, label: str) -> type:
+        safe = (
+            label.replace("::", "_").replace("<", "").replace(">", "")
+            .replace(" ", "")
+        )
+        concept_name = self.concept.name
+
+        def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+            self._archetype_state: dict[str, Any] = {}
+
+        def __getattr__(self: Any, name: str) -> Any:
+            if name.startswith("_"):
+                raise AttributeError(name)
+            raise ArchetypeViolation(name, concept_name)
+
+        def __repr__(self: Any) -> str:
+            return f"<archetype {label} of {concept_name}>"
+
+        namespace: dict[str, Any] = {
+            "__init__": __init__,
+            "__getattr__": __getattr__,
+            "__repr__": __repr__,
+            "_archetype_label": label,
+            "_archetype_concept": concept_name,
+        }
+        for dunder in _GUARDED_DUNDERS:
+            namespace[dunder] = _make_violation_dunder(dunder, concept_name)
+        return type(f"Archetype_{self.concept.name.replace(' ', '')}_{safe}", (), namespace)
+
+    def _default_value(self, expr: Optional[TypeExpr]) -> Any:
+        if expr is None or isinstance(expr, AnyType):
+            return OpaqueValue()
+        if isinstance(expr, Exact):
+            maker = self.exact_defaults.get(expr.pytype)
+            if maker is not None:
+                return maker()
+            try:
+                return expr.pytype()
+            except Exception:  # noqa: BLE001 - best effort default
+                return OpaqueValue()
+        cls = self.classes.get(_expr_key(expr))
+        if cls is None:
+            return OpaqueValue()
+        return cls()
+
+    def _grant(self, req: ValidExpression) -> None:
+        if not req.args:
+            return
+        idx = min(req.owner_index, len(req.args) - 1)
+        owner_expr = req.args[idx]
+        owner = self.classes.get(_expr_key(owner_expr))
+        lookup = req.lookup_name()
+        behavior = self.behaviors.get(req.op) or self.behaviors.get(lookup)
+        result_expr = req.result
+
+        if behavior is not None:
+            impl = behavior
+        else:
+            make_default = self._default_value
+
+            def impl(_self: Any, *args: Any, **kwargs: Any) -> Any:
+                return make_default(result_expr)
+
+        if req.via in ("method", "operator"):
+            if owner is None:
+                raise ConceptDefinitionError(
+                    f"archetype of {self.concept.name}: cannot place "
+                    f"{req.rendering} (owner type {owner_expr} is concrete)"
+                )
+            setattr(owner, lookup, impl)
+            # Equality/ordering grants need the reflected side sane too.
+            if lookup == "__eq__":
+                setattr(owner, "__ne__", lambda s, o, _i=impl: not _i(s, o))
+                setattr(owner, "__hash__", lambda s: id(s))
+        else:  # free function
+            target = owner if owner is not None else object
+            self.registry.ops.register(
+                req.op, target, lambda *a, _i=impl, **kw: _i(*a, **kw)
+            )
+
+    def _graft_nested(self, req: ConceptRequirement) -> None:
+        nested = req.concept
+        mapping = {_expr_key(p): a for p, a in zip(nested.params, req.args)}
+        for sub in nested.all_requirements():
+            if isinstance(sub, ValidExpression):
+                translated = _translate_expr_args(sub, mapping)
+                # Only graft when every referenced type already has a class
+                # here (shared exprs); otherwise the nested check covers it.
+                try:
+                    self._grant(translated)
+                except (KeyError, ConceptDefinitionError):
+                    continue
+            elif isinstance(sub, AssociatedType):
+                owner_expr = mapping.get(_expr_key(sub.of), sub.of)
+                owner = self.classes.get(_expr_key(owner_expr))
+                if owner is not None and not isinstance(
+                    getattr(owner, sub.name, None), type
+                ):
+                    key = _expr_key(Assoc(owner_expr, sub.name))
+                    cls = self.classes.get(key)
+                    if cls is None:
+                        cls = self._make_class(key)
+                        self.classes[key] = cls
+                    setattr(owner, sub.name, cls)
+
+    # -- use ----------------------------------------------------------------
+
+    def instance(self, param: str | TypeExpr) -> Any:
+        """A fresh instance of the archetype for a parameter or associated
+        type expression."""
+        key = param if isinstance(param, str) else _expr_key(param)
+        if key not in self.classes:
+            raise KeyError(f"no archetype class for {key!r}")
+        return self.classes[key]()
+
+    def self_check(self) -> None:
+        """Verify the archetypes model the concept — i.e. the concept is
+        satisfiable and our synthesis is complete."""
+        self.registry.check(self.concept, self.param_types).raise_if_failed(
+            context=f"archetype self-check for {self.concept.name}"
+        )
+
+
+def _translate_expr_args(
+    req: ValidExpression, mapping: Mapping[str, TypeExpr]
+) -> ValidExpression:
+    def tr(e: TypeExpr) -> TypeExpr:
+        key = _expr_key(e)
+        if key in mapping:
+            return mapping[key]
+        if isinstance(e, Assoc):
+            return Assoc(tr(e.base), e.name)
+        return e
+
+    return ValidExpression(
+        req.rendering,
+        req.op,
+        tuple(tr(a) for a in req.args),
+        tr(req.result) if req.result is not None else None,
+        req.via,
+        req.owner_index,
+    )
+
+
+def _make_violation_dunder(dunder: str, concept_name: str) -> Callable:
+    op = _DUNDER_TO_OP.get(dunder, dunder)
+
+    def raiser(self: Any, *args: Any, **kwargs: Any) -> Any:
+        raise ArchetypeViolation(op, concept_name, f"via {dunder}")
+
+    return raiser
+
+
+def make_archetypes(
+    concept: Concept,
+    registry: Optional[ModelRegistry] = None,
+    behaviors: Optional[Mapping[str, Callable]] = None,
+) -> ArchetypeSet:
+    """Synthesize (and self-check) archetypes for ``concept``."""
+    aset = ArchetypeSet(concept, registry, behaviors)
+    aset.self_check()
+    return aset
+
+
+def exercise(
+    algorithm: Callable,
+    concept: Concept,
+    make_args: Callable[[ArchetypeSet], Sequence[Any]],
+    registry: Optional[ModelRegistry] = None,
+    behaviors: Optional[Mapping[str, Callable]] = None,
+) -> Any:
+    """Run ``algorithm`` on archetype arguments.
+
+    Returns the algorithm's result when it stays within its concept budget;
+    raises :class:`ArchetypeViolation` (with the offending operation and
+    concept named) when it uses syntax the concept does not grant — the
+    check that in C++ requires compiling against archetype classes.
+    """
+    aset = make_archetypes(concept, registry, behaviors)
+    args = make_args(aset)
+    return algorithm(*args)

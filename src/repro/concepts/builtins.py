@@ -1,0 +1,347 @@
+"""The standard concept library: foundational, ordering, iterator, and
+container concepts.
+
+These are the concepts the paper's running examples assume: the SGI STL
+concept descriptions (EqualityComparable, LessThanComparable, the iterator
+refinement chain with its "multipass" distinction), the Strict Weak Order of
+Fig. 6, and the container concepts that drive concept-based overloading of
+``sort`` in Section 2.1.
+
+The iterator protocol here is *value-semantic* like the STL's (``clone``,
+``increment``, ``deref``, ``equals``) rather than Python's one-shot
+``__next__`` — the multipass property of Forward Iterators and the
+invalidation semantics checked by STLlint only make sense for copyable
+positional iterators.
+"""
+
+from __future__ import annotations
+
+from .complexity import constant, linear, logarithmic
+from .concept import Concept
+from .requirements import (
+    Assoc,
+    AssociatedType,
+    ComplexityGuarantee,
+    ConceptRequirement,
+    Exact,
+    Param,
+    SameType,
+    SemanticAxiom,
+    function,
+    method,
+    operator,
+)
+
+T = Param("T")
+It = Param("It")
+C = Param("C")
+
+# ---------------------------------------------------------------------------
+# Foundational concepts
+# ---------------------------------------------------------------------------
+
+EqualityComparable = Concept(
+    "EqualityComparable",
+    params=("T",),
+    requirements=[
+        operator("a == b", "==", [T, T], Exact(bool)),
+        SemanticAxiom(
+            "reflexivity", ("a",), lambda ops, a: ops["=="](a, a),
+            "a == a",
+        ),
+        SemanticAxiom(
+            "symmetry", ("a", "b"),
+            lambda ops, a, b: ops["=="](a, b) == ops["=="](b, a),
+            "(a == b) iff (b == a)",
+        ),
+    ],
+    doc="Types comparable with ==, an equivalence relation.",
+)
+
+LessThanComparable = Concept(
+    "LessThanComparable",
+    params=("T",),
+    requirements=[
+        operator("a < b", "<", [T, T], Exact(bool)),
+    ],
+    doc="Types with operator<. Syntactic only; see StrictWeakOrder for the "
+        "semantic version.",
+)
+
+
+def _equiv(ops, a, b) -> bool:
+    lt = ops["<"]
+    return (not lt(a, b)) and (not lt(b, a))
+
+
+#: Fig. 6: the axioms of a Strict Weak Order.  "From these axioms two
+#: additional properties of E, symmetry and reflexivity, can be derived as
+#: theorems" — the derivation itself is carried out deductively in
+#: :mod:`repro.athena.proofs.strict_weak_order`.
+StrictWeakOrder = Concept(
+    "Strict Weak Order",
+    params=("T",),
+    refines=[LessThanComparable],
+    requirements=[
+        SemanticAxiom(
+            "irreflexivity", ("x",),
+            lambda ops, x: not ops["<"](x, x),
+            "not (x < x)",
+        ),
+        SemanticAxiom(
+            "transitivity", ("x", "y", "z"),
+            lambda ops, x, y, z: (not (ops["<"](x, y) and ops["<"](y, z)))
+            or ops["<"](x, z),
+            "x < y and y < z implies x < z",
+        ),
+        SemanticAxiom(
+            "transitivity of equivalence", ("x", "y", "z"),
+            lambda ops, x, y, z: (not (_equiv(ops, x, y) and _equiv(ops, y, z)))
+            or _equiv(ops, x, z),
+            "E(x,y) and E(y,z) implies E(x,z), where E(a,b) := "
+            "not (a<b) and not (b<a)",
+        ),
+    ],
+    doc="The minimal requirements on < for correctness of max_element, "
+        "binary_search, sort, etc. (Fig. 6).",
+)
+
+TotalOrder = Concept(
+    "Total Order",
+    params=("T",),
+    refines=[StrictWeakOrder, EqualityComparable],
+    requirements=[
+        SemanticAxiom(
+            "trichotomy", ("x", "y"),
+            lambda ops, x, y: (
+                int(bool(ops["<"](x, y)))
+                + int(bool(ops["<"](y, x)))
+                + int(bool(ops["=="](x, y)))
+            ) == 1,
+            "exactly one of x<y, y<x, x==y",
+        ),
+    ],
+    doc="Strict weak order whose equivalence is equality.",
+)
+
+DefaultConstructible = Concept(
+    "DefaultConstructible",
+    params=("T",),
+    requirements=[
+        method("T()", "__init__", [T]),
+    ],
+    doc="Types constructible with no arguments.",
+)
+
+Regular = Concept(
+    "Regular",
+    params=("T",),
+    refines=[EqualityComparable, DefaultConstructible],
+    doc="The EoP-style regular type: default constructible + equality.",
+)
+
+# ---------------------------------------------------------------------------
+# Iterator concepts (the STL refinement chain)
+# ---------------------------------------------------------------------------
+
+TrivialIterator = Concept(
+    "Trivial Iterator",
+    params=("It",),
+    requirements=[
+        AssociatedType("value_type", It, "Associated value type"),
+        method("it.deref()", "deref", [It], Assoc(It, "value_type")),
+        method("a.equals(b)", "equals", [It, It], Exact(bool)),
+        ComplexityGuarantee("deref", constant()),
+    ],
+    doc="Dereferenceable, comparable positions.",
+)
+
+InputIterator = Concept(
+    "Input Iterator",
+    params=("It",),
+    refines=[TrivialIterator],
+    requirements=[
+        method("it.increment()", "increment", [It]),
+        ComplexityGuarantee("increment", constant()),
+        SemanticAxiom(
+            "single pass", (),
+            lambda ops: True,
+            "after increment, all copies of the previous value are "
+            "invalidated; the sequence may be traversed only once",
+        ),
+    ],
+    doc="Single-pass read: 'permits only one traversal of the sequence' "
+        "(Section 3.1).",
+)
+
+OutputIterator = Concept(
+    "Output Iterator",
+    params=("It",),
+    requirements=[
+        method("it.write(v)", "write", [It, Assoc(It, "value_type")]),
+        method("it.increment()", "increment", [It]),
+        AssociatedType("value_type", It, "Associated value type"),
+    ],
+    doc="Single-pass write.",
+)
+
+ForwardIterator = Concept(
+    "Forward Iterator",
+    params=("It",),
+    refines=[InputIterator],
+    requirements=[
+        method("it.clone()", "clone", [It], It),
+        SemanticAxiom(
+            "multipass", (),
+            lambda ops: True,
+            "'the multipass property ... permits an algorithm to traverse "
+            "the elements in a sequence multiple times' (Section 3.1): "
+            "increment invalidates no copies; equal iterators stay equal "
+            "after equal numbers of increments",
+        ),
+    ],
+    doc="Multipass traversal; the somewhat subtle requirement STLlint "
+        "checks max_element against.",
+)
+
+BidirectionalIterator = Concept(
+    "Bidirectional Iterator",
+    params=("It",),
+    refines=[ForwardIterator],
+    requirements=[
+        method("it.decrement()", "decrement", [It]),
+        ComplexityGuarantee("decrement", constant()),
+    ],
+    doc="Forward iterator that can also step backwards.",
+)
+
+RandomAccessIterator = Concept(
+    "Random Access Iterator",
+    params=("It",),
+    refines=[BidirectionalIterator],
+    requirements=[
+        method("it.advance(n)", "advance", [It, Exact(int)]),
+        method("a.distance(b)", "distance", [It, It], Exact(int)),
+        method("a.less(b)", "less", [It, It], Exact(bool)),
+        ComplexityGuarantee("advance", constant()),
+        ComplexityGuarantee("distance", constant()),
+    ],
+    doc="Constant-time jumps — what lets sort pick quicksort (Section 2.1).",
+)
+
+# ---------------------------------------------------------------------------
+# Container concepts
+# ---------------------------------------------------------------------------
+
+Container = Concept(
+    "Container",
+    params=("C",),
+    requirements=[
+        AssociatedType("value_type", C, "Associated value type"),
+        AssociatedType("iterator", C, "Associated iterator type"),
+        method("c.begin()", "begin", [C], Assoc(C, "iterator")),
+        method("c.end()", "end", [C], Assoc(C, "iterator")),
+        method("c.size()", "size", [C], Exact(int)),
+        SameType(Assoc(Assoc(C, "iterator"), "value_type"), Assoc(C, "value_type")),
+        ConceptRequirement(TrivialIterator, (Assoc(C, "iterator"),)),
+        ComplexityGuarantee("size", constant()),
+    ],
+    doc="Owns elements reachable through an iterator range [begin, end).",
+)
+
+ForwardContainer = Concept(
+    "Forward Container",
+    params=("C",),
+    refines=[Container],
+    requirements=[
+        ConceptRequirement(ForwardIterator, (Assoc(C, "iterator"),)),
+    ],
+    doc="Container whose iterators are multipass.",
+)
+
+ReversibleContainer = Concept(
+    "Reversible Container",
+    params=("C",),
+    refines=[ForwardContainer],
+    requirements=[
+        ConceptRequirement(BidirectionalIterator, (Assoc(C, "iterator"),)),
+    ],
+    doc="Container with bidirectional iterators.",
+)
+
+Sequence = Concept(
+    "Sequence",
+    params=("C",),
+    refines=[ForwardContainer],
+    requirements=[
+        method("c.insert(pos, v)", "insert", [C, Assoc(C, "iterator"),
+                                              Assoc(C, "value_type")]),
+        method("c.erase(pos)", "erase", [C, Assoc(C, "iterator")]),
+    ],
+    doc="Variable-size container with positional insert/erase (whose "
+        "invalidation behaviour STLlint tracks).",
+)
+
+FrontInsertionSequence = Concept(
+    "Front Insertion Sequence",
+    params=("C",),
+    refines=[Sequence],
+    requirements=[
+        method("c.push_front(v)", "push_front", [C, Assoc(C, "value_type")]),
+        ComplexityGuarantee("push_front", constant()),
+    ],
+    doc="O(1) insertion at the front (lists, deques).",
+)
+
+BackInsertionSequence = Concept(
+    "Back Insertion Sequence",
+    params=("C",),
+    refines=[Sequence],
+    requirements=[
+        method("c.push_back(v)", "push_back", [C, Assoc(C, "value_type")]),
+        ComplexityGuarantee("push_back", constant(), amortized=True),
+    ],
+    doc="Amortized O(1) insertion at the back (vectors, deques).",
+)
+
+RandomAccessContainer = Concept(
+    "Random Access Container",
+    params=("C",),
+    refines=[ReversibleContainer],
+    requirements=[
+        method("c.at(i)", "at", [C, Exact(int)], Assoc(C, "value_type")),
+        ConceptRequirement(RandomAccessIterator, (Assoc(C, "iterator"),)),
+        ComplexityGuarantee("at", constant()),
+    ],
+    doc="Elements 'accessed efficiently via indexing (as with an array)' — "
+        "the trigger for quicksort in Section 2.1's overloading example.",
+)
+
+SortedRange = Concept(
+    "Sorted Range",
+    params=("C",),
+    refines=[ForwardContainer],
+    requirements=[
+        SemanticAxiom(
+            "sortedness", (),
+            lambda ops: True,
+            "elements appear in non-decreasing order under the range's "
+            "comparator — the flow-sensitive property STLlint's exit "
+            "handlers attach after sort (Section 3.1/3.2)",
+        ),
+    ],
+    doc="A range carrying the sortedness postcondition; enables "
+        "binary_search / lower_bound selection.",
+    nominal=True,
+)
+
+#: Everything this module defines, for taxonomy registration.
+ALL_CONCEPTS = [
+    EqualityComparable, LessThanComparable, StrictWeakOrder, TotalOrder,
+    DefaultConstructible, Regular,
+    TrivialIterator, InputIterator, OutputIterator, ForwardIterator,
+    BidirectionalIterator, RandomAccessIterator,
+    Container, ForwardContainer, ReversibleContainer, Sequence,
+    FrontInsertionSequence, BackInsertionSequence, RandomAccessContainer,
+    SortedRange,
+]

@@ -1,0 +1,219 @@
+"""A small big-O algebra for complexity guarantees.
+
+Section 1: "useful performance constraints to place on the algorithms were
+already fairly well-understood at the level of asymptotic bounds, but making
+distinctions between some of the algorithms in these domains requires more
+precision".  We model bounds as sums of monomials ``n^a * log(n)^b * p^c``
+over named size variables, giving a *partial order* (``O(n) ≤ O(n log n)``,
+but ``O(n^2)`` and ``O(m)`` are incomparable) — exactly what a taxonomy needs
+to distinguish, say, Chang–Roberts (O(n^2) messages) from
+Hirschberg–Sinclair (O(n log n) messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Number = Union[int, float, Fraction]
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A product of powers: ``{('n', 'poly'): 2, ('n', 'log'): 1}`` is
+    ``n^2 log(n)``.  Keys pair a variable with either its polynomial or its
+    logarithmic power so ``n`` and ``log n`` grow independently."""
+
+    powers: tuple[tuple[tuple[str, str], Fraction], ...]
+
+    @staticmethod
+    def make(powers: Mapping[tuple[str, str], Number]) -> "Monomial":
+        cleaned = {k: Fraction(v) for k, v in powers.items() if Fraction(v) != 0}
+        return Monomial(tuple(sorted(cleaned.items())))
+
+    def as_dict(self) -> dict[tuple[str, str], Fraction]:
+        return dict(self.powers)
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        merged = self.as_dict()
+        for key, power in other.powers:
+            merged[key] = merged.get(key, Fraction(0)) + power
+        return Monomial.make(merged)
+
+    def dominates(self, other: "Monomial") -> bool:
+        """True iff this monomial grows at least as fast as ``other`` in
+        every variable.  (``log`` powers compare below any positive ``poly``
+        power of the same variable.)"""
+        mine = self.as_dict()
+        theirs = other.as_dict()
+        variables = {v for (v, _k) in mine} | {v for (v, _k) in theirs}
+        for var in variables:
+            p_mine = mine.get((var, "poly"), Fraction(0))
+            p_theirs = theirs.get((var, "poly"), Fraction(0))
+            l_mine = mine.get((var, "log"), Fraction(0))
+            l_theirs = theirs.get((var, "log"), Fraction(0))
+            if p_mine < p_theirs:
+                return False
+            if p_mine == p_theirs and l_mine < l_theirs:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        if not self.powers:
+            return "1"
+        parts = []
+        ordered = sorted(self.powers, key=lambda kv: (kv[0][0], kv[0][1] != "poly"))
+        for (var, kind), power in ordered:
+            base = var if kind == "poly" else f"log {var}"
+            if power == 1:
+                parts.append(base)
+            else:
+                rendered = (
+                    str(power) if power.denominator == 1 else f"{power}"
+                )
+                parts.append(f"{base}^{rendered}" if kind == "poly" else f"(log {var})^{rendered}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class BigO:
+    """A big-O bound: the maximum of a set of monomials.
+
+    Supports ``*`` (product of bounds), ``+`` (max, i.e. sequential
+    composition), ``dominates``/``<=`` comparison, and pretty printing.
+    """
+
+    monomials: tuple[Monomial, ...]
+
+    @staticmethod
+    def of(*monomials: Monomial) -> "BigO":
+        # Drop monomials dominated by another in the same set.
+        keep: list[Monomial] = []
+        for m in monomials:
+            if any(o is not m and o.dominates(m) and not m.dominates(o) for o in monomials):
+                continue
+            if m not in keep:
+                keep.append(m)
+        return BigO(tuple(sorted(keep, key=str)))
+
+    def __mul__(self, other: "BigO") -> "BigO":
+        return BigO.of(*(a * b for a in self.monomials for b in other.monomials))
+
+    def __add__(self, other: "BigO") -> "BigO":
+        return BigO.of(*self.monomials, *other.monomials)
+
+    def dominates(self, other: "BigO") -> bool:
+        """``self.dominates(other)`` iff every monomial of ``other`` is
+        dominated by some monomial of ``self`` — i.e. O(other) ⊆ O(self)."""
+        return all(
+            any(mine.dominates(theirs) for mine in self.monomials)
+            for theirs in other.monomials
+        )
+
+    def __le__(self, other: "BigO") -> bool:
+        """``a <= b``: a is asymptotically no worse than b."""
+        return other.dominates(self)
+
+    def __lt__(self, other: "BigO") -> bool:
+        return other.dominates(self) and not self.dominates(other)
+
+    def comparable(self, other: "BigO") -> bool:
+        return self.dominates(other) or other.dominates(self)
+
+    def __str__(self) -> str:
+        if not self.monomials:
+            return "O(0)"
+        return "O(" + " + ".join(str(m) for m in self.monomials) + ")"
+
+    __repr__ = __str__
+
+
+def constant() -> BigO:
+    return BigO.of(Monomial.make({}))
+
+
+def linear(var: str = "n") -> BigO:
+    return BigO.of(Monomial.make({(var, "poly"): 1}))
+
+
+def logarithmic(var: str = "n") -> BigO:
+    return BigO.of(Monomial.make({(var, "log"): 1}))
+
+
+def linearithmic(var: str = "n") -> BigO:
+    return BigO.of(Monomial.make({(var, "poly"): 1, (var, "log"): 1}))
+
+
+def quadratic(var: str = "n") -> BigO:
+    return BigO.of(Monomial.make({(var, "poly"): 2}))
+
+
+def polynomial(power: Number, var: str = "n") -> BigO:
+    return BigO.of(Monomial.make({(var, "poly"): power}))
+
+
+def product(*bounds: BigO) -> BigO:
+    out = constant()
+    for b in bounds:
+        out = out * b
+    return out
+
+
+def parse(text: str) -> BigO:
+    """Parse simple bound strings: ``"1"``, ``"n"``, ``"log n"``,
+    ``"n log n"``, ``"n^2"``, ``"n m"``, ``"n + m"``."""
+    text = text.strip()
+    if text.startswith("O(") and text.endswith(")"):
+        text = text[2:-1]
+    monomials = []
+    for part in text.split("+"):
+        powers: dict[tuple[str, str], Number] = {}
+        tokens = part.split()
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok == "log" and i + 1 < len(tokens):
+                var = tokens[i + 1]
+                powers[(var, "log")] = powers.get((var, "log"), 0) + 1
+                i += 2
+                continue
+            if tok == "1":
+                i += 1
+                continue
+            if "^" in tok:
+                var, _, power = tok.partition("^")
+                powers[(var, "poly")] = powers.get((var, "poly"), 0) + Fraction(power)
+            else:
+                powers[(tok, "poly")] = powers.get((tok, "poly"), 0) + 1
+            i += 1
+        monomials.append(Monomial.make(powers))
+    return BigO.of(*monomials)
+
+
+def fits(bound: BigO, sizes: Iterable[tuple[Mapping[str, float], float]],
+         tolerance: float = 4.0) -> bool:
+    """Empirically sanity-check measurements against a bound: the ratio
+    measured/predicted must stay within ``tolerance`` of its median across
+    the sweep.  Used by the benchmark harness to validate *shape*, not
+    absolute cost."""
+    import math
+
+    def predict(env: Mapping[str, float]) -> float:
+        best = 0.0
+        for m in bound.monomials:
+            val = 1.0
+            for (var, kind), power in m.powers:
+                x = float(env.get(var, 1.0))
+                base = math.log(max(x, 2.0)) if kind == "log" else x
+                val *= base ** float(power)
+            best = max(best, val)
+        return max(best, 1e-12)
+
+    ratios = sorted(meas / predict(env) for env, meas in sizes)
+    if not ratios:
+        return True
+    median = ratios[len(ratios) // 2]
+    if median <= 0:
+        return False
+    return all(median / tolerance <= r <= median * tolerance for r in ratios)

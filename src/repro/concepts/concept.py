@@ -1,0 +1,313 @@
+"""First-class concept objects.
+
+"Following the terminology of Stepanov and Austern, we adopt the term
+*concept* to mean the formalization of an abstraction as a set of
+requirements on a type (or on a set of types)."  A :class:`Concept` here is a
+real runtime value: it can be refined, queried, checked against types,
+used to constrain overloads, turned into an archetype, and organized into a
+taxonomy — the first-class treatment the paper argues languages should
+provide.
+
+Multi-type concepts (Section 2.4, the Vector Space of Fig. 3) are simply
+concepts with more than one parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from .errors import ConceptDefinitionError
+from .requirements import (
+    AnyType,
+    Assoc,
+    AssociatedType,
+    ComplexityGuarantee,
+    ConceptRequirement,
+    Exact,
+    Param,
+    Requirement,
+    SameType,
+    SemanticAxiom,
+    TypeExpr,
+    ValidExpression,
+)
+
+RefinementSpec = Union["Concept", tuple["Concept", Sequence[TypeExpr]]]
+
+
+def substitute(expr: TypeExpr, mapping: dict[str, TypeExpr]) -> TypeExpr:
+    """Rewrite parameter references in a type expression.
+
+    Used when elaborating refinement: a parent concept's requirements talk
+    about the parent's parameters, which the child binds to its own
+    expressions.
+    """
+    if isinstance(expr, Param):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Assoc):
+        return Assoc(substitute(expr.base, mapping), expr.name)
+    return expr
+
+
+def substitute_requirement(
+    req: Requirement, mapping: dict[str, TypeExpr]
+) -> Requirement:
+    """Apply :func:`substitute` across every type expression in ``req``."""
+    if isinstance(req, AssociatedType):
+        new_of = substitute(req.of, mapping)
+        if not isinstance(new_of, Param):
+            # The owner became a projection; re-express as a nested
+            # associated-type requirement via SameType existence. We keep it
+            # simple: require resolvability through a SameType with itself.
+            return SameType(Assoc(new_of, req.name), Assoc(new_of, req.name))
+        return AssociatedType(req.name, new_of, req.description)
+    if isinstance(req, ValidExpression):
+        return ValidExpression(
+            req.rendering,
+            req.op,
+            tuple(substitute(a, mapping) for a in req.args),
+            substitute(req.result, mapping) if req.result is not None else None,
+            req.via,
+            req.owner_index,
+        )
+    if isinstance(req, SameType):
+        return SameType(substitute(req.a, mapping), substitute(req.b, mapping))
+    if isinstance(req, ConceptRequirement):
+        return ConceptRequirement(
+            req.concept, tuple(substitute(a, mapping) for a in req.args)
+        )
+    # Axioms and complexity guarantees carry no type expressions.
+    return req
+
+
+class Concept:
+    """A named set of requirements over one or more type parameters.
+
+    Args:
+        name: Human-readable concept name (``"Incidence Graph"``).
+        params: Parameter names; one for single-type concepts, several for
+            multi-type concepts like Vector Space.
+        refines: Concepts whose requirements this concept incorporates.
+            Each entry is either a concept (parameters matched positionally)
+            or ``(concept, arg_exprs)`` binding the parent's parameters to
+            arbitrary type expressions over this concept's parameters.
+        requirements: The concept's own requirements.
+        doc: Documentation string, carried into taxonomy documents.
+        nominal: When True, conformance requires an explicit concept-map
+            declaration (Haskell-type-class style): structural checking is
+            meaningless for concepts whose content is a semantic *state*
+            property (a SortedRange looks exactly like any other range).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str] = ("T",),
+        refines: Sequence[RefinementSpec] = (),
+        requirements: Sequence[Requirement] = (),
+        doc: str = "",
+        nominal: bool = False,
+    ) -> None:
+        if not params:
+            raise ConceptDefinitionError(f"concept {name} must have >= 1 parameter")
+        if len(set(params)) != len(params):
+            raise ConceptDefinitionError(f"concept {name} has duplicate parameters")
+        self.name = name
+        self.params: tuple[Param, ...] = tuple(Param(p) for p in params)
+        self.doc = doc
+        self.nominal = nominal
+        self._refines: list[tuple[Concept, tuple[TypeExpr, ...]]] = []
+        for spec in refines:
+            if isinstance(spec, Concept):
+                parent, args = spec, tuple(self.params[: len(spec.params)])
+                if len(args) != len(parent.params):
+                    raise ConceptDefinitionError(
+                        f"{name}: cannot positionally refine {parent.name}; "
+                        f"arities differ ({len(self.params)} vs {len(parent.params)})"
+                    )
+            else:
+                parent, raw_args = spec
+                args = tuple(raw_args)
+                if len(args) != len(parent.params):
+                    raise ConceptDefinitionError(
+                        f"{name}: refinement of {parent.name} binds {len(args)} "
+                        f"arguments, expected {len(parent.params)}"
+                    )
+            self._refines.append((parent, args))
+        self.requirements: tuple[Requirement, ...] = tuple(requirements)
+        self._validate()
+
+    # -- structure ---------------------------------------------------------
+
+    def _validate(self) -> None:
+        param_names = {p.name for p in self.params}
+        for req in self.requirements:
+            unknown = req.free_params() - param_names
+            if unknown:
+                raise ConceptDefinitionError(
+                    f"concept {self.name}: requirement '{req.describe()}' "
+                    f"references unknown parameter(s) {sorted(unknown)}"
+                )
+        seen: set[int] = {id(self)}
+
+        def walk(c: Concept) -> None:
+            for parent, _args in c._refines:
+                if id(parent) in seen and parent is self:
+                    raise ConceptDefinitionError(
+                        f"concept {self.name}: circular refinement"
+                    )
+                if id(parent) not in seen:
+                    seen.add(id(parent))
+                    walk(parent)
+
+        walk(self)
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    @property
+    def is_multi_type(self) -> bool:
+        return self.arity > 1
+
+    def refinements(self) -> tuple[tuple["Concept", tuple[TypeExpr, ...]], ...]:
+        """Direct parents with their argument bindings."""
+        return tuple(self._refines)
+
+    def ancestors(self) -> list["Concept"]:
+        """All transitively refined concepts (no duplicates, preorder)."""
+        out: list[Concept] = []
+        seen: set[int] = set()
+
+        def walk(c: Concept) -> None:
+            for parent, _ in c._refines:
+                if id(parent) not in seen:
+                    seen.add(id(parent))
+                    out.append(parent)
+                    walk(parent)
+
+        walk(self)
+        return out
+
+    def refines_concept(self, other: "Concept") -> bool:
+        """True iff ``self`` is ``other`` or transitively refines it."""
+        if self is other:
+            return True
+        return any(p is other for p in self.ancestors())
+
+    # -- requirement elaboration --------------------------------------------
+
+    def own_requirements(self) -> tuple[Requirement, ...]:
+        return self.requirements
+
+    def refinement_requirements(self) -> tuple[ConceptRequirement, ...]:
+        """Direct refinements expressed as nested concept requirements."""
+        return tuple(
+            ConceptRequirement(parent, args) for parent, args in self._refines
+        )
+
+    def all_requirements(self) -> tuple[Requirement, ...]:
+        """Own requirements plus *flattened* requirements inherited through
+        refinement, with parent parameters substituted.
+
+        This is the closure a compiler would compute; user code only writes
+        the concept, exactly the economy Section 2.3 argues for.
+        """
+        out: list[Requirement] = []
+
+        def walk(concept: Concept, mapping: dict[str, TypeExpr]) -> None:
+            for parent, args in concept._refines:
+                sub_args = tuple(substitute(a, mapping) for a in args)
+                parent_map = {
+                    p.name: a for p, a in zip(parent.params, sub_args)
+                }
+                walk(parent, parent_map)
+            for req in concept.requirements:
+                out.append(substitute_requirement(req, mapping))
+
+        walk(self, {p.name: p for p in self.params})
+        # Deduplicate while preserving order (diamond refinement).
+        seen: set[str] = set()
+        unique: list[Requirement] = []
+        for req in out:
+            key = req.describe()
+            if key not in seen:
+                seen.add(key)
+                unique.append(req)
+        return tuple(unique)
+
+    def associated_types(self) -> tuple[AssociatedType, ...]:
+        return tuple(
+            r for r in self.all_requirements() if isinstance(r, AssociatedType)
+        )
+
+    def valid_expressions(self) -> tuple[ValidExpression, ...]:
+        return tuple(
+            r for r in self.all_requirements() if isinstance(r, ValidExpression)
+        )
+
+    def axioms(self) -> tuple[SemanticAxiom, ...]:
+        return tuple(
+            r for r in self.all_requirements() if isinstance(r, SemanticAxiom)
+        )
+
+    def own_axioms(self) -> tuple[SemanticAxiom, ...]:
+        """Axioms stated by this concept itself, excluding inherited ones —
+        the set ``check_semantics`` tests (inherited axioms are exercised
+        when the refined concepts' own models are checked)."""
+        return tuple(
+            r for r in self.requirements if isinstance(r, SemanticAxiom)
+        )
+
+    def complexity_guarantees(self) -> tuple[ComplexityGuarantee, ...]:
+        return tuple(
+            r for r in self.all_requirements() if isinstance(r, ComplexityGuarantee)
+        )
+
+    def is_syntactic(self) -> bool:
+        """Per Section 2: "A syntactic concept consists of just associated
+        types and function signatures"."""
+        return not self.axioms() and not self.complexity_guarantees()
+
+    # -- presentation --------------------------------------------------------
+
+    def table(self, include_inherited: bool = False) -> list[tuple[str, str]]:
+        """Render the concept as (expression, description) rows, in the
+        style of the paper's Figs. 1-3."""
+        rows: list[tuple[str, str]] = []
+        reqs = self.all_requirements() if include_inherited else (
+            self.refinement_requirements() + self.requirements
+        )
+        for req in reqs:
+            if isinstance(req, AssociatedType):
+                desc = req.description or f"Associated {req.name.replace('_', ' ')}"
+                rows.append((f"{req.of}::{req.name}", desc))
+            elif isinstance(req, ValidExpression):
+                rows.append(
+                    (req.rendering, str(req.result) if req.result else "")
+                )
+            elif isinstance(req, SameType):
+                rows.append((f"{req.a} == {req.b}", ""))
+            elif isinstance(req, ConceptRequirement):
+                rendered = ", ".join(str(a) for a in req.args)
+                rows.append((f"{rendered} models {req.concept.name}", ""))
+            elif isinstance(req, SemanticAxiom):
+                rows.append((f"axiom {req.name}", req.description))
+            elif isinstance(req, ComplexityGuarantee):
+                rows.append((req.operation, str(req.bound)))
+        return rows
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.name for p in self.params)
+        return f"Concept({self.name}<{names}>)"
+
+
+def concept(
+    name: str,
+    params: Sequence[str] = ("T",),
+    refines: Sequence[RefinementSpec] = (),
+    requirements: Sequence[Requirement] = (),
+    doc: str = "",
+) -> Concept:
+    """Convenience constructor mirroring a future ``concept`` declaration."""
+    return Concept(name, params, refines, requirements, doc)

@@ -1,0 +1,146 @@
+"""Concept documentation generator (the Caramel role).
+
+The paper's reference 17 is Caramel, "a concept representation system for
+generic programming": concepts as data that tooling renders into the
+requirement tables of Figs. 1-3.  With concepts first-class, documentation
+is a *projection*: this module renders any concept — or a whole module's
+worth — in the paper's figure style, with refinement lattices, model lists,
+and the semantic/performance requirements that informal documentation
+usually drops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .concept import Concept
+from .modeling import ModelRegistry, models as default_registry
+
+
+def concept_figure(concept: Concept, caption: Optional[str] = None) -> str:
+    """Render one concept as a Fig. 1/2/3-style table."""
+    rows = concept.table()
+    left_width = max([len("Expression")] + [len(r[0]) for r in rows]) + 2
+    lines = [
+        f"{'Expression':{left_width}s}Return Type or Description",
+        "-" * (left_width + 28),
+    ]
+    for expr, desc in rows:
+        lines.append(f"{expr:{left_width}s}{desc}")
+    lines.append("-" * (left_width + 28))
+    params = ", ".join(p.name for p in concept.params)
+    if caption is None:
+        plural = "types" if concept.is_multi_type else "Type"
+        caption = (f"{plural} {params} model{'s' if not concept.is_multi_type else ''} "
+                   f"{concept.name} if the above requirements are satisfied.")
+    lines.append(caption)
+    if concept.doc:
+        lines.append(f"({concept.doc})")
+    return "\n".join(lines)
+
+
+def refinement_lattice(concepts: Iterable[Concept]) -> str:
+    """Render the refinement edges among the given concepts as an indented
+    forest (children under parents)."""
+    concepts = list(concepts)
+    inside = {id(c) for c in concepts}
+    children: dict[int, list[Concept]] = {}
+    roots: list[Concept] = []
+    for c in concepts:
+        parents = [p for p, _ in c.refinements() if id(p) in inside]
+        if not parents:
+            roots.append(c)
+        for p in parents:
+            children.setdefault(id(p), []).append(c)
+
+    lines: list[str] = []
+    seen: set[int] = set()
+
+    def walk(c: Concept, depth: int) -> None:
+        marker = " (revisited)" if id(c) in seen else ""
+        lines.append("  " * depth + c.name + marker)
+        if id(c) in seen:
+            return
+        seen.add(id(c))
+        for child in sorted(children.get(id(c), []), key=lambda x: x.name):
+            walk(child, depth + 1)
+
+    for r in sorted(roots, key=lambda c: c.name):
+        walk(r, 0)
+    return "\n".join(lines)
+
+
+def concept_reference(
+    concepts: Iterable[Concept],
+    registry: Optional[ModelRegistry] = None,
+    title: str = "Concept reference",
+) -> str:
+    """A full reference document: lattice, per-concept figure, axioms,
+    complexity guarantees, and declared models."""
+    reg = registry if registry is not None else default_registry
+    concepts = list(concepts)
+    lines = [title, "=" * len(title), "", "Refinement lattice:", ""]
+    lines.append(refinement_lattice(concepts))
+    for c in concepts:
+        lines.append("")
+        lines.append(f"## {c.name}")
+        lines.append("")
+        lines.append(concept_figure(c))
+        axioms = c.own_axioms()
+        if axioms:
+            lines.append("")
+            lines.append("Semantic requirements (axioms):")
+            for a in axioms:
+                lines.append(f"  - {a.name}: {a.description}")
+        guarantees = [
+            r for r in c.own_requirements()
+            if type(r).__name__ == "ComplexityGuarantee"
+        ]
+        if guarantees:
+            lines.append("")
+            lines.append("Complexity guarantees:")
+            for g in guarantees:
+                lines.append(f"  - {g.describe()}")
+        # Models declared for the concept itself or any refinement of it
+        # (a RandomAccessContainer declaration is a Container model too).
+        declared = {
+            m.types
+            for candidate in concepts
+            if candidate.refines_concept(c)
+            for m in reg.declared_models(candidate)
+        }
+        if declared:
+            names = ", ".join(sorted(
+                "(" + ", ".join(t.__name__ for t in tys) + ")"
+                for tys in declared
+            ))
+            lines.append("")
+            lines.append(f"Declared models (incl. via refinement): {names}")
+        if c.nominal:
+            lines.append("")
+            lines.append("(nominal concept: explicit declaration required)")
+    return "\n".join(lines)
+
+
+def standard_reference(registry: Optional[ModelRegistry] = None) -> str:
+    """The reference document for every concept this library ships."""
+    from . import algebra as alg
+    from . import builtins as b
+    from ..graphs import interfaces as gi
+    from ..linalg import mtl
+    from ..sequences.tree import SortedAssociativeContainer
+
+    all_concepts = list(b.ALL_CONCEPTS) + [
+        alg.Magma, alg.Semigroup, alg.Monoid, alg.Group, alg.AbelianGroup,
+        alg.AdditiveAbelianGroup, alg.Ring, alg.Field, alg.VectorSpace,
+        gi.GraphEdge, gi.IncidenceGraph, gi.BidirectionalGraph,
+        gi.AdjacencyGraph, gi.VertexListGraph, gi.EdgeListGraph,
+        gi.MutableGraph,
+        mtl.DenseMatrixConcept, mtl.BandedMatrixConcept,
+        mtl.DiagonalMatrixConcept,
+        SortedAssociativeContainer,
+    ]
+    return concept_reference(
+        all_concepts, registry,
+        title="repro: the concept library",
+    )

@@ -1,0 +1,286 @@
+"""A concept description language — the paper's future work, built.
+
+"Our future work will involve unifying the notions of syntactic, semantic,
+and performance requirements on concepts into a single, cohesive syntax for
+a mainstream programming language.  The initial stage of development will
+involve constructing development tools — a compiler ... — for the concept
+syntax."
+
+This module is that initial stage: a small textual syntax covering all four
+requirement kinds, compiled to the same first-class :class:`Concept`
+objects the rest of the library consumes::
+
+    concept GraphEdge<Edge> {
+        type Edge::vertex_type
+        fn source(Edge) -> Edge::vertex_type
+        fn target(Edge) -> Edge::vertex_type
+    }
+
+    concept Monoid<T> refines Semigroup<T> {
+        fn identity(T) -> T
+        axiom right_identity(a): op(a, identity(a)) == a
+        complexity op: O(1)
+    }
+
+Grammar (line oriented, ``#`` comments):
+
+- ``type P::name``                       associated type
+- ``P::a == Q::b``                       same-type constraint
+- ``X models Name`` / ``(X, Y) models Name``   nested concept requirement
+- ``fn name(args) -> R``                 free-function valid expression
+- ``method name(args) -> R``             method valid expression
+- ``op SYM (args) -> R``                 operator valid expression
+- ``axiom name(vars): <expr>``           semantic axiom; the expression is
+  compiled with variables and concept operations (``op``, ``identity``, ...)
+  in scope, evaluated through the model's ops namespace
+- ``complexity op: O(...)``              performance requirement
+- ``nominal``                            require explicit declaration
+
+Type expressions: parameter names, ``P::assoc`` chains, the Python builtins
+``int``/``bool``/``float``/``str``, and ``?`` for "don't care".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Optional, Sequence
+
+from .complexity import parse as parse_bigo
+from .concept import Concept
+from .errors import ConceptDefinitionError
+from .requirements import (
+    AnyType,
+    Assoc,
+    AssociatedType,
+    ComplexityGuarantee,
+    ConceptRequirement,
+    Exact,
+    Param,
+    Requirement,
+    SameType,
+    SemanticAxiom,
+    TypeExpr,
+    function,
+    method,
+    operator,
+)
+
+_BUILTIN_TYPES = {"int": int, "bool": bool, "float": float, "str": str}
+
+_HEADER = re.compile(
+    r"^concept\s+(?P<name>[\w ]+?)\s*<\s*(?P<params>[\w\s,]+)\s*>"
+    r"(?:\s+refines\s+(?P<refines>.+?))?\s*\{$"
+)
+_REFINE = re.compile(r"([\w ]+?)\s*<\s*([\w\s,:]+)\s*>")
+_TYPE = re.compile(r"^type\s+(\w+)::(\w+)$")
+_SAME = re.compile(r"^(\S+)\s*==\s*(\S+)$")
+_MODELS = re.compile(r"^\(?\s*([\w:,\s]+?)\s*\)?\s+models\s+([\w ]+)$")
+_FN = re.compile(r"^(fn|method)\s+(\w+)\s*\(\s*([^)]*)\s*\)(?:\s*->\s*(\S+))?$")
+_OP = re.compile(r"^op\s+(\S+)\s*\(\s*([^)]*)\s*\)(?:\s*->\s*(\S+))?$")
+_AXIOM = re.compile(r"^axiom\s+(\w+)\s*\(\s*([^)]*)\s*\)\s*:\s*(.+)$")
+_COMPLEXITY = re.compile(r"^complexity\s+(\w+)\s*:\s*(.+)$")
+
+
+class ConceptSyntaxError(ConceptDefinitionError):
+    def __init__(self, line_no: int, line: str, why: str) -> None:
+        super().__init__(f"line {line_no}: {why}\n    {line}")
+        self.line_no = line_no
+
+
+def _parse_type_expr(text: str, params: set[str], line_no: int,
+                     line: str) -> TypeExpr:
+    text = text.strip()
+    if text == "?":
+        return AnyType()
+    parts = text.split("::")
+    head = parts[0]
+    if head in _BUILTIN_TYPES:
+        if len(parts) > 1:
+            raise ConceptSyntaxError(line_no, line,
+                                     f"builtin {head} has no associated types")
+        return Exact(_BUILTIN_TYPES[head])
+    if head not in params:
+        raise ConceptSyntaxError(
+            line_no, line,
+            f"unknown type name {head!r} (parameters: {sorted(params)})"
+        )
+    expr: TypeExpr = Param(head)
+    for name in parts[1:]:
+        expr = Assoc(expr, name)
+    return expr
+
+
+def _compile_axiom(name: str, variables: Sequence[str], body: str,
+                   line_no: int, line: str) -> SemanticAxiom:
+    """Compile the axiom expression to a predicate over (ops, *variables).
+
+    Free names other than the variables resolve to concept operations via
+    the ops namespace — ``op(a, identity(a)) == a`` works for any model.
+    The source text is trusted (it is concept-library code, not user data).
+    """
+    try:
+        code = compile(body, f"<axiom {name}>", "eval")
+    except SyntaxError as exc:
+        raise ConceptSyntaxError(line_no, line, f"bad axiom expression: {exc}")
+
+    variables = tuple(variables)
+
+    def predicate(ops, *values):
+        env = dict(zip(variables, values))
+
+        class _Namespace(dict):
+            def __missing__(self, key):
+                return ops[key]
+
+        return bool(eval(code, {"__builtins__": {}}, _Namespace(env)))
+
+    return SemanticAxiom(name, variables, predicate, description=body)
+
+
+def parse_concepts(
+    source: str,
+    env: Optional[Mapping[str, Concept]] = None,
+) -> dict[str, Concept]:
+    """Parse every ``concept`` block in ``source``.
+
+    ``env`` supplies previously defined concepts referenced by ``refines``
+    or ``models`` clauses; concepts defined earlier in the same source are
+    visible to later ones.
+    """
+    known: dict[str, Concept] = dict(env or {})
+    out: dict[str, Concept] = {}
+
+    lines = source.splitlines()
+    i = 0
+    while i < len(lines):
+        raw = lines[i]
+        line = raw.split("#", 1)[0].strip()
+        i += 1
+        if not line:
+            continue
+        m = _HEADER.match(line)
+        if m is None:
+            raise ConceptSyntaxError(i, raw, "expected 'concept Name<...> {'")
+        name = m.group("name").strip()
+        params = [p.strip() for p in m.group("params").split(",") if p.strip()]
+        param_set = set(params)
+
+        refines: list = []
+        if m.group("refines"):
+            for rm in _REFINE.finditer(m.group("refines")):
+                parent_name = rm.group(1).strip()
+                parent = known.get(parent_name)
+                if parent is None:
+                    raise ConceptSyntaxError(
+                        i, raw, f"unknown refined concept {parent_name!r}"
+                    )
+                args = tuple(
+                    _parse_type_expr(a, param_set, i, raw)
+                    for a in rm.group(2).split(",")
+                )
+                refines.append((parent, args))
+
+        requirements: list[Requirement] = []
+        nominal = False
+        while i < len(lines):
+            raw = lines[i]
+            body_line = raw.split("#", 1)[0].strip()
+            i += 1
+            if not body_line:
+                continue
+            if body_line == "}":
+                break
+            requirements_before = len(requirements)
+            if body_line == "nominal":
+                nominal = True
+                continue
+            tm = _TYPE.match(body_line)
+            if tm:
+                owner, assoc = tm.groups()
+                if owner not in param_set:
+                    raise ConceptSyntaxError(i, raw, f"unknown parameter {owner!r}")
+                requirements.append(AssociatedType(assoc, Param(owner)))
+                continue
+            fm = _FN.match(body_line)
+            if fm:
+                kind, fname, args_text, result = fm.groups()
+                args = tuple(
+                    _parse_type_expr(a, param_set, i, raw)
+                    for a in args_text.split(",") if a.strip()
+                )
+                res = (_parse_type_expr(result, param_set, i, raw)
+                       if result else None)
+                rendering = f"{fname}({args_text.strip()})"
+                maker = method if kind == "method" else function
+                requirements.append(maker(rendering, fname, args, res))
+                continue
+            om = _OP.match(body_line)
+            if om:
+                sym, args_text, result = om.groups()
+                args = tuple(
+                    _parse_type_expr(a, param_set, i, raw)
+                    for a in args_text.split(",") if a.strip()
+                )
+                res = (_parse_type_expr(result, param_set, i, raw)
+                       if result else None)
+                requirements.append(
+                    operator(f"a {sym} b", sym, args, res)
+                )
+                continue
+            am = _AXIOM.match(body_line)
+            if am:
+                aname, vars_text, body = am.groups()
+                variables = [v.strip() for v in vars_text.split(",")
+                             if v.strip()]
+                requirements.append(
+                    _compile_axiom(aname, variables, body.strip(), i, raw)
+                )
+                continue
+            cm = _COMPLEXITY.match(body_line)
+            if cm:
+                opname, bound = cm.groups()
+                requirements.append(
+                    ComplexityGuarantee(opname, parse_bigo(bound.strip()))
+                )
+                continue
+            mm = _MODELS.match(body_line)
+            if mm:
+                exprs_text, cname = mm.groups()
+                target = known.get(cname.strip())
+                if target is None:
+                    raise ConceptSyntaxError(
+                        i, raw, f"unknown concept {cname.strip()!r} in models clause"
+                    )
+                exprs = tuple(
+                    _parse_type_expr(e, param_set, i, raw)
+                    for e in exprs_text.split(",")
+                )
+                requirements.append(ConceptRequirement(target, exprs))
+                continue
+            sm = _SAME.match(body_line)
+            if sm:
+                a = _parse_type_expr(sm.group(1), param_set, i, raw)
+                b = _parse_type_expr(sm.group(2), param_set, i, raw)
+                requirements.append(SameType(a, b))
+                continue
+            assert len(requirements) == requirements_before
+            raise ConceptSyntaxError(i, raw, "unrecognized requirement")
+        else:
+            raise ConceptSyntaxError(i, "<eof>", f"unterminated concept {name}")
+
+        concept = Concept(name, params=params, refines=refines,
+                          requirements=requirements, nominal=nominal)
+        known[name] = concept
+        out[name] = concept
+    return out
+
+
+def parse_concept(source: str,
+                  env: Optional[Mapping[str, Concept]] = None) -> Concept:
+    """Parse exactly one concept block."""
+    parsed = parse_concepts(source, env)
+    if len(parsed) != 1:
+        raise ConceptDefinitionError(
+            f"expected exactly one concept, found {len(parsed)}"
+        )
+    return next(iter(parsed.values()))

@@ -1,0 +1,178 @@
+"""Diagnostic machinery for the concept system.
+
+The paper (Section 2.1) motivates first-class concepts largely through
+diagnostics: without concept checking, "passing a non-conforming data type
+usually results in lengthy error messages referring to the implementation of
+the generic function instead of the actual point of error at the function
+call".  Every failure in this package is therefore reported as a structured
+:class:`ConceptError` carrying the concept, the offending binding, and the
+precise unsatisfied requirement — the "meaningful, high-level error message"
+the paper asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+class ConceptError(Exception):
+    """Base class for all errors raised by the concept system."""
+
+
+@dataclass
+class RequirementFailure:
+    """A single unsatisfied requirement discovered during a conformance check.
+
+    Attributes:
+        requirement: Human-readable rendering of the requirement (e.g.
+            ``"source(e) -> Edge::vertex_type"``).
+        reason: Why the requirement does not hold for the candidate binding.
+        concept_name: The concept the requirement belongs to (which may be a
+            refined ancestor of the concept actually being checked).
+    """
+
+    requirement: str
+    reason: str
+    concept_name: str
+
+    def render(self) -> str:
+        return f"[{self.concept_name}] requires {self.requirement}: {self.reason}"
+
+
+class ConceptCheckError(ConceptError):
+    """A type (or type tuple) failed a concept conformance check.
+
+    The message points at the *call site abstraction* — the concept and the
+    candidate types — never at the internals of a generic algorithm.
+    """
+
+    def __init__(
+        self,
+        concept_name: str,
+        bindings: Sequence[Any],
+        failures: Sequence[RequirementFailure],
+        context: Optional[str] = None,
+    ) -> None:
+        self.concept_name = concept_name
+        self.bindings = tuple(bindings)
+        self.failures = tuple(failures)
+        self.context = context
+        names = ", ".join(_type_name(b) for b in self.bindings)
+        lines = [f"{names} does not model concept {concept_name}"]
+        if context:
+            lines[0] += f" (required by {context})"
+        for f in self.failures:
+            lines.append("  - " + f.render())
+        super().__init__("\n".join(lines))
+
+
+class ConceptDefinitionError(ConceptError):
+    """A concept was defined inconsistently (bad parameter references,
+    circular refinement, duplicate associated-type names, ...)."""
+
+
+class AmbiguousOverloadError(ConceptError):
+    """Concept-based overload resolution found two or more best candidates
+    that are unordered by refinement (Section 2.1, concept-based
+    overloading)."""
+
+    def __init__(self, function_name: str, candidates: Sequence[str]) -> None:
+        self.function_name = function_name
+        self.candidates = tuple(candidates)
+        super().__init__(
+            f"ambiguous call to concept-overloaded function '{function_name}': "
+            f"candidates {', '.join(candidates)} are unordered by refinement"
+        )
+
+
+class NoMatchingOverloadError(ConceptError):
+    """No registered implementation's concept requirements are satisfied."""
+
+    def __init__(
+        self,
+        function_name: str,
+        arg_types: Sequence[type],
+        attempts: Sequence[str],
+    ) -> None:
+        self.function_name = function_name
+        self.arg_types = tuple(arg_types)
+        self.attempts = tuple(attempts)
+        names = ", ".join(t.__name__ for t in self.arg_types)
+        lines = [
+            f"no implementation of '{function_name}' accepts argument types ({names})"
+        ]
+        lines.extend("  tried: " + a for a in attempts)
+        super().__init__("\n".join(lines))
+
+
+class ArchetypeViolation(ConceptError):
+    """A generic algorithm used an operation not granted by its declared
+    concept requirements (detected by running it on an archetype; Section
+    2.1/3.1)."""
+
+    def __init__(self, operation: str, concept_name: str, detail: str = "") -> None:
+        self.operation = operation
+        self.concept_name = concept_name
+        msg = (
+            f"operation '{operation}' is not part of concept {concept_name}; "
+            f"a generic algorithm constrained only by {concept_name} may not use it"
+        )
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class SemanticAxiomViolation(ConceptError):
+    """A declared model violates one of the concept's semantic axioms, as
+    witnessed by a concrete counterexample."""
+
+    def __init__(self, concept_name: str, axiom_name: str, witness: Any) -> None:
+        self.concept_name = concept_name
+        self.axiom_name = axiom_name
+        self.witness = witness
+        super().__init__(
+            f"model of {concept_name} violates axiom '{axiom_name}'; "
+            f"counterexample: {witness!r}"
+        )
+
+
+def _type_name(obj: Any) -> str:
+    if isinstance(obj, type):
+        return obj.__name__
+    return repr(obj)
+
+
+@dataclass
+class CheckReport:
+    """Full result of a (non-throwing) conformance check.
+
+    ``ok`` is True iff ``failures`` is empty.  ``checked`` records every
+    requirement examined, so callers can display what a conforming model
+    actually provides (used by the Fig. 1/Fig. 2 table benches).
+    """
+
+    concept_name: str
+    bindings: tuple
+    failures: list[RequirementFailure] = field(default_factory=list)
+    checked: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_if_failed(self, context: Optional[str] = None) -> None:
+        if self.failures:
+            raise ConceptCheckError(
+                self.concept_name, self.bindings, self.failures, context
+            )
+
+    def render(self) -> str:
+        status = "models" if self.ok else "does NOT model"
+        names = ", ".join(_type_name(b) for b in self.bindings)
+        lines = [f"{names} {status} {self.concept_name}"]
+        for item in self.checked:
+            lines.append(f"  ok: {item}")
+        for f in self.failures:
+            lines.append(f"  FAIL: {f.render()}")
+        return "\n".join(lines)

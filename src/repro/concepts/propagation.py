@@ -1,0 +1,191 @@
+"""Constraint propagation (Section 2.3).
+
+"Mainstream object-oriented languages do not support constraint propagation;
+the constraints on the type parameters to generic types do not automatically
+propagate to uses of those types."  The paper's ``first_neighbor`` example
+needs three constraints without propagation and one with it.
+
+This module computes the *propagation closure* of a constraint set: starting
+from the concepts an algorithm declares, derive every constraint a compiler
+could "safely assume" — constraints on associated types, same-type equations,
+and nested modeling requirements — following Cecil's approach of "copying the
+type parameter constraints from each interface to each of the uses of the
+interface".
+
+The closure powers two things: (1) algorithm declarations stay terse (write
+one ``IncidenceGraph`` constraint, get ``GraphEdge``/iterator constraints for
+free), and (2) the verbosity benchmarks that quantify the paper's claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .concept import Concept, substitute, substitute_requirement
+from .requirements import (
+    Assoc,
+    AssociatedType,
+    ConceptRequirement,
+    Param,
+    Requirement,
+    SameType,
+    TypeExpr,
+    ValidExpression,
+)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single where-clause entry: ``exprs model concept``."""
+
+    concept: Concept
+    args: tuple[TypeExpr, ...]
+
+    def render(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"{rendered} : {self.concept.name}"
+
+
+def _assoc_constraints_of(
+    concept: Concept, args: tuple[TypeExpr, ...]
+) -> tuple[list[Constraint], list[SameType]]:
+    """Constraints the concept imposes on the associated types of ``args``
+    (nested ConceptRequirements and SameType equations), with the concept's
+    parameters substituted by the caller's expressions."""
+    mapping = {p.name: a for p, a in zip(concept.params, args)}
+    nested: list[Constraint] = []
+    equations: list[SameType] = []
+    for req in concept.all_requirements():
+        sub = substitute_requirement(req, mapping)
+        if isinstance(sub, ConceptRequirement):
+            nested.append(Constraint(sub.concept, sub.args))
+        elif isinstance(sub, SameType):
+            equations.append(sub)
+    return nested, equations
+
+
+@dataclass
+class PropagatedConstraints:
+    """Result of closing a constraint set.
+
+    ``declared`` is what the programmer wrote; ``derived`` is what
+    propagation adds; ``equations`` are derived same-type facts.  The
+    verbosity metrics of Section 2.2-2.4 are ratios over these lists.
+    """
+
+    declared: list[Constraint]
+    derived: list[Constraint] = field(default_factory=list)
+    equations: list[SameType] = field(default_factory=list)
+
+    def all_constraints(self) -> list[Constraint]:
+        return self.declared + self.derived
+
+    def written_count(self) -> int:
+        """Constraints the programmer must write *with* propagation."""
+        return len(self.declared)
+
+    def total_count(self) -> int:
+        """Constraints the programmer must write *without* propagation (the
+        full closure, which is what the compiler needs either way)."""
+        return len(self.declared) + len(self.derived)
+
+    def render(self) -> list[str]:
+        lines = [f"where {c.render()}" for c in self.declared]
+        lines += [f"where {c.render()}   (derived)" for c in self.derived]
+        lines += [f"where {e.a} == {e.b}   (derived)" for e in self.equations]
+        return lines
+
+
+def propagate(constraints: Sequence[Constraint | tuple[Concept, Sequence[TypeExpr]]],
+              max_depth: int = 8) -> PropagatedConstraints:
+    """Compute the propagation closure of a declared constraint set.
+
+    ``max_depth`` bounds chains through associated types; concept graphs are
+    typically cyclic (a container's iterator's value type may itself be a
+    container), so the closure is depth-limited and deduplicated.
+    """
+    declared: list[Constraint] = []
+    declared_seen: set[str] = set()
+    for c in constraints:
+        if not isinstance(c, Constraint):
+            concept, args = c
+            c = Constraint(concept, tuple(args))
+        if c.render() not in declared_seen:
+            declared_seen.add(c.render())
+            declared.append(c)
+
+    seen: set[str] = set(declared_seen)
+    derived: list[Constraint] = []
+    equations: list[SameType] = []
+    eq_seen: set[str] = set()
+
+    frontier = list(declared)
+    depth = 0
+    while frontier and depth < max_depth:
+        next_frontier: list[Constraint] = []
+        for constraint in frontier:
+            nested, eqs = _assoc_constraints_of(constraint.concept, constraint.args)
+            for n in nested:
+                key = n.render()
+                if key not in seen:
+                    seen.add(key)
+                    derived.append(n)
+                    next_frontier.append(n)
+            for e in eqs:
+                key = f"{e.a}=={e.b}"
+                if key not in eq_seen:
+                    eq_seen.add(key)
+                    equations.append(e)
+        frontier = next_frontier
+        depth += 1
+    return PropagatedConstraints(declared, derived, equations)
+
+
+@dataclass
+class AlgorithmSignature:
+    """A generic algorithm declaration, used to quantify the paper's
+    verbosity claims and by the archetype/overload machinery.
+
+    ``type_params`` are the algorithm's explicit type parameters;
+    ``where`` the declared constraints.  Propagation yields everything else.
+    """
+
+    name: str
+    type_params: tuple[str, ...]
+    where: tuple[Constraint, ...]
+    doc: str = ""
+
+    def closure(self) -> PropagatedConstraints:
+        return propagate(self.where)
+
+    def declaration(self, with_propagation: bool = True) -> str:
+        """Render the declaration as the paper's Section 2.3 examples do —
+        terse with propagation, exhaustive without."""
+        closure = self.closure()
+        clauses = (
+            [c.render() for c in closure.declared]
+            if with_propagation
+            else [c.render() for c in closure.all_constraints()]
+        )
+        params = ", ".join(self.type_params)
+        where = ("\n  where " + ",\n        ".join(clauses)) if clauses else ""
+        return f"{self.name}<{params}>{where}"
+
+    def constraint_counts(self) -> tuple[int, int]:
+        """(written with propagation, written without propagation)."""
+        closure = self.closure()
+        return closure.written_count(), closure.total_count()
+
+
+def implied_by(
+    declared: Sequence[Constraint], query: Constraint, max_depth: int = 8
+) -> bool:
+    """Does the closure of ``declared`` contain ``query``?  (A constraint is
+    also implied when a closed constraint's concept refines the query's on
+    the same arguments.)"""
+    closure = propagate(declared, max_depth)
+    for c in closure.all_constraints():
+        if c.args == query.args and c.concept.refines_concept(query.concept):
+            return True
+    return False

@@ -1,0 +1,424 @@
+"""Requirement kinds that make up a concept.
+
+Section 2 of the paper: "A concept consists of four different kinds of
+requirements: associated types, function signatures, semantic constraints,
+and complexity guarantees."  This module defines one class per kind, plus the
+small *type-expression* language used to talk about concept parameters and
+their associated types (``Graph::vertex_type`` and friends from Figs. 1-2),
+and the same-type constraints of Section 2.2
+(``out_edge_iterator::value_type == edge_type``).
+
+Requirements are pure descriptions.  Checking them against concrete Python
+types is the job of :mod:`repro.concepts.modeling`, which supplies a
+:class:`CheckContext`; each requirement implements ``check(ctx)`` returning a
+list of :class:`~repro.concepts.errors.RequirementFailure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
+
+from .errors import ConceptDefinitionError, RequirementFailure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .complexity import BigO
+    from .concept import Concept
+
+
+# ---------------------------------------------------------------------------
+# Type expressions
+# ---------------------------------------------------------------------------
+
+
+class TypeExpr:
+    """A symbolic reference to a type inside a concept definition."""
+
+    def assoc(self, name: str) -> "Assoc":
+        """Project an associated type: ``Param('G').assoc('vertex_type')``."""
+        return Assoc(self, name)
+
+    def free_params(self) -> set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Param(TypeExpr):
+    """A concept type parameter, e.g. the ``Graph`` in Fig. 2."""
+
+    name: str
+
+    def free_params(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Assoc(TypeExpr):
+    """An associated-type projection, e.g. ``Graph::vertex_type``."""
+
+    base: TypeExpr
+    name: str
+
+    def free_params(self) -> set[str]:
+        return self.base.free_params()
+
+    def __str__(self) -> str:
+        return f"{self.base}::{self.name}"
+
+
+@dataclass(frozen=True)
+class Exact(TypeExpr):
+    """A concrete Python type appearing in a requirement (e.g. ``int`` as the
+    return type of ``out_degree``)."""
+
+    pytype: type
+
+    def free_params(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return self.pytype.__name__
+
+
+@dataclass(frozen=True)
+class AnyType(TypeExpr):
+    """An unconstrained placeholder (requirements that only need existence)."""
+
+    def free_params(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return "<any>"
+
+
+# ---------------------------------------------------------------------------
+# Requirements
+# ---------------------------------------------------------------------------
+
+
+class Requirement:
+    """Base class of the four requirement kinds (plus same-type constraints
+    and nested concept requirements, which the paper folds into "associated
+    types ... and places constraints on them")."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def check(self, ctx: "CheckContextProtocol") -> list[RequirementFailure]:
+        raise NotImplementedError
+
+    def free_params(self) -> set[str]:
+        raise NotImplementedError
+
+
+class CheckContextProtocol:
+    """The interface requirements use to interrogate a candidate binding.
+
+    Implemented by :class:`repro.concepts.modeling.CheckContext`; declared
+    here so requirement classes stay import-cycle free.
+    """
+
+    concept_name: str = "<unnamed>"
+
+    def resolve(self, expr: TypeExpr) -> Optional[type]:
+        raise NotImplementedError
+
+    def find_operation(
+        self, name: str, owner: Optional[type], via: str
+    ) -> Optional[Callable]:
+        raise NotImplementedError
+
+    def subcheck(
+        self, concept: "Concept", args: Sequence[Optional[type]]
+    ) -> list[RequirementFailure]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AssociatedType(Requirement):
+    """Requires that a parameter expose an associated type.
+
+    ``AssociatedType('vertex_type', of=Param('Graph'))`` renders as
+    ``Graph::vertex_type`` and is satisfied when the modeling type (or its
+    concept map) binds a type to that name.
+    """
+
+    name: str
+    of: Param
+    description: str = ""
+
+    def describe(self) -> str:
+        return f"associated type {self.of}::{self.name}"
+
+    def free_params(self) -> set[str]:
+        return {self.of.name}
+
+    def check(self, ctx: CheckContextProtocol) -> list[RequirementFailure]:
+        resolved = ctx.resolve(Assoc(self.of, self.name))
+        if resolved is None:
+            return [
+                RequirementFailure(
+                    self.describe(),
+                    f"no type bound to '{self.name}' (neither a class attribute "
+                    f"nor a concept-map binding provides it)",
+                    ctx.concept_name,
+                )
+            ]
+        return []
+
+
+@dataclass(frozen=True)
+class ValidExpression(Requirement):
+    """A function-signature / valid-expression requirement.
+
+    The paper allows these "expressed as valid expressions, which specify
+    operator and function invocations that must be supported".  ``via``
+    selects the lookup discipline:
+
+    - ``"method"``   — a method on the first argument's type (``e.source()``)
+    - ``"function"`` — a free function found in the operations registry or a
+      concept map (``source(e)``, ``out_edges(v, g)``), mirroring C++ ADL
+    - ``"operator"`` — a Python dunder (``"+"`` → ``__add__``), used by the
+      algebraic concepts of Fig. 5
+    """
+
+    rendering: str
+    op: str
+    args: tuple[TypeExpr, ...]
+    result: Optional[TypeExpr] = None
+    via: str = "function"
+    owner_index: int = 0
+
+    OPERATOR_DUNDER = {
+        "+": "__add__",
+        "*": "__mul__",
+        "-": "__sub__",
+        "/": "__truediv__",
+        "&": "__and__",
+        "|": "__or__",
+        "^": "__xor__",
+        "<": "__lt__",
+        "<=": "__le__",
+        "==": "__eq__",
+        "!=": "__ne__",
+        ">": "__gt__",
+        ">=": "__ge__",
+        "[]": "__getitem__",
+        "len": "__len__",
+        "iter": "__iter__",
+        "next": "__next__",
+        "neg": "__neg__",
+        "invert": "__invert__",
+        "call": "__call__",
+    }
+
+    def describe(self) -> str:
+        if self.result is not None:
+            return f"{self.rendering} -> {self.result}"
+        return self.rendering
+
+    def free_params(self) -> set[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.free_params()
+        if self.result is not None:
+            out |= self.result.free_params()
+        return out
+
+    def lookup_name(self) -> str:
+        """The attribute name actually searched for on the owner type."""
+        if self.via == "operator":
+            try:
+                return self.OPERATOR_DUNDER[self.op]
+            except KeyError:
+                raise ConceptDefinitionError(
+                    f"unknown operator '{self.op}' in valid expression "
+                    f"'{self.rendering}'"
+                ) from None
+        return self.op
+
+    def check(self, ctx: CheckContextProtocol) -> list[RequirementFailure]:
+        if not self.args:
+            owner: Optional[type] = None
+        else:
+            idx = min(self.owner_index, len(self.args) - 1)
+            owner = ctx.resolve(self.args[idx])
+            if owner is None:
+                return [
+                    RequirementFailure(
+                        self.describe(),
+                        f"cannot resolve argument type {self.args[idx]}",
+                        ctx.concept_name,
+                    )
+                ]
+        found = ctx.find_operation(self.lookup_name(), owner, self.via)
+        if found is None:
+            where = owner.__name__ if owner is not None else "<no owner>"
+            return [
+                RequirementFailure(
+                    self.describe(),
+                    f"no {self.via} '{self.op}' available for {where}",
+                    ctx.concept_name,
+                )
+            ]
+        return []
+
+
+@dataclass(frozen=True)
+class SameType(Requirement):
+    """``a == b`` between type expressions (Fig. 2:
+    ``out_edge_iterator::value_type == edge_type``)."""
+
+    a: TypeExpr
+    b: TypeExpr
+
+    def describe(self) -> str:
+        return f"{self.a} == {self.b}"
+
+    def free_params(self) -> set[str]:
+        return self.a.free_params() | self.b.free_params()
+
+    def check(self, ctx: CheckContextProtocol) -> list[RequirementFailure]:
+        ta = ctx.resolve(self.a)
+        tb = ctx.resolve(self.b)
+        if ta is None or tb is None:
+            missing = self.a if ta is None else self.b
+            return [
+                RequirementFailure(
+                    self.describe(),
+                    f"cannot resolve {missing}",
+                    ctx.concept_name,
+                )
+            ]
+        if ta is not tb:
+            return [
+                RequirementFailure(
+                    self.describe(),
+                    f"{self.a} is {ta.__name__} but {self.b} is {tb.__name__}",
+                    ctx.concept_name,
+                )
+            ]
+        return []
+
+
+@dataclass(frozen=True)
+class ConceptRequirement(Requirement):
+    """``expr models SomeConcept`` — a nested modeling requirement, e.g.
+    Fig. 2's ``edge_type models Graph Edge``.  Also the representation of
+    refinement after elaboration."""
+
+    concept: "Concept"
+    args: tuple[TypeExpr, ...]
+
+    def describe(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"({rendered}) models {self.concept.name}"
+
+    def free_params(self) -> set[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.free_params()
+        return out
+
+    def check(self, ctx: CheckContextProtocol) -> list[RequirementFailure]:
+        resolved = [ctx.resolve(a) for a in self.args]
+        if any(r is None for r in resolved):
+            missing = [str(a) for a, r in zip(self.args, resolved) if r is None]
+            return [
+                RequirementFailure(
+                    self.describe(),
+                    f"cannot resolve {', '.join(missing)}",
+                    ctx.concept_name,
+                )
+            ]
+        return ctx.subcheck(self.concept, resolved)
+
+
+@dataclass(frozen=True)
+class SemanticAxiom(Requirement):
+    """A semantic constraint, testable on concrete values.
+
+    ``predicate`` receives one value per entry in ``variables`` (drawn from a
+    model-supplied sampler) plus an ``ops`` namespace resolving the concept's
+    operations for the binding, and returns True when the axiom holds.
+
+    Syntactic conformance checks skip axioms (they are *semantic*); they are
+    exercised by :func:`repro.concepts.modeling.check_semantics` and by the
+    STLlint/Athena layers.
+    """
+
+    name: str
+    variables: tuple[str, ...]
+    predicate: Callable[..., bool]
+    description: str = ""
+
+    def describe(self) -> str:
+        return f"axiom {self.name}" + (f": {self.description}" if self.description else "")
+
+    def free_params(self) -> set[str]:
+        return set()
+
+    def check(self, ctx: CheckContextProtocol) -> list[RequirementFailure]:
+        return []  # semantic: not part of the syntactic structural check
+
+
+@dataclass(frozen=True)
+class ComplexityGuarantee(Requirement):
+    """A performance requirement: ``operation`` must run within ``bound``.
+
+    These are the "complexity guarantees" of Section 2 and the performance
+    constraints organizing the algorithm concept taxonomies of Section 4.
+    Like axioms they are not structurally checkable; the taxonomy layer and
+    the benchmark harness consume them.
+    """
+
+    operation: str
+    bound: "BigO"
+    variables: str = "n"
+    amortized: bool = False
+
+    def describe(self) -> str:
+        kind = "amortized " if self.amortized else ""
+        return f"{self.operation} in {kind}{self.bound}"
+
+    def free_params(self) -> set[str]:
+        return set()
+
+    def check(self, ctx: CheckContextProtocol) -> list[RequirementFailure]:
+        return []  # performance requirement: consumed by the taxonomy layer
+
+
+def method(
+    rendering: str,
+    op: str,
+    args: Sequence[TypeExpr],
+    result: Optional[TypeExpr] = None,
+) -> ValidExpression:
+    """Shorthand for a method-style valid expression."""
+    return ValidExpression(rendering, op, tuple(args), result, via="method")
+
+
+def function(
+    rendering: str,
+    op: str,
+    args: Sequence[TypeExpr],
+    result: Optional[TypeExpr] = None,
+    owner_index: int = 0,
+) -> ValidExpression:
+    """Shorthand for a free-function valid expression (ADL-style lookup)."""
+    return ValidExpression(
+        rendering, op, tuple(args), result, via="function", owner_index=owner_index
+    )
+
+
+def operator(
+    rendering: str,
+    op: str,
+    args: Sequence[TypeExpr],
+    result: Optional[TypeExpr] = None,
+) -> ValidExpression:
+    """Shorthand for an operator valid expression (``+``, ``<``, ...)."""
+    return ValidExpression(rendering, op, tuple(args), result, via="operator")

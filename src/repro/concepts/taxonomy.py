@@ -1,0 +1,273 @@
+"""Concept taxonomies (Sections 1 and 4).
+
+"We have experimented extensively with expression and organization of such
+constraints in *algorithm concept taxonomies*.  A major use of such
+taxonomies is to provide a well-developed standard to refer to while
+designing and implementing a generic algorithm library."
+
+A :class:`Taxonomy` is a registry of concepts ordered by refinement, plus
+*algorithm concepts*: named algorithm specifications carrying the data-type
+concepts they require and the complexity guarantees they promise.  Queries
+support the uses the paper lists: understanding ("what refines what"),
+design gaps ("refinements with no known algorithm"), and selection ("the
+cheapest algorithm whose requirements my types satisfy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .complexity import BigO
+from .concept import Concept
+from .modeling import ModelRegistry, models as default_registry
+from .propagation import Constraint
+
+
+@dataclass
+class AlgorithmConcept:
+    """A node in an algorithm concept taxonomy.
+
+    Attributes:
+        name: Algorithm concept name (``"sort"``, ``"stable sort"``).
+        problem: The problem solved (taxonomy dimension 1).
+        requires: Data-type concept constraints on the inputs.
+        guarantees: Complexity guarantees, keyed by resource
+            (``"comparisons"``, ``"messages"``, ``"time"``,
+            ``"local computation"`` — Section 4 insists local computation be
+            accounted for).
+        refines: More general algorithm concepts this one refines (a stable
+            sort *is a* sort with an extra promise).
+        implementation: Optional callable realizing the concept.
+    """
+
+    name: str
+    problem: str
+    requires: tuple[Constraint, ...] = ()
+    guarantees: dict[str, BigO] = field(default_factory=dict)
+    refines: tuple["AlgorithmConcept", ...] = ()
+    implementation: Optional[object] = None
+    doc: str = ""
+
+    def refines_transitively(self, other: "AlgorithmConcept") -> bool:
+        if self is other:
+            return True
+        return any(p.refines_transitively(other) for p in self.refines)
+
+    def all_guarantees(self) -> dict[str, BigO]:
+        """Own guarantees plus inherited ones (own take precedence; a
+        refinement may only *tighten* a bound, which :meth:`validate`
+        enforces)."""
+        merged: dict[str, BigO] = {}
+        for parent in self.refines:
+            merged.update(parent.all_guarantees())
+        merged.update(self.guarantees)
+        return merged
+
+    def validate(self) -> list[str]:
+        """Refinement must not loosen any inherited complexity guarantee."""
+        problems = []
+        for parent in self.refines:
+            for resource, parent_bound in parent.all_guarantees().items():
+                mine = self.guarantees.get(resource)
+                if mine is not None and not (mine <= parent_bound):
+                    problems.append(
+                        f"{self.name} loosens {resource} bound of "
+                        f"{parent.name}: {mine} vs {parent_bound}"
+                    )
+        return problems
+
+
+class Taxonomy:
+    """A named collection of data-type concepts and algorithm concepts."""
+
+    def __init__(self, name: str, registry: Optional[ModelRegistry] = None) -> None:
+        self.name = name
+        self.registry = registry if registry is not None else default_registry
+        self.concepts: dict[str, Concept] = {}
+        self.algorithms: dict[str, AlgorithmConcept] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def add_concept(self, concept: Concept) -> Concept:
+        self.concepts[concept.name] = concept
+        return concept
+
+    def add_concepts(self, concepts: Iterable[Concept]) -> None:
+        for c in concepts:
+            self.add_concept(c)
+
+    def add_algorithm(self, algorithm: AlgorithmConcept) -> AlgorithmConcept:
+        problems = algorithm.validate()
+        if problems:
+            raise ValueError("; ".join(problems))
+        self.algorithms[algorithm.name] = algorithm
+        return algorithm
+
+    # -- concept lattice queries ----------------------------------------------
+
+    def ancestors(self, concept: Concept) -> list[Concept]:
+        return concept.ancestors()
+
+    def descendants(self, concept: Concept) -> list[Concept]:
+        return [
+            c
+            for c in self.concepts.values()
+            if c is not concept and c.refines_concept(concept)
+        ]
+
+    def roots(self) -> list[Concept]:
+        """Concepts in this taxonomy refining nothing in this taxonomy."""
+        inside = set(map(id, self.concepts.values()))
+        return [
+            c
+            for c in self.concepts.values()
+            if not any(id(p) in inside for p in c.ancestors())
+        ]
+
+    def refinement_edges(self) -> list[tuple[str, str]]:
+        edges = []
+        for c in self.concepts.values():
+            for parent, _ in c.refinements():
+                edges.append((c.name, parent.name))
+        return edges
+
+    # -- algorithm queries ------------------------------------------------------
+
+    def algorithms_for_problem(self, problem: str) -> list[AlgorithmConcept]:
+        return [a for a in self.algorithms.values() if a.problem == problem]
+
+    def applicable_algorithms(
+        self, problem: str, bindings: dict[str, type]
+    ) -> list[AlgorithmConcept]:
+        """Algorithms for ``problem`` whose data-type requirements the given
+        type bindings satisfy.  Constraint arguments are resolved by
+        parameter name against ``bindings``."""
+        out = []
+        for algo in self.algorithms_for_problem(problem):
+            if all(
+                self._constraint_holds(c, bindings) for c in algo.requires
+            ):
+                out.append(algo)
+        return out
+
+    def _constraint_holds(self, c: Constraint, bindings: dict[str, type]) -> bool:
+        try:
+            types = tuple(bindings[str(a)] for a in c.args)
+        except KeyError:
+            return False
+        return self.registry.models(c.concept, types)
+
+    def select_algorithm(
+        self,
+        problem: str,
+        bindings: dict[str, type],
+        resource: str,
+        size_hint: Optional[dict[str, float]] = None,
+    ) -> Optional[AlgorithmConcept]:
+        """Pick the applicable algorithm with the asymptotically best
+        guarantee on ``resource`` — the taxonomy-driven algorithm selection
+        the paper says "helps a system designer to pick the correct
+        algorithm"."""
+        candidates = self.applicable_algorithms(problem, bindings)
+        best: Optional[AlgorithmConcept] = None
+        for algo in candidates:
+            bound = algo.all_guarantees().get(resource)
+            if bound is None:
+                continue
+            if best is None:
+                best = algo
+                continue
+            best_bound = best.all_guarantees()[resource]
+            if bound < best_bound:
+                best = algo
+        return best
+
+    def gaps(self, problem: str) -> list[AlgorithmConcept]:
+        """Algorithm concepts with no implementation — "helps in the design
+        of new ones (based on situations where no known algorithms for a
+        particular concept refinement exist)"."""
+        return [
+            a for a in self.algorithms_for_problem(problem) if a.implementation is None
+        ]
+
+    # -- documents ---------------------------------------------------------------
+
+    def document(self) -> str:
+        """Render the taxonomy as the kind of standard document the paper
+        proposes libraries be designed against."""
+        lines = [f"Taxonomy: {self.name}", "=" * (10 + len(self.name)), ""]
+        lines.append("Concepts (refinement edges):")
+        for child, parent in sorted(self.refinement_edges()):
+            lines.append(f"  {child} refines {parent}")
+        solo = [
+            c.name
+            for c in self.concepts.values()
+            if not c.refinements()
+        ]
+        for name in sorted(solo):
+            lines.append(f"  {name}")
+        lines.append("")
+        lines.append("Algorithm concepts:")
+        for algo in sorted(self.algorithms.values(), key=lambda a: a.name):
+            lines.append(f"  {algo.name}  [problem: {algo.problem}]")
+            for c in algo.requires:
+                lines.append(f"    requires {c.render()}")
+            for resource, bound in sorted(algo.all_guarantees().items()):
+                lines.append(f"    guarantees {resource}: {bound}")
+            status = "implemented" if algo.implementation is not None else "GAP"
+            lines.append(f"    status: {status}")
+        return "\n".join(lines)
+
+
+@dataclass
+class GuaranteeCheck:
+    """Result of empirically validating one complexity guarantee."""
+
+    algorithm: str
+    resource: str
+    bound: BigO
+    measurements: list[tuple[dict, float]]
+    holds: bool
+
+    def render(self) -> str:
+        status = "consistent with" if self.holds else "INCONSISTENT with"
+        pts = ", ".join(
+            f"{tuple(env.values())}→{value:.0f}"
+            for env, value in self.measurements
+        )
+        return (f"{self.algorithm}.{self.resource} {status} {self.bound} "
+                f"[{pts}]")
+
+
+def check_guarantee(
+    algorithm: AlgorithmConcept,
+    resource: str,
+    measure: "Callable[..., float]",
+    sizes: "Iterable[dict[str, int]]",
+    tolerance: float = 3.0,
+) -> GuaranteeCheck:
+    """Empirically validate a complexity guarantee.
+
+    Complexity guarantees are the fourth requirement kind; like semantic
+    axioms they cannot be checked structurally — but they CAN be checked
+    against measurements.  ``measure(**size)`` returns the resource usage
+    (operation count, message count, seconds) at one size point; the sweep
+    must stay within ``tolerance`` of the guarantee's shape
+    (:func:`repro.concepts.complexity.fits`).
+
+    This is the performance analogue of ``check_semantics``: a failing
+    sweep *refutes* the declared guarantee; a passing one is evidence, not
+    proof.
+    """
+    from .complexity import fits
+
+    bound = algorithm.all_guarantees().get(resource)
+    if bound is None:
+        raise KeyError(
+            f"{algorithm.name} declares no guarantee for {resource!r}"
+        )
+    measurements = [(dict(env), float(measure(**env))) for env in sizes]
+    holds = fits(bound, [(env, v) for env, v in measurements],
+                 tolerance=tolerance)
+    return GuaranteeCheck(algorithm.name, resource, bound, measurements, holds)

@@ -1,0 +1,117 @@
+"""The ``@where`` decorator: checkable where clauses on ordinary functions.
+
+Section 2.1 surveys constraint mechanisms — CLU/Theta/Ada where clauses,
+Haskell type classes, ML signatures — and asks for one that (a) groups
+requirements into reusable concepts and (b) reports violations at the call
+boundary.  :func:`where` is that mechanism for Python functions::
+
+    @where(g=IncidenceGraph, weight=ReadablePropertyMap)
+    def dijkstra(g, start, weight): ...
+
+Every call checks the named arguments' types against their concepts
+(cached, so the steady-state cost is a dict lookup) and raises
+:class:`ConceptCheckError` naming the function, the argument, and the
+unsatisfied requirement — never a mid-algorithm AttributeError.
+
+Multi-type constraints take a tuple of parameter names::
+
+    @where(VectorSpace=("v", "s"))          # keyword = concept-name binding
+    def axpy(v, s, w): ...
+
+is spelled with :func:`where_multi` to keep concepts first-class values:
+
+    @where_multi((VectorSpace, ("v", "s")))
+    def axpy(v, s, w): ...
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, Optional, Sequence
+
+from .concept import Concept
+from .errors import ConceptCheckError
+from .modeling import ModelRegistry, models as default_registry
+
+
+def where(
+    _registry: Optional[ModelRegistry] = None,
+    **constraints: Concept,
+) -> Callable[[Callable], Callable]:
+    """Attach single-type concept constraints to named parameters."""
+    return where_multi(
+        *((concept, (param,)) for param, concept in constraints.items()),
+        registry=_registry,
+    )
+
+
+def where_multi(
+    *constraints: tuple[Concept, Sequence[str]],
+    registry: Optional[ModelRegistry] = None,
+) -> Callable[[Callable], Callable]:
+    """Attach constraints, each binding a concept to one or more parameter
+    names (multi-type concepts bind several)."""
+    reg = registry if registry is not None else default_registry
+
+    def deco(fn: Callable) -> Callable:
+        sig = inspect.signature(fn)
+        for concept, params in constraints:
+            for p in params:
+                if p not in sig.parameters:
+                    raise TypeError(
+                        f"@where on {fn.__name__}: no parameter {p!r} "
+                        f"(constraint {concept.name})"
+                    )
+            if len(params) != concept.arity:
+                raise TypeError(
+                    f"@where on {fn.__name__}: {concept.name} constrains "
+                    f"{concept.arity} type(s), got {len(params)} parameter(s)"
+                )
+        checked_ok: set[tuple[int, tuple[type, ...]]] = set()
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = sig.bind(*args, **kwargs)
+            for concept, params in constraints:
+                types = tuple(type(bound.arguments[p]) for p in params)
+                key = (concept, types)
+                if key in checked_ok:
+                    continue
+                report = reg.check(concept, types)
+                if not report.ok:
+                    raise ConceptCheckError(
+                        concept.name, types, report.failures,
+                        context=(
+                            f"{fn.__name__}({', '.join(params)}) — "
+                            f"where {', '.join(params)} : {concept.name}"
+                        ),
+                    )
+                checked_ok.add(key)
+            return fn(*args, **kwargs)
+
+        wrapper.__concept_constraints__ = tuple(constraints)  # type: ignore[attr-defined]
+        return wrapper
+
+    return deco
+
+
+def constraints_of(fn: Callable) -> tuple[tuple[Concept, tuple[str, ...]], ...]:
+    """Introspect a @where-decorated function's declared constraints (the
+    documentation-as-data story: tooling reads the same constraints the
+    checker enforces)."""
+    raw = getattr(fn, "__concept_constraints__", ())
+    return tuple((c, tuple(p)) for c, p in raw)
+
+
+def declaration_of(fn: Callable) -> str:
+    """Render the function's where clause as the paper's examples do."""
+    cs = constraints_of(fn)
+    inner = getattr(fn, "__wrapped__", fn)
+    params = ", ".join(inspect.signature(inner).parameters)
+    if not cs:
+        return f"{getattr(fn, '__name__', '<fn>')}({params})"
+    clauses = ",\n        ".join(
+        f"{', '.join(p)} : {c.name}" for c, p in cs
+    )
+    return f"{fn.__name__}({params})\n  where {clauses}"

@@ -1,0 +1,43 @@
+"""Distributed-algorithms substrate (Section 4): a discrete-event
+message-passing simulator with topologies, timing models, failure
+injection, local-computation accounting, classic algorithms, and the
+seven-dimension concept taxonomy."""
+
+from .core import Context, Message, Process
+from .failures import FailurePlan, byzantine_lying_id, crash
+from .metrics import RunMetrics
+from .network import (
+    Arbitrary,
+    Complete,
+    Grid,
+    Line,
+    Ring,
+    Star,
+    Topology,
+    Tree,
+    random_connected,
+)
+from .simulator import SimulationError, Simulator, run_algorithm
+from .taxonomy import (
+    DIMENSIONS,
+    Classification,
+    DistributedTaxonomy,
+    TaxonomyEntry,
+    refines,
+    standard_taxonomy,
+)
+from .timing import Asynchronous, PartiallySynchronous, Synchronous, TimingModel
+from . import algorithms
+
+__all__ = [
+    "Context", "Message", "Process",
+    "FailurePlan", "crash", "byzantine_lying_id",
+    "RunMetrics",
+    "Topology", "Ring", "Complete", "Star", "Line", "Tree", "Grid",
+    "Arbitrary", "random_connected",
+    "Simulator", "SimulationError", "run_algorithm",
+    "TimingModel", "Synchronous", "Asynchronous", "PartiallySynchronous",
+    "DIMENSIONS", "Classification", "DistributedTaxonomy", "TaxonomyEntry",
+    "refines", "standard_taxonomy",
+    "algorithms",
+]

@@ -1,0 +1,31 @@
+"""Classic distributed algorithms, each registered in the seven-dimension
+taxonomy of :mod:`repro.distributed.taxonomy`."""
+
+from .chang_roberts import (
+    ChangRoberts,
+    best_case_ids,
+    run_chang_roberts,
+    worst_case_ids,
+)
+from .hirschberg_sinclair import HirschbergSinclair, run_hirschberg_sinclair
+from .flooding import Flooding, run_flooding
+from .echo import Echo, run_echo
+from .spanning_tree import SpanningTree, run_spanning_tree, tree_edges
+from .bully import Bully, run_bully
+from .floodset import FloodSet, run_floodset
+from .itai_rodeh import ItaiRodeh, run_itai_rodeh
+from .dynamic_tree import DynamicSpanningTree, run_dynamic_spanning_tree
+from .token_ring import TokenRing, run_token_ring
+
+__all__ = [
+    "ChangRoberts", "run_chang_roberts", "worst_case_ids", "best_case_ids",
+    "HirschbergSinclair", "run_hirschberg_sinclair",
+    "Flooding", "run_flooding",
+    "Echo", "run_echo",
+    "SpanningTree", "run_spanning_tree", "tree_edges",
+    "Bully", "run_bully",
+    "FloodSet", "run_floodset",
+    "ItaiRodeh", "run_itai_rodeh",
+    "DynamicSpanningTree", "run_dynamic_spanning_tree",
+    "TokenRing", "run_token_ring",
+]

@@ -1,0 +1,102 @@
+"""The bully algorithm: leader election on a completely connected network
+with crash failures.
+
+Taxonomy classification:
+problem=leader election, topology=completely connected graph,
+failures=crash (non-Byzantine) — the point of bully over the ring
+elections, which tolerate none, communication=message passing,
+strategy=centralized takeover, timing=partially synchronous (needs
+timeouts), process management=static.
+
+Guarantee: O(n²) messages worst case; elects the highest-id *live* process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import Context, Message, Process
+from ..failures import FailurePlan
+from ..metrics import RunMetrics
+from ..network import Complete
+from ..simulator import Simulator
+from ..timing import PartiallySynchronous, TimingModel
+
+ELECTION = "election"
+OK = "ok"
+COORDINATOR = "coordinator"
+TIMEOUT = "timeout"
+
+#: Timeout must exceed a round trip under the timing bound Δ.
+def _timeout_for(timing: TimingModel) -> float:
+    bound = getattr(timing, "bound", None) or getattr(timing, "max_delay", 1.0)
+    return 2.5 * float(bound)
+
+
+class Bully(Process):
+    def __init__(self, rank: int, pid: int = None, timeout: float = 5.0,
+                 **params) -> None:  # type: ignore[assignment]
+        super().__init__(rank, **params)
+        self.pid = rank if pid is None else pid
+        self.timeout = timeout
+        self.leader: Optional[int] = None
+        self.got_ok = False
+        self.announced = False
+        self.epoch = 0  # invalidates stale timers
+
+    def _higher(self, ctx: Context) -> list[int]:
+        return [r for r in ctx.neighbors() if r > self.rank]
+
+    def on_start(self, ctx: Context) -> None:
+        self._start_election(ctx)
+
+    def _start_election(self, ctx: Context) -> None:
+        self.got_ok = False
+        self.epoch += 1
+        higher = self._higher(ctx)
+        if not higher:
+            self._become_leader(ctx)
+            return
+        for r in higher:
+            ctx.send(r, ELECTION, self.pid)
+        ctx.set_timer(self.timeout, TIMEOUT, self.epoch)
+
+    def _become_leader(self, ctx: Context) -> None:
+        if self.announced:
+            return
+        self.announced = True
+        self.leader = self.rank
+        ctx.decide(self.rank)
+        for r in ctx.neighbors():
+            ctx.send(r, COORDINATOR, self.rank)
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        if msg.tag == ELECTION:
+            ctx.charge(1)
+            # A lower process is electing: suppress it and take over.
+            ctx.send(msg.src, OK, self.pid)
+            if self.leader is None and not self.announced and not self.got_ok:
+                self._start_election(ctx)
+        elif msg.tag == OK:
+            self.got_ok = True
+            self.epoch += 1  # cancel the pending timeout
+        elif msg.tag == COORDINATOR:
+            self.leader = msg.payload
+            ctx.decide(msg.payload)
+            self.epoch += 1
+        elif msg.tag == TIMEOUT:
+            if msg.payload == self.epoch and not self.got_ok \
+                    and self.leader is None:
+                # No higher process answered: they are dead; I win.
+                self._become_leader(ctx)
+
+
+def run_bully(
+    n: int,
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+) -> RunMetrics:
+    timing = timing if timing is not None else PartiallySynchronous(bound=1.0)
+    timeout = _timeout_for(timing)
+    procs = [Bully(r, timeout=timeout) for r in range(n)]
+    return Simulator(Complete(n), procs, timing, failures).run()

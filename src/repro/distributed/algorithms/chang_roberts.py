@@ -1,0 +1,90 @@
+"""Chang–Roberts leader election on a unidirectional ring.
+
+Taxonomy classification:
+problem=leader election, topology=ring (unidirectional), failures=none,
+communication=message passing, strategy=distributed control (id chasing),
+timing=any, process management=static.
+
+Guarantees: O(n log n) messages on average over id arrangements, Θ(n²)
+worst case — the canonical contrast with Hirschberg–Sinclair's O(n log n)
+worst case that the taxonomy benches quantify.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import Context, Message, Process
+from ..failures import FailurePlan
+from ..metrics import RunMetrics
+from ..network import Ring
+from ..simulator import Simulator
+from ..timing import TimingModel
+
+ELECT = "elect"
+LEADER = "leader"
+
+
+class ChangRoberts(Process):
+    """Each process launches its id clockwise; ids are swallowed by larger
+    ones; the id that survives a full lap wins."""
+
+    def __init__(self, rank: int, pid: int = None, **params) -> None:  # type: ignore[assignment]
+        super().__init__(rank, **params)
+        self.pid = rank if pid is None else pid
+        self.leader: Optional[int] = None
+
+    def _succ(self, ctx: Context) -> int:
+        return ctx.neighbors()[0]  # unidirectional ring: single successor
+
+    def on_start(self, ctx: Context) -> None:
+        if not ctx.neighbors():  # n == 1: trivially the leader
+            self.leader = self.pid
+            ctx.decide(self.pid)
+            return
+        ctx.send(self._succ(ctx), ELECT, self.pid)
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        if msg.tag == ELECT:
+            ctx.charge(1)  # one id comparison
+            incoming = msg.payload
+            if incoming > self.pid:
+                ctx.send(self._succ(ctx), ELECT, incoming)
+            elif incoming == self.pid:
+                # My id survived the full lap: I am the leader.
+                self.leader = self.pid
+                ctx.decide(self.pid)
+                ctx.send(self._succ(ctx), LEADER, self.pid)
+            # incoming < self.pid: swallow.
+        elif msg.tag == LEADER:
+            if self.leader is None:
+                self.leader = msg.payload
+                ctx.decide(msg.payload)
+                ctx.send(self._succ(ctx), LEADER, msg.payload)
+            # Announcement already seen: stop forwarding (lap complete).
+
+
+def worst_case_ids(n: int) -> list[int]:
+    """Ids decreasing along the travel direction: node k gets id n-k, so
+    the id launched at node k survives k+1 hops before being swallowed at
+    node 0 — total Θ(n²) messages."""
+    return [n - k for k in range(n)]
+
+
+def best_case_ids(n: int) -> list[int]:
+    """Ids increasing along the travel direction: every non-maximal id is
+    swallowed after one hop — Θ(n) election messages."""
+    return list(range(1, n + 1))
+
+
+def run_chang_roberts(
+    n: int,
+    ids: Optional[Sequence[int]] = None,
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+) -> RunMetrics:
+    ring = Ring(n, directed=True)
+    ids = list(ids) if ids is not None else list(range(n))
+    procs = [ChangRoberts(r, pid=ids[r]) for r in range(n)]
+    sim = Simulator(ring, procs, timing, failures)
+    return sim.run()

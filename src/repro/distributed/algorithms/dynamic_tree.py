@@ -1,0 +1,90 @@
+"""Dynamic spanning-tree maintenance: taxonomy dimension 7.
+
+"Process management. This classification accounts for static and dynamic
+process management capabilities and for algorithms that allow new nodes to
+join in dynamically as opposed to those that do not."
+
+The static :mod:`spanning_tree` algorithm builds a tree once; this variant
+additionally lets nodes *join a running system*: a newcomer (spawned via
+:meth:`Simulator.schedule_spawn`) asks a neighbour for attachment; any
+neighbour that already belongs to the tree grants it and adopts the
+newcomer as a child.
+
+Taxonomy classification: problem=spanning tree, topology=arbitrary,
+failures=none, communication=message passing, strategy=probe echo,
+timing=any, process management=**dynamic**.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import Context, Message, Process
+from ..failures import FailurePlan
+from ..metrics import RunMetrics
+from ..network import Arbitrary
+from ..simulator import Simulator
+from ..timing import TimingModel
+
+JOIN = "join"              # initial flood (as in the static algorithm)
+ATTACH_REQ = "attach?"     # newcomer -> neighbours
+ATTACH_ACK = "attach!"     # tree member -> newcomer
+
+
+class DynamicSpanningTree(Process):
+    def __init__(self, rank: int, root: int = 0, joiner: bool = False,
+                 **params) -> None:
+        super().__init__(rank, **params)
+        self.root = root
+        self.joiner = joiner
+        self.parent: Optional[int] = None
+        self.in_tree = False
+
+    def _adopt(self, ctx: Context, parent: int) -> None:
+        self.parent = parent
+        self.in_tree = True
+        ctx.decide(parent)
+
+    def on_start(self, ctx: Context) -> None:
+        if self.joiner:
+            # A dynamically spawned node: ask every physical neighbour.
+            ctx.broadcast_neighbors(ATTACH_REQ)
+            return
+        if self.rank == self.root:
+            self.parent = self.rank
+            self.in_tree = True
+            ctx.decide(self.rank)
+            ctx.broadcast_neighbors(JOIN)
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        if msg.tag == JOIN:
+            if not self.in_tree:
+                ctx.charge(1)
+                self._adopt(ctx, msg.src)
+                ctx.broadcast_neighbors(JOIN, exclude=msg.src)
+        elif msg.tag == ATTACH_REQ:
+            if self.in_tree:
+                ctx.send(msg.src, ATTACH_ACK)
+        elif msg.tag == ATTACH_ACK:
+            if not self.in_tree:
+                ctx.charge(1)
+                self._adopt(ctx, msg.src)
+
+
+def run_dynamic_spanning_tree(
+    n: int,
+    edges: list[tuple[int, int]],
+    joins: list[tuple[float, list[int]]],
+    root: int = 0,
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+) -> RunMetrics:
+    """Build a tree over the initial topology, then admit one joiner per
+    ``(time, links)`` entry."""
+    topo = Arbitrary(n, edges)
+    procs = [DynamicSpanningTree(r, root=root) for r in range(n)]
+    sim = Simulator(topo, procs, timing, failures)
+    for at, links in joins:
+        sim.schedule_spawn(at, DynamicSpanningTree(-1, root=root, joiner=True),
+                           links)
+    return sim.run()

@@ -1,0 +1,98 @@
+"""The echo (probe-echo) algorithm: broadcast + convergecast aggregation.
+
+Taxonomy classification:
+problem=broadcast+aggregation, topology=arbitrary (connected),
+failures=none, communication=message passing, strategy=probe echo (one of
+the paper's named strategy refinements: "centralized control, distributed
+control, randomized, compositional, heart beat, probe echo"),
+timing=any, process management=static.
+
+Guarantee: exactly 2E messages; builds a spanning tree as a side effect and
+folds every node's local value back to the initiator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core import Context, Message, Process
+from ..failures import FailurePlan
+from ..metrics import RunMetrics
+from ..network import Topology
+from ..simulator import Simulator
+from ..timing import TimingModel
+
+PROBE = "probe"
+ECHO = "echo"
+
+
+class Echo(Process):
+    """Chang's echo: probes flow outward establishing parents; echoes flow
+    back carrying partial aggregates."""
+
+    def __init__(self, rank: int, initiator: int = 0,
+                 local_value: int = 1,
+                 combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+                 **params) -> None:
+        super().__init__(rank, **params)
+        self.initiator = initiator
+        self.local_value = local_value
+        self.combine = combine
+        self.parent: Optional[int] = None
+        self.pending = 0
+        self.acc = local_value
+        self.started = False
+
+    def on_start(self, ctx: Context) -> None:
+        if self.rank == self.initiator:
+            self.started = True
+            nbrs = ctx.neighbors()
+            self.pending = len(nbrs)
+            if self.pending == 0:
+                ctx.decide(self.acc)
+                return
+            ctx.broadcast_neighbors(PROBE)
+
+    def _complete(self, ctx: Context) -> None:
+        if self.pending == 0:
+            if self.rank == self.initiator:
+                ctx.decide(self.acc)
+            else:
+                ctx.send(self.parent, ECHO, self.acc)
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        if msg.tag == PROBE:
+            if self.parent is None and self.rank != self.initiator:
+                self.parent = msg.src
+                self.pending = len(ctx.neighbors()) - 1
+                if self.pending == 0:
+                    ctx.send(self.parent, ECHO, self.acc)
+                else:
+                    ctx.broadcast_neighbors(PROBE, exclude=msg.src)
+            else:
+                # A probe over a non-tree edge *counts as* that edge's echo
+                # (the classic bookkeeping that keeps the total at exactly
+                # 2E messages).
+                self.pending -= 1
+                self._complete(ctx)
+        elif msg.tag == ECHO:
+            ctx.charge(1)
+            if msg.payload is not None:
+                self.acc = self.combine(self.acc, msg.payload)
+            self.pending -= 1
+            self._complete(ctx)
+
+
+def run_echo(
+    topology: Topology,
+    initiator: int = 0,
+    values: Optional[list] = None,
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+) -> RunMetrics:
+    """Aggregate (sum by default) every node's value at the initiator."""
+    procs = []
+    for r in range(topology.n):
+        val = values[r] if values is not None else 1
+        procs.append(Echo(r, initiator=initiator, local_value=val))
+    return Simulator(topology, procs, timing, failures).run()

@@ -1,0 +1,58 @@
+"""Flooding broadcast on an arbitrary topology.
+
+Taxonomy classification:
+problem=broadcast, topology=arbitrary (connected), failures=tolerates
+message loss on redundant links, communication=message passing,
+strategy=distributed control, timing=any, process management=static.
+
+Guarantee: O(E) messages (each undirected link carries at most two copies),
+time = eccentricity of the initiator (network diameter bound).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core import Context, Message, Process
+from ..failures import FailurePlan
+from ..metrics import RunMetrics
+from ..network import Topology
+from ..simulator import Simulator
+from ..timing import TimingModel
+
+FLOOD = "flood"
+
+
+class Flooding(Process):
+    def __init__(self, rank: int, initiator: int = 0, value: Any = "v",
+                 **params) -> None:
+        super().__init__(rank, **params)
+        self.initiator = initiator
+        self.value = value
+        self.received = False
+
+    def on_start(self, ctx: Context) -> None:
+        if self.rank == self.initiator:
+            self.received = True
+            ctx.decide(self.value)
+            ctx.broadcast_neighbors(FLOOD, self.value)
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        if msg.tag != FLOOD or self.received:
+            return
+        self.received = True
+        ctx.charge(1)
+        ctx.decide(msg.payload)
+        ctx.broadcast_neighbors(FLOOD, msg.payload, exclude=msg.src)
+
+
+def run_flooding(
+    topology: Topology,
+    initiator: int = 0,
+    value: Any = "v",
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+) -> RunMetrics:
+    procs = [Flooding(r, initiator=initiator, value=value)
+             for r in range(topology.n)]
+    return Simulator(topology, procs, timing, failures).run()

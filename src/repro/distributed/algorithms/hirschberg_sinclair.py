@@ -1,0 +1,110 @@
+"""Hirschberg–Sinclair leader election on a bidirectional ring.
+
+Taxonomy classification:
+problem=leader election, topology=ring (bidirectional), failures=none,
+communication=message passing, strategy=distributed control (doubling
+probes), timing=any, process management=static.
+
+Guarantee: O(n log n) messages *worst case* — each of the O(log n) phases
+costs O(n) total because at most ⌈n/2^k⌉ candidates survive phase k.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import Context, Message, Process
+from ..failures import FailurePlan
+from ..metrics import RunMetrics
+from ..network import Ring
+from ..simulator import Simulator
+from ..timing import TimingModel
+
+PROBE = "probe"
+REPLY = "reply"
+LEADER = "leader"
+
+LEFT, RIGHT = 0, 1
+
+
+class HirschbergSinclair(Process):
+    """Phased candidate probing: in phase k a candidate probes 2^k hops in
+    both directions; probes are swallowed by larger ids; a candidate whose
+    probe laps the whole ring is the leader."""
+
+    def __init__(self, rank: int, pid: int = None, **params) -> None:  # type: ignore[assignment]
+        super().__init__(rank, **params)
+        self.pid = rank if pid is None else pid
+        self.phase = 0
+        self.replies = 0
+        self.candidate = True
+        self.leader: Optional[int] = None
+
+    # Ring direction helpers (bidirectional ring: neighbors = [pred, succ]).
+    def _out(self, ctx: Context, direction: int) -> int:
+        nbrs = ctx.neighbors()
+        if len(nbrs) == 1:  # n == 2: both directions are the same node
+            return nbrs[0]
+        return nbrs[0] if direction == LEFT else nbrs[1]
+
+    def on_start(self, ctx: Context) -> None:
+        if not ctx.neighbors():  # n == 1: trivially the leader
+            self.leader = self.pid
+            ctx.decide(self.pid)
+            return
+        self._launch_probes(ctx)
+
+    def _launch_probes(self, ctx: Context) -> None:
+        hops = 2 ** self.phase
+        for direction in (LEFT, RIGHT):
+            ctx.send(self._out(ctx, direction), PROBE,
+                     (self.pid, self.phase, hops, direction))
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        if msg.tag == PROBE:
+            pid, phase, hops_left, direction = msg.payload
+            ctx.charge(1)  # id comparison
+            if pid == self.pid:
+                # My own probe came all the way around: leader.
+                if self.leader is None:
+                    self.leader = self.pid
+                    ctx.decide(self.pid)
+                    ctx.send(self._out(ctx, RIGHT), LEADER, self.pid)
+                return
+            if pid < self.pid:
+                return  # swallow
+            if hops_left > 1:
+                ctx.send(self._out(ctx, direction), PROBE,
+                         (pid, phase, hops_left - 1, direction))
+            else:
+                # Turn around: reply travels back the opposite way.
+                back = LEFT if direction == RIGHT else RIGHT
+                ctx.send(self._out(ctx, back), REPLY, (pid, phase, back))
+        elif msg.tag == REPLY:
+            pid, phase, direction = msg.payload
+            if pid != self.pid:
+                ctx.send(self._out(ctx, direction), REPLY, msg.payload)
+                return
+            self.replies += 1
+            if self.replies == 2:
+                self.replies = 0
+                self.phase += 1
+                self._launch_probes(ctx)
+        elif msg.tag == LEADER:
+            if self.leader is None:
+                self.leader = msg.payload
+                ctx.decide(msg.payload)
+                ctx.send(self._out(ctx, RIGHT), LEADER, msg.payload)
+
+
+def run_hirschberg_sinclair(
+    n: int,
+    ids: Optional[Sequence[int]] = None,
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+) -> RunMetrics:
+    ring = Ring(n, directed=False)
+    ids = list(ids) if ids is not None else list(range(n))
+    procs = [HirschbergSinclair(r, pid=ids[r]) for r in range(n)]
+    sim = Simulator(ring, procs, timing, failures)
+    return sim.run()

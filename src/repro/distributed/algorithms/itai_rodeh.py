@@ -1,0 +1,120 @@
+"""Itai–Rodeh randomized leader election on an *anonymous* ring.
+
+Fills the taxonomy's "randomized" strategy refinement (Section 4 names
+"randomized" among the strategy dimension's values).  On an anonymous ring
+(no built-in ids), deterministic election is impossible by symmetry; the
+Itai–Rodeh algorithm breaks symmetry with coin flips: each phase, every
+active candidate draws a random id and circulates it with a hop counter and
+a uniqueness bit; a candidate whose id returns unique and maximal wins,
+ties re-draw among the tied.
+
+Taxonomy classification:
+problem=leader election, topology=unidirectional ring, failures=none,
+communication=message passing, strategy=randomized, timing=any
+(implemented for both; ring size n must be known), process management=
+static.
+
+Guarantees: O(n log n) messages in expectation; terminates with
+probability 1 (Las Vegas: the winner is always unique and legitimate).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core import Context, Message, Process
+from ..failures import FailurePlan
+from ..metrics import RunMetrics
+from ..network import Ring
+from ..simulator import Simulator
+from ..timing import TimingModel
+
+TOKEN = "ir-token"      # (phase, candidate_id, hops, unique_bit)
+ELECTED = "ir-elected"
+
+
+class ItaiRodeh(Process):
+    """Anonymous-ring candidate.  ``id_space`` controls the per-phase draw
+    range (larger = fewer collision rounds)."""
+
+    def __init__(self, rank: int, n: int = 0, seed: int = 0,
+                 id_space: int = 8, **params) -> None:
+        super().__init__(rank, **params)
+        self.n = n
+        self.id_space = id_space
+        # Derive an independent stream per process from the run seed; the
+        # *algorithm* never sees self.rank (anonymity) — it is only used to
+        # decorrelate the random streams, as physical noise would.
+        self._rng = random.Random(seed * 1_000_003 + rank)
+        self.active = True
+        self.phase = 0
+        self.my_id: Optional[int] = None
+        self.leader = False
+        self.done = False
+
+    def _draw_and_send(self, ctx: Context) -> None:
+        self.phase += 1
+        self.my_id = self._rng.randint(1, self.id_space)
+        ctx.send(ctx.neighbors()[0], TOKEN, (self.phase, self.my_id, 1, True))
+
+    def on_start(self, ctx: Context) -> None:
+        if self.n <= 1:
+            self.leader = True
+            ctx.decide("leader")
+            return
+        self._draw_and_send(ctx)
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        if self.done:
+            return
+        if msg.tag == ELECTED:
+            self.done = True
+            if not self.leader:
+                ctx.decide("non-leader")
+                ctx.send(ctx.neighbors()[0], ELECTED, None)
+            return
+        phase, cid, hops, unique = msg.payload
+        ctx.charge(1)
+        succ = ctx.neighbors()[0]
+        if not self.active:
+            ctx.send(succ, TOKEN, (phase, cid, hops + 1, unique))
+            return
+        if hops == self.n:
+            # The candidate's own token is back (anonymity: recognized by
+            # hop count, not by identity).
+            if unique:
+                self.leader = True
+                self.done = True
+                ctx.decide("leader")
+                ctx.send(succ, ELECTED, None)
+            else:
+                self._draw_and_send(ctx)  # tie among maxima: re-draw
+            return
+        # An active node compares (phase, id) lexicographically — under
+        # asynchrony a fresh-phase token may pass nodes still holding an
+        # older phase, and the later phase must dominate.
+        theirs = (phase, cid)
+        mine = (self.phase, self.my_id or 0)
+        if theirs > mine:
+            self.active = False
+            ctx.send(succ, TOKEN, (phase, cid, hops + 1, unique))
+        elif theirs == mine:
+            ctx.send(succ, TOKEN, (phase, cid, hops + 1, False))
+        # theirs < mine: swallow.
+
+
+def run_itai_rodeh(
+    n: int,
+    seed: int = 0,
+    id_space: int = 8,
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+) -> RunMetrics:
+    ring = Ring(n, directed=True)
+    procs = [ItaiRodeh(r, n=n, seed=seed, id_space=id_space)
+             for r in range(n)]
+    sim = Simulator(ring, procs, timing, failures)
+    metrics = sim.run()
+    metrics.leaders = [p.rank for p in procs if p.leader]  # type: ignore[attr-defined]
+    return metrics

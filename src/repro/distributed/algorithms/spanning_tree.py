@@ -1,0 +1,83 @@
+"""Spanning-tree construction by probe-echo parent selection.
+
+Taxonomy classification:
+problem=spanning tree, topology=arbitrary (connected), failures=none,
+communication=message passing, strategy=probe echo, timing=any (the tree
+shape depends on delivery order under asynchrony — a property the
+taxonomy benches demonstrate), process management=static.
+
+Each process decides its parent; :func:`tree_edges` reassembles the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import Context, Message, Process
+from ..failures import FailurePlan
+from ..metrics import RunMetrics
+from ..network import Topology
+from ..simulator import Simulator
+from ..timing import TimingModel
+
+JOIN = "join"
+
+
+class SpanningTree(Process):
+    def __init__(self, rank: int, root: int = 0, **params) -> None:
+        super().__init__(rank, **params)
+        self.root = root
+        self.parent: Optional[int] = None
+
+    def on_start(self, ctx: Context) -> None:
+        if self.rank == self.root:
+            self.parent = self.rank
+            ctx.decide(self.rank)  # root is its own parent
+            ctx.broadcast_neighbors(JOIN)
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        if msg.tag != JOIN or self.parent is not None:
+            return
+        ctx.charge(1)
+        self.parent = msg.src
+        ctx.decide(msg.src)
+        ctx.broadcast_neighbors(JOIN, exclude=msg.src)
+
+
+def run_spanning_tree(
+    topology: Topology,
+    root: int = 0,
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+) -> RunMetrics:
+    procs = [SpanningTree(r, root=root) for r in range(topology.n)]
+    return Simulator(topology, procs, timing, failures).run()
+
+
+def tree_edges(metrics: RunMetrics, root: int = 0) -> list[tuple[int, int]]:
+    """(parent, child) edges from the decision map."""
+    return [
+        (parent, child)
+        for child, parent in metrics.decisions.items()
+        if child != root and parent is not None
+    ]
+
+
+def is_spanning_tree(metrics: RunMetrics, n: int, root: int = 0) -> bool:
+    """Validate: every node decided, edges form a tree rooted at root."""
+    if set(metrics.decisions) != set(range(n)):
+        return False
+    edges = tree_edges(metrics, root)
+    if len(edges) != n - 1:
+        return False
+    # every child reaches the root through parents, acyclically
+    parent = dict(metrics.decisions)
+    for v in range(n):
+        seen = set()
+        u = v
+        while u != root:
+            if u in seen or u not in parent:
+                return False
+            seen.add(u)
+            u = parent[u]
+    return True

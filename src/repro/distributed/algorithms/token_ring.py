@@ -1,0 +1,82 @@
+"""Token-ring mutual exclusion.
+
+Taxonomy classification:
+problem=mutual exclusion, topology=ring, failures=none (token loss is
+fatal — the classic limitation), communication=message passing,
+strategy=circulating token (heart beat family), timing=any,
+process management=static.
+
+Guarantee: exactly one process holds the token at any time (safety);
+every requesting process eventually enters (liveness, no failures);
+1 message per critical-section entry plus idle circulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import Context, Message, Process
+from ..failures import FailurePlan
+from ..metrics import RunMetrics
+from ..network import Ring
+from ..simulator import Simulator
+from ..timing import TimingModel
+
+TOKEN = "token"
+
+
+class TokenRing(Process):
+    """Each process wants the critical section ``requests`` times; the
+    token carries a countdown of outstanding requests so it can stop
+    circulating when everyone is done."""
+
+    def __init__(self, rank: int, requests: int = 1, **params) -> None:
+        super().__init__(rank, **params)
+        self.requests_left = requests
+        self.entries: list[float] = []
+
+    def _enter_cs(self, ctx: Context) -> None:
+        # The critical section itself: charge some local work.
+        ctx.charge(5)
+        self.entries.append(ctx.now)
+        self.requests_left -= 1
+
+    def on_start(self, ctx: Context) -> None:
+        if self.rank == 0:
+            total = ctx._sim.params_total_requests  # set by run_token_ring
+            if self.requests_left > 0:
+                self._enter_cs(ctx)
+                total -= 1
+            if total > 0:
+                ctx.send(ctx.neighbors()[0], TOKEN, total)
+            else:
+                ctx.decide(len(self.entries))
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        if msg.tag != TOKEN:
+            return
+        outstanding = msg.payload
+        if self.requests_left > 0:
+            self._enter_cs(ctx)
+            outstanding -= 1
+        if outstanding > 0:
+            ctx.send(ctx.neighbors()[0], TOKEN, outstanding)
+        else:
+            ctx.decide(len(self.entries))
+
+
+def run_token_ring(
+    n: int,
+    requests_per_process: int = 1,
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+) -> RunMetrics:
+    ring = Ring(n, directed=True)
+    procs = [TokenRing(r, requests=requests_per_process) for r in range(n)]
+    sim = Simulator(ring, procs, timing, failures)
+    sim.params_total_requests = n * requests_per_process  # type: ignore[attr-defined]
+    metrics = sim.run()
+    metrics.cs_entries = [  # type: ignore[attr-defined]
+        (t, p.rank) for p in procs for t in p.entries
+    ]
+    return metrics

@@ -1,0 +1,80 @@
+"""Failure injection — taxonomy dimension 3.
+
+"Tolerance to component failures.  Some algorithms do not tolerate any
+failures while some can tolerate particular kinds of failures.  Further
+refining this concept leads to Byzantine and non-Byzantine failures of
+nodes and links."
+
+A :class:`FailurePlan` tells the simulator which processes crash (and
+when), which behave Byzantine (how their outgoing payloads are corrupted),
+and which links drop messages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .core import Message
+
+
+@dataclass
+class FailurePlan:
+    """Declarative failure schedule applied by the simulator."""
+
+    #: rank -> crash time (no sends/receives at or after that time).
+    crashes: dict[int, float] = field(default_factory=dict)
+    #: rank -> payload corruption function applied to every outgoing message.
+    byzantine: dict[int, Callable[[Any], Any]] = field(default_factory=dict)
+    #: undirected links that silently drop every message.
+    dead_links: set[tuple[int, int]] = field(default_factory=set)
+    #: probability that any given message is lost (lossy network).
+    loss_probability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # -- queries used by the simulator ---------------------------------------
+
+    def crashed(self, rank: int, now: float) -> bool:
+        t = self.crashes.get(rank)
+        return t is not None and now >= t
+
+    def link_dead(self, u: int, v: int) -> bool:
+        return (min(u, v), max(u, v)) in self.dead_links
+
+    def drops(self) -> bool:
+        return self.loss_probability > 0 and self._rng.random() < self.loss_probability
+
+    def corrupt(self, msg: Message) -> Message:
+        fn = self.byzantine.get(msg.src)
+        if fn is None:
+            return msg
+        return Message(msg.src, msg.dst, msg.tag, fn(msg.payload))
+
+    @property
+    def is_failure_free(self) -> bool:
+        return (
+            not self.crashes
+            and not self.byzantine
+            and not self.dead_links
+            and self.loss_probability == 0
+        )
+
+
+def crash(rank: int, at: float = 0.0, plan: Optional[FailurePlan] = None) -> FailurePlan:
+    """Convenience: a plan crashing one process."""
+    plan = plan or FailurePlan()
+    plan.crashes[rank] = at
+    return plan
+
+
+def byzantine_lying_id(rank: int, fake_id: int,
+                       plan: Optional[FailurePlan] = None) -> FailurePlan:
+    """A Byzantine process that replaces any integer payload with a fake id
+    — the classic attack on id-based leader election."""
+    plan = plan or FailurePlan()
+    plan.byzantine[rank] = lambda p: fake_id if isinstance(p, int) else p
+    return plan

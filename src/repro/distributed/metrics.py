@@ -1,0 +1,60 @@
+"""Run metrics: the measurements the taxonomy organizes.
+
+"In most of the literature, the performance of parallel and distributed
+algorithms is typically indicated only in terms of asymptotic bounds on
+numbers of messages and time complexities, omitting other performance
+issues.  For example, local computation at a node is rarely accounted for."
+
+So we account for all three: messages (total and per-process), time
+(makespan; equals rounds under synchronous timing), and local computation
+(explicitly charged by algorithms via ``ctx.charge``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RunMetrics:
+    n: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    per_process_sent: Counter = field(default_factory=Counter)
+    local_computation: Counter = field(default_factory=Counter)
+    decisions: dict[int, Any] = field(default_factory=dict)
+    finish_time: float = 0.0
+    rounds: int = 0
+
+    @property
+    def total_local_computation(self) -> int:
+        return sum(self.local_computation.values())
+
+    @property
+    def max_local_computation(self) -> int:
+        return max(self.local_computation.values(), default=0)
+
+    def consensus(self) -> Any:
+        """The common decision, or None when processes disagree/undecided."""
+        values = set(self.decisions.values())
+        if len(values) == 1 and len(self.decisions) > 0:
+            return next(iter(values))
+        return None
+
+    def agreement_among(self, ranks: list[int]) -> Any:
+        values = {self.decisions.get(r) for r in ranks}
+        if len(values) == 1:
+            return next(iter(values))
+        return None
+
+    def summary(self) -> str:
+        return (
+            f"n={self.n} messages={self.messages_sent} "
+            f"(delivered={self.messages_delivered}, "
+            f"dropped={self.messages_dropped}) time={self.finish_time:.2f} "
+            f"rounds={self.rounds} local-comp={self.total_local_computation} "
+            f"(max/node={self.max_local_computation})"
+        )

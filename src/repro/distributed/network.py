@@ -1,0 +1,206 @@
+"""Network topologies — taxonomy dimension 2.
+
+"Some algorithms are designed for specialized topologies, while others are
+for arbitrary topologies.  Further refining this concept leads to some of
+the well known topologies like ring, completely connected graph, etc."
+
+Every topology answers ``neighbors(v)`` (and directed rings distinguish a
+successor direction).  Arbitrary topologies wrap a
+:class:`repro.graphs.AdjacencyList`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from ..graphs.adjacency_list import AdjacencyList
+
+
+class Topology:
+    """Base topology: n processes, neighbor relation."""
+
+    name: str = "arbitrary"
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("topology needs at least one process")
+        self.n = n
+
+    def neighbors(self, v: int) -> list[int]:
+        raise NotImplementedError
+
+    def edges(self) -> set[tuple[int, int]]:
+        """Undirected edge set (u < v normalized)."""
+        out: set[tuple[int, int]] = set()
+        for u in range(self.n):
+            for v in self.neighbors(u):
+                out.add((min(u, v), max(u, v)))
+        return out
+
+    def num_links(self) -> int:
+        return len(self.edges())
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in self.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self.n
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class Ring(Topology):
+    """Ring; ``directed=True`` exposes only the successor (Chang–Roberts
+    needs a unidirectional ring, Hirschberg–Sinclair a bidirectional one)."""
+
+    name = "ring"
+
+    def __init__(self, n: int, directed: bool = False) -> None:
+        super().__init__(n)
+        self.directed = directed
+
+    def successor(self, v: int) -> int:
+        return (v + 1) % self.n
+
+    def predecessor(self, v: int) -> int:
+        return (v - 1) % self.n
+
+    def neighbors(self, v: int) -> list[int]:
+        if self.directed:
+            return [self.successor(v)]
+        if self.n == 1:
+            return []
+        if self.n == 2:
+            return [self.successor(v)]
+        return [self.predecessor(v), self.successor(v)]
+
+
+class Complete(Topology):
+    """Completely connected graph."""
+
+    name = "complete"
+
+    def neighbors(self, v: int) -> list[int]:
+        return [u for u in range(self.n) if u != v]
+
+
+class Star(Topology):
+    """Hub-and-spoke; process 0 is the hub."""
+
+    name = "star"
+
+    def neighbors(self, v: int) -> list[int]:
+        if v == 0:
+            return list(range(1, self.n))
+        return [0]
+
+
+class Line(Topology):
+    name = "line"
+
+    def neighbors(self, v: int) -> list[int]:
+        out = []
+        if v > 0:
+            out.append(v - 1)
+        if v < self.n - 1:
+            out.append(v + 1)
+        return out
+
+
+class Tree(Topology):
+    """Complete binary tree rooted at 0."""
+
+    name = "tree"
+
+    def neighbors(self, v: int) -> list[int]:
+        out = []
+        if v > 0:
+            out.append((v - 1) // 2)
+        for c in (2 * v + 1, 2 * v + 2):
+            if c < self.n:
+                out.append(c)
+        return out
+
+
+class Grid(Topology):
+    """rows x cols mesh (sensor-network style)."""
+
+    name = "grid"
+
+    def __init__(self, rows: int, cols: int) -> None:
+        super().__init__(rows * cols)
+        self.rows = rows
+        self.cols = cols
+
+    def neighbors(self, v: int) -> list[int]:
+        r, c = divmod(v, self.cols)
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nr, nc = r + dr, c + dc
+            if 0 <= nr < self.rows and 0 <= nc < self.cols:
+                out.append(nr * self.cols + nc)
+        return out
+
+
+class Arbitrary(Topology):
+    """An arbitrary topology from an explicit undirected edge list or an
+    AdjacencyList graph."""
+
+    name = "arbitrary"
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]]) -> None:
+        super().__init__(n)
+        self._adj: list[list[int]] = [[] for _ in range(n)]
+        for u, v in edges:
+            if v not in self._adj[u]:
+                self._adj[u].append(v)
+            if u not in self._adj[v]:
+                self._adj[v].append(u)
+
+    @classmethod
+    def from_graph(cls, g: AdjacencyList) -> "Arbitrary":
+        return cls(g.num_vertices(),
+                   [(e.source(), e.target()) for e in g.edges()])
+
+    def neighbors(self, v: int) -> list[int]:
+        return list(self._adj[v])
+
+    def add_node(self, links: Iterable[int]) -> int:
+        """Grow the topology by one node wired to ``links`` — the substrate
+        for taxonomy dimension 7's dynamic process management ('algorithms
+        that allow new nodes to join in dynamically')."""
+        new = self.n
+        self.n += 1
+        self._adj.append([])
+        for u in links:
+            if u < 0 or u >= new:
+                raise ValueError(f"cannot link new node to unknown node {u}")
+            self._adj[new].append(u)
+            self._adj[u].append(new)
+        return new
+
+
+def random_connected(n: int, extra_edge_prob: float = 0.1,
+                     seed: int = 0) -> Arbitrary:
+    """A random connected topology: a random spanning tree plus extra
+    edges with probability ``extra_edge_prob``."""
+    rng = random.Random(seed)
+    edges: list[tuple[int, int]] = []
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        edges.append((order[i], order[rng.randrange(i)]))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < extra_edge_prob:
+                edges.append((u, v))
+    return Arbitrary(n, edges)

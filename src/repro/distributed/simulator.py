@@ -1,0 +1,177 @@
+"""The discrete-event simulator driving process executions.
+
+A single priority queue of delivery events; the timing model assigns
+delays, the failure plan filters crashes/drops/corruption, and every event
+updates :class:`~repro.distributed.metrics.RunMetrics`.  Under synchronous
+timing, integer time boundaries are rounds and ``on_round`` hooks fire.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional, Sequence, Type
+
+from .core import Context, Message, Process
+from .failures import FailurePlan
+from .metrics import RunMetrics
+from .network import Topology
+from .timing import Synchronous, TimingModel
+
+
+class SimulationError(RuntimeError):
+    pass
+
+
+class Simulator:
+    """Runs a set of processes over a topology under a timing model and
+    failure plan."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        processes: Sequence[Process],
+        timing: Optional[TimingModel] = None,
+        failures: Optional[FailurePlan] = None,
+        max_time: float = 1e6,
+        max_messages: int = 5_000_000,
+    ) -> None:
+        if len(processes) != topology.n:
+            raise SimulationError(
+                f"{topology.n} processes expected, got {len(processes)}"
+            )
+        self.topology = topology
+        self.processes = list(processes)
+        self.timing = timing if timing is not None else Synchronous()
+        self.failures = failures if failures is not None else FailurePlan()
+        self.max_time = max_time
+        self.max_messages = max_messages
+        self.metrics = RunMetrics(n=topology.n)
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Message]] = []
+        self._seq = 0
+        self._halted: set[int] = set()
+        self._round_no = 0
+        self._pending_spawns: list[tuple[float, Process, list[int]]] = []
+
+    # -- internal API used by Context ----------------------------------------
+
+    def _send(self, msg: Message) -> None:
+        if self.failures.crashed(msg.src, self.now):
+            return
+        self.metrics.messages_sent += 1
+        self.metrics.per_process_sent[msg.src] += 1
+        if self.metrics.messages_sent > self.max_messages:
+            raise SimulationError("message budget exceeded (runaway algorithm?)")
+        if self.failures.link_dead(msg.src, msg.dst) or self.failures.drops():
+            self.metrics.messages_dropped += 1
+            return
+        msg = self.failures.corrupt(msg)
+        delay = self.timing.delay(msg, self.now)
+        heapq.heappush(self._queue, (self.now + delay, self._seq, msg))
+        self._seq += 1
+
+    def _set_timer(self, rank: int, delay: float, tag: str,
+                   payload: Any) -> None:
+        if delay <= 0:
+            delay = 1e-9
+        msg = Message(rank, rank, tag, payload)
+        heapq.heappush(self._queue, (self.now + delay, self._seq, msg))
+        self._seq += 1
+
+    def schedule_spawn(self, at: float, process: Process,
+                       links: list[int]) -> None:
+        """Dynamically add ``process`` to the system at time ``at``, wired
+        to ``links`` (requires a topology with ``add_node`` — taxonomy
+        dimension 7, dynamic process management).  The new process's
+        ``on_start`` runs at join time."""
+        if not hasattr(self.topology, "add_node"):
+            raise SimulationError(
+                f"topology {type(self.topology).__name__} does not support "
+                f"dynamic joins"
+            )
+        self._pending_spawns.append((at, process, list(links)))
+        self._pending_spawns.sort(key=lambda t: t[0])
+        # A sentinel event keeps the queue non-empty until the spawn fires.
+        heapq.heappush(self._queue, (at, self._seq, Message(-1, -1, "__spawn__")))
+        self._seq += 1
+
+    def _run_due_spawns(self, now: float) -> None:
+        while self._pending_spawns and self._pending_spawns[0][0] <= now:
+            _, proc, links = self._pending_spawns.pop(0)
+            rank = self.topology.add_node(links)
+            proc.rank = rank
+            if len(self.processes) != rank:
+                raise SimulationError("spawn rank out of sync")
+            self.processes.append(proc)
+            self.metrics.n = self.topology.n
+            proc.on_start(self._context(rank))
+
+    # -- execution -------------------------------------------------------------
+
+    def _context(self, rank: int) -> Context:
+        return Context(self, rank)
+
+    def _deliver(self, msg: Message) -> None:
+        if self.failures.crashed(msg.dst, self.now) or msg.dst in self._halted:
+            return
+        self.metrics.messages_delivered += 1
+        self.processes[msg.dst].on_message(self._context(msg.dst), msg)
+
+    def _fire_round_hooks(self) -> None:
+        self._round_no += 1
+        self.metrics.rounds = self._round_no
+        for p in self.processes:
+            if not self.failures.crashed(p.rank, self.now) and \
+                    p.rank not in self._halted:
+                p.on_round(self._context(p.rank), self._round_no)
+
+    def run(self) -> RunMetrics:
+        # Start every live process.
+        for p in self.processes:
+            if not self.failures.crashed(p.rank, 0.0):
+                p.on_start(self._context(p.rank))
+        synchronous = isinstance(self.timing, Synchronous)
+        last_round_boundary = 0
+        while self._queue:
+            t, _, msg = heapq.heappop(self._queue)
+            if t > self.max_time:
+                raise SimulationError(f"exceeded max_time={self.max_time}")
+            if synchronous:
+                boundary = math.floor(t)
+                while last_round_boundary < boundary:
+                    last_round_boundary += 1
+                    self.now = float(last_round_boundary)
+                    self._fire_round_hooks()
+            self.now = t
+            if msg.tag == "__spawn__" and msg.dst == -1:
+                self._run_due_spawns(t)
+                continue
+            self._deliver(msg)
+        self.metrics.finish_time = self.now
+        if synchronous:
+            self.metrics.rounds = max(self.metrics.rounds,
+                                      int(math.ceil(self.now)))
+        return self.metrics
+
+
+def run_algorithm(
+    process_cls: Type[Process],
+    topology: Topology,
+    timing: Optional[TimingModel] = None,
+    failures: Optional[FailurePlan] = None,
+    ids: Optional[Sequence[int]] = None,
+    **params: Any,
+) -> RunMetrics:
+    """Convenience: instantiate ``process_cls`` on every node and run.
+
+    ``ids`` optionally assigns distinct process identifiers (for
+    id-based leader election worst/best-case constructions); default is
+    the rank itself.
+    """
+    procs = []
+    for rank in range(topology.n):
+        pid = ids[rank] if ids is not None else rank
+        procs.append(process_cls(rank, pid=pid, **params))
+    sim = Simulator(topology, procs, timing, failures)
+    return sim.run()

@@ -1,0 +1,339 @@
+"""The seven-dimension distributed-algorithms concept taxonomy (Section 4).
+
+"The distributed algorithms concept taxonomy we are developing classifies
+algorithms on seven orthogonal dimensions: (1) Problem. (2) Topology of the
+underlying network. (3) Tolerance to component failures. (4) Method of
+information sharing between processes. (5) Strategy of the algorithm.
+(6) Timing properties required from the underlying network. (7) Process
+management."
+
+Each dimension is a small refinement hierarchy (more specific values refine
+more general ones); classified algorithm entries carry complexity
+guarantees per resource (messages, time, local computation) so selection
+queries can "pick the correct algorithm for a particular application" and
+gap queries can find refinements with no known algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..concepts.complexity import BigO, parse
+
+#: dimension name -> {value: parent value} refinement trees.  A value
+#: refines another when following parents reaches it; "any" is each
+#: dimension's root.
+DIMENSIONS: dict[str, dict[str, Optional[str]]] = {
+    "problem": {
+        "any": None,
+        "leader election": "any",
+        "broadcast": "any",
+        "aggregation": "broadcast",
+        "spanning tree": "any",
+        "mutual exclusion": "any",
+        "consensus": "any",
+    },
+    "topology": {
+        "arbitrary": None,
+        "ring": "arbitrary",
+        "unidirectional ring": "ring",
+        "bidirectional ring": "ring",
+        "complete": "arbitrary",
+        "star": "arbitrary",
+        "tree": "arbitrary",
+        "grid": "arbitrary",
+    },
+    "failures": {
+        "byzantine": None,          # tolerates the most
+        "crash": "byzantine",       # a crash-tolerant alg tolerates less
+        "none": "crash",
+    },
+    "communication": {
+        "any": None,
+        "message passing": "any",
+        "shared memory": "any",
+    },
+    "strategy": {
+        "any": None,
+        "centralized control": "any",
+        "distributed control": "any",
+        "randomized": "any",
+        "compositional": "any",
+        "heart beat": "any",
+        "probe echo": "any",
+    },
+    "timing": {
+        "asynchronous": None,            # weakest requirement
+        "partially synchronous": "asynchronous",
+        "synchronous": "partially synchronous",
+    },
+    "process management": {
+        # dynamic capability refines static: a dynamic-capable algorithm
+        # also runs in a static system, not vice versa.
+        "static": None,
+        "dynamic": "static",
+    },
+}
+
+
+def refines(dimension: str, value: str, other: str) -> bool:
+    """Does ``value`` refine (or equal) ``other`` within ``dimension``?"""
+    tree = DIMENSIONS[dimension]
+    if value not in tree or other not in tree:
+        raise KeyError(f"unknown {dimension} value: {value!r} or {other!r}")
+    cur: Optional[str] = value
+    while cur is not None:
+        if cur == other:
+            return True
+        cur = tree[cur]
+    return False
+
+
+@dataclass(frozen=True)
+class Classification:
+    """One algorithm's coordinates in the seven-dimensional space."""
+
+    problem: str
+    topology: str
+    failures: str
+    communication: str
+    strategy: str
+    timing: str
+    process_management: str
+
+    def __post_init__(self) -> None:
+        for dim, value in self.as_dict().items():
+            if value not in DIMENSIONS[dim]:
+                raise KeyError(f"unknown {dim} value {value!r}")
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "problem": self.problem,
+            "topology": self.topology,
+            "failures": self.failures,
+            "communication": self.communication,
+            "strategy": self.strategy,
+            "timing": self.timing,
+            "process management": self.process_management,
+        }
+
+    def matches(self, **requirements: str) -> bool:
+        """Is this algorithm usable under the given per-dimension
+        requirements?
+
+        Semantics per dimension:
+
+        - ``problem``: the algorithm's problem must refine the requested one
+          (asking for "broadcast" accepts an "aggregation" algorithm).
+        - ``topology``: the *requested* (actual network) topology must
+          refine the algorithm's required topology (a ring network can run
+          an arbitrary-topology algorithm, not vice versa).
+        - ``failures``: the algorithm's tolerance must refine (cover) the
+          requested failure class... i.e. requested refines algorithm's:
+          an algorithm tolerating crash serves a "none" environment.
+        - ``timing``: the provided network timing must refine what the
+          algorithm needs (a synchronous network can run an asynchronous
+          algorithm).
+        - others: exact-or-refines on the algorithm side.
+        """
+        mine = self.as_dict()
+        for dim, wanted in requirements.items():
+            dim = dim.replace("_", " ")
+            if dim in ("topology", "timing", "failures"):
+                # The environment offers `wanted`; the algorithm demands
+                # `mine[dim]`; the offer must be at least as strong.
+                if not refines(dim, wanted, mine[dim]):
+                    return False
+            else:
+                if not refines(dim, mine[dim], wanted):
+                    return False
+        return True
+
+
+@dataclass
+class TaxonomyEntry:
+    name: str
+    classification: Classification
+    guarantees: dict[str, BigO] = field(default_factory=dict)
+    implementation: Optional[Callable[..., Any]] = None
+    doc: str = ""
+
+
+class DistributedTaxonomy:
+    """Registry + query interface over classified algorithms."""
+
+    def __init__(self) -> None:
+        self.entries: dict[str, TaxonomyEntry] = {}
+
+    def register(self, entry: TaxonomyEntry) -> TaxonomyEntry:
+        self.entries[entry.name] = entry
+        return entry
+
+    def query(self, **requirements: str) -> list[TaxonomyEntry]:
+        return [
+            e for e in self.entries.values()
+            if e.classification.matches(**requirements)
+        ]
+
+    def select(self, resource: str = "messages",
+               **requirements: str) -> Optional[TaxonomyEntry]:
+        """The asymptotically best applicable algorithm for a resource —
+        'helps a system designer to pick the correct algorithm for a
+        particular application'."""
+        best: Optional[TaxonomyEntry] = None
+        for e in self.query(**requirements):
+            bound = e.guarantees.get(resource)
+            if bound is None:
+                continue
+            if best is None or bound < best.guarantees[resource]:
+                best = e
+        return best
+
+    def gaps(self, problem: str) -> list[dict[str, str]]:
+        """Dimension combinations for ``problem`` with no registered
+        algorithm — 'helps in the design of new ones (based on situations
+        where no known algorithms for a particular concept refinement
+        exist)'.  Scans failure x timing combinations."""
+        out = []
+        for failure in DIMENSIONS["failures"]:
+            for timing in DIMENSIONS["timing"]:
+                if not self.query(problem=problem, failures=failure,
+                                  timing=timing):
+                    out.append({"problem": problem, "failures": failure,
+                                "timing": timing})
+        return out
+
+    def document(self) -> str:
+        lines = ["Distributed Algorithm Concept Taxonomy",
+                 "=" * 40, ""]
+        for e in sorted(self.entries.values(), key=lambda e: e.name):
+            lines.append(e.name)
+            for dim, val in e.classification.as_dict().items():
+                lines.append(f"  {dim}: {val}")
+            for res, bound in sorted(e.guarantees.items()):
+                lines.append(f"  guarantees {res}: {bound}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def standard_taxonomy() -> DistributedTaxonomy:
+    """The taxonomy pre-populated with this package's algorithms."""
+    from .algorithms import (
+        run_bully,
+        run_dynamic_spanning_tree,
+        run_floodset,
+        run_itai_rodeh,
+        run_chang_roberts,
+        run_echo,
+        run_flooding,
+        run_hirschberg_sinclair,
+        run_spanning_tree,
+        run_token_ring,
+    )
+
+    t = DistributedTaxonomy()
+    t.register(TaxonomyEntry(
+        "chang-roberts",
+        Classification("leader election", "unidirectional ring", "none",
+                       "message passing", "distributed control",
+                       "asynchronous", "static"),
+        guarantees={"messages": parse("n^2"), "time": parse("n"),
+                    "local computation": parse("n^2")},
+        implementation=run_chang_roberts,
+        doc="Id chasing; O(n log n) average, Theta(n^2) worst-case messages.",
+    ))
+    t.register(TaxonomyEntry(
+        "hirschberg-sinclair",
+        Classification("leader election", "bidirectional ring", "none",
+                       "message passing", "distributed control",
+                       "asynchronous", "static"),
+        guarantees={"messages": parse("n log n"), "time": parse("n"),
+                    "local computation": parse("n log n")},
+        implementation=run_hirschberg_sinclair,
+        doc="Doubling probes; O(n log n) worst-case messages.",
+    ))
+    t.register(TaxonomyEntry(
+        "bully",
+        Classification("leader election", "complete", "crash",
+                       "message passing", "centralized control",
+                       "partially synchronous", "static"),
+        guarantees={"messages": parse("n^2"), "time": parse("1"),
+                    "local computation": parse("n^2")},
+        implementation=run_bully,
+        doc="Highest live id takes over; tolerates crash failures.",
+    ))
+    t.register(TaxonomyEntry(
+        "flooding",
+        Classification("broadcast", "arbitrary", "none",
+                       "message passing", "distributed control",
+                       "asynchronous", "static"),
+        guarantees={"messages": parse("m"), "time": parse("n"),
+                    "local computation": parse("m")},
+        implementation=run_flooding,
+        doc="O(E) broadcast on any connected topology.",
+    ))
+    t.register(TaxonomyEntry(
+        "echo",
+        Classification("aggregation", "arbitrary", "none",
+                       "message passing", "probe echo",
+                       "asynchronous", "static"),
+        guarantees={"messages": parse("m"), "time": parse("n"),
+                    "local computation": parse("m")},
+        implementation=run_echo,
+        doc="Exactly 2E messages; builds a spanning tree and aggregates.",
+    ))
+    t.register(TaxonomyEntry(
+        "spanning-tree",
+        Classification("spanning tree", "arbitrary", "none",
+                       "message passing", "probe echo",
+                       "asynchronous", "static"),
+        guarantees={"messages": parse("m"), "time": parse("n"),
+                    "local computation": parse("m")},
+        implementation=run_spanning_tree,
+    ))
+    t.register(TaxonomyEntry(
+        "itai-rodeh",
+        Classification("leader election", "unidirectional ring", "none",
+                       "message passing", "randomized",
+                       "asynchronous", "static"),
+        guarantees={"messages": parse("n log n"), "time": parse("n"),
+                    "local computation": parse("n log n")},
+        implementation=run_itai_rodeh,
+        doc="Randomized election on an ANONYMOUS ring (no ids) — fills the "
+            "'randomized' strategy refinement; Las Vegas, O(n log n) "
+            "expected messages.",
+    ))
+    t.register(TaxonomyEntry(
+        "floodset",
+        Classification("consensus", "complete", "crash",
+                       "message passing", "distributed control",
+                       "synchronous", "static"),
+        guarantees={"messages": parse("f n^2"), "time": parse("f"),
+                    "local computation": parse("f n^2")},
+        implementation=run_floodset,
+        doc="f+1 rounds of value flooding; the classic synchronous "
+            "crash-tolerant consensus (added to close the taxonomy gap).",
+    ))
+    t.register(TaxonomyEntry(
+        "dynamic-spanning-tree",
+        Classification("spanning tree", "arbitrary", "none",
+                       "message passing", "probe echo",
+                       "asynchronous", "dynamic"),
+        guarantees={"messages": parse("m"), "time": parse("n"),
+                    "local computation": parse("m")},
+        implementation=run_dynamic_spanning_tree,
+        doc="Spanning tree that admits dynamically joining nodes — the "
+            "'dynamic' value of the process-management dimension.",
+    ))
+    t.register(TaxonomyEntry(
+        "token-ring",
+        Classification("mutual exclusion", "unidirectional ring", "none",
+                       "message passing", "heart beat",
+                       "asynchronous", "static"),
+        guarantees={"messages": parse("n"), "time": parse("n"),
+                    "local computation": parse("n")},
+        implementation=run_token_ring,
+        doc="One message per critical-section entry.",
+    ))
+    return t

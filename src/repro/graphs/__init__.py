@@ -1,0 +1,105 @@
+"""BGL-like graph substrate: the concepts of Figs. 1-2, three structurally
+different graph models, property maps, visitors, and concept-checked generic
+algorithms."""
+
+from __future__ import annotations
+
+from ..concepts import models as _models
+from .adjacency_list import AdjacencyList, Edge, EdgeView
+from .algorithms import (
+    CycleError,
+    bellman_ford_shortest_paths,
+    NegativeWeightError,
+    breadth_first_distances,
+    breadth_first_search,
+    connected_components,
+    depth_first_search,
+    dijkstra_shortest_paths,
+    reconstruct_path,
+    strongly_connected_components,
+    topological_sort,
+)
+from .edge_list import EdgeListGraphImpl
+from .grid import GridGraph
+from .interfaces import (
+    AdjacencyGraph,
+    BidirectionalGraph,
+    EdgeListGraph,
+    GraphEdge,
+    IncidenceGraph,
+    MutableGraph,
+    ReadablePropertyMap,
+    ReadWritePropertyMap,
+    VertexAndEdgeListGraph,
+    VertexListGraph,
+    WritablePropertyMap,
+    adjacent_vertices,
+    edges,
+    first_neighbor,
+    in_degree,
+    in_edges,
+    num_edges,
+    num_vertices,
+    out_degree,
+    out_edges,
+    source,
+    target,
+    vertices,
+)
+from .property_maps import (
+    ConstantPropertyMap,
+    DictPropertyMap,
+    FunctionPropertyMap,
+    VectorPropertyMap,
+)
+from .visitors import (
+    BFSVisitorConcept,
+    DFSVisitorConcept,
+    DijkstraVisitorConcept,
+    NullVisitor,
+    RecordingVisitor,
+)
+
+__all__ = [
+    "AdjacencyList", "Edge", "EdgeView", "EdgeListGraphImpl", "GridGraph",
+    "GraphEdge", "IncidenceGraph", "BidirectionalGraph", "AdjacencyGraph",
+    "VertexListGraph", "EdgeListGraph", "VertexAndEdgeListGraph",
+    "MutableGraph",
+    "ReadablePropertyMap", "WritablePropertyMap", "ReadWritePropertyMap",
+    "DictPropertyMap", "FunctionPropertyMap", "ConstantPropertyMap",
+    "VectorPropertyMap",
+    "BFSVisitorConcept", "DFSVisitorConcept", "DijkstraVisitorConcept",
+    "NullVisitor", "RecordingVisitor",
+    "breadth_first_search", "breadth_first_distances", "depth_first_search",
+    "dijkstra_shortest_paths", "bellman_ford_shortest_paths",
+    "topological_sort", "connected_components",
+    "strongly_connected_components", "reconstruct_path",
+    "CycleError", "NegativeWeightError",
+    "source", "target", "out_edges", "out_degree", "in_edges", "in_degree",
+    "vertices", "num_vertices", "edges", "num_edges", "adjacent_vertices",
+    "first_neighbor",
+]
+
+
+def _declare_all() -> None:
+    _models.declare(GraphEdge, Edge)
+    _models.declare(IncidenceGraph, AdjacencyList)
+    _models.declare(BidirectionalGraph, AdjacencyList)
+    _models.declare(AdjacencyGraph, AdjacencyList)
+    _models.declare(VertexListGraph, AdjacencyList)
+    _models.declare(EdgeListGraph, AdjacencyList)
+    _models.declare(MutableGraph, AdjacencyList)
+    _models.declare(IncidenceGraph, GridGraph)
+    _models.declare(AdjacencyGraph, GridGraph)
+    _models.declare(VertexListGraph, GridGraph)
+    _models.declare(EdgeListGraph, EdgeListGraphImpl)
+    _models.declare(VertexListGraph, EdgeListGraphImpl)
+    _models.declare(ReadWritePropertyMap, DictPropertyMap)
+    _models.declare(ReadWritePropertyMap, VectorPropertyMap)
+    _models.declare(ReadablePropertyMap, FunctionPropertyMap)
+    _models.declare(ReadablePropertyMap, ConstantPropertyMap)
+    for vc in (BFSVisitorConcept, DFSVisitorConcept, DijkstraVisitorConcept):
+        _models.declare(vc, NullVisitor)
+
+
+_declare_all()

@@ -1,0 +1,171 @@
+"""Adjacency-list graph: the BGL workhorse representation.
+
+Models (verified and declared in :mod:`repro.graphs`):
+Incidence Graph, Bidirectional Graph (directed only), Adjacency Graph,
+Vertex List Graph, Edge List Graph, Mutable Graph.  Its ``Edge`` models
+Graph Edge (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..sequences.views import ListView, view_of
+
+
+class Edge:
+    """An edge descriptor.  Models Fig. 1's Graph Edge concept:
+    ``vertex_type`` is the associated vertex type, ``source()``/``target()``
+    return endpoints."""
+
+    vertex_type: type = int
+    __slots__ = ("_source", "_target", "index")
+
+    def __init__(self, source: int, target: int, index: int = 0) -> None:
+        self._source = source
+        self._target = target
+        self.index = index
+
+    def source(self) -> int:
+        return self._source
+
+    def target(self) -> int:
+        return self._target
+
+    def reversed(self) -> "Edge":
+        return Edge(self._target, self._source, self.index)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return (self._source, self._target, self.index) == (
+            other._source, other._target, other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._source, self._target, self.index))
+
+    def __repr__(self) -> str:
+        return f"Edge({self._source} -> {self._target})"
+
+
+#: The out-edge range type: a read-only view of Edge values whose iterator's
+#: ``value_type`` is ``Edge`` — satisfying Fig. 2's same-type constraint.
+EdgeView = view_of(Edge)
+
+
+class AdjacencyList:
+    """Adjacency-list graph over integer vertex descriptors.
+
+    Args:
+        num_vertices: Initial vertex count (vertices are ``0..n-1``).
+        edges: Iterable of ``(u, v)`` pairs.
+        directed: Undirected graphs store each edge in both adjacency rows
+            (sharing the edge index).
+    """
+
+    vertex_type: type = int
+    edge_type: type = Edge
+    out_edge_iterator: type = EdgeView.iterator
+
+    def __init__(
+        self,
+        num_vertices: int = 0,
+        edges: Iterable[tuple[int, int]] = (),
+        directed: bool = True,
+    ) -> None:
+        self.directed = directed
+        self._out: list[list[Edge]] = [[] for _ in range(num_vertices)]
+        self._in: list[list[Edge]] = [[] for _ in range(num_vertices)]
+        self._edges: list[Edge] = []
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- Mutable Graph -----------------------------------------------------------
+
+    def add_vertex(self) -> int:
+        self._out.append([])
+        self._in.append([])
+        return len(self._out) - 1
+
+    def add_edge(self, u: int, v: int) -> Edge:
+        hi = max(u, v)
+        while hi >= len(self._out):
+            self.add_vertex()
+        e = Edge(u, v, len(self._edges))
+        self._edges.append(e)
+        self._out[u].append(e)
+        self._in[v].append(e)
+        if not self.directed and u != v:
+            back = Edge(v, u, e.index)
+            self._out[v].append(back)
+            self._in[u].append(back)
+        return e
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove one ``u -> v`` edge; returns False when absent."""
+        for e in self._out[u]:
+            if e.target() == v:
+                self._out[u].remove(e)
+                self._in[v] = [x for x in self._in[v] if x.index != e.index]
+                self._edges = [x for x in self._edges if x.index != e.index]
+                if not self.directed and u != v:
+                    self._out[v] = [x for x in self._out[v] if x.index != e.index]
+                    self._in[u] = [x for x in self._in[u] if x.index != e.index]
+                return True
+        return False
+
+    # -- Incidence Graph --------------------------------------------------------
+
+    def out_edges(self, v: int) -> ListView:
+        """Fig. 2: ``out_edges(v, g)`` — a range of Graph Edge values."""
+        return EdgeView(self._out[v])
+
+    def out_degree(self, v: int) -> int:
+        return len(self._out[v])
+
+    # -- Bidirectional Graph ------------------------------------------------------
+
+    def in_edges(self, v: int) -> ListView:
+        return EdgeView(self._in[v])
+
+    def in_degree(self, v: int) -> int:
+        return len(self._in[v])
+
+    # -- Adjacency Graph ------------------------------------------------------------
+
+    def adjacent_vertices(self, v: int) -> list[int]:
+        return [e.target() for e in self._out[v]]
+
+    # -- Vertex/Edge List Graph --------------------------------------------------------
+
+    def vertices(self) -> range:
+        return range(len(self._out))
+
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    def edges(self) -> list[Edge]:
+        return list(self._edges)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    # -- misc ------------------------------------------------------------------------------
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return any(e.target() == v for e in self._out[u])
+
+    def reverse(self) -> "AdjacencyList":
+        """The transpose graph (directed only)."""
+        g = AdjacencyList(self.num_vertices(), directed=True)
+        for e in self._edges:
+            g.add_edge(e.target(), e.source())
+        return g
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"AdjacencyList({self.num_vertices()} vertices, "
+            f"{self.num_edges()} edges, {kind})"
+        )

@@ -1,0 +1,380 @@
+"""Generic graph algorithms over the Fig. 1/Fig. 2 concepts.
+
+Each algorithm names its concept requirements in its docstring and asserts
+them on entry with :func:`repro.concepts.require` — the checkable `where`
+clause Section 2.1 asks for, reporting failures at the call boundary instead
+of deep inside the traversal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..concepts import require
+from .interfaces import (
+    AdjacencyGraph,
+    IncidenceGraph,
+    VertexListGraph,
+    source,
+    target,
+)
+from .property_maps import ConstantPropertyMap, DictPropertyMap
+from .visitors import NullVisitor
+
+_null = NullVisitor()
+
+
+class NegativeWeightError(ValueError):
+    """Dijkstra's precondition — nonnegative weights — was violated.  (A
+    semantic requirement of the ``dijkstra`` algorithm concept, enforced at
+    runtime because it cannot be checked structurally.)"""
+
+
+def breadth_first_search(
+    g: Any,
+    start: Any,
+    visitor: Any = _null,
+) -> DictPropertyMap:
+    """BFS from ``start``.
+
+    where Graph : Incidence Graph; Visitor : BFS Visitor.
+    Returns the predecessor map of the BFS tree.
+    O(V + E) with O(1) amortized queue operations.
+    """
+    require(IncidenceGraph, type(g), context="breadth_first_search")
+    pred = DictPropertyMap()
+    seen = {start}
+    q: deque = deque([start])
+    visitor.discover_vertex(start, g)
+    while q:
+        u = q.popleft()
+        rng = g.out_edges(u)
+        it = rng.begin()
+        while not it.equals(rng.end()):
+            e = it.deref()
+            visitor.examine_edge(e, g)
+            v = target(e)
+            if v not in seen:
+                seen.add(v)
+                pred.put(v, u)
+                visitor.tree_edge(e, g)
+                visitor.discover_vertex(v, g)
+                q.append(v)
+            it.increment()
+        visitor.finish_vertex(u, g)
+    return pred
+
+
+def breadth_first_distances(g: Any, start: Any) -> DictPropertyMap:
+    """Unweighted shortest path lengths from ``start`` (BFS levels).
+
+    where Graph : Incidence Graph.
+    """
+    require(IncidenceGraph, type(g), context="breadth_first_distances")
+    dist = DictPropertyMap()
+    dist.put(start, 0)
+    q: deque = deque([start])
+    while q:
+        u = q.popleft()
+        du = dist.get(u)
+        rng = g.out_edges(u)
+        it = rng.begin()
+        while not it.equals(rng.end()):
+            v = target(it.deref())
+            if dist.get(v) is None:
+                dist.put(v, du + 1)
+                q.append(v)
+            it.increment()
+    return dist
+
+
+def depth_first_search(
+    g: Any,
+    start: Optional[Any] = None,
+    visitor: Any = _null,
+) -> DictPropertyMap:
+    """Iterative DFS; covers the whole graph when ``start`` is None
+    (requires Vertex List Graph in that case).
+
+    where Graph : Incidence Graph [; Graph : Vertex List Graph].
+    Returns the predecessor map of the DFS forest.
+    """
+    require(IncidenceGraph, type(g), context="depth_first_search")
+    pred = DictPropertyMap()
+    color: dict[Any, str] = {}
+
+    def visit(root: Any) -> None:
+        # Explicit stack of (vertex, edge-iterator) frames.
+        rng0 = g.out_edges(root)
+        stack = [(root, rng0.begin(), rng0.end())]
+        color[root] = "grey"
+        visitor.discover_vertex(root, g)
+        while stack:
+            u, it, end = stack[-1]
+            advanced = False
+            while not it.equals(end):
+                e = it.deref()
+                it.increment()
+                v = target(e)
+                state = color.get(v, "white")
+                if state == "white":
+                    visitor.tree_edge(e, g)
+                    pred.put(v, u)
+                    color[v] = "grey"
+                    visitor.discover_vertex(v, g)
+                    rng = g.out_edges(v)
+                    stack.append((v, rng.begin(), rng.end()))
+                    advanced = True
+                    break
+                elif state == "grey":
+                    visitor.back_edge(e, g)
+            if not advanced and stack and stack[-1][0] == u and (
+                stack[-1][1].equals(stack[-1][2])
+            ):
+                stack.pop()
+                color[u] = "black"
+                visitor.finish_vertex(u, g)
+
+    if start is not None:
+        visit(start)
+    else:
+        require(VertexListGraph, type(g), context="depth_first_search (full)")
+        for v in g.vertices():
+            if color.get(v, "white") == "white":
+                visit(v)
+    return pred
+
+
+def dijkstra_shortest_paths(
+    g: Any,
+    start: Any,
+    weight: Any = None,
+    visitor: Any = _null,
+) -> tuple[DictPropertyMap, DictPropertyMap]:
+    """Dijkstra's algorithm.
+
+    where Graph : Incidence Graph; Weight : Readable Property Map over
+    edges (defaults to unit weights).  Precondition: weights >= 0.
+    Returns (distance map, predecessor map).  O((V + E) log V).
+    """
+    require(IncidenceGraph, type(g), context="dijkstra_shortest_paths")
+    if weight is None:
+        weight = ConstantPropertyMap(1)
+    dist = DictPropertyMap()
+    pred = DictPropertyMap()
+    dist.put(start, 0)
+    heap: list[tuple[Any, int, Any]] = [(0, 0, start)]
+    counter = 1
+    done: set = set()
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        visitor.discover_vertex(u, g)
+        rng = g.out_edges(u)
+        it = rng.begin()
+        while not it.equals(rng.end()):
+            e = it.deref()
+            w = weight.get(e)
+            if w < 0:
+                raise NegativeWeightError(
+                    f"edge {source(e)}->{target(e)} has negative weight {w}"
+                )
+            v = target(e)
+            nd = d + w
+            old = dist.get(v)
+            if old is None or nd < old:
+                dist.put(v, nd)
+                pred.put(v, u)
+                visitor.edge_relaxed(e, g)
+                heapq.heappush(heap, (nd, counter, v))
+                counter += 1
+            it.increment()
+        visitor.finish_vertex(u, g)
+    return dist, pred
+
+
+class CycleError(ValueError):
+    """topological_sort's precondition (acyclicity) was violated."""
+
+
+def topological_sort(g: Any) -> list[Any]:
+    """Kahn's algorithm.
+
+    where Graph : Incidence Graph, Vertex List Graph.
+    Precondition: g is a DAG (raises CycleError otherwise).
+    """
+    require(IncidenceGraph, type(g), context="topological_sort")
+    require(VertexListGraph, type(g), context="topological_sort")
+    indeg: dict[Any, int] = {v: 0 for v in g.vertices()}
+    for u in g.vertices():
+        rng = g.out_edges(u)
+        it = rng.begin()
+        while not it.equals(rng.end()):
+            indeg[target(it.deref())] += 1
+            it.increment()
+    ready = deque(v for v, d in indeg.items() if d == 0)
+    order: list[Any] = []
+    while ready:
+        u = ready.popleft()
+        order.append(u)
+        rng = g.out_edges(u)
+        it = rng.begin()
+        while not it.equals(rng.end()):
+            v = target(it.deref())
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                ready.append(v)
+            it.increment()
+    if len(order) != g.num_vertices():
+        raise CycleError("graph contains a cycle; topological order undefined")
+    return order
+
+
+def connected_components(g: Any) -> DictPropertyMap:
+    """Component labels for an *undirected* graph (or the weak components
+    of a directed one if its adjacency is symmetric).
+
+    where Graph : Adjacency Graph, Vertex List Graph.
+    """
+    require(AdjacencyGraph, type(g), context="connected_components")
+    require(VertexListGraph, type(g), context="connected_components")
+    comp = DictPropertyMap()
+    label = 0
+    for root in g.vertices():
+        if comp.get(root) is not None:
+            continue
+        stack = [root]
+        comp.put(root, label)
+        while stack:
+            u = stack.pop()
+            for v in g.adjacent_vertices(u):
+                if comp.get(v) is None:
+                    comp.put(v, label)
+                    stack.append(v)
+        label += 1
+    return comp
+
+
+def strongly_connected_components(g: Any) -> DictPropertyMap:
+    """Tarjan's SCC algorithm (iterative).
+
+    where Graph : Incidence Graph, Vertex List Graph.
+    """
+    require(IncidenceGraph, type(g), context="strongly_connected_components")
+    require(VertexListGraph, type(g), context="strongly_connected_components")
+    index: dict[Any, int] = {}
+    low: dict[Any, int] = {}
+    on_stack: set = set()
+    stack: list[Any] = []
+    comp = DictPropertyMap()
+    counter = 0
+    label = 0
+
+    for root in g.vertices():
+        if root in index:
+            continue
+        work = [(root, iter(g.adjacent_vertices(root)))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            u, nbrs = work[-1]
+            progressed = False
+            for v in nbrs:
+                if v not in index:
+                    index[v] = low[v] = counter
+                    counter += 1
+                    stack.append(v)
+                    on_stack.add(v)
+                    work.append((v, iter(g.adjacent_vertices(v))))
+                    progressed = True
+                    break
+                elif v in on_stack:
+                    low[u] = min(low[u], index[v])
+            if not progressed:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[u])
+                if low[u] == index[u]:
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.put(w, label)
+                        if w == u:
+                            break
+                    label += 1
+    return comp
+
+
+def reconstruct_path(pred: DictPropertyMap, start: Any, goal: Any) -> Optional[list]:
+    """Walk a predecessor map back from ``goal``; None when unreachable."""
+    if goal == start:
+        return [start]
+    if pred.get(goal) is None:
+        return None
+    path = [goal]
+    u = goal
+    while u != start:
+        u = pred.get(u)
+        if u is None:
+            return None
+        path.append(u)
+    path.reverse()
+    return path
+
+
+def bellman_ford_shortest_paths(
+    g: Any,
+    start: Any,
+    weight: Any = None,
+) -> tuple[DictPropertyMap, DictPropertyMap]:
+    """Bellman-Ford: shortest paths allowing negative edge weights.
+
+    where Graph : Edge List Graph, Vertex List Graph.  Precondition: no
+    negative cycle reachable from ``start`` (raises NegativeWeightError
+    naming a witness edge otherwise).  O(V·E) — the taxonomy's price for
+    weakening Dijkstra's nonnegativity precondition.
+    """
+    from .interfaces import EdgeListGraph as _ELG, VertexListGraph as _VLG
+
+    require(_ELG, type(g), context="bellman_ford_shortest_paths")
+    require(_VLG, type(g), context="bellman_ford_shortest_paths")
+    if weight is None:
+        weight = ConstantPropertyMap(1)
+    dist = DictPropertyMap()
+    pred = DictPropertyMap()
+    dist.put(start, 0)
+    edges = g.edges()
+    for _ in range(max(g.num_vertices() - 1, 0)):
+        changed = False
+        for e in edges:
+            du = dist.get(source(e))
+            if du is None:
+                continue
+            w = weight.get(e)
+            v = target(e)
+            nd = du + w
+            old = dist.get(v)
+            if old is None or nd < old:
+                dist.put(v, nd)
+                pred.put(v, source(e))
+                changed = True
+        if not changed:
+            break
+    # Negative-cycle detection: one more relaxation must be a fixpoint.
+    for e in edges:
+        du = dist.get(source(e))
+        if du is None:
+            continue
+        if du + weight.get(e) < dist.get(target(e)):
+            raise NegativeWeightError(
+                f"negative cycle reachable through edge "
+                f"{source(e)}->{target(e)}"
+            )
+    return dist, pred

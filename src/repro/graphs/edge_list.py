@@ -1,0 +1,58 @@
+"""Edge-list graph: stores only the edge set.
+
+Models Edge List Graph and Vertex List Graph but **not** Incidence Graph —
+``out_edges`` would be O(E), violating the concept's intent — making it the
+standing example of a type that conforms to one graph concept and not
+another (useful for exercising concept-based algorithm selection and for
+negative conformance tests of Fig. 2)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .adjacency_list import Edge
+
+
+class EdgeListGraphImpl:
+    """Minimal edge-set graph over integer vertices."""
+
+    vertex_type: type = int
+    edge_type: type = Edge
+
+    def __init__(
+        self, num_vertices: int = 0, edges: Iterable[tuple[int, int]] = ()
+    ) -> None:
+        self._n = num_vertices
+        self._edges: list[Edge] = []
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_edge(self, u: int, v: int) -> Edge:
+        self._n = max(self._n, u + 1, v + 1)
+        e = Edge(u, v, len(self._edges))
+        self._edges.append(e)
+        return e
+
+    def edges(self) -> list[Edge]:
+        return list(self._edges)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def vertices(self) -> range:
+        return range(self._n)
+
+    def num_vertices(self) -> int:
+        return self._n
+
+    def to_adjacency_list(self, directed: bool = True):
+        """Upgrade to an Incidence Graph model when an algorithm needs one."""
+        from .adjacency_list import AdjacencyList
+
+        g = AdjacencyList(self._n, directed=directed)
+        for e in self._edges:
+            g.add_edge(e.source(), e.target())
+        return g
+
+    def __repr__(self) -> str:
+        return f"EdgeListGraphImpl({self._n} vertices, {len(self._edges)} edges)"

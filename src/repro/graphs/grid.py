@@ -1,0 +1,65 @@
+"""Implicit grid graph: out-edges are *computed*, never stored.
+
+A second, structurally different model of Fig. 2's Incidence Graph — the
+point of concept-generic algorithms is that BFS/DFS/Dijkstra written against
+the concept run unchanged on it.  Also the topology generator for the
+distributed-simulator benches (mesh networks)."""
+
+from __future__ import annotations
+
+from .adjacency_list import Edge, EdgeView
+
+
+class GridGraph:
+    """A ``rows x cols`` 4-neighbour grid.  Vertices are ``r * cols + c``;
+    edges exist in both directions between orthogonal neighbours."""
+
+    vertex_type: type = int
+    edge_type: type = Edge
+    out_edge_iterator: type = EdgeView.iterator
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    def _coords(self, v: int) -> tuple[int, int]:
+        return divmod(v, self.cols)
+
+    def vertex_at(self, r: int, c: int) -> int:
+        return r * self.cols + c
+
+    # -- Incidence Graph ------------------------------------------------------
+
+    def out_edges(self, v: int) -> EdgeView:
+        r, c = self._coords(v)
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nr, nc = r + dr, c + dc
+            if 0 <= nr < self.rows and 0 <= nc < self.cols:
+                out.append(Edge(v, self.vertex_at(nr, nc)))
+        return EdgeView(out)
+
+    def out_degree(self, v: int) -> int:
+        r, c = self._coords(v)
+        return sum(
+            1
+            for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1))
+            if 0 <= r + dr < self.rows and 0 <= c + dc < self.cols
+        )
+
+    # -- Adjacency / Vertex List Graph -------------------------------------------
+
+    def adjacent_vertices(self, v: int) -> list[int]:
+        rng = self.out_edges(v)
+        return [e.target() for e in rng]
+
+    def vertices(self) -> range:
+        return range(self.rows * self.cols)
+
+    def num_vertices(self) -> int:
+        return self.rows * self.cols
+
+    def __repr__(self) -> str:
+        return f"GridGraph({self.rows}x{self.cols})"

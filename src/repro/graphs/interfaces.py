@@ -1,0 +1,245 @@
+"""The graph concepts of Figs. 1 and 2, plus the rest of the BGL concept
+family.
+
+Fig. 1 — Graph Edge::
+
+    Expression           Return Type or Description
+    Edge::vertex_type    Associated vertex type
+    source(e)            Edge::vertex_type
+    target(e)            Edge::vertex_type
+
+Fig. 2 — Incidence Graph::
+
+    Graph::vertex_type                Associated vertex type
+    Graph::edge_type                  Associated edge type
+    Graph::out_edge_iterator          Associated iterator type
+    out_edge_iterator::value_type == edge_type
+    edge_type models Graph Edge
+    out_edge_iterator models Iterator
+    out_edges(v, g)                   out_edge_iterator
+    out_degree(v, g)                  int
+
+(The paper's table types ``out_degree`` as ``out_edge_iterator``; the BGL it
+describes returns a degree count, so we follow BGL and type it ``int``.)
+"""
+
+from __future__ import annotations
+
+from ..concepts import (
+    AnyType,
+    Assoc,
+    AssociatedType,
+    ComplexityGuarantee,
+    ConceptRequirement,
+    Concept,
+    Exact,
+    Param,
+    SameType,
+    function,
+    method,
+)
+from ..concepts.builtins import ForwardIterator, TrivialIterator
+from ..concepts.complexity import constant, linear
+
+Edge = Param("Edge")
+Graph = Param("Graph")
+
+#: Fig. 1.
+GraphEdge = Concept(
+    "Graph Edge",
+    params=("Edge",),
+    requirements=[
+        AssociatedType("vertex_type", Edge, "Associated vertex type"),
+        function("source(e)", "source", [Edge], Assoc(Edge, "vertex_type")),
+        function("target(e)", "target", [Edge], Assoc(Edge, "vertex_type")),
+    ],
+    doc="Type Edge is a model of Graph Edge if the above requirements are "
+        "satisfied. Object e is of type Edge. (Fig. 1)",
+)
+
+#: Fig. 2.
+IncidenceGraph = Concept(
+    "Incidence Graph",
+    params=("Graph",),
+    requirements=[
+        AssociatedType("vertex_type", Graph, "Associated vertex type"),
+        AssociatedType("edge_type", Graph, "Associated edge type"),
+        AssociatedType("out_edge_iterator", Graph, "Associated iterator type"),
+        SameType(
+            Assoc(Assoc(Graph, "out_edge_iterator"), "value_type"),
+            Assoc(Graph, "edge_type"),
+        ),
+        ConceptRequirement(GraphEdge, (Assoc(Graph, "edge_type"),)),
+        ConceptRequirement(TrivialIterator, (Assoc(Graph, "out_edge_iterator"),)),
+        function("out_edges(v, g)", "out_edges", [Graph, Assoc(Graph, "vertex_type")]),
+        function("out_degree(v, g)", "out_degree",
+                 [Graph, Assoc(Graph, "vertex_type")], Exact(int)),
+    ],
+    doc="Type Graph is a model of Incidence Graph if the above requirements "
+        "are satisfied. Object g is of type Graph and object v is of type "
+        "Graph::vertex_type. (Fig. 2)",
+)
+
+BidirectionalGraph = Concept(
+    "Bidirectional Graph",
+    params=("Graph",),
+    refines=[IncidenceGraph],
+    requirements=[
+        function("in_edges(v, g)", "in_edges", [Graph, Assoc(Graph, "vertex_type")]),
+        function("in_degree(v, g)", "in_degree",
+                 [Graph, Assoc(Graph, "vertex_type")], Exact(int)),
+    ],
+    doc="Incidence graph with efficient access to incoming edges.",
+)
+
+AdjacencyGraph = Concept(
+    "Adjacency Graph",
+    params=("Graph",),
+    requirements=[
+        AssociatedType("vertex_type", Graph, "Associated vertex type"),
+        function("adjacent_vertices(v, g)", "adjacent_vertices",
+                 [Graph, Assoc(Graph, "vertex_type")]),
+    ],
+    doc="Direct access to a vertex's neighbours.",
+)
+
+VertexListGraph = Concept(
+    "Vertex List Graph",
+    params=("Graph",),
+    requirements=[
+        AssociatedType("vertex_type", Graph, "Associated vertex type"),
+        function("vertices(g)", "vertices", [Graph]),
+        function("num_vertices(g)", "num_vertices", [Graph], Exact(int)),
+        ComplexityGuarantee("num_vertices", constant()),
+    ],
+    doc="Traversal of the whole vertex set.",
+)
+
+EdgeListGraph = Concept(
+    "Edge List Graph",
+    params=("Graph",),
+    requirements=[
+        AssociatedType("vertex_type", Graph, "Associated vertex type"),
+        AssociatedType("edge_type", Graph, "Associated edge type"),
+        ConceptRequirement(GraphEdge, (Assoc(Graph, "edge_type"),)),
+        function("edges(g)", "edges", [Graph]),
+        function("num_edges(g)", "num_edges", [Graph], Exact(int)),
+    ],
+    doc="Traversal of the whole edge set.",
+)
+
+MutableGraph = Concept(
+    "Mutable Graph",
+    params=("Graph",),
+    requirements=[
+        AssociatedType("vertex_type", Graph, "Associated vertex type"),
+        method("g.add_vertex()", "add_vertex", [Graph], Assoc(Graph, "vertex_type")),
+        method("g.add_edge(u, v)", "add_edge",
+               [Graph, Assoc(Graph, "vertex_type"), Assoc(Graph, "vertex_type")]),
+    ],
+    doc="Graphs that can grow.",
+)
+
+VertexAndEdgeListGraph = Concept(
+    "Vertex And Edge List Graph",
+    params=("Graph",),
+    refines=[VertexListGraph, EdgeListGraph],
+    doc="Both vertex-set and edge-set traversal.",
+)
+
+PMap = Param("PMap")
+
+ReadablePropertyMap = Concept(
+    "Readable Property Map",
+    params=("PMap",),
+    requirements=[
+        method("pm.get(k)", "get", [PMap, AnyType()]),
+    ],
+    doc="Key -> value mapping readable via get.",
+)
+
+WritablePropertyMap = Concept(
+    "Writable Property Map",
+    params=("PMap",),
+    requirements=[
+        method("pm.put(k, v)", "put", [PMap, AnyType(), AnyType()]),
+    ],
+    doc="Key -> value mapping writable via put.",
+)
+
+ReadWritePropertyMap = Concept(
+    "Read Write Property Map",
+    params=("PMap",),
+    refines=[ReadablePropertyMap, WritablePropertyMap],
+    doc="Both readable and writable.",
+)
+
+# -- free-function helpers ----------------------------------------------------
+#
+# The concept tables above use ADL-style free functions.  Python callers use
+# these module-level wrappers, which defer to methods on the graph/edge (the
+# structural models all provide them as methods).
+
+
+def source(e):
+    """Fig. 1: ``source(e) -> Edge::vertex_type``."""
+    return e.source()
+
+
+def target(e):
+    """Fig. 1: ``target(e) -> Edge::vertex_type``."""
+    return e.target()
+
+
+def out_edges(g, v):
+    """Fig. 2: ``out_edges(v, g) -> out_edge_iterator`` (range)."""
+    return g.out_edges(v)
+
+
+def out_degree(g, v):
+    """Fig. 2: ``out_degree(v, g) -> int``."""
+    return g.out_degree(v)
+
+
+def in_edges(g, v):
+    return g.in_edges(v)
+
+
+def in_degree(g, v):
+    return g.in_degree(v)
+
+
+def vertices(g):
+    return g.vertices()
+
+
+def num_vertices(g):
+    return g.num_vertices()
+
+
+def edges(g):
+    return g.edges()
+
+
+def num_edges(g):
+    return g.num_edges()
+
+
+def adjacent_vertices(g, v):
+    return g.adjacent_vertices(v)
+
+
+def first_neighbor(g, v):
+    """The running example of Section 2.3: the first neighbour of ``v``.
+
+    Declared constraint: ``Graph : IncidenceGraph``.  Everything else —
+    that the edge type models Graph Edge, that the out-edge iterator is an
+    iterator over edges — is *propagated* from the IncidenceGraph concept;
+    the implementation may use ``target`` on the edges without restating
+    the Graph Edge constraint.
+    """
+    rng = g.out_edges(v)
+    it = rng.begin()
+    if it.equals(rng.end()):
+        return None
+    return target(it.deref())

@@ -1,0 +1,86 @@
+"""Property maps: the BGL's mechanism for attaching data (weights, colors,
+distances) to vertices and edges without intruding on the graph type."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+
+class DictPropertyMap:
+    """Read-write property map backed by a dict; ``default`` is returned
+    (and not stored) for absent keys."""
+
+    def __init__(self, default: Any = None, data: Optional[dict] = None) -> None:
+        self._data: dict = dict(data or {})
+        self._default = default
+
+    def get(self, key: Any) -> Any:
+        return self._data.get(key, self._default)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+
+    def __getitem__(self, key: Any) -> Any:
+        return self.get(key)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.put(key, value)
+
+    def items(self):
+        return self._data.items()
+
+    def __repr__(self) -> str:
+        return f"DictPropertyMap({self._data!r}, default={self._default!r})"
+
+
+class FunctionPropertyMap:
+    """Readable property map computed from a function (e.g. edge weight as a
+    function of its endpoints)."""
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self._fn = fn
+
+    def get(self, key: Any) -> Any:
+        return self._fn(key)
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._fn(key)
+
+
+class ConstantPropertyMap:
+    """Readable property map returning one value for every key (unit edge
+    weights for BFS-as-shortest-paths, etc.)."""
+
+    def __init__(self, value: Any) -> None:
+        self._value = value
+
+    def get(self, key: Any) -> Any:
+        return self._value
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._value
+
+
+class VectorPropertyMap:
+    """Read-write property map over integer keys backed by a list — O(1)
+    access for the common vertices-are-ints case."""
+
+    def __init__(self, size: int, default: Any = None) -> None:
+        self._data = [default] * size
+        self._default = default
+
+    def get(self, key: int) -> Any:
+        if 0 <= key < len(self._data):
+            return self._data[key]
+        return self._default
+
+    def put(self, key: int, value: Any) -> None:
+        while key >= len(self._data):
+            self._data.append(self._default)
+        self._data[key] = value
+
+    def __getitem__(self, key: int) -> Any:
+        return self.get(key)
+
+    def __setitem__(self, key: int, value: Any) -> None:
+        self.put(key, value)

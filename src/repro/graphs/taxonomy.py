@@ -1,0 +1,118 @@
+"""The graph-domain algorithm concept taxonomy (BGL algorithms).
+
+The second of the two sequential taxonomies named in Section 1.  Graph
+algorithms are classified by problem, constrained by the Fig. 2 family of
+graph concepts, and annotated with bounds over the two size variables
+``n`` (vertices) and ``m`` (edges) — precision the single-variable bounds
+of sequence algorithms don't need.
+"""
+
+from __future__ import annotations
+
+from ..concepts import AlgorithmConcept, Constraint, Param, Taxonomy
+from ..concepts.complexity import linear, parse
+from . import algorithms as A
+from .interfaces import (
+    AdjacencyGraph,
+    BidirectionalGraph,
+    EdgeListGraph,
+    GraphEdge,
+    IncidenceGraph,
+    VertexListGraph,
+)
+
+G = Param("G")
+
+
+def bgl_taxonomy() -> Taxonomy:
+    """Build the BGL-domain taxonomy (fresh instance; cheap)."""
+    t = Taxonomy("BGL graph algorithms")
+    t.add_concepts([
+        GraphEdge, IncidenceGraph, BidirectionalGraph, AdjacencyGraph,
+        VertexListGraph, EdgeListGraph,
+    ])
+
+    bfs = t.add_algorithm(AlgorithmConcept(
+        "breadth_first_search", problem="traversal",
+        requires=(Constraint(IncidenceGraph, (G,)),),
+        guarantees={"time": parse("n + m"), "space": linear("n")},
+        implementation=A.breadth_first_search,
+        doc="Level-order traversal; also unweighted shortest paths.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "depth_first_search", problem="traversal",
+        requires=(Constraint(IncidenceGraph, (G,)),),
+        guarantees={"time": parse("n + m"), "space": linear("n")},
+        implementation=A.depth_first_search,
+    ))
+
+    t.add_algorithm(AlgorithmConcept(
+        "bfs shortest paths", problem="shortest paths",
+        requires=(Constraint(IncidenceGraph, (G,)),),
+        guarantees={"time": parse("n + m")},
+        refines=(bfs,),
+        implementation=A.breadth_first_distances,
+        doc="Unit weights only — the constraint that distinguishes it from "
+            "Dijkstra at a better bound.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "dijkstra", problem="shortest paths",
+        requires=(Constraint(IncidenceGraph, (G,)),),
+        guarantees={"time": parse("n log n + m log n")},
+        implementation=A.dijkstra_shortest_paths,
+        doc="Nonnegative weights (a semantic precondition enforced at "
+            "runtime: NegativeWeightError).",
+    ))
+
+    t.add_algorithm(AlgorithmConcept(
+        "bellman-ford", problem="shortest paths",
+        requires=(Constraint(EdgeListGraph, (G,)),
+                  Constraint(VertexListGraph, (G,))),
+        guarantees={"time": parse("n m")},
+        implementation=A.bellman_ford_shortest_paths,
+        doc="Weaker precondition than Dijkstra (negative weights allowed, "
+            "no reachable negative cycle) at a worse bound — the precision "
+            "vs applicability trade the taxonomy records.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "topological_sort", problem="ordering",
+        requires=(Constraint(IncidenceGraph, (G,)),
+                  Constraint(VertexListGraph, (G,))),
+        guarantees={"time": parse("n + m")},
+        implementation=A.topological_sort,
+        doc="Precondition: acyclicity (CycleError otherwise).",
+    ))
+
+    t.add_algorithm(AlgorithmConcept(
+        "connected_components", problem="components",
+        requires=(Constraint(AdjacencyGraph, (G,)),
+                  Constraint(VertexListGraph, (G,))),
+        guarantees={"time": parse("n + m")},
+        implementation=A.connected_components,
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "strongly_connected_components", problem="components",
+        requires=(Constraint(IncidenceGraph, (G,)),
+                  Constraint(VertexListGraph, (G,))),
+        guarantees={"time": parse("n + m")},
+        implementation=A.strongly_connected_components,
+        doc="Tarjan; needs directed incidence, not just adjacency.",
+    ))
+
+    # Gap entries: problems the library doesn't implement yet.
+    t.add_algorithm(AlgorithmConcept(
+        "all-pairs shortest paths", problem="shortest paths",
+        requires=(Constraint(VertexListGraph, (G,)),
+                  Constraint(EdgeListGraph, (G,))),
+        guarantees={"time": parse("n^3")},
+        implementation=None,
+        doc="Floyd-Warshall-shaped gap.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "minimum spanning tree", problem="spanning tree",
+        requires=(Constraint(EdgeListGraph, (G,)),),
+        guarantees={"time": parse("m log n")},
+        implementation=None,
+        doc="Kruskal-shaped gap.",
+    ))
+    return t

@@ -1,0 +1,102 @@
+"""Visitor concepts for the graph algorithms.
+
+BGL's visitors are the extension mechanism that keeps BFS/DFS generic: user
+code observes algorithm events without the algorithm knowing the user's
+types.  The visitor *concepts* (checked in the tests) specify which event
+methods each algorithm requires; :class:`NullVisitor` is their archetypal
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..concepts import AnyType, Concept, Param, method
+
+V = Param("V")
+
+BFSVisitorConcept = Concept(
+    "BFS Visitor",
+    params=("V",),
+    requirements=[
+        method("vis.discover_vertex(u, g)", "discover_vertex", [V, AnyType(), AnyType()]),
+        method("vis.examine_edge(e, g)", "examine_edge", [V, AnyType(), AnyType()]),
+        method("vis.tree_edge(e, g)", "tree_edge", [V, AnyType(), AnyType()]),
+        method("vis.finish_vertex(u, g)", "finish_vertex", [V, AnyType(), AnyType()]),
+    ],
+    doc="Observer of breadth-first search events.",
+)
+
+DFSVisitorConcept = Concept(
+    "DFS Visitor",
+    params=("V",),
+    requirements=[
+        method("vis.discover_vertex(u, g)", "discover_vertex", [V, AnyType(), AnyType()]),
+        method("vis.tree_edge(e, g)", "tree_edge", [V, AnyType(), AnyType()]),
+        method("vis.back_edge(e, g)", "back_edge", [V, AnyType(), AnyType()]),
+        method("vis.finish_vertex(u, g)", "finish_vertex", [V, AnyType(), AnyType()]),
+    ],
+    doc="Observer of depth-first search events.",
+)
+
+DijkstraVisitorConcept = Concept(
+    "Dijkstra Visitor",
+    params=("V",),
+    requirements=[
+        method("vis.discover_vertex(u, g)", "discover_vertex", [V, AnyType(), AnyType()]),
+        method("vis.edge_relaxed(e, g)", "edge_relaxed", [V, AnyType(), AnyType()]),
+        method("vis.finish_vertex(u, g)", "finish_vertex", [V, AnyType(), AnyType()]),
+    ],
+    doc="Observer of Dijkstra relaxation events.",
+)
+
+
+class NullVisitor:
+    """Models every visitor concept; does nothing.  The archetypal visitor."""
+
+    def discover_vertex(self, u: Any, g: Any) -> None:
+        pass
+
+    def examine_edge(self, e: Any, g: Any) -> None:
+        pass
+
+    def tree_edge(self, e: Any, g: Any) -> None:
+        pass
+
+    def back_edge(self, e: Any, g: Any) -> None:
+        pass
+
+    def edge_relaxed(self, e: Any, g: Any) -> None:
+        pass
+
+    def finish_vertex(self, u: Any, g: Any) -> None:
+        pass
+
+
+class RecordingVisitor(NullVisitor):
+    """Records every event as ``(event_name, payload)`` — used by tests to
+    assert algorithm event orderings."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, Any]] = []
+
+    def discover_vertex(self, u: Any, g: Any) -> None:
+        self.events.append(("discover", u))
+
+    def examine_edge(self, e: Any, g: Any) -> None:
+        self.events.append(("examine", (e.source(), e.target())))
+
+    def tree_edge(self, e: Any, g: Any) -> None:
+        self.events.append(("tree", (e.source(), e.target())))
+
+    def back_edge(self, e: Any, g: Any) -> None:
+        self.events.append(("back", (e.source(), e.target())))
+
+    def edge_relaxed(self, e: Any, g: Any) -> None:
+        self.events.append(("relaxed", (e.source(), e.target())))
+
+    def finish_vertex(self, u: Any, g: Any) -> None:
+        self.events.append(("finish", u))
+
+    def of_kind(self, kind: str) -> list[Any]:
+        return [payload for name, payload in self.events if name == kind]

@@ -1,0 +1,182 @@
+"""Linear-algebra substrate: Fig. 3's Vector Space models and the CLA-CRM
+mixed-precision kernels of Section 2.4.
+
+On import, declares:
+
+- Field models for ``float``, ``complex``, ``Fraction``;
+- Additive Abelian Group models for :class:`FVector`, :class:`CVector`,
+  :class:`Matrix`, :class:`ComplexMatrix`;
+- Vector Space models for ``(FVector, float)``, ``(CVector, complex)`` and
+  — the point of Section 2.4 — ``(CVector, float)``;
+- algebra-registry structures for matrix multiplication (the ``A · I -> A``
+  and ``A · A^{-1} -> I`` rows of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..concepts import models as _models
+from ..concepts.algebra import (
+    AdditiveAbelianGroup,
+    AlgebraicStructure,
+    Field,
+    Group,
+    Monoid,
+    VectorSpace,
+    algebra,
+)
+from .matrices import ComplexMatrix, Matrix, SingularMatrixError
+from .mtl import (
+    BandedMatrixConcept,
+    BandedMatrixMTL,
+    DenseMatrixConcept,
+    DenseMatrixMTL,
+    DiagonalMatrixConcept,
+    DiagonalMatrixMTL,
+    matvec,
+)
+from .mixed import (
+    axpy_mixed,
+    axpy_promote,
+    flops_mixed,
+    flops_promote,
+    matmul_mixed,
+    matmul_promote,
+    scale_mixed,
+    scale_promote,
+)
+from .vectors import CVector, FVector
+
+__all__ = [
+    "FVector", "CVector", "Matrix", "ComplexMatrix", "SingularMatrixError",
+    "DenseMatrixConcept", "BandedMatrixConcept", "DiagonalMatrixConcept",
+    "DenseMatrixMTL", "BandedMatrixMTL", "DiagonalMatrixMTL", "matvec",
+    "scale_mixed", "scale_promote", "matmul_mixed", "matmul_promote",
+    "axpy_mixed", "axpy_promote", "flops_mixed", "flops_promote",
+]
+
+
+def _field_ops(zero, one):
+    return {
+        "op": lambda a, b: a + b,
+        "identity": lambda a=None: zero,
+        "inverse": lambda a: -a,
+        "mul": lambda a, b: a * b,
+        "one": lambda a=None: one,
+        "reciprocal": lambda a: one / a if a != zero else zero,
+    }
+
+
+def _vector_group_ops():
+    return {
+        "op": lambda a, b: a + b,
+        "identity": lambda a: a.zeros_like(),
+        "inverse": lambda a: -a,
+    }
+
+
+def _declare_all() -> None:
+    # Scalar fields.  Samples use exactly-representable values so the
+    # (sampling-based) axiom checks are honest for floating point.
+    _models.declare(
+        Field, float, operation_impls=_field_ops(0.0, 1.0),
+        sampler=lambda: [(2.0, 0.5, 4.0), (1.0, -8.0, 0.25), (0.0, 1.0, 2.0)],
+    )
+    _models.declare(
+        Field, complex, operation_impls=_field_ops(0j, 1 + 0j),
+        sampler=lambda: [(2j, 1 + 0j, 4j), (1 + 1j, -2j, 0.5 + 0j)],
+    )
+    _models.declare(
+        Field, Fraction,
+        operation_impls=_field_ops(Fraction(0), Fraction(1)),
+        sampler=lambda: [
+            (Fraction(2, 3), Fraction(5, 7), Fraction(-1, 2)),
+            (Fraction(0), Fraction(1), Fraction(9, 4)),
+        ],
+    )
+
+    # Vector additive groups.
+    for vec_cls in (FVector, CVector):
+        _models.declare(
+            AdditiveAbelianGroup, vec_cls,
+            operation_impls=_vector_group_ops(),
+            sampler=(lambda cls: lambda: [
+                (cls([1.0, 2.0]), cls([0.5, -1.0]), cls([4.0, 0.0])),
+                (cls.zeros(2), cls([1.0, 1.0]), cls([-2.0, 8.0])),
+            ])(vec_cls),
+        )
+    for mat_cls in (Matrix, ComplexMatrix):
+        _models.declare(
+            AdditiveAbelianGroup, mat_cls,
+            operation_impls={
+                "op": lambda a, b: a + b,
+                "identity": lambda a: type(a).zeros(*a.shape),
+                "inverse": lambda a: -a,
+            },
+            sampler=(lambda cls: lambda: [
+                (cls([[1.0, 0.0], [0.5, 2.0]]),
+                 cls([[0.0, 1.0], [4.0, -1.0]]),
+                 cls([[2.0, 2.0], [0.0, 0.0]])),
+            ])(mat_cls),
+        )
+
+    # Vector spaces (Fig. 3).  Note the two distinct scalar types for
+    # CVector: the scalar type of a vector space is not *determined* by the
+    # vector type.
+    def vs_ops():
+        return {
+            "op": lambda a, b: a + b,
+            "identity": lambda a: a.zeros_like(),
+            "inverse": lambda a: -a,
+            "mult": lambda a, b: a * b,
+        }
+
+    _models.declare(
+        VectorSpace, (FVector, float), operation_impls=vs_ops(),
+        sampler=lambda: [
+            (FVector([1.0, 2.0]), FVector([0.5, -1.0]), 4.0),
+            (FVector.zeros(3), FVector([1.0, 0.0, 2.0]), 0.5),
+        ],
+    )
+    _models.declare(
+        VectorSpace, (CVector, complex), operation_impls=vs_ops(),
+        sampler=lambda: [
+            (CVector([1j, 2.0]), CVector([0.5, -1j]), 2j),
+        ],
+    )
+    _models.declare(
+        VectorSpace, (CVector, float),
+        operation_impls={
+            "op": lambda a, b: a + b,
+            "identity": lambda a: a.zeros_like(),
+            "inverse": lambda a: -a,
+            # The efficient mixed kernel IS the model's scalar multiply.
+            "mult": lambda a, b: (
+                scale_mixed(a, b) if isinstance(a, CVector) else scale_mixed(b, a)
+            ),
+        },
+        sampler=lambda: [
+            (CVector([1j, 2.0]), CVector([0.5, -1j]), 4.0),
+            (CVector.zeros(2), CVector([1 + 1j, 0j]), 0.25),
+        ],
+    )
+
+    # Fig. 5's matrix rows: (Matrix, '@') under multiplication.
+    mat_samples = (
+        (Matrix([[2.0, 1.0], [1.0, 1.0]]),
+         Matrix([[1.0, 0.0], [0.5, 2.0]]),
+         Matrix([[0.0, 1.0], [4.0, 1.0]])),
+    )
+    algebra.declare(AlgebraicStructure(
+        Matrix, "@", Group, lambda a, b: a @ b,
+        make_identity=lambda like: like.identity_like(),
+        is_identity=lambda m: isinstance(m, Matrix) and m.is_identity(),
+        inverse=lambda a: a.inverse(),
+        samples=mat_samples,
+    ))
+
+
+_declare_all()

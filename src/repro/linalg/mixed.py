@@ -1,0 +1,102 @@
+"""Mixed-precision kernels: the CLA-CRM argument of Section 2.4.
+
+"One such example is the CLA-CRM subroutine, which multiplies a complex
+matrix by a real matrix.  The vector-scalar multiplications performed in
+this subroutine contain multiplications between complex<float> and float,
+which are significantly more efficient than converting the second argument
+to a complex number and performing complex multiplication.  Modeling the
+scalar type of a vector as an associated type would lead to this inefficient
+algorithm."
+
+Each operation comes in two variants:
+
+- ``*_promote``: what an associated-type design forces — promote the real
+  operand to complex, then run the complex x complex kernel.
+- ``*_mixed``:  what the multi-type Vector Space concept permits — keep the
+  real operand real and use the cheaper complex x real kernel (2 real
+  multiplies per element instead of a full complex multiply; one real GEMM
+  per real/imaginary part instead of a complex GEMM).
+
+The Fig. 3 bench measures both and reports the ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .matrices import ComplexMatrix, Matrix
+from .vectors import CVector
+
+
+def scale_promote(v: CVector, s: float) -> CVector:
+    """Complex-vector x real-scalar by promotion: s becomes complex(s, 0)
+    and the complex multiply runs (4 real multiplies + 2 adds per element
+    in the general kernel)."""
+    sc = np.complex128(complex(s, 0.0))
+    return CVector.from_array(v.data * sc)
+
+def scale_mixed(v: CVector, s: float) -> CVector:
+    """Complex-vector x real-scalar the mixed way: scale the interleaved
+    real/imaginary components directly (2 real multiplies per element
+    instead of the complex kernel's 4).
+
+    Note on expectations: elementwise scaling is memory-bandwidth-bound on
+    modern hardware, so the 2x multiply saving mostly vanishes at the wall
+    clock for long vectors; the *compute-bound* CLA-CRM case is
+    :func:`matmul_mixed`, where the saving is measurable.  The flop
+    accounting (:func:`flops_mixed`) captures the paper's arithmetic
+    argument either way.
+    """
+    out = np.empty_like(v.data)
+    np.multiply(v.data.view(np.float64), float(s), out=out.view(np.float64))
+    return CVector.from_array(out)
+
+
+def matmul_promote(a: ComplexMatrix, b: Matrix) -> ComplexMatrix:
+    """CLA-CRM by promotion: B is converted to complex and a complex GEMM
+    runs (equivalent to 4 real GEMMs + 2 additions of the result halves)."""
+    bc = b.data.astype(np.complex128)
+    return ComplexMatrix.from_array(a.data @ bc)
+
+
+def matmul_mixed(a: ComplexMatrix, b: Matrix) -> ComplexMatrix:
+    """CLA-CRM proper: ``(Re A + i Im A) @ B = (Re A @ B) + i (Im A @ B)``
+    — two real GEMMs, no promotion of B."""
+    if a.data.shape[1] != b.data.shape[0]:
+        raise ValueError(f"shape mismatch: {a.data.shape} @ {b.data.shape}")
+    real = np.ascontiguousarray(a.data.real) @ b.data
+    imag = np.ascontiguousarray(a.data.imag) @ b.data
+    out = np.empty((a.data.shape[0], b.data.shape[1]), dtype=np.complex128)
+    out.real = real
+    out.imag = imag
+    return ComplexMatrix.from_array(out)
+
+
+def axpy_promote(alpha: float, x: CVector, y: CVector) -> CVector:
+    """y + alpha*x with alpha promoted to complex."""
+    return CVector.from_array(y.data + np.complex128(alpha) * x.data)
+
+
+def axpy_mixed(alpha: float, x: CVector, y: CVector) -> CVector:
+    """y + alpha*x with alpha kept real (numpy's complex*real fast path on
+    the component view)."""
+    scaled = x.data.copy()
+    scaled.view(np.float64)[:] *= float(alpha)
+    return CVector.from_array(y.data + scaled)
+
+
+def flops_promote(n: int, m: int | None = None, k: int | None = None) -> int:
+    """Real-multiply count for the promoting kernels: vector scale when only
+    ``n`` is given, GEMM for (n x k) @ (k x m)."""
+    if m is None:
+        return 4 * n  # complex x complex per element: 4 mults
+    assert k is not None
+    return 8 * n * m * k  # complex GEMM: 4 mults + effectively 4 adds worth
+
+
+def flops_mixed(n: int, m: int | None = None, k: int | None = None) -> int:
+    """Real-multiply count for the mixed kernels."""
+    if m is None:
+        return 2 * n  # two real mults per element
+    assert k is not None
+    return 4 * n * m * k  # two real GEMMs

@@ -1,0 +1,224 @@
+"""MTL-style matrix concepts and concept-dispatched kernels.
+
+The paper's reference 38 is the authors' Matrix Template Library: "a generic
+programming approach to high performance numerical linear algebra".  Its
+core move is the one Section 2.1 describes for sort: one generic operation
+(`matvec`), several implementations selected by the *concept* the matrix
+type models — dense, banded, diagonal — each with a different complexity
+guarantee.  This module rebuilds that story:
+
+=================  ===================  =================
+matrix concept     matvec kernel        time
+=================  ===================  =================
+DenseMatrix        full GEMV            O(n·m)
+BandedMatrix       band-limited GEMV    O(n·b)
+DiagonalMatrixC    elementwise scale    O(n)
+=================  ===================  =================
+
+The refinement chain DiagonalMatrixC ⊂ BandedMatrix ⊂ DenseMatrix mirrors
+capability: every diagonal matrix *could* be multiplied densely; dispatch
+picks the cheapest kernel the type's concept permits.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..concepts import (
+    AssociatedType,
+    ComplexityGuarantee,
+    Concept,
+    Exact,
+    GenericFunction,
+    Param,
+    method,
+    models as _models,
+)
+from ..concepts.complexity import linear, parse
+from .vectors import FVector
+
+M = Param("M")
+
+DenseMatrixConcept = Concept(
+    "Dense Matrix",
+    params=("M",),
+    requirements=[
+        method("m.rows()", "rows", [M], Exact(int)),
+        method("m.cols()", "cols", [M], Exact(int)),
+        method("m.entry(i, j)", "entry", [M, Exact(int), Exact(int)]),
+        ComplexityGuarantee("entry", parse("1")),
+        ComplexityGuarantee("matvec", parse("n m")),
+    ],
+    doc="Every entry individually addressable; the most general (and most "
+        "expensive) multiplication applies.",
+)
+
+BandedMatrixConcept = Concept(
+    "Banded Matrix",
+    params=("M",),
+    refines=[DenseMatrixConcept],
+    requirements=[
+        method("m.bandwidth()", "bandwidth", [M], Exact(int)),
+        ComplexityGuarantee("matvec", parse("n b")),
+    ],
+    doc="Nonzeros confined within `bandwidth` of the diagonal; matvec "
+        "needs only the band.",
+)
+
+DiagonalMatrixConcept = Concept(
+    "Diagonal Matrix",
+    params=("M",),
+    refines=[BandedMatrixConcept],
+    requirements=[
+        method("m.diagonal()", "diagonal", [M]),
+        ComplexityGuarantee("matvec", linear()),
+    ],
+    doc="Bandwidth zero: matvec is an elementwise scale.",
+)
+
+
+class DenseMatrixMTL:
+    """Row-major dense matrix, entry-addressable."""
+
+    def __init__(self, data) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.data.ndim != 2:
+            raise ValueError("matrix data must be 2-D")
+
+    def rows(self) -> int:
+        return int(self.data.shape[0])
+
+    def cols(self) -> int:
+        return int(self.data.shape[1])
+
+    def entry(self, i: int, j: int) -> float:
+        return float(self.data[i, j])
+
+    def __repr__(self) -> str:
+        return f"DenseMatrixMTL({self.rows()}x{self.cols()})"
+
+
+class BandedMatrixMTL(DenseMatrixMTL):
+    """Square banded matrix: stored as (2b+1) diagonals.
+
+    ``bands[k]`` holds diagonal offset ``k - b`` (LAPACK band storage,
+    simplified): entry(i, j) is bands[j - i + b][min(i, j)] within the band,
+    0 outside.
+    """
+
+    def __init__(self, n: int, bandwidth: int, bands=None) -> None:
+        self.n = n
+        self._b = bandwidth
+        width = 2 * bandwidth + 1
+        if bands is None:
+            self.bands = np.zeros((width, n), dtype=np.float64)
+        else:
+            self.bands = np.asarray(bands, dtype=np.float64)
+            if self.bands.shape != (width, n):
+                raise ValueError(
+                    f"band storage must be {(width, n)}, got {self.bands.shape}"
+                )
+
+    @classmethod
+    def random(cls, n: int, bandwidth: int, seed: int = 0) -> "BandedMatrixMTL":
+        rng = np.random.default_rng(seed)
+        out = cls(n, bandwidth)
+        out.bands = rng.standard_normal(out.bands.shape)
+        return out
+
+    def rows(self) -> int:
+        return self.n
+
+    def cols(self) -> int:
+        return self.n
+
+    def bandwidth(self) -> int:
+        return self._b
+
+    def entry(self, i: int, j: int) -> float:
+        off = j - i
+        if abs(off) > self._b:
+            return 0.0
+        return float(self.bands[off + self._b][min(i, j)])
+
+    def to_dense(self) -> DenseMatrixMTL:
+        out = np.zeros((self.n, self.n))
+        for i in range(self.n):
+            for j in range(max(0, i - self._b), min(self.n, i + self._b + 1)):
+                out[i, j] = self.entry(i, j)
+        return DenseMatrixMTL(out)
+
+    @property
+    def data(self):  # type: ignore[override]
+        return self.to_dense().data
+
+    def __repr__(self) -> str:
+        return f"BandedMatrixMTL(n={self.n}, b={self._b})"
+
+
+class DiagonalMatrixMTL(BandedMatrixMTL):
+    """Diagonal matrix stored as its diagonal."""
+
+    def __init__(self, diagonal) -> None:
+        diag = np.asarray(diagonal, dtype=np.float64)
+        super().__init__(len(diag), 0, bands=diag.reshape(1, -1))
+
+    def diagonal(self) -> np.ndarray:
+        return self.bands[0]
+
+    def __repr__(self) -> str:
+        return f"DiagonalMatrixMTL(n={self.n})"
+
+
+# -- the concept-dispatched kernel -------------------------------------------
+
+matvec = GenericFunction("matvec")
+
+
+@matvec.overload(requires=[(DenseMatrixConcept, 0)],
+                 name="matvec<DenseMatrix> (full GEMV)")
+def _matvec_dense(m, x: FVector) -> FVector:
+    """O(n·m): touch every entry."""
+    if m.cols() != len(x):
+        raise ValueError(f"shape mismatch: {m.cols()} cols vs {len(x)}")
+    return FVector.from_array(m.data @ x.data)
+
+
+@matvec.overload(requires=[(BandedMatrixConcept, 0)],
+                 name="matvec<BandedMatrix> (band GEMV)")
+def _matvec_banded(m, x: FVector) -> FVector:
+    """O(n·b): one pass per stored diagonal."""
+    if m.cols() != len(x):
+        raise ValueError(f"shape mismatch: {m.cols()} cols vs {len(x)}")
+    n, b = m.rows(), m.bandwidth()
+    y = np.zeros(n)
+    for k in range(-b, b + 1):
+        diag = m.bands[k + b]
+        if k >= 0:
+            # entries (i, i+k) for i in [0, n-k): y[i] += a * x[i+k]
+            length = n - k
+            y[:length] += diag[:length] * x.data[k:k + length]
+        else:
+            length = n + k
+            y[-k:] += diag[:length] * x.data[:length]
+    return FVector.from_array(y)
+
+
+@matvec.overload(requires=[(DiagonalMatrixConcept, 0)],
+                 name="matvec<DiagonalMatrix> (scale)")
+def _matvec_diagonal(m, x: FVector) -> FVector:
+    """O(n): elementwise."""
+    if m.cols() != len(x):
+        raise ValueError(f"shape mismatch: {m.cols()} cols vs {len(x)}")
+    return FVector.from_array(m.diagonal() * x.data)
+
+
+def _declare() -> None:
+    _models.declare(DenseMatrixConcept, DenseMatrixMTL)
+    _models.declare(BandedMatrixConcept, BandedMatrixMTL)
+    _models.declare(DiagonalMatrixConcept, DiagonalMatrixMTL)
+
+
+_declare()

@@ -1,0 +1,114 @@
+"""Dense vectors over real and complex scalars.
+
+These are the ``V`` types of Fig. 3's Vector Space concept.  The scalar type
+is deliberately *not* an associated type of the vector type: ``CVector``
+forms a vector space over ``complex`` **and** over ``float`` — the two
+models ``(CVector, complex)`` and ``(CVector, float)`` declared in
+:mod:`repro.linalg` are the paper's Section 2.4 argument in executable form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+Scalar = Union[int, float, complex]
+
+
+class _DenseVector:
+    """Shared implementation over a numpy array of a fixed dtype."""
+
+    dtype: type = np.float64
+
+    def __init__(self, data: Iterable[Scalar]) -> None:
+        self.data = np.asarray(list(data) if not isinstance(data, np.ndarray) else data,
+                               dtype=self.dtype)
+        if self.data.ndim != 1:
+            raise ValueError("vector data must be one-dimensional")
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "_DenseVector":
+        out = cls.__new__(cls)
+        out.data = np.asarray(arr, dtype=cls.dtype)
+        return out
+
+    @classmethod
+    def zeros(cls, n: int) -> "_DenseVector":
+        return cls.from_array(np.zeros(n, dtype=cls.dtype))
+
+    def zeros_like(self) -> "_DenseVector":
+        return type(self).zeros(len(self.data))
+
+    # -- Additive Abelian Group ----------------------------------------------
+
+    def __add__(self, other: "_DenseVector") -> "_DenseVector":
+        self._check_peer(other)
+        return type(self).from_array(self.data + other.data)
+
+    def __sub__(self, other: "_DenseVector") -> "_DenseVector":
+        self._check_peer(other)
+        return type(self).from_array(self.data - other.data)
+
+    def __neg__(self) -> "_DenseVector":
+        return type(self).from_array(-self.data)
+
+    # -- Vector Space: mult(v, s) and mult(s, v) -------------------------------
+
+    def scale(self, s: Scalar) -> "_DenseVector":
+        return type(self).from_array(self.data * s)
+
+    def __mul__(self, s: Scalar) -> "_DenseVector":
+        return self.scale(s)
+
+    def __rmul__(self, s: Scalar) -> "_DenseVector":
+        return self.scale(s)
+
+    # -- misc -------------------------------------------------------------------
+
+    def dot(self, other: "_DenseVector") -> Scalar:
+        self._check_peer(other)
+        return complex(np.dot(np.conj(self.data), other.data)) \
+            if np.iscomplexobj(self.data) else float(np.dot(self.data, other.data))
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.data))
+
+    def _check_peer(self, other: "_DenseVector") -> None:
+        if not isinstance(other, _DenseVector):
+            raise TypeError(f"expected a vector, got {type(other).__name__}")
+        if len(self.data) != len(other.data):
+            raise ValueError(
+                f"dimension mismatch: {len(self.data)} vs {len(other.data)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _DenseVector):
+            return NotImplemented
+        return self.data.shape == other.data.shape and bool(
+            np.allclose(self.data, other.data)
+        )
+
+    def __hash__(self) -> int:  # vectors are mutable via .data; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.data.tolist()!r})"
+
+
+class FVector(_DenseVector):
+    """Real (float64) vector; with ``float`` it models Fig. 3's
+    Vector Space."""
+
+    dtype = np.float64
+
+
+class CVector(_DenseVector):
+    """Complex (complex128) vector; models Vector Space over ``complex``
+    *and* over ``float`` — the scalar type is not determined by the vector
+    type (Section 2.4)."""
+
+    dtype = np.complex128

@@ -1,0 +1,23 @@
+"""Data-parallel generic library over a simulated work/span machine
+(Section 4), with Semigroup/Monoid-guarded collectives."""
+
+from .algorithms import (
+    jacobi_smooth,
+    parallel_dot,
+    parallel_histogram,
+    parallel_normalize,
+    parallel_sum,
+    prefix_sums,
+    sequential_sum,
+)
+from .machine import CostLog, Machine, OpCost
+from .mpi import Comm, DeadlockError, MPIError, SpmdResult, run_spmd
+from .parray import ParallelArray, UnsoundReductionError, parray
+
+__all__ = [
+    "CostLog", "Machine", "OpCost",
+    "Comm", "run_spmd", "SpmdResult", "MPIError", "DeadlockError",
+    "ParallelArray", "parray", "UnsoundReductionError",
+    "parallel_sum", "sequential_sum", "parallel_dot", "prefix_sums",
+    "parallel_normalize", "jacobi_smooth", "parallel_histogram",
+]

@@ -1,0 +1,75 @@
+"""Data-parallel algorithms composed from the ParallelArray collectives,
+with a sequential baseline for each (the bench compares shapes)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .machine import CostLog, Machine
+from .parray import ParallelArray, parray
+
+
+def parallel_sum(data: Sequence[float], machine: Optional[Machine] = None) -> float:
+    """Tree-sum: work n, span log n."""
+    return parray(np.asarray(data, dtype=float), machine).reduce("+")
+
+
+def sequential_sum(data: Sequence[float]) -> tuple[float, CostLog]:
+    """Baseline: work n, span n (no parallelism)."""
+    arr = np.asarray(data, dtype=float)
+    log = CostLog()
+    log.charge("seq-sum", work=arr.size, span=arr.size)
+    return float(arr.sum()), log
+
+
+def parallel_dot(a: Sequence[float], b: Sequence[float],
+                 machine: Optional[Machine] = None) -> float:
+    """zip_with(*) then tree-reduce(+)."""
+    m = machine if machine is not None else Machine()
+    pa = parray(np.asarray(a, dtype=float), m)
+    pb = parray(np.asarray(b, dtype=float), m)
+    return pa.zip_with(pb, np.multiply, name="dot-mul").reduce("+")
+
+
+def prefix_sums(data: Sequence[float],
+                machine: Optional[Machine] = None) -> ParallelArray:
+    """Inclusive prefix sums via parallel scan."""
+    return parray(np.asarray(data, dtype=float), machine).scan("+")
+
+
+def parallel_normalize(data: Sequence[float],
+                       machine: Optional[Machine] = None) -> ParallelArray:
+    """map/reduce composition: x / sum(x)."""
+    m = machine if machine is not None else Machine()
+    pa = parray(np.asarray(data, dtype=float), m)
+    total = pa.reduce("+")
+    if total == 0:
+        raise ZeroDivisionError("cannot normalize a zero-sum array")
+    return pa.map(lambda x: x / total, name="normalize")
+
+
+def jacobi_smooth(data: Sequence[float], iterations: int = 1,
+                  machine: Optional[Machine] = None) -> ParallelArray:
+    """Iterated 3-point smoothing stencil — the mesh/sensor-network
+    workload; span grows with iterations, not with n."""
+    pa = parray(np.asarray(data, dtype=float), machine)
+    for _ in range(iterations):
+        pa = pa.stencil([0.25, 0.5, 0.25], name="jacobi")
+    return pa
+
+
+def parallel_histogram(data: Sequence[int], buckets: int,
+                       machine: Optional[Machine] = None) -> ParallelArray:
+    """Map to bucket ids, then a segmented count (modeled as map + sort +
+    scan costs)."""
+    m = machine if machine is not None else Machine()
+    arr = np.asarray(data)
+    pa = parray(arr, m)
+    ids = pa.map(lambda x: np.clip(x, 0, buckets - 1), name="bucket-ids")
+    counts = np.bincount(ids.data.astype(int), minlength=buckets)
+    n = arr.size
+    lg = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    m.log.charge("histogram-count", work=n, span=lg)
+    return ParallelArray(counts, m)

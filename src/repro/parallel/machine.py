@@ -1,0 +1,98 @@
+"""A simulated parallel machine with work/span cost accounting.
+
+Section 4's data-parallel library claim is about *abstraction*: "the
+programmer still thinks and programs in parallel, but more abstractly".
+Since no cluster is attached (repro substitution, see DESIGN.md), parallel
+execution is simulated by a PRAM-style cost model: every data-parallel
+operation reports its **work** (total operations) and **span** (critical
+path), and the simulated running time on ``p`` processors follows Brent's
+bound::
+
+    T_p = work / p + span
+
+Numerical results are computed with vectorized numpy (the guides' idiom for
+fast array code on one node), so answers are real even though the timing is
+modeled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Work/span of one data-parallel operation."""
+
+    name: str
+    work: float
+    span: float
+
+    def time_on(self, p: int) -> float:
+        if p <= 0:
+            raise ValueError("processor count must be positive")
+        return self.work / p + self.span
+
+
+@dataclass
+class CostLog:
+    """Accumulated costs of a data-parallel computation."""
+
+    ops: list[OpCost] = field(default_factory=list)
+
+    def charge(self, name: str, work: float, span: float) -> OpCost:
+        op = OpCost(name, work, span)
+        self.ops.append(op)
+        return op
+
+    @property
+    def work(self) -> float:
+        return sum(o.work for o in self.ops)
+
+    @property
+    def span(self) -> float:
+        return sum(o.span for o in self.ops)
+
+    def time_on(self, p: int) -> float:
+        """Brent's bound over the whole computation (operations run in
+        sequence, so spans add)."""
+        return self.work / p + self.span
+
+    def speedup(self, p: int) -> float:
+        """T_1 / T_p under the model; saturates at work/span (the
+        parallelism of the computation)."""
+        return self.time_on(1) / self.time_on(p)
+
+    @property
+    def parallelism(self) -> float:
+        """work / span: the maximum useful processor count."""
+        return self.work / self.span if self.span else math.inf
+
+    def reset(self) -> None:
+        self.ops.clear()
+
+    def summary(self) -> str:
+        return (
+            f"work={self.work:.0f} span={self.span:.1f} "
+            f"parallelism={self.parallelism:.1f}"
+        )
+
+
+@dataclass
+class Machine:
+    """A simulated machine: processor count plus a cost log."""
+
+    processors: int = 8
+    log: CostLog = field(default_factory=CostLog)
+
+    def __post_init__(self) -> None:
+        if self.processors <= 0:
+            raise ValueError("processor count must be positive")
+
+    def time(self) -> float:
+        return self.log.time_on(self.processors)
+
+    def speedup_curve(self, ps: Iterable[int]) -> list[tuple[int, float]]:
+        return [(p, self.log.speedup(p)) for p in ps]

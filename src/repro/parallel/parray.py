@@ -1,0 +1,210 @@
+"""Data-parallel arrays with concept-guarded collective operations.
+
+The paper's data-parallel library is *concept-based*: a reduction is only
+meaningful when the combining operation is associative, i.e. when
+``(element type, op)`` models **Semigroup** (and needs an identity —
+Monoid — to reduce empty arrays).  ``reduce``/``scan`` here consult the
+algebra registry exactly like Simplicissimus does, refusing unsound
+combines unless the caller explicitly opts out — the "closer coupling
+between compilers and libraries" story applied to a parallel collective.
+
+Costs are charged to a :class:`~repro.parallel.machine.Machine`'s log:
+
+=========  =========  ==============
+operation  work       span
+=========  =========  ==============
+map        n          1
+zip_with   n          1
+reduce     n          ⌈log2 n⌉
+scan       2n         2⌈log2 n⌉
+stencil    k·n        1
+sort       n log n    log² n
+=========  =========  ==============
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..concepts.algebra import (
+    AlgebraRegistry,
+    Monoid,
+    Semigroup,
+    algebra as default_algebra,
+)
+from ..concepts.errors import ConceptError
+from .machine import Machine
+
+
+class UnsoundReductionError(ConceptError):
+    """The combining operation is not known to be associative (no Semigroup
+    model for ``(type, op)``): a parallel reduction tree would be allowed to
+    regroup operands arbitrarily, changing the result."""
+
+    def __init__(self, typ: type, op: str) -> None:
+        super().__init__(
+            f"({typ.__name__}, '{op}') models no Semigroup: parallel "
+            f"reduce/scan may regroup operands and change the result. "
+            f"Declare the structure in the algebra registry or pass "
+            f"unsafe=True to accept sequential-order-dependence."
+        )
+
+
+_NUMPY_UFUNC: dict[str, Callable] = {
+    "+": np.add,
+    "*": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+    "&": np.bitwise_and,
+    "|": np.bitwise_or,
+}
+
+#: (python scalar type used for the concept lookup) per dtype kind.
+_KIND_TO_TYPE = {"i": int, "u": int, "f": float, "c": complex, "b": bool}
+
+
+def _log2ceil(n: int) -> int:
+    return int(math.ceil(math.log2(n))) if n > 1 else 1
+
+
+class ParallelArray:
+    """An immutable data-parallel array bound to a machine."""
+
+    def __init__(self, data: Union[np.ndarray, Sequence], machine: Machine,
+                 registry: Optional[AlgebraRegistry] = None) -> None:
+        self.data = np.asarray(data)
+        self.machine = machine
+        self.registry = registry if registry is not None else default_algebra
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _like(self, data: np.ndarray) -> "ParallelArray":
+        return ParallelArray(data, self.machine, self.registry)
+
+    def _element_type(self) -> type:
+        return _KIND_TO_TYPE.get(self.data.dtype.kind, object)
+
+    def _check_associative(self, op: str, need_identity: bool,
+                           unsafe: bool) -> None:
+        if unsafe:
+            return
+        typ = self._element_type()
+        concept = Monoid if need_identity else Semigroup
+        # min/max are associative for every ordered type; they have no
+        # registry entry (not written as operators), so special-case them.
+        if op in ("min", "max"):
+            return
+        if not self.registry.models(typ, op, concept):
+            raise UnsoundReductionError(typ, op)
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def to_numpy(self) -> np.ndarray:
+        return self.data.copy()
+
+    def __repr__(self) -> str:
+        return f"ParallelArray({self.data!r})"
+
+    # -- collectives ----------------------------------------------------------
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray],
+            name: str = "map") -> "ParallelArray":
+        """Elementwise map.  ``fn`` receives the whole numpy array and must
+        apply elementwise (vectorized); work n, span 1."""
+        out = fn(self.data)
+        self.machine.log.charge(name, work=self.size, span=1)
+        return self._like(np.asarray(out))
+
+    def zip_with(self, other: "ParallelArray",
+                 fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                 name: str = "zip_with") -> "ParallelArray":
+        if self.size != other.size:
+            raise ValueError("zip_with requires equal sizes")
+        out = fn(self.data, other.data)
+        self.machine.log.charge(name, work=self.size, span=1)
+        return self._like(np.asarray(out))
+
+    def reduce(self, op: str = "+", unsafe: bool = False) -> Any:
+        """Tree reduction.  Requires ``(element, op) : Semigroup`` (Monoid
+        when the array may be empty).  Work n, span ⌈log2 n⌉."""
+        self._check_associative(op, need_identity=self.size == 0,
+                                unsafe=unsafe)
+        if self.size == 0:
+            s = self.registry.lookup(self._element_type(), op)
+            if s is None:
+                raise UnsoundReductionError(self._element_type(), op)
+            return s.identity_value
+        ufunc = _NUMPY_UFUNC.get(op)
+        if ufunc is not None and self.data.dtype.kind != "O":
+            result = ufunc.reduce(self.data)
+        else:
+            # Object arrays fold through the declared structure so the
+            # model's own combine (e.g. modular addition) is honoured.
+            s = self.registry.lookup(self._element_type(), op)
+            if s is None and not unsafe:
+                raise UnsoundReductionError(self._element_type(), op)
+            result = self.data[0]
+            for x in self.data[1:]:
+                result = s.apply(result, x) if s else result + x
+        self.machine.log.charge(f"reduce[{op}]", work=self.size,
+                                span=_log2ceil(self.size))
+        return result.item() if hasattr(result, "item") else result
+
+    def scan(self, op: str = "+", unsafe: bool = False) -> "ParallelArray":
+        """Inclusive prefix scan (Blelchoch-style cost: work 2n, span
+        2⌈log2 n⌉).  Same concept requirement as reduce."""
+        self._check_associative(op, need_identity=False, unsafe=unsafe)
+        ufunc = _NUMPY_UFUNC.get(op)
+        if ufunc is None:
+            raise ValueError(f"no vectorized scan for op '{op}'")
+        out = ufunc.accumulate(self.data) if self.size else self.data
+        self.machine.log.charge(f"scan[{op}]", work=2 * self.size,
+                                span=2 * _log2ceil(max(self.size, 1)))
+        return self._like(out)
+
+    def stencil(self, weights: Sequence[float],
+                name: str = "stencil") -> "ParallelArray":
+        """1-D stencil (convolution, same size, zero boundary); work k·n,
+        span 1 — the sensor/mesh workload shape."""
+        k = len(weights)
+        out = np.convolve(self.data, np.asarray(weights, dtype=float),
+                          mode="same")
+        self.machine.log.charge(name, work=k * self.size, span=1)
+        return self._like(out)
+
+    def sort(self) -> "ParallelArray":
+        """Parallel sample-sort cost model: work n log n, span log² n."""
+        out = np.sort(self.data)
+        lg = _log2ceil(max(self.size, 2))
+        self.machine.log.charge("sort", work=self.size * lg, span=lg * lg)
+        return self._like(out)
+
+    def gather(self, indices: "ParallelArray") -> "ParallelArray":
+        out = self.data[indices.data]
+        self.machine.log.charge("gather", work=indices.size, span=1)
+        return self._like(out)
+
+    def filter(self, predicate: Callable[[np.ndarray], np.ndarray]
+               ) -> "ParallelArray":
+        """Parallel filter = map + scan + gather; charged accordingly."""
+        mask = predicate(self.data)
+        out = self.data[mask]
+        n = self.size
+        self.machine.log.charge("filter", work=3 * n,
+                                span=2 * _log2ceil(max(n, 1)) + 2)
+        return self._like(out)
+
+
+def parray(data: Union[np.ndarray, Sequence],
+           machine: Optional[Machine] = None) -> ParallelArray:
+    """Construct a :class:`ParallelArray` (fresh 8-processor machine by
+    default)."""
+    return ParallelArray(data, machine if machine is not None else Machine())

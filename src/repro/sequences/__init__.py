@@ -1,0 +1,131 @@
+"""STL-like sequence substrate: containers, value-semantic iterators with
+tracked invalidation, and concept-overloaded generic algorithms.
+
+On import this module *declares* which concepts the containers and iterators
+model (the nominal side of the modeling relation) after structurally
+verifying them — so a typo in a container's interface fails at import, at
+the point of declaration, not deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..concepts import models as _models
+from ..concepts.builtins import (
+    BackInsertionSequence,
+    SortedRange,
+    BidirectionalIterator,
+    Container,
+    ForwardContainer,
+    ForwardIterator,
+    FrontInsertionSequence,
+    InputIterator,
+    RandomAccessContainer,
+    RandomAccessIterator,
+    ReversibleContainer,
+    Sequence,
+    TrivialIterator,
+)
+from . import algorithms
+from .deque import Deque, DequeIterator
+from .dlist import DList, DListIterator
+from .errors import (
+    EmptyRangeError,
+    IteratorRangeError,
+    IteratorUsageError,
+    PastTheEndError,
+    SingularIteratorError,
+)
+from .function_objects import (
+    Greater,
+    IntransitiveOrder,
+    Less,
+    LessByKey,
+    NotAStrictWeakOrder,
+    equivalent,
+)
+from .heap import heapsort, is_heap, make_heap, pop_heap, push_heap, sort_heap
+from .iterators import (
+    IndexIterator,
+    IteratorBase,
+    NodeIterator,
+    python_range,
+    require_same_container,
+)
+from .tree import SortedAssociativeContainer, TreeIterator, TreeMap
+from .vector import Vector, VectorIterator
+
+__all__ = [
+    "Deque", "DequeIterator", "DList", "DListIterator",
+    "Vector", "VectorIterator",
+    "TreeMap", "TreeIterator", "SortedAssociativeContainer",
+    "IteratorBase", "IndexIterator", "NodeIterator",
+    "python_range", "require_same_container", "typed",
+    "algorithms",
+    "make_heap", "push_heap", "pop_heap", "sort_heap", "is_heap", "heapsort",
+    "Less", "Greater", "LessByKey", "NotAStrictWeakOrder",
+    "IntransitiveOrder", "equivalent",
+    "IteratorUsageError", "SingularIteratorError", "PastTheEndError",
+    "IteratorRangeError", "EmptyRangeError",
+]
+
+_TYPED_CACHE: dict[tuple[type, type], type] = {}
+
+
+def typed(container_cls: type, value_type: type) -> type:
+    """Create (and cache) a value-typed container class.
+
+    Generic programming reasons about *types*; Python containers are
+    heterogeneous.  ``typed(Vector, int)`` returns a ``Vector`` subclass
+    whose ``value_type`` associated type is ``int`` (with a matching
+    iterator subclass), so concept checks involving value types are exact::
+
+        IntVector = typed(Vector, int)
+        check_concept(RandomAccessContainer, IntVector).ok   # True
+    """
+    key = (container_cls, value_type)
+    cached = _TYPED_CACHE.get(key)
+    if cached is not None:
+        return cached
+    it_cls = type(
+        f"{container_cls.__name__}Iterator_{value_type.__name__}",
+        (container_cls.iterator,),
+        {"value_type": value_type},
+    )
+    cls = type(
+        f"{container_cls.__name__}_{value_type.__name__}",
+        (container_cls,),
+        {"value_type": value_type, "iterator": it_cls},
+    )
+    _TYPED_CACHE[key] = cls
+    return cls
+
+
+def _declare_all() -> None:
+    """Verify-and-declare the concept models this substrate provides."""
+    # Iterators.
+    _models.declare(RandomAccessIterator, VectorIterator)
+    _models.declare(RandomAccessIterator, DequeIterator)
+    _models.declare(BidirectionalIterator, DListIterator)
+    # Containers.
+    _models.declare(RandomAccessContainer, Vector)
+    _models.declare(Sequence, Vector)
+    _models.declare(BackInsertionSequence, Vector)
+    _models.declare(RandomAccessContainer, Deque)
+    _models.declare(Sequence, Deque)
+    _models.declare(BackInsertionSequence, Deque)
+    _models.declare(FrontInsertionSequence, Deque)
+    _models.declare(ReversibleContainer, DList)
+    _models.declare(BidirectionalIterator, TreeIterator)
+    _models.declare(ReversibleContainer, TreeMap)
+    _models.declare(SortedAssociativeContainer, TreeMap)
+    # TreeMap keeps its keys ordered by construction: it IS a sorted range,
+    # declared nominally (SortedRange is a semantic-state concept).
+    _models.declare(SortedRange, TreeMap)
+    _models.declare(Sequence, DList)
+    _models.declare(FrontInsertionSequence, DList)
+    _models.declare(BackInsertionSequence, DList)
+
+
+_declare_all()

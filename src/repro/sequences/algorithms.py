@@ -1,0 +1,525 @@
+"""Generic sequence algorithms over iterator ranges, with concept-based
+overloading.
+
+This is the STL layer of the reproduction: each algorithm states its concept
+requirements (the documentation the paper wants made first-class), several
+are concept-*overloaded* (Section 2.1's ``sort`` example, plus
+``advance``/``distance`` — the textbook tag-dispatching cases), and the
+sorted-sequence algorithms carry the pre/postconditions STLlint's entry/exit
+handlers check (Section 3.1).
+
+All range algorithms take value-semantic iterators ``[first, last)`` from
+:mod:`repro.sequences.iterators`; container-level overloads take the
+container itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..concepts import GenericFunction
+from ..concepts.builtins import (
+    BidirectionalIterator,
+    ForwardIterator,
+    InputIterator,
+    RandomAccessContainer,
+    RandomAccessIterator,
+    Sequence,
+)
+from .errors import EmptyRangeError, IteratorRangeError
+from .function_objects import Less
+from .iterators import IteratorBase, require_same_container
+
+_default_less = Less()
+
+
+# ---------------------------------------------------------------------------
+# Iterator utilities (concept-overloaded: the classic tag-dispatch pair)
+# ---------------------------------------------------------------------------
+
+advance = GenericFunction("advance")
+
+
+@advance.overload(requires=[(InputIterator, 0)])
+def _advance_linear(it: IteratorBase, n: int) -> None:
+    """O(n) stepping — all an Input Iterator permits."""
+    if n < 0:
+        raise IteratorRangeError("cannot advance an input iterator backwards")
+    for _ in range(n):
+        it.increment()
+
+
+@advance.overload(requires=[(BidirectionalIterator, 0)])
+def _advance_bidirectional(it: IteratorBase, n: int) -> None:
+    """O(|n|) stepping, either direction."""
+    if n >= 0:
+        for _ in range(n):
+            it.increment()
+    else:
+        for _ in range(-n):
+            it.decrement()
+
+
+@advance.overload(requires=[(RandomAccessIterator, 0)])
+def _advance_random(it: Any, n: int) -> None:
+    """O(1) jump — the payoff of the Random Access Iterator refinement."""
+    it.advance(n)
+
+
+distance = GenericFunction("distance")
+
+
+@distance.overload(requires=[(InputIterator, 0), (InputIterator, 1)])
+def _distance_linear(first: IteratorBase, last: IteratorBase) -> int:
+    require_same_container(first, last)
+    it = first.clone()
+    n = 0
+    while not it.equals(last):
+        it.increment()
+        n += 1
+    return n
+
+
+@distance.overload(requires=[(RandomAccessIterator, 0), (RandomAccessIterator, 1)])
+def _distance_random(first: Any, last: Any) -> int:
+    return first.distance(last)
+
+
+# ---------------------------------------------------------------------------
+# Non-mutating algorithms
+# ---------------------------------------------------------------------------
+
+
+def for_each(first: IteratorBase, last: IteratorBase, fn: Callable[[Any], Any]) -> None:
+    """Requires: Input Iterator."""
+    require_same_container(first, last)
+    it = first.clone()
+    while not it.equals(last):
+        fn(it.deref())
+        it.increment()
+
+
+def find(first: IteratorBase, last: IteratorBase, value: Any) -> IteratorBase:
+    """Linear search.  Requires: Input Iterator.  O(n).
+
+    This is the algorithm STLlint flags when the incoming range is known to
+    be sorted ("Consider replacing this algorithm with one specialized for
+    sorted sequences (e.g., lower_bound)", Section 3.2).
+    """
+    require_same_container(first, last)
+    it = first.clone()
+    while not it.equals(last):
+        if it.deref() == value:
+            return it
+        it.increment()
+    return it
+
+
+def find_if(
+    first: IteratorBase, last: IteratorBase, pred: Callable[[Any], bool]
+) -> IteratorBase:
+    """Requires: Input Iterator."""
+    require_same_container(first, last)
+    it = first.clone()
+    while not it.equals(last):
+        if pred(it.deref()):
+            return it
+        it.increment()
+    return it
+
+
+def count(first: IteratorBase, last: IteratorBase, value: Any) -> int:
+    """Requires: Input Iterator."""
+    require_same_container(first, last)
+    n = 0
+    it = first.clone()
+    while not it.equals(last):
+        if it.deref() == value:
+            n += 1
+        it.increment()
+    return n
+
+
+def count_if(first: IteratorBase, last: IteratorBase, pred: Callable[[Any], bool]) -> int:
+    require_same_container(first, last)
+    n = 0
+    it = first.clone()
+    while not it.equals(last):
+        if pred(it.deref()):
+            n += 1
+        it.increment()
+    return n
+
+
+def equal(first1: IteratorBase, last1: IteratorBase, first2: IteratorBase) -> bool:
+    """Requires: Input Iterator × 2."""
+    it1 = first1.clone()
+    it2 = first2.clone()
+    while not it1.equals(last1):
+        if it1.deref() != it2.deref():
+            return False
+        it1.increment()
+        it2.increment()
+    return True
+
+
+def max_element(
+    first: IteratorBase,
+    last: IteratorBase,
+    less: Callable[[Any, Any], bool] = _default_less,
+) -> IteratorBase:
+    """Iterator to the maximum element.
+
+    Requires: **Forward Iterator** — the algorithm keeps an iterator to the
+    best element seen while continuing to traverse, i.e. it "depends on the
+    multipass property of Forward Iterators" (Section 3.1).  Running it on an
+    Input Iterator archetype is STLlint's demonstration case; see
+    :mod:`repro.stllint.archetype_check`.
+
+    Semantic requirement: ``less`` must satisfy the Strict Weak Order axioms
+    of Fig. 6.
+    """
+    require_same_container(first, last)
+    if first.equals(last):
+        return last.clone()
+    best = first.clone()
+    it = first.clone()
+    it.increment()
+    while not it.equals(last):
+        if less(best.deref(), it.deref()):
+            best = it.clone()
+        it.increment()
+    return best
+
+
+def min_element(
+    first: IteratorBase,
+    last: IteratorBase,
+    less: Callable[[Any, Any], bool] = _default_less,
+) -> IteratorBase:
+    """Requires: Forward Iterator (multipass), Strict Weak Order."""
+    require_same_container(first, last)
+    if first.equals(last):
+        return last.clone()
+    best = first.clone()
+    it = first.clone()
+    it.increment()
+    while not it.equals(last):
+        if less(it.deref(), best.deref()):
+            best = it.clone()
+        it.increment()
+    return best
+
+
+def accumulate(
+    first: IteratorBase,
+    last: IteratorBase,
+    init: Any,
+    op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+) -> Any:
+    """Left fold.  Requires: Input Iterator."""
+    require_same_container(first, last)
+    acc = init
+    it = first.clone()
+    while not it.equals(last):
+        acc = op(acc, it.deref())
+        it.increment()
+    return acc
+
+
+def is_sorted(
+    first: IteratorBase,
+    last: IteratorBase,
+    less: Callable[[Any, Any], bool] = _default_less,
+) -> bool:
+    """Requires: Forward Iterator.  The *sortedness* property this tests is
+    what STLlint's exit handler attaches after ``sort`` (Section 3.1)."""
+    require_same_container(first, last)
+    if first.equals(last):
+        return True
+    prev = first.clone()
+    it = first.clone()
+    it.increment()
+    while not it.equals(last):
+        if less(it.deref(), prev.deref()):
+            return False
+        prev = it.clone()
+        it.increment()
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Sorted-range algorithms (binary search family)
+# ---------------------------------------------------------------------------
+
+
+def lower_bound(
+    first: IteratorBase,
+    last: IteratorBase,
+    value: Any,
+    less: Callable[[Any, Any], bool] = _default_less,
+) -> IteratorBase:
+    """First position where ``value`` could be inserted keeping order.
+
+    Requires: Forward Iterator.  **Precondition: [first, last) is sorted
+    under ``less``** — the entry-handler check of Section 3.1.  O(log n)
+    comparisons; O(log n) steps with Random Access Iterators, O(n) steps
+    otherwise (comparisons stay logarithmic — the STL's actual guarantee).
+    """
+    require_same_container(first, last)
+    n = distance(first, last)
+    it = first.clone()
+    while n > 0:
+        step = n // 2
+        mid = it.clone()
+        advance(mid, step)
+        if less(mid.deref(), value):
+            mid.increment()
+            it = mid
+            n -= step + 1
+        else:
+            n = step
+    return it
+
+
+def upper_bound(
+    first: IteratorBase,
+    last: IteratorBase,
+    value: Any,
+    less: Callable[[Any, Any], bool] = _default_less,
+) -> IteratorBase:
+    """First position strictly after every element equivalent to ``value``.
+    Same requirements/preconditions as :func:`lower_bound`."""
+    require_same_container(first, last)
+    n = distance(first, last)
+    it = first.clone()
+    while n > 0:
+        step = n // 2
+        mid = it.clone()
+        advance(mid, step)
+        if not less(value, mid.deref()):
+            mid.increment()
+            it = mid
+            n -= step + 1
+        else:
+            n = step
+    return it
+
+
+def binary_search(
+    first: IteratorBase,
+    last: IteratorBase,
+    value: Any,
+    less: Callable[[Any, Any], bool] = _default_less,
+) -> bool:
+    """Requires: Forward Iterator; sorted precondition; Strict Weak Order
+    (Fig. 6 names ``binary_search`` among the algorithms whose correctness
+    rests on those axioms)."""
+    it = lower_bound(first, last, value, less)
+    return (not it.equals(last)) and (not less(value, it.deref()))
+
+
+# ---------------------------------------------------------------------------
+# Mutating algorithms
+# ---------------------------------------------------------------------------
+
+
+def copy(first: IteratorBase, last: IteratorBase, out: IteratorBase) -> IteratorBase:
+    """Requires: Input Iterator source, writable destination with enough
+    room."""
+    it = first.clone()
+    o = out.clone()
+    while not it.equals(last):
+        o.set(it.deref())
+        it.increment()
+        o.increment()
+    return o
+
+
+def fill(first: IteratorBase, last: IteratorBase, value: Any) -> None:
+    require_same_container(first, last)
+    it = first.clone()
+    while not it.equals(last):
+        it.set(value)
+        it.increment()
+
+
+def reverse(first: IteratorBase, last: IteratorBase) -> None:
+    """Requires: Bidirectional Iterator."""
+    require_same_container(first, last)
+    if first.equals(last):
+        return
+    left = first.clone()
+    right = last.clone()
+    while True:
+        if left.equals(right):
+            return
+        right.decrement()
+        if left.equals(right):
+            return
+        a, b = left.deref(), right.deref()
+        left.set(b)
+        right.set(a)
+        left.increment()
+
+
+def remove_if(
+    container: Any, pred: Callable[[Any], bool]
+) -> int:
+    """Erase every element satisfying ``pred`` using the correct
+    erase-returns-next idiom — the *fixed* version of Fig. 4's routine.
+    Requires: Sequence.  Returns the number erased."""
+    erased = 0
+    it = container.begin()
+    while not it.equals(container.end()):
+        if pred(it.deref()):
+            it = container.erase(it)
+            erased += 1
+        else:
+            it.increment()
+    return erased
+
+
+# ---------------------------------------------------------------------------
+# sort: the paper's concept-based overloading example
+# ---------------------------------------------------------------------------
+
+sort = GenericFunction("sort")
+
+
+def _quicksort_indices(c: Any, lo: int, hi: int, less: Callable) -> None:
+    """Median-of-three quicksort with insertion sort below a cutoff,
+    operating through ``at``/``set_at`` (Random Access Container)."""
+    while hi - lo > 16:
+        mid = (lo + hi) // 2
+        a, b, m = c.at(lo), c.at(hi - 1), c.at(mid)
+        # median of three
+        if less(m, a):
+            a, m = m, a
+        if less(b, m):
+            m, b = b, m
+            if less(m, a):
+                a, m = m, a
+        pivot = m
+        i, j = lo, hi - 1
+        while i <= j:
+            while less(c.at(i), pivot):
+                i += 1
+            while less(pivot, c.at(j)):
+                j -= 1
+            if i <= j:
+                vi, vj = c.at(i), c.at(j)
+                c.set_at(i, vj)
+                c.set_at(j, vi)
+                i += 1
+                j -= 1
+        # Recurse into the smaller side, loop on the larger (O(log n) stack).
+        if j - lo < hi - i:
+            _quicksort_indices(c, lo, j + 1, less)
+            lo = i
+        else:
+            _quicksort_indices(c, i, hi, less)
+            hi = j + 1
+    # insertion sort for the small tail
+    for i in range(lo + 1, hi):
+        v = c.at(i)
+        j = i - 1
+        while j >= lo and less(v, c.at(j)):
+            c.set_at(j + 1, c.at(j))
+            j -= 1
+        c.set_at(j + 1, v)
+
+
+@sort.overload(requires=[(Sequence, 0)], name="sort<Sequence> (merge sort)")
+def _sort_linear(container: Any, less: Callable[[Any, Any], bool] = _default_less) -> Any:
+    """Default for linearly-accessed sequences ("if they can only be
+    accessed linearly (as with a linked list) we might select a default
+    algorithm"): bottom-up merge sort through the Sequence interface.
+    O(n log n) comparisons, but every element move is a linked-list
+    operation."""
+    items = list(container)
+    if len(items) <= 1:
+        return container
+    runs = [[x] for x in items]
+    while len(runs) > 1:
+        merged_runs = []
+        for i in range(0, len(runs) - 1, 2):
+            a, b = runs[i], runs[i + 1]
+            out: list[Any] = []
+            ia = ib = 0
+            while ia < len(a) and ib < len(b):
+                if less(b[ib], a[ia]):
+                    out.append(b[ib]); ib += 1
+                else:
+                    out.append(a[ia]); ia += 1
+            out.extend(a[ia:])
+            out.extend(b[ib:])
+            merged_runs.append(out)
+        if len(runs) % 2:
+            merged_runs.append(runs[-1])
+        runs = merged_runs
+    # Rewrite the sequence in place through its own interface.
+    result = runs[0]
+    it = container.begin()
+    for v in result:
+        it.set(v)
+        it.increment()
+    return container
+
+
+@sort.overload(
+    requires=[(RandomAccessContainer, 0)],
+    name="sort<RandomAccessContainer> (quicksort)",
+)
+def _sort_indexed(container: Any, less: Callable[[Any, Any], bool] = _default_less) -> Any:
+    """"If they can be accessed efficiently via indexing (as with an array)
+    we can apply the more-efficient quicksort algorithm" (Section 2.1)."""
+    _quicksort_indices(container, 0, container.size(), less)
+    return container
+
+
+# A container that is both a Sequence and random-access (Vector, Deque)
+# matches both overloads above, which are unordered by refinement; this
+# doubly-constrained registration is the unique most-specific candidate and
+# resolves to quicksort — the behaviour the paper's example wants.
+sort.overload(
+    requires=[(RandomAccessContainer, 0), (Sequence, 0)],
+    name="sort<RandomAccessContainer & Sequence> (quicksort)",
+)(_sort_indexed)
+
+
+def stable_sort(container: Any, less: Callable[[Any, Any], bool] = _default_less) -> Any:
+    """Stable merge sort for any Sequence (refines the ``sort`` algorithm
+    concept in the taxonomy with a stability postcondition)."""
+    return _sort_linear(container, less)
+
+
+def insertion_sort_range(first: IteratorBase, last: IteratorBase,
+                         less: Callable[[Any, Any], bool] = _default_less) -> None:
+    """In-place insertion sort using only Bidirectional Iterator
+    operations and O(1) extra space.
+
+    This is what "accessed linearly" *really* limits you to when you also
+    cannot allocate (the merge sort used by ``sort<Sequence>`` buys its
+    O(n log n) with O(n) scratch space): O(n^2) element moves.  The
+    overload bench uses it as the honest baseline for Section 2.1's claim
+    that indexed access enables "the more-efficient quicksort algorithm".
+    """
+    require_same_container(first, last)
+    if first.equals(last):
+        return
+    sorted_end = first.clone()
+    sorted_end.increment()
+    while not sorted_end.equals(last):
+        value = sorted_end.deref()
+        pos = sorted_end.clone()
+        while not pos.equals(first):
+            prev = pos.clone()
+            prev.decrement()
+            if less(value, prev.deref()):
+                pos.set(prev.deref())
+                pos = prev
+            else:
+                break
+        pos.set(value)
+        sorted_end.increment()

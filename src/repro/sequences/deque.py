@@ -1,0 +1,140 @@
+"""A ``std::deque``-like double-ended queue.
+
+Invalidation rules (ISO C++ [deque.modifiers], simplified to the iterator
+story — we do not model reference stability separately): any insert or erase
+in the middle invalidates all iterators; push/pop at either end invalidates
+all iterators but in C++ leaves references valid (references are not a
+distinct notion in Python, so here end-ops also invalidate iterators, the
+conservative reading STLlint's specification uses).
+"""
+
+from __future__ import annotations
+
+from collections import deque as _pydeque
+from typing import Any, Iterable
+
+from .iterators import IndexIterator, IteratorRegistry
+
+
+class DequeIterator(IndexIterator):
+    """Random-access iterator over a :class:`Deque`."""
+
+    value_type: type = object
+
+
+class Deque:
+    """Double-ended queue; models Random Access Container plus Front and
+    Back Insertion Sequence."""
+
+    value_type: type = object
+    iterator: type = DequeIterator
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._data: _pydeque[Any] = _pydeque(items)
+        self._iterators = IteratorRegistry()
+        self.invalidation_events = 0
+
+    # -- internal plumbing used by IndexIterator ---------------------------------
+
+    def _register_iterator(self, it: DequeIterator) -> None:
+        self._iterators.register(it)
+
+    def _end_index(self) -> int:
+        return len(self._data)
+
+    def _get(self, index: int) -> Any:
+        return self._data[index]
+
+    def _set(self, index: int, value: Any) -> None:
+        self._data[index] = value
+
+    # -- Container interface --------------------------------------------------------
+
+    def begin(self) -> DequeIterator:
+        return self.iterator(self, 0)
+
+    def end(self) -> DequeIterator:
+        return self.iterator(self, len(self._data))
+
+    def size(self) -> int:
+        return len(self._data)
+
+    def empty(self) -> bool:
+        return not self._data
+
+    def at(self, index: int) -> Any:
+        if not 0 <= index < len(self._data):
+            raise IndexError(f"deque index {index} out of range")
+        return self._data[index]
+
+    def set_at(self, index: int, value: Any) -> None:
+        if not 0 <= index < len(self._data):
+            raise IndexError(f"deque index {index} out of range")
+        self._data[index] = value
+
+    def __getitem__(self, index: int) -> Any:
+        return self.at(index)
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        self.set_at(index, value)
+
+    # -- mutations ----------------------------------------------------------------------
+
+    def push_back(self, value: Any) -> None:
+        self._data.append(value)
+        self.invalidation_events += self._iterators.invalidate_all()
+
+    def push_front(self, value: Any) -> None:
+        self._data.appendleft(value)
+        self.invalidation_events += self._iterators.invalidate_all()
+
+    def pop_back(self) -> Any:
+        if not self._data:
+            raise IndexError("pop_back on empty deque")
+        self.invalidation_events += self._iterators.invalidate_all()
+        return self._data.pop()
+
+    def pop_front(self) -> Any:
+        if not self._data:
+            raise IndexError("pop_front on empty deque")
+        self.invalidation_events += self._iterators.invalidate_all()
+        return self._data.popleft()
+
+    def insert(self, pos: DequeIterator, value: Any) -> DequeIterator:
+        pos._require_valid()
+        index = pos.index
+        self._data.insert(index, value)
+        self.invalidation_events += self._iterators.invalidate_all()
+        return self.iterator(self, index)
+
+    def erase(self, pos: DequeIterator) -> DequeIterator:
+        pos._require_valid()
+        index = pos.index
+        if index >= len(self._data):
+            raise IndexError("erase of past-the-end iterator")
+        del self._data[index]
+        self.invalidation_events += self._iterators.invalidate_all()
+        return self.iterator(self, index)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.invalidation_events += self._iterators.invalidate_all()
+
+    # -- Python interop ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self):
+        return iter(list(self._data))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Deque):
+            return list(self._data) == list(other._data)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Deque({list(self._data)!r})"
+
+    def to_list(self) -> list[Any]:
+        return list(self._data)

@@ -1,0 +1,184 @@
+"""A ``std::list``-like doubly linked list.
+
+Invalidation rules (ISO C++ [list.modifiers]): ``insert`` invalidates
+nothing; ``erase`` invalidates only iterators to the erased element.  This
+asymmetry with :class:`~repro.sequences.vector.Vector` is exactly why the
+invalidation behaviour "varies greatly across domains" yet "the semantic
+iterator concept — including requirements pertaining to invalidation —
+cross-cuts various domains" (Section 3.1): one concept, per-model rules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .iterators import IteratorRegistry, NodeIterator
+
+
+class _Node:
+    __slots__ = ("value", "prev", "next")
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+        self.prev: "_Node" = self
+        self.next: "_Node" = self
+
+
+class DListIterator(NodeIterator):
+    """Bidirectional iterator over a :class:`DList`."""
+
+    value_type: type = object
+
+
+class DList:
+    """Doubly linked list; models Reversible Container, Front and Back
+    Insertion Sequence — but *not* Random Access Container, which is what
+    steers concept-overloaded ``sort`` away from quicksort for lists."""
+
+    value_type: type = object
+    iterator: type = DListIterator
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._sentinel = _Node()
+        self._size = 0
+        self._iterators = IteratorRegistry()
+        self.invalidation_events = 0
+        for item in items:
+            self.push_back(item)
+
+    # -- internal plumbing -------------------------------------------------------
+
+    def _register_iterator(self, it: DListIterator) -> None:
+        self._iterators.register(it)
+
+    def _link_before(self, node: _Node, new: _Node) -> None:
+        new.prev = node.prev
+        new.next = node
+        node.prev.next = new
+        node.prev = new
+        self._size += 1
+
+    def _unlink(self, node: _Node) -> None:
+        node.prev.next = node.next
+        node.next.prev = node.prev
+        self._size -= 1
+
+    # -- Container interface ---------------------------------------------------------
+
+    def begin(self) -> DListIterator:
+        return self.iterator(self, self._sentinel.next)
+
+    def end(self) -> DListIterator:
+        return self.iterator(self, self._sentinel)
+
+    def size(self) -> int:
+        return self._size
+
+    def empty(self) -> bool:
+        return self._size == 0
+
+    # -- Sequence mutations --------------------------------------------------------------
+
+    def push_back(self, value: Any) -> None:
+        self._link_before(self._sentinel, _Node(value))
+
+    def push_front(self, value: Any) -> None:
+        self._link_before(self._sentinel.next, _Node(value))
+
+    def pop_front(self) -> Any:
+        if self._size == 0:
+            raise IndexError("pop_front on empty list")
+        node = self._sentinel.next
+        value = node.value
+        self._iterators.invalidate_if(
+            lambda it: isinstance(it, NodeIterator) and it.node is node
+        )
+        self._unlink(node)
+        return value
+
+    def pop_back(self) -> Any:
+        if self._size == 0:
+            raise IndexError("pop_back on empty list")
+        node = self._sentinel.prev
+        value = node.value
+        self._iterators.invalidate_if(
+            lambda it: isinstance(it, NodeIterator) and it.node is node
+        )
+        self._unlink(node)
+        return value
+
+    def insert(self, pos: DListIterator, value: Any) -> DListIterator:
+        """Insert before ``pos``; invalidates nothing."""
+        pos._require_valid()
+        new = _Node(value)
+        self._link_before(pos.node, new)
+        return self.iterator(self, new)
+
+    def erase(self, pos: DListIterator) -> DListIterator:
+        """Erase at ``pos``; invalidates only iterators to that element and
+        returns an iterator to the following element."""
+        pos._require_valid()
+        node = pos.node
+        if node is self._sentinel:
+            raise IndexError("erase of past-the-end iterator")
+        after = node.next
+        self.invalidation_events += self._iterators.invalidate_if(
+            lambda it: isinstance(it, NodeIterator) and it.node is node
+        )
+        self._unlink(node)
+        return self.iterator(self, after)
+
+    def splice(self, pos: DListIterator, other: "DList") -> None:
+        """Move all of ``other``'s nodes before ``pos`` in O(1); no element
+        iterators are invalidated (they keep pointing at the moved nodes,
+        which now belong to ``self``)."""
+        pos._require_valid()
+        if other is self or other.empty():
+            return
+        first, last = other._sentinel.next, other._sentinel.prev
+        other._sentinel.next = other._sentinel
+        other._sentinel.prev = other._sentinel
+        moved = other._size
+        other._size = 0
+        at = pos.node
+        first.prev = at.prev
+        at.prev.next = first
+        last.next = at
+        at.prev = last
+        self._size += moved
+        # Iterators into `other` now belong to `self`'s node graph; re-home
+        # the live ones so same-container range checks keep working.
+        for it in other._iterators.live():
+            if isinstance(it, NodeIterator) and it.node is not other._sentinel:
+                it._container = self
+                self._iterators.register(it)
+
+    def clear(self) -> None:
+        self.invalidation_events += self._iterators.invalidate_if(
+            lambda it: isinstance(it, NodeIterator) and it.node is not self._sentinel
+        )
+        self._sentinel.next = self._sentinel
+        self._sentinel.prev = self._sentinel
+        self._size = 0
+
+    # -- Python interop --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self):
+        node = self._sentinel.next
+        while node is not self._sentinel:
+            yield node.value
+            node = node.next
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DList):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"DList({list(self)!r})"
+
+    def to_list(self) -> list[Any]:
+        return list(self)

@@ -1,0 +1,32 @@
+"""Runtime errors for iterator misuse.
+
+In C++ these situations are undefined behaviour that STLlint exists to catch
+*statically*; our substrate also detects them *dynamically*, so tests can
+confirm that every program STLlint flags really does misbehave, and every
+clean program runs without incident.
+"""
+
+from __future__ import annotations
+
+
+class IteratorUsageError(Exception):
+    """Base class for dynamic iterator-misuse detection."""
+
+
+class SingularIteratorError(IteratorUsageError):
+    """Dereference/advance of an invalidated ("singular") iterator — the
+    runtime shadow of Fig. 4's STLlint warning."""
+
+
+class PastTheEndError(IteratorUsageError):
+    """Dereference of a past-the-end iterator, or advancing beyond it."""
+
+
+class IteratorRangeError(IteratorUsageError):
+    """A [first, last) pair that does not denote a valid range (different
+    containers, first after last, ...)."""
+
+
+class EmptyRangeError(IteratorUsageError):
+    """An algorithm requiring a non-empty range received an empty one
+    (e.g. max_element's precondition)."""

@@ -1,0 +1,63 @@
+"""Function objects (comparators, predicates) used by the generic
+algorithms, including deliberately *broken* ones the semantic-checking tests
+use as counterexamples to the Strict Weak Order axioms of Fig. 6."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Less:
+    """The default comparator: ``operator<``."""
+
+    def __call__(self, a: Any, b: Any) -> bool:
+        return a < b
+
+    def __repr__(self) -> str:
+        return "Less()"
+
+
+class Greater:
+    def __call__(self, a: Any, b: Any) -> bool:
+        return b < a
+
+    def __repr__(self) -> str:
+        return "Greater()"
+
+
+class LessByKey:
+    """Compare by a key function, like ``sorted(key=...)``."""
+
+    def __init__(self, key: Callable[[Any], Any]) -> None:
+        self.key = key
+
+    def __call__(self, a: Any, b: Any) -> bool:
+        return self.key(a) < self.key(b)
+
+
+class NotAStrictWeakOrder:
+    """``<=`` pretending to be ``<``: violates irreflexivity, the classic
+    comparator bug Fig. 6's axioms exist to catch."""
+
+    def __call__(self, a: Any, b: Any) -> bool:
+        return a <= b
+
+    def __repr__(self) -> str:
+        return "NotAStrictWeakOrder()"
+
+
+class IntransitiveOrder:
+    """Rock-paper-scissors on residues mod 3: irreflexive but not
+    transitive; another Fig. 6 counterexample."""
+
+    def __call__(self, a: int, b: int) -> bool:
+        return (int(a) - int(b)) % 3 == 2
+
+    def __repr__(self) -> str:
+        return "IntransitiveOrder()"
+
+
+def equivalent(less: Callable[[Any, Any], bool], a: Any, b: Any) -> bool:
+    """The equivalence E induced by a strict weak order:
+    ``E(a, b) := not (a < b) and not (b < a)`` (Fig. 6)."""
+    return (not less(a, b)) and (not less(b, a))

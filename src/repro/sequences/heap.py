@@ -1,0 +1,108 @@
+"""The STL heap algorithm family: make_heap / push_heap / pop_heap /
+sort_heap / is_heap.
+
+where C : Random Access Container (heap algorithms are the STL's clearest
+case of an algorithm family that *cannot* relax its iterator requirement:
+parent/child jumps need O(1) indexing).  Semantic requirement: the
+comparator models Strict Weak Order (Fig. 6).
+
+The heap property maintained is a max-heap under ``less``:
+``not less(c[parent(i)], c[i])`` for every i — so ``sort_heap`` yields
+ascending order, matching ``sort``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..concepts import GenericFunction, require
+from ..concepts.builtins import RandomAccessContainer
+from .function_objects import Less
+
+_default_less = Less()
+
+
+def _sift_down(c: Any, start: int, end: int, less: Callable) -> None:
+    root = start
+    while True:
+        child = 2 * root + 1
+        if child >= end:
+            return
+        if child + 1 < end and less(c.at(child), c.at(child + 1)):
+            child += 1
+        if less(c.at(root), c.at(child)):
+            tmp = c.at(root)
+            c.set_at(root, c.at(child))
+            c.set_at(child, tmp)
+            root = child
+        else:
+            return
+
+
+def make_heap(c: Any, less: Callable = _default_less) -> None:
+    """Heapify in place.  O(n) comparisons (bottom-up Floyd heapify).
+    where C : Random Access Container."""
+    require(RandomAccessContainer, type(c), context="make_heap")
+    n = c.size()
+    for start in range(n // 2 - 1, -1, -1):
+        _sift_down(c, start, n, less)
+
+
+def is_heap(c: Any, less: Callable = _default_less) -> bool:
+    """O(n) heap-property check (the property sort_heap's entry handler
+    would verify)."""
+    require(RandomAccessContainer, type(c), context="is_heap")
+    n = c.size()
+    for i in range(1, n):
+        if less(c.at((i - 1) // 2), c.at(i)):
+            return False
+    return True
+
+
+def push_heap(c: Any, less: Callable = _default_less) -> None:
+    """Precondition: [0, n-1) is a heap; restores the property for [0, n).
+    O(log n)."""
+    require(RandomAccessContainer, type(c), context="push_heap")
+    i = c.size() - 1
+    while i > 0:
+        parent = (i - 1) // 2
+        if less(c.at(parent), c.at(i)):
+            tmp = c.at(parent)
+            c.set_at(parent, c.at(i))
+            c.set_at(i, tmp)
+            i = parent
+        else:
+            return
+
+
+def pop_heap(c: Any, less: Callable = _default_less) -> None:
+    """Precondition: [0, n) is a heap.  Moves the maximum to position n-1
+    and restores the property on [0, n-1).  O(log n)."""
+    require(RandomAccessContainer, type(c), context="pop_heap")
+    n = c.size()
+    if n <= 1:
+        return
+    tmp = c.at(0)
+    c.set_at(0, c.at(n - 1))
+    c.set_at(n - 1, tmp)
+    _sift_down(c, 0, n - 1, less)
+
+
+def sort_heap(c: Any, less: Callable = _default_less) -> None:
+    """Precondition: heap.  Ascending order on exit.  O(n log n)."""
+    require(RandomAccessContainer, type(c), context="sort_heap")
+    n = c.size()
+    for end in range(n, 1, -1):
+        tmp = c.at(0)
+        c.set_at(0, c.at(end - 1))
+        c.set_at(end - 1, tmp)
+        _sift_down(c, 0, end - 1, less)
+
+
+def heapsort(c: Any, less: Callable = _default_less) -> Any:
+    """make_heap + sort_heap: in-place O(n log n) sort with O(1) extra
+    space (the space/stability trade-off entry in the sorting taxonomy:
+    beats merge sort on space, loses stability)."""
+    make_heap(c, less)
+    sort_heap(c, less)
+    return c

@@ -1,0 +1,159 @@
+"""The sequential algorithm concept taxonomy for STL-domain algorithms.
+
+Section 1: "We began by developing sequential algorithm concept taxonomies
+for two fundamental problem domains, sequence algorithms from the STL and
+graph algorithms from BGL. ... making distinctions between some of the
+algorithms in these domains requires more precision."
+
+This module builds that taxonomy as data: every sequence algorithm in
+:mod:`repro.sequences.algorithms` classified by problem, constrained by the
+iterator/container concepts it requires, and annotated with the complexity
+guarantees that *distinguish* refinements (find vs binary_search differ in
+comparisons; sort vs stable_sort differ in a postcondition, not a bound).
+"""
+
+from __future__ import annotations
+
+from ..concepts import AlgorithmConcept, Constraint, Param, Taxonomy
+from ..concepts.builtins import (
+    BidirectionalIterator,
+    ForwardIterator,
+    InputIterator,
+    RandomAccessContainer,
+    RandomAccessIterator,
+    Sequence,
+    SortedRange,
+)
+from ..concepts.complexity import (
+    constant,
+    linear,
+    linearithmic,
+    logarithmic,
+    quadratic,
+)
+from . import algorithms as A
+from .heap import heapsort
+
+It = Param("It")
+C = Param("C")
+
+
+def stl_taxonomy() -> Taxonomy:
+    """Build the STL-domain taxonomy (fresh instance; cheap)."""
+    t = Taxonomy("STL sequence algorithms")
+    t.add_concepts([
+        InputIterator, ForwardIterator, BidirectionalIterator,
+        RandomAccessIterator, Sequence, RandomAccessContainer, SortedRange,
+    ])
+
+    # -- search problem -----------------------------------------------------
+    find = t.add_algorithm(AlgorithmConcept(
+        "find", problem="search",
+        requires=(Constraint(InputIterator, (It,)),),
+        guarantees={"comparisons": linear(), "traversals": linear()},
+        implementation=A.find,
+        doc="Linear search; the least-demanding search algorithm.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "binary_search", problem="search",
+        requires=(Constraint(ForwardIterator, (It,)),
+                  Constraint(SortedRange, (C,))),
+        guarantees={"comparisons": logarithmic()},
+        refines=(find,),
+        implementation=A.binary_search,
+        doc="Refines find: stronger precondition (sortedness) buys "
+            "logarithmic comparisons.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "lower_bound", problem="search",
+        requires=(Constraint(ForwardIterator, (It,)),
+                  Constraint(SortedRange, (C,))),
+        guarantees={"comparisons": logarithmic()},
+        implementation=A.lower_bound,
+        doc="Position query on sorted ranges.",
+    ))
+
+    # -- extremum problem ------------------------------------------------------
+    t.add_algorithm(AlgorithmConcept(
+        "max_element", problem="extremum",
+        requires=(Constraint(ForwardIterator, (It,)),),
+        guarantees={"comparisons": linear()},
+        implementation=A.max_element,
+        doc="Requires Forward (multipass), not just Input — the Section "
+            "3.1 distinction.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "min_element", problem="extremum",
+        requires=(Constraint(ForwardIterator, (It,)),),
+        guarantees={"comparisons": linear()},
+        implementation=A.min_element,
+    ))
+
+    # -- accumulation -----------------------------------------------------------
+    t.add_algorithm(AlgorithmConcept(
+        "accumulate", problem="accumulation",
+        requires=(Constraint(InputIterator, (It,)),),
+        guarantees={"operations": linear()},
+        implementation=A.accumulate,
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "count", problem="accumulation",
+        requires=(Constraint(InputIterator, (It,)),),
+        guarantees={"comparisons": linear()},
+        implementation=A.count,
+    ))
+
+    # -- sorting: where precision beyond O-bounds earns its keep ----------------
+    sort_seq = t.add_algorithm(AlgorithmConcept(
+        "merge sort", problem="sorting",
+        requires=(Constraint(Sequence, (C,)),),
+        guarantees={"comparisons": linearithmic(), "extra space": linear()},
+        implementation=A.stable_sort,
+        doc="The linear-access default; pays O(n) scratch space.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "quicksort", problem="sorting",
+        requires=(Constraint(RandomAccessContainer, (C,)),),
+        guarantees={"comparisons": linearithmic(),
+                    "extra space": logarithmic()},
+        implementation=lambda c: A.sort(c),
+        doc="Same comparison bound as merge sort; distinguished by the "
+            "extra-space guarantee — the 'more precision' the paper wants.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "stable merge sort", problem="sorting",
+        requires=(Constraint(Sequence, (C,)),),
+        guarantees={"comparisons": linearithmic(), "extra space": linear()},
+        refines=(sort_seq,),
+        implementation=A.stable_sort,
+        doc="Refines merge sort with a stability postcondition at the same "
+            "bounds.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "heapsort", problem="sorting",
+        requires=(Constraint(RandomAccessContainer, (C,)),),
+        guarantees={"comparisons": linearithmic(), "extra space": constant()},
+        implementation=heapsort,
+        doc="In-place O(1)-space O(n log n) — but not stable; the sorting "
+            "design space's third corner.",
+    ))
+    t.add_algorithm(AlgorithmConcept(
+        "insertion sort", problem="sorting",
+        requires=(Constraint(BidirectionalIterator, (It,)),),
+        guarantees={"comparisons": quadratic(), "extra space": constant()},
+        implementation=A.insertion_sort_range,
+        doc="O(1) space, O(n^2) comparisons: the honest in-place "
+            "linear-access option.",
+    ))
+
+    # -- a deliberate gap: in-place stable O(n log n) sort with O(1) space ------
+    t.add_algorithm(AlgorithmConcept(
+        "in-place stable sort", problem="sorting",
+        requires=(Constraint(RandomAccessContainer, (C,)),),
+        guarantees={"comparisons": linearithmic(), "extra space": constant()},
+        implementation=None,
+        doc="Block-merge sorts exist but none is implemented here — a "
+            "taxonomy 'gap' entry of the kind that 'helps in the design of "
+            "new ones'.",
+    ))
+    return t

@@ -1,0 +1,170 @@
+"""A ``std::vector``-like container with C++ invalidation rules.
+
+Invalidation rules (ISO C++ [vector.modifiers], which STLlint encodes as the
+container's semantic specification):
+
+- ``insert(pos, v)``: invalidates iterators at or after ``pos``; if the
+  insertion exceeds capacity ("reallocation"), *all* iterators.
+- ``erase(pos)``: invalidates iterators at or after ``pos`` — this is what
+  breaks Fig. 4's ``extract_fails``.
+- ``push_back(v)``: all iterators on reallocation, none otherwise.
+- ``clear()``: everything.
+
+Capacity doubles on growth, as real implementations do, so reallocation
+events happen at realistic points.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .iterators import IndexIterator, IteratorRegistry
+
+
+class VectorIterator(IndexIterator):
+    """Random-access iterator over a :class:`Vector`."""
+
+    value_type: type = object
+
+
+class Vector:
+    """Contiguous sequence; models Random Access Container and Back
+    Insertion Sequence (verified in the test suite via ``check_concept``)."""
+
+    value_type: type = object
+    iterator: type = VectorIterator
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._data: list[Any] = list(items)
+        self._capacity: int = max(len(self._data), 1)
+        self._iterators = IteratorRegistry()
+        #: Counters the invalidation tests and benches inspect.
+        self.invalidation_events: int = 0
+        self.reallocations: int = 0
+
+    # -- internal plumbing used by IndexIterator -------------------------------
+
+    def _register_iterator(self, it: VectorIterator) -> None:
+        self._iterators.register(it)
+
+    def _end_index(self) -> int:
+        return len(self._data)
+
+    def _get(self, index: int) -> Any:
+        return self._data[index]
+
+    def _set(self, index: int, value: Any) -> None:
+        self._data[index] = value
+
+    def _grow_for(self, extra: int) -> bool:
+        """Ensure capacity; returns True when a reallocation happened."""
+        needed = len(self._data) + extra
+        if needed <= self._capacity:
+            return False
+        while self._capacity < needed:
+            self._capacity *= 2
+        self.reallocations += 1
+        return True
+
+    # -- Container interface ------------------------------------------------------
+
+    def begin(self) -> VectorIterator:
+        return self.iterator(self, 0)
+
+    def end(self) -> VectorIterator:
+        return self.iterator(self, len(self._data))
+
+    def size(self) -> int:
+        return len(self._data)
+
+    def empty(self) -> bool:
+        return not self._data
+
+    def capacity(self) -> int:
+        return self._capacity
+
+    # -- Random Access Container ---------------------------------------------------
+
+    def at(self, index: int) -> Any:
+        if not 0 <= index < len(self._data):
+            raise IndexError(f"vector index {index} out of range [0, {len(self._data)})")
+        return self._data[index]
+
+    def set_at(self, index: int, value: Any) -> None:
+        if not 0 <= index < len(self._data):
+            raise IndexError(f"vector index {index} out of range [0, {len(self._data)})")
+        self._data[index] = value
+
+    def __getitem__(self, index: int) -> Any:
+        return self.at(index)
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        self.set_at(index, value)
+
+    # -- Sequence mutations ----------------------------------------------------------
+
+    def push_back(self, value: Any) -> None:
+        realloc = self._grow_for(1)
+        self._data.append(value)
+        if realloc:
+            self.invalidation_events += self._iterators.invalidate_all()
+
+    def pop_back(self) -> Any:
+        if not self._data:
+            raise IndexError("pop_back on empty vector")
+        last = len(self._data) - 1
+        self.invalidation_events += self._iterators.invalidate_if(
+            lambda it: it.index >= last
+        )
+        return self._data.pop()
+
+    def insert(self, pos: VectorIterator, value: Any) -> VectorIterator:
+        """Insert before ``pos``; returns an iterator to the new element."""
+        pos._require_valid()
+        index = pos.index
+        realloc = self._grow_for(1)
+        self._data.insert(index, value)
+        if realloc:
+            self.invalidation_events += self._iterators.invalidate_all()
+        else:
+            self.invalidation_events += self._iterators.invalidate_if(
+                lambda it: it.index >= index
+            )
+        return self.iterator(self, index)
+
+    def erase(self, pos: VectorIterator) -> VectorIterator:
+        """Erase at ``pos``; invalidates ``pos`` and everything after it,
+        returning an iterator to the element following the erased one (the
+        correct idiom Fig. 4's buggy code fails to use)."""
+        pos._require_valid()
+        index = pos.index
+        if index >= len(self._data):
+            raise IndexError("erase of past-the-end iterator")
+        del self._data[index]
+        self.invalidation_events += self._iterators.invalidate_if(
+            lambda it: it.index >= index
+        )
+        return self.iterator(self, index)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.invalidation_events += self._iterators.invalidate_all()
+
+    # -- Python interop -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self):
+        return iter(list(self._data))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Vector):
+            return self._data == other._data
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Vector({self._data!r})"
+
+    def to_list(self) -> list[Any]:
+        return list(self._data)

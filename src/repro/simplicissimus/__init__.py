@@ -1,0 +1,56 @@
+"""Simplicissimus: concept-based expression rewriting (Section 3.2).
+
+Quick use::
+
+    from repro.simplicissimus import Var, Const, simplify
+
+    x = Var("x")
+    result = simplify(x * Const(1), {"x": int})
+    assert str(result.expr) == "x"        # (x, *) models Monoid
+"""
+
+from .cost import DEFAULT_WEIGHTS, cost, savings
+from .expr import (
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IdentityOf,
+    Inverse,
+    MethodCall,
+    Var,
+    normalize,
+    rebuild,
+)
+from .library_rules import (
+    LiDIAFloat,
+    declare_lidia,
+    lidia_inverse_rule,
+    lidia_simplifier,
+)
+from .rewriter import RewriteResult, Simplifier, simplify
+from .rules import (
+    FIG5_RULES,
+    STANDARD_RULES,
+    DoubleInverseRule,
+    LambdaRule,
+    LeftIdentityRule,
+    LeftInverseRule,
+    RewriteRule,
+    RightIdentityRule,
+    RightInverseRule,
+    RuleApplication,
+)
+from .standard_rules import Fig5Instance, fig5_instances, fig5_table
+
+__all__ = [
+    "BinOp", "Call", "Const", "Expr", "IdentityOf", "Inverse", "MethodCall",
+    "Var", "normalize", "rebuild",
+    "RewriteRule", "RightIdentityRule", "LeftIdentityRule",
+    "RightInverseRule", "LeftInverseRule", "DoubleInverseRule", "LambdaRule",
+    "RuleApplication", "STANDARD_RULES", "FIG5_RULES",
+    "Simplifier", "RewriteResult", "simplify",
+    "LiDIAFloat", "declare_lidia", "lidia_inverse_rule", "lidia_simplifier",
+    "cost", "savings", "DEFAULT_WEIGHTS",
+    "Fig5Instance", "fig5_instances", "fig5_table",
+]

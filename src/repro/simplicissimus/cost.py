@@ -1,0 +1,85 @@
+"""A simple operation-count cost model for quantifying rewrite benefit.
+
+Fig. 5's point is economy and scope, not raw speed; but the benches also
+need to show each rewrite is an *optimization*.  Cost here counts abstract
+operation applications weighted per (type, operator) — matrix multiply is
+not the same price as integer add — and the bench cross-checks the model
+against wall-clock evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from .expr import (
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IdentityOf,
+    Inverse,
+    MethodCall,
+    TypeEnv,
+    Var,
+)
+
+#: Default operation weights; anything absent costs 1.
+DEFAULT_WEIGHTS: dict[tuple[str, str], float] = {
+    ("Matrix", "@"): 100.0,
+    ("ComplexMatrix", "@"): 400.0,
+    ("Matrix", "inverse"): 300.0,
+    ("LiDIAFloat", "*"): 5.0,
+    ("LiDIAFloat", "/"): 12.0,
+    ("LiDIAFloat", "Inverse"): 1.0,
+    ("Fraction", "*"): 5.0,
+    ("str", "concat"): 2.0,
+}
+
+
+def cost(
+    expr: Expr,
+    tenv: Optional[TypeEnv] = None,
+    weights: Optional[Mapping[tuple[str, str], float]] = None,
+) -> float:
+    """Total weighted operation count of evaluating ``expr`` once."""
+    tenv = tenv or {}
+    w = dict(DEFAULT_WEIGHTS)
+    if weights:
+        w.update(weights)
+
+    def type_name(e: Expr) -> str:
+        t = e.typeof(tenv)
+        return t.__name__ if isinstance(t, type) else "?"
+
+    def walk(e: Expr) -> float:
+        child_cost = sum(walk(c) for c in e.children())
+        if isinstance(e, (Const, Var)):
+            return 0.0
+        if isinstance(e, BinOp):
+            # Either operand's type may carry the weight (1.0 / lidia_f is
+            # priced by the LiDIA division, not the float literal).
+            weight = max(
+                w.get((type_name(e.left), e.op), 1.0),
+                w.get((type_name(e.right), e.op), 1.0),
+            )
+            return child_cost + weight
+        if isinstance(e, Inverse):
+            key = (type_name(e.operand),
+                   "inverse" if e.op == "@" else e.op)
+            return child_cost + w.get(key, 1.0)
+        if isinstance(e, IdentityOf):
+            return child_cost + 0.0  # materializing an identity is free-ish
+        if isinstance(e, MethodCall):
+            return child_cost + w.get((type_name(e.receiver), e.name), 1.0)
+        if isinstance(e, Call):
+            return child_cost + 1.0
+        return child_cost
+
+    return walk(expr)
+
+
+def savings(before: Expr, after: Expr,
+            tenv: Optional[TypeEnv] = None,
+            weights: Optional[Mapping[tuple[str, str], float]] = None) -> float:
+    """Cost eliminated by a rewrite (positive = improvement)."""
+    return cost(before, tenv, weights) - cost(after, tenv, weights)

@@ -1,0 +1,290 @@
+"""Expression trees for the Simplicissimus optimizer.
+
+Simplicissimus "is an abstraction of the simplifier component in a
+compiler"; this module supplies the expressions it simplifies.  Nodes are
+immutable and structurally comparable (rule matching needs ``x + (-x)`` to
+recognize that both occurrences are *the same* ``x``).
+
+Types matter: rules are guarded by concept requirements over the *types* of
+subexpressions, so every node can report its type under a type environment
+(variable name -> Python type), and evaluation dispatches binary operators
+through the algebra registry when a structure is declared for
+``(type, op)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ..concepts.algebra import AlgebraRegistry, algebra as default_algebra
+
+TypeEnv = Mapping[str, type]
+ValueEnv = Mapping[str, Any]
+
+
+class Expr:
+    """Base expression node."""
+
+    def typeof(self, tenv: TypeEnv) -> Optional[type]:
+        raise NotImplementedError
+
+    def evaluate(self, venv: ValueEnv,
+                 registry: Optional[AlgebraRegistry] = None) -> Any:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children())
+
+    # sugar for building test/bench expressions
+    def __add__(self, other: "Expr") -> "BinOp":
+        return BinOp("+", self, _wrap(other))
+
+    def __mul__(self, other: "Expr") -> "BinOp":
+        return BinOp("*", self, _wrap(other))
+
+    def __matmul__(self, other: "Expr") -> "BinOp":
+        return BinOp("@", self, _wrap(other))
+
+    def __and__(self, other: "Expr") -> "BinOp":
+        return BinOp("&", self, _wrap(other))
+
+
+def _wrap(x: Any) -> "Expr":
+    return x if isinstance(x, Expr) else Const(x)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value."""
+
+    value: Any
+
+    def typeof(self, tenv: TypeEnv) -> type:
+        return type(self.value)
+
+    def evaluate(self, venv: ValueEnv,
+                 registry: Optional[AlgebraRegistry] = None) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A typed variable."""
+
+    name: str
+
+    def typeof(self, tenv: TypeEnv) -> Optional[type]:
+        return tenv.get(self.name)
+
+    def evaluate(self, venv: ValueEnv,
+                 registry: Optional[AlgebraRegistry] = None) -> Any:
+        return venv[self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """``op(left, right)`` for an operator symbol known to the algebra
+    registry (``+``, ``*``, ``@``, ``&``, ``and``, ``concat``, ...)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def typeof(self, tenv: TypeEnv) -> Optional[type]:
+        return self.left.typeof(tenv)  # closed operations
+
+    def evaluate(self, venv: ValueEnv,
+                 registry: Optional[AlgebraRegistry] = None) -> Any:
+        reg = registry if registry is not None else default_algebra
+        a = self.left.evaluate(venv, reg)
+        b = self.right.evaluate(venv, reg)
+        s = reg.lookup(type(a), self.op)
+        if s is not None:
+            return s.apply(a, b)
+        fn = _PY_BINOPS.get(self.op)
+        if fn is None:
+            raise LookupError(f"no evaluation rule for operator '{self.op}'")
+        return fn(a, b)
+
+    def __str__(self) -> str:
+        if self.op.isalnum():
+            return f"{self.op}({self.left}, {self.right})"
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Inverse(Expr):
+    """The ``op``-inverse of an expression: ``Inverse(x, '+')`` is ``-x``,
+    ``Inverse(f, '*')`` is ``1/f``, ``Inverse(A, '@')`` is ``A^{-1}``.
+
+    Surface forms (unary minus, ``1.0/f``, ``A.inverse()``) are normalized
+    to this node by :func:`normalize` so the Group rule of Fig. 5 matches
+    them all.
+    """
+
+    operand: Expr
+    op: str
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def typeof(self, tenv: TypeEnv) -> Optional[type]:
+        return self.operand.typeof(tenv)
+
+    def evaluate(self, venv: ValueEnv,
+                 registry: Optional[AlgebraRegistry] = None) -> Any:
+        reg = registry if registry is not None else default_algebra
+        v = self.operand.evaluate(venv, reg)
+        s = reg.lookup(type(v), self.op)
+        if s is not None and s.inverse is not None:
+            return s.inverse(v)
+        raise LookupError(
+            f"no inverse available for ({type(v).__name__}, '{self.op}')"
+        )
+
+    def __str__(self) -> str:
+        return f"inv[{self.op}]({self.operand})"
+
+
+@dataclass(frozen=True)
+class IdentityOf(Expr):
+    """The identity element of ``(type-of operand, op)`` — shaped like the
+    operand (the identity matrix ``I`` of matching dimension)."""
+
+    operand: Expr
+    op: str
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def typeof(self, tenv: TypeEnv) -> Optional[type]:
+        return self.operand.typeof(tenv)
+
+    def evaluate(self, venv: ValueEnv,
+                 registry: Optional[AlgebraRegistry] = None) -> Any:
+        reg = registry if registry is not None else default_algebra
+        v = self.operand.evaluate(venv, reg)
+        s = reg.lookup(type(v), self.op)
+        if s is None:
+            raise LookupError(
+                f"no structure for ({type(v).__name__}, '{self.op}')"
+            )
+        return s.identity_for(v)
+
+    def __str__(self) -> str:
+        return f"e[{self.op}]({self.operand})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A free-function call, evaluated against a function table passed in
+    the value environment under the key ``"__functions__"``."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def typeof(self, tenv: TypeEnv) -> Optional[type]:
+        return None
+
+    def evaluate(self, venv: ValueEnv,
+                 registry: Optional[AlgebraRegistry] = None) -> Any:
+        fns = venv.get("__functions__", {})
+        if self.func not in fns:
+            raise LookupError(f"no function '{self.func}' in environment")
+        return fns[self.func](*(a.evaluate(venv, registry) for a in self.args))
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class MethodCall(Expr):
+    """``receiver.name(args...)``."""
+
+    receiver: Expr
+    name: str
+    args: tuple[Expr, ...] = ()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.receiver,) + self.args
+
+    def typeof(self, tenv: TypeEnv) -> Optional[type]:
+        return None
+
+    def evaluate(self, venv: ValueEnv,
+                 registry: Optional[AlgebraRegistry] = None) -> Any:
+        recv = self.receiver.evaluate(venv, registry)
+        return getattr(recv, self.name)(
+            *(a.evaluate(venv, registry) for a in self.args)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.receiver}.{self.name}({', '.join(map(str, self.args))})"
+
+
+_PY_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "@": lambda a, b: a @ b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+    "concat": lambda a, b: a + b,
+}
+
+
+def rebuild(node: Expr, new_children: Sequence[Expr]) -> Expr:
+    """Reconstruct ``node`` with replaced children (used by the rewriter)."""
+    if isinstance(node, BinOp):
+        return BinOp(node.op, new_children[0], new_children[1])
+    if isinstance(node, Inverse):
+        return Inverse(new_children[0], node.op)
+    if isinstance(node, IdentityOf):
+        return IdentityOf(new_children[0], node.op)
+    if isinstance(node, Call):
+        return Call(node.func, tuple(new_children))
+    if isinstance(node, MethodCall):
+        return MethodCall(new_children[0], node.name, tuple(new_children[1:]))
+    return node
+
+
+def normalize(node: Expr) -> Expr:
+    """Normalize surface inverse forms to :class:`Inverse` nodes:
+
+    - ``BinOp('-', x, y)``  -> ``x + Inverse(y, '+')``
+    - ``BinOp('/', one, y)``-> ``Inverse(y, '*')`` when the numerator is
+      the literal multiplicative identity (Fig. 5's ``f * (1.0 / f)``)
+    - ``BinOp('/', x, y)``  -> ``x * Inverse(y, '*')``
+    - ``MethodCall(a, 'inverse')`` -> ``Inverse(a, '@')`` for matrix types
+    """
+    kids = [normalize(c) for c in node.children()]
+    node = rebuild(node, kids)
+    if isinstance(node, BinOp):
+        if node.op == "-":
+            return BinOp("+", node.left, Inverse(node.right, "+"))
+        if node.op == "/":
+            if isinstance(node.left, Const) and node.left.value in (1, 1.0, 1 + 0j):
+                return Inverse(node.right, "*")
+            return BinOp("*", node.left, Inverse(node.right, "*"))
+    if isinstance(node, MethodCall) and node.name == "inverse" and not node.args:
+        return Inverse(node.receiver, "@")
+    return node

@@ -1,0 +1,118 @@
+"""The rewrite engine: bottom-up, fixpoint, concept-guarded.
+
+"While a traditional simplifier performs expression-level rewrites such as
+x + 0 -> x when x is a built-in integer, Simplicissimus instead applies
+rewrite rules based on the concepts of the data types."  The engine is
+deliberately an *expression-level* transformer using only local information
+(the paper: "Simplicissimus is limited to expression-level transformations
+based only on local information") — global, flow-sensitive reasoning is
+STLlint's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..concepts.algebra import AlgebraRegistry, algebra as default_algebra
+from .expr import Expr, TypeEnv, normalize, rebuild
+from .rules import RewriteRule, RuleApplication, STANDARD_RULES
+
+
+@dataclass
+class RewriteResult:
+    """The simplified expression plus an audit trail of rule firings."""
+
+    expr: Expr
+    applications: list[RuleApplication] = field(default_factory=list)
+    passes: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applications)
+
+    def nodes_eliminated(self, original: Expr) -> int:
+        return original.size() - self.expr.size()
+
+    def report(self) -> str:
+        lines = [f"simplified in {self.passes} pass(es), "
+                 f"{len(self.applications)} rewrite(s):"]
+        for a in self.applications:
+            lines.append(
+                f"  [{a.rule} / {a.concept} @ {a.instance_type}] "
+                f"{a.before}  ->  {a.after}"
+            )
+        return "\n".join(lines)
+
+
+class Simplifier:
+    """A rule set bound to an algebra registry.
+
+    ``extend`` registers additional (library-specific) rules; extension
+    rules run *before* the generic ones so specializations like LiDIA's
+    ``1.0/f -> f.Inverse()`` win over the generic inverse normalization.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[RewriteRule] = STANDARD_RULES,
+        registry: Optional[AlgebraRegistry] = None,
+        max_passes: int = 32,
+    ) -> None:
+        self.library_rules: list[RewriteRule] = []
+        self.generic_rules: list[RewriteRule] = list(rules)
+        self.registry = registry if registry is not None else default_algebra
+        self.max_passes = max_passes
+
+    def extend(self, rule: RewriteRule) -> RewriteRule:
+        """Register a user/library rule (Section 3.2's extension point)."""
+        self.library_rules.append(rule)
+        return rule
+
+    @property
+    def rules(self) -> list[RewriteRule]:
+        return self.library_rules + self.generic_rules
+
+    def simplify(
+        self,
+        expr: Expr,
+        tenv: Optional[TypeEnv] = None,
+        pre_normalize: bool = True,
+    ) -> RewriteResult:
+        """Rewrite to fixpoint (or ``max_passes``)."""
+        tenv = tenv or {}
+        if pre_normalize:
+            expr = normalize(expr)
+        applications: list[RuleApplication] = []
+        passes = 0
+        while passes < self.max_passes:
+            passes += 1
+            new_expr, changed = self._rewrite_once(expr, tenv, applications)
+            expr = new_expr
+            if not changed:
+                break
+        return RewriteResult(expr, applications, passes)
+
+    def _rewrite_once(
+        self, node: Expr, tenv: TypeEnv, applications: list[RuleApplication]
+    ) -> tuple[Expr, bool]:
+        changed = False
+        kids = []
+        for c in node.children():
+            new_c, c_changed = self._rewrite_once(c, tenv, applications)
+            kids.append(new_c)
+            changed = changed or c_changed
+        if changed:
+            node = rebuild(node, kids)
+        for rule in self.rules:
+            out = rule.try_rewrite(node, tenv, self.registry)
+            if out is not None:
+                new_node, record = out
+                applications.append(record)
+                return new_node, True
+        return node, changed
+
+
+def simplify(expr: Expr, tenv: Optional[TypeEnv] = None) -> RewriteResult:
+    """One-shot simplification with the standard Fig. 5 rule set."""
+    return Simplifier().simplify(expr, tenv)

@@ -1,0 +1,243 @@
+"""Concept-guarded rewrite rules.
+
+Fig. 5's two generic rules::
+
+    x + 0 -> x        requires (x, +) models Monoid
+    x + (-x) -> 0     requires (x, +, -) models Group
+
+"The concept-based rules are directly related to and derivable from the
+axioms governing the Monoid and Group concepts" — each rule class below
+names the axiom it comes from, and the rule *refuses to fire* unless the
+algebra registry confirms the (type, operator) pair models the required
+concept.  That guard is what makes the rewrite sound: ``min(a+b, CAP)``
+saturating addition has an identity but is not a Group, so the inverse rule
+never touches it (see the ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..concepts.algebra import (
+    AlgebraRegistry,
+    Concept,
+    Group,
+    Monoid,
+    algebra as default_algebra,
+)
+from .expr import BinOp, Const, Expr, IdentityOf, Inverse, TypeEnv
+
+
+@dataclass
+class RuleApplication:
+    """Record of one successful rewrite (for reporting and the Fig. 5
+    instance table)."""
+
+    rule: str
+    before: str
+    after: str
+    concept: str
+    instance_type: str
+    op: str
+
+
+class RewriteRule:
+    """Base class: ``try_rewrite`` returns the replacement expression (and
+    an application record) or None."""
+
+    name: str = "<rule>"
+    requires: Optional[Concept] = None
+
+    def try_rewrite(
+        self, node: Expr, tenv: TypeEnv, registry: AlgebraRegistry
+    ) -> Optional[tuple[Expr, RuleApplication]]:
+        raise NotImplementedError
+
+    def _guard(
+        self, typ: Optional[type], op: str, registry: AlgebraRegistry
+    ) -> bool:
+        """The concept requirement: ``(typ, op) models self.requires``."""
+        if typ is None or self.requires is None:
+            return False
+        return registry.models(typ, op, self.requires)
+
+    def _record(self, before: Expr, after: Expr, typ: type, op: str) -> RuleApplication:
+        return RuleApplication(
+            rule=self.name,
+            before=str(before),
+            after=str(after),
+            concept=self.requires.name if self.requires else "<none>",
+            instance_type=typ.__name__,
+            op=op,
+        )
+
+
+class RightIdentityRule(RewriteRule):
+    """``x + 0 -> x`` when ``(x, +) models Monoid`` (first row of Fig. 5).
+
+    Derived from the Monoid right-identity axiom ``op(a, e) == a``.
+    Instances: ``i*1 -> i``, ``f*1.0 -> f``, ``b and True -> b``,
+    ``i & ~0 -> i``, ``concat(s, "") -> s``, ``A @ I -> A``, ...
+    """
+
+    name = "right-identity"
+    requires = Monoid
+
+    def try_rewrite(self, node, tenv, registry):
+        if not isinstance(node, BinOp):
+            return None
+        typ = node.left.typeof(tenv)
+        if not self._guard(typ, node.op, registry):
+            return None
+        s = registry.lookup(typ, node.op)
+        if _is_identity_expr(node.right, node.op, typ, s):
+            return node.left, self._record(node, node.left, typ, node.op)
+        return None
+
+
+class LeftIdentityRule(RewriteRule):
+    """``0 + x -> x`` when ``(x, +) models Monoid`` (left-identity axiom)."""
+
+    name = "left-identity"
+    requires = Monoid
+
+    def try_rewrite(self, node, tenv, registry):
+        if not isinstance(node, BinOp):
+            return None
+        typ = node.right.typeof(tenv)
+        if not self._guard(typ, node.op, registry):
+            return None
+        s = registry.lookup(typ, node.op)
+        if _is_identity_expr(node.left, node.op, typ, s):
+            return node.right, self._record(node, node.right, typ, node.op)
+        return None
+
+
+class RightInverseRule(RewriteRule):
+    """``x + (-x) -> 0`` when ``(x, +, -) models Group`` (second row of
+    Fig. 5); derived from the Group right-inverse axiom.
+
+    Instances: ``i + (-i) -> 0``, ``f * (1.0/f) -> 1.0``,
+    ``r * r^{-1} -> 1``, ``A @ A^{-1} -> I``, ...
+    """
+
+    name = "right-inverse"
+    requires = Group
+
+    def try_rewrite(self, node, tenv, registry):
+        if not isinstance(node, BinOp):
+            return None
+        typ = node.left.typeof(tenv)
+        if not self._guard(typ, node.op, registry):
+            return None
+        rhs = node.right
+        if isinstance(rhs, Inverse) and rhs.op == node.op and rhs.operand == node.left:
+            s = registry.lookup(typ, node.op)
+            replacement: Expr
+            if s is not None and s.identity_value is not None:
+                replacement = Const(s.identity_value)
+            else:
+                replacement = IdentityOf(node.left, node.op)
+            return replacement, self._record(node, replacement, typ, node.op)
+        return None
+
+
+class LeftInverseRule(RewriteRule):
+    """``(-x) + x -> 0`` for Groups (left inverse follows from right inverse
+    + identity; Athena proves that derivation in
+    :mod:`repro.athena.proofs.group_theory`)."""
+
+    name = "left-inverse"
+    requires = Group
+
+    def try_rewrite(self, node, tenv, registry):
+        if not isinstance(node, BinOp):
+            return None
+        typ = node.right.typeof(tenv)
+        if not self._guard(typ, node.op, registry):
+            return None
+        lhs = node.left
+        if isinstance(lhs, Inverse) and lhs.op == node.op and lhs.operand == node.right:
+            s = registry.lookup(typ, node.op)
+            replacement: Expr
+            if s is not None and s.identity_value is not None:
+                replacement = Const(s.identity_value)
+            else:
+                replacement = IdentityOf(node.right, node.op)
+            return replacement, self._record(node, replacement, typ, node.op)
+        return None
+
+
+class DoubleInverseRule(RewriteRule):
+    """``-(-x) -> x`` for Groups (inverse is an involution — another
+    theorem provable from the Group axioms)."""
+
+    name = "double-inverse"
+    requires = Group
+
+    def try_rewrite(self, node, tenv, registry):
+        if not isinstance(node, Inverse):
+            return None
+        inner = node.operand
+        if isinstance(inner, Inverse) and inner.op == node.op:
+            typ = inner.operand.typeof(tenv)
+            if self._guard(typ, node.op, registry):
+                return inner.operand, self._record(
+                    node, inner.operand, typ, node.op
+                )
+        return None
+
+
+@dataclass
+class LambdaRule(RewriteRule):
+    """A user-defined rule: arbitrary matcher plus an optional concept
+    guard.  This is the extension point Section 3.2 calls "of paramount
+    importance" — library authors register domain rules (the LiDIA
+    ``1.0/f -> f.Inverse()`` specialization lives in
+    :mod:`repro.simplicissimus.library_rules`)."""
+
+    matcher: Callable[[Expr, TypeEnv, AlgebraRegistry], Optional[Expr]]
+    name: str = "<library rule>"
+    requires: Optional[Concept] = None
+    doc: str = ""
+
+    def try_rewrite(self, node, tenv, registry):
+        out = self.matcher(node, tenv, registry)
+        if out is None:
+            return None
+        typ = node.typeof(tenv) or type(None)
+        return out, RuleApplication(
+            rule=self.name,
+            before=str(node),
+            after=str(out),
+            concept=self.requires.name if self.requires else "<library>",
+            instance_type=typ.__name__ if isinstance(typ, type) else str(typ),
+            op="",
+        )
+
+
+def _is_identity_expr(
+    e: Expr, op: str, typ: Optional[type], structure
+) -> bool:
+    """Is ``e`` a literal identity element for the structure, or an
+    ``IdentityOf`` node for the same operator?"""
+    if structure is None:
+        return False
+    if isinstance(e, Const):
+        return structure.identity_test(e.value)
+    if isinstance(e, IdentityOf) and e.op == op:
+        return True
+    return False
+
+
+#: The two generic rules of Fig. 5 (plus their mirror/involution corollaries).
+STANDARD_RULES: tuple[RewriteRule, ...] = (
+    RightIdentityRule(),
+    LeftIdentityRule(),
+    RightInverseRule(),
+    LeftInverseRule(),
+    DoubleInverseRule(),
+)
+
+FIG5_RULES: tuple[RewriteRule, ...] = (RightIdentityRule(), RightInverseRule())

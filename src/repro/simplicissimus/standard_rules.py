@@ -1,0 +1,116 @@
+"""The Fig. 5 instance table, generated from the two generic rules.
+
+"Additional instances can be generated from the two concept-based rules.
+Thus, while the list of instances is always incomplete, the concept-based
+rules encapsulate every data type that models the appropriate concepts,
+requiring no further user intervention."
+
+:func:`fig5_instances` enumerates, for every structure in an algebra
+registry, the concrete rewrites the two generic rules induce — regenerating
+(and extending) the paper's table.  The benches assert the paper's ten
+instances all appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..concepts.algebra import (
+    AlgebraRegistry,
+    Group,
+    Monoid,
+    algebra as default_algebra,
+)
+
+
+@dataclass(frozen=True)
+class Fig5Instance:
+    """One row-cell of Fig. 5: a concrete rewrite induced by a generic rule."""
+
+    rule: str            # "x + 0 -> x" or "x + (-x) -> 0"
+    concept: str         # Monoid or Group
+    type_name: str
+    op: str
+    rendering: str       # e.g. "i * 1 -> i"
+
+
+_VAR_BY_TYPE = {
+    "int": "i", "float": "f", "bool": "b", "str": "s",
+    "Fraction": "r", "Matrix": "A", "ComplexMatrix": "A",
+    "LiDIAFloat": "f",
+}
+
+
+def _identity_rendering(type_name: str, op: str, identity) -> str:
+    if type_name == "Matrix" or type_name == "ComplexMatrix":
+        return "I"
+    if type_name == "int" and op == "&":
+        return "0xFFF..F"
+    return repr(identity) if identity is not None else "e"
+
+
+def _inverse_rendering(var: str, type_name: str, op: str) -> str:
+    if op == "+":
+        return f"(-{var})"
+    if op == "@" or type_name in ("Matrix", "ComplexMatrix"):
+        return f"{var}^-1"
+    if op == "*":
+        return f"(1/{var})"
+    return f"inv({var})"
+
+
+def fig5_instances(
+    registry: Optional[AlgebraRegistry] = None,
+) -> list[Fig5Instance]:
+    """Every concrete instance the two Fig. 5 rules generate over the
+    registry's declared structures."""
+    reg = registry if registry is not None else default_algebra
+    out: list[Fig5Instance] = []
+    for s in reg.structures():
+        tname = s.typ.__name__
+        var = _VAR_BY_TYPE.get(tname, "x")
+        opr = s.op_symbol if not s.op_symbol.isalnum() else f" {s.op_symbol} "
+        if s.concept.refines_concept(Monoid):
+            e = _identity_rendering(tname, s.op_symbol, s.identity_value)
+            out.append(Fig5Instance(
+                rule="x + 0 -> x",
+                concept="Monoid",
+                type_name=tname,
+                op=s.op_symbol,
+                rendering=f"{var}{opr}{e} -> {var}".replace("  ", " "),
+            ))
+        if s.concept.refines_concept(Group) and s.inverse is not None:
+            e = _identity_rendering(tname, s.op_symbol, s.identity_value)
+            inv = _inverse_rendering(var, tname, s.op_symbol)
+            out.append(Fig5Instance(
+                rule="x + (-x) -> 0",
+                concept="Group",
+                type_name=tname,
+                op=s.op_symbol,
+                rendering=f"{var}{opr}{inv} -> {e}".replace("  ", " "),
+            ))
+    return out
+
+
+def fig5_table(registry: Optional[AlgebraRegistry] = None) -> str:
+    """Render the regenerated Fig. 5 as text."""
+    instances = fig5_instances(registry)
+    lines = [
+        f"{'Rewrite':18s} {'Requirements':28s} Instance",
+        "-" * 78,
+    ]
+    for rule, concept in (("x + 0 -> x", "Monoid"), ("x + (-x) -> 0", "Group")):
+        rows = [i for i in instances if i.rule == rule]
+        for k, inst in enumerate(rows):
+            lead = rule if k == 0 else ""
+            req = f"(x,+) models {concept}" if k == 0 else ""
+            lines.append(f"{lead:18s} {req:28s} {inst.rendering}")
+    n_rules = 2
+    n_instances = len(instances)
+    lines.append("-" * 78)
+    lines.append(
+        f"{n_rules} concept-based rules generate {n_instances} concrete "
+        f"instances (and every future model for free)."
+    )
+    return "\n".join(lines)

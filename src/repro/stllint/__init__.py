@@ -1,0 +1,69 @@
+"""STLlint: high-level static checking against library specifications
+(Section 3.1), plus the concept-level optimization advice of Section 3.2.
+
+Quick use::
+
+    from repro.stllint import check_source
+
+    report = check_source('''
+    def extract_fails(students: "vector", fails: "vector"):
+        it = students.begin()
+        while not it.equals(students.end()):
+            if fgrade(it.deref()):
+                fails.push_back(it.deref())
+                students.erase(it)
+            else:
+                it.increment()
+    ''')
+    print(report.render())
+    # Warning: attempt to dereference a singular iterator
+    #     if fgrade(it.deref()):
+"""
+
+from .abstract_values import (
+    AbstractBool,
+    AbstractContainer,
+    AbstractIterator,
+    AbstractValue,
+    Position,
+    Validity,
+)
+from .archetype_check import (
+    MultiPassSequence,
+    MultipassViolation,
+    SinglePassIterator,
+    SinglePassSequence,
+    check_traversal_requirement,
+)
+from .diagnostics import Diagnostic, DiagnosticSink, Severity
+from .interpreter import Checker, Env, check_function, check_source
+from .specs import (
+    ALGORITHM_SPECS,
+    CONTAINER_SPECS,
+    MSG_CROSS_CONTAINER,
+    MSG_MAYBE_END_DEREF,
+    MSG_NOT_A_HEAP,
+    MSG_PAST_END_DEREF,
+    MSG_SINGULAR_DEREF,
+    MSG_SORTED_LINEAR_FIND,
+    MSG_UNSORTED_LOWER_BOUND,
+    SORTED,
+    ContainerSpec,
+    InvalidationRule,
+    register_algorithm_spec,
+)
+
+__all__ = [
+    "AbstractBool", "AbstractContainer", "AbstractIterator", "AbstractValue",
+    "Position", "Validity",
+    "Diagnostic", "DiagnosticSink", "Severity",
+    "Checker", "Env", "check_function", "check_source",
+    "ALGORITHM_SPECS", "CONTAINER_SPECS", "ContainerSpec",
+    "InvalidationRule", "register_algorithm_spec", "SORTED",
+    "MSG_CROSS_CONTAINER", "MSG_MAYBE_END_DEREF", "MSG_NOT_A_HEAP",
+    "MSG_PAST_END_DEREF",
+    "MSG_SINGULAR_DEREF", "MSG_SORTED_LINEAR_FIND",
+    "MSG_UNSORTED_LOWER_BOUND",
+    "SinglePassSequence", "SinglePassIterator", "MultiPassSequence",
+    "MultipassViolation", "check_traversal_requirement",
+]

@@ -1,0 +1,156 @@
+"""Semantic archetypes (Section 3.1).
+
+"STLlint extends the notion of concept archetypes ... to *semantic*
+archetypes, which emulate the behavior of the most restrictive model of a
+particular concept. ... STLlint can detect the semantic errors resulting
+from mischaracterizing the concept requirements of max_element using a
+semantic archetype of an Input Iterator, which permits only one traversal
+of the sequence."
+
+:class:`SinglePassSequence` is that most-restrictive Input Iterator model:
+a real, runnable container whose iterators share one traversal token —
+advancing *any* iterator past a position revokes every other iterator at or
+before it.  Algorithms that honour the single-pass contract (``find``,
+``for_each``, ``accumulate``) run fine; algorithms that quietly rely on the
+Forward Iterator multipass property (``max_element`` keeps an iterator to
+the best element while scanning on) trip a :class:`MultipassViolation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..concepts.builtins import ForwardIterator, InputIterator
+from ..concepts.errors import ArchetypeViolation
+
+
+class MultipassViolation(ArchetypeViolation):
+    """An algorithm used an Input Iterator as if it were multipass."""
+
+    def __init__(self, detail: str) -> None:
+        # ArchetypeViolation(operation, concept, detail)
+        super().__init__("multipass traversal", "Input Iterator", detail)
+
+
+class SinglePassIterator:
+    """An iterator over a :class:`SinglePassSequence`.
+
+    Concept interface: ``deref``/``increment``/``equals``/``clone`` — so it
+    is *syntactically* a Forward Iterator; the restriction is purely
+    semantic, which is why only a semantic archetype can expose the bug.
+    """
+
+    value_type: type = object
+
+    def __init__(self, seq: "SinglePassSequence", index: int) -> None:
+        self._seq = seq
+        self._index = index
+
+    @property
+    def container(self) -> "SinglePassSequence":
+        return self._seq
+
+    def _check_live(self, what: str) -> None:
+        if self._index < self._seq.consumed_up_to and not self._at_end():
+            raise MultipassViolation(
+                f"{what} of an input-iterator position that was already "
+                f"passed (position {self._index}, sequence consumed up to "
+                f"{self._seq.consumed_up_to}); Input Iterator permits only "
+                f"one traversal"
+            )
+
+    def _at_end(self) -> bool:
+        return self._index >= len(self._seq.items)
+
+    def deref(self) -> Any:
+        self._check_live("dereference")
+        if self._at_end():
+            raise IndexError("dereference of past-the-end input iterator")
+        return self._seq.items[self._index]
+
+    def increment(self) -> None:
+        self._check_live("increment")
+        if self._at_end():
+            raise IndexError("increment past the end")
+        self._index += 1
+        # Consuming: every copy at an earlier position is now dead.
+        self._seq.consumed_up_to = max(self._seq.consumed_up_to, self._index)
+
+    def equals(self, other: "SinglePassIterator") -> bool:
+        return self._seq is other._seq and self._index == other._index
+
+    def clone(self) -> "SinglePassIterator":
+        self._check_live("copy")
+        return type(self)(self._seq, self._index)
+
+    def __repr__(self) -> str:
+        return f"<single-pass iter @{self._index}>"
+
+
+class SinglePassSequence:
+    """The semantic archetype of a single-pass (Input Iterator) range —
+    think ``istream_iterator``: once read past, gone."""
+
+    value_type: type = object
+    iterator: type = SinglePassIterator
+
+    def __init__(self, items: Iterable[Any]) -> None:
+        self.items = list(items)
+        self.consumed_up_to = 0
+
+    def begin(self) -> SinglePassIterator:
+        return SinglePassIterator(self, 0)
+
+    def end(self) -> SinglePassIterator:
+        return SinglePassIterator(self, len(self.items))
+
+    def size(self) -> int:
+        return len(self.items)
+
+
+class MultiPassSequence(SinglePassSequence):
+    """The corresponding Forward Iterator semantic archetype: identical
+    interface, no consumption — the *minimal* strengthening max_element
+    actually needs."""
+
+    def __init__(self, items: Iterable[Any]) -> None:
+        super().__init__(items)
+
+    class _It(SinglePassIterator):
+        def _check_live(self, what: str) -> None:
+            pass
+
+        def increment(self) -> None:
+            if self._at_end():
+                raise IndexError("increment past the end")
+            self._index += 1
+
+    iterator = _It
+
+    def begin(self):
+        return MultiPassSequence._It(self, 0)
+
+    def end(self):
+        return MultiPassSequence._It(self, len(self.items))
+
+
+def check_traversal_requirement(
+    algorithm: Callable[..., Any],
+    items: Sequence[Any] = (3, 1, 4, 1, 5, 9, 2, 6),
+    extra_args: tuple = (),
+) -> str:
+    """Classify an algorithm's minimal traversal concept by running it
+    against the two semantic archetypes.
+
+    Returns ``"input iterator"`` when the algorithm honours single-pass,
+    ``"forward iterator"`` when it needs multipass, or raises whatever
+    non-traversal error the algorithm produced.
+    """
+    mp = MultiPassSequence(items)
+    algorithm(mp.begin(), mp.end(), *extra_args)  # must work at all
+    sp = SinglePassSequence(items)
+    try:
+        algorithm(sp.begin(), sp.end(), *extra_args)
+    except MultipassViolation:
+        return "forward iterator"
+    return "input iterator"

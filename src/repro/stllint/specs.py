@@ -1,0 +1,318 @@
+"""Library specifications: the behaviour summaries STLlint analyzes against.
+
+"By analyzing the behavior of abstractions at a high level and ignoring the
+implementation of the abstractions, STLlint is able to detect errors in the
+use of libraries that could not be detected with traditional language-level
+checking."  Concretely:
+
+- :data:`CONTAINER_SPECS` gives each container kind its invalidation rule —
+  the semantic iterator concept's per-model behaviour (Section 3.1: "the
+  invalidation behavior of operations varies greatly across domains").
+- :data:`ALGORITHM_SPECS` gives each generic algorithm its entry handler
+  (precondition checks: sortedness for ``lower_bound``/``binary_search``),
+  exit handler (postconditions: ``sort`` establishes sortedness), and
+  result summary — the "algorithm specification extensions ... introduced
+  via entry/exit handlers" of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .abstract_values import (
+    AbstractBool,
+    AbstractContainer,
+    AbstractIterator,
+    AbstractValue,
+    Position,
+    Validity,
+)
+from .diagnostics import DiagnosticSink
+
+SORTED = "sorted"
+UNIQUE = "unique"
+HEAP = "heap"
+HEAP_TAIL = "heap-except-last"  # a heap plus one appended element
+
+
+@dataclass(frozen=True)
+class InvalidationRule:
+    """What a mutating operation does to outstanding iterators.
+
+    ``target``: effect on the iterator passed to the operation
+    (``"singular"`` or ``"keep"``); ``others``: effect on every other
+    iterator of the same container (``"keep"``, ``"maybe"``, ``"singular"``).
+    """
+
+    target: str
+    others: str
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """Invalidation semantics for one container kind (ISO C++ rules,
+    matching the dynamic behaviour of :mod:`repro.sequences`)."""
+
+    kind: str
+    erase: InvalidationRule
+    insert: InvalidationRule
+    push_back: Optional[InvalidationRule] = None
+    push_front: Optional[InvalidationRule] = None
+
+
+CONTAINER_SPECS: dict[str, ContainerSpec] = {
+    # vector: erase/insert invalidate at-or-after (abstractly: the target
+    # definitely, the rest maybe); push_back maybe-invalidates everything
+    # (reallocation).
+    "vector": ContainerSpec(
+        "vector",
+        erase=InvalidationRule(target="singular", others="maybe"),
+        insert=InvalidationRule(target="singular", others="maybe"),
+        push_back=InvalidationRule(target="keep", others="maybe"),
+    ),
+    # list: erase invalidates only the erased position; nothing else ever.
+    "list": ContainerSpec(
+        "list",
+        erase=InvalidationRule(target="singular", others="keep"),
+        insert=InvalidationRule(target="keep", others="keep"),
+        push_back=InvalidationRule(target="keep", others="keep"),
+        push_front=InvalidationRule(target="keep", others="keep"),
+    ),
+    # deque: any insert/erase invalidates all iterators.
+    "deque": ContainerSpec(
+        "deque",
+        erase=InvalidationRule(target="singular", others="singular"),
+        insert=InvalidationRule(target="singular", others="singular"),
+        push_back=InvalidationRule(target="keep", others="maybe"),
+        push_front=InvalidationRule(target="keep", others="maybe"),
+    ),
+}
+
+#: Messages, worded as the paper reports them.
+MSG_SINGULAR_DEREF = "attempt to dereference a singular iterator"
+MSG_MAYBE_SINGULAR_DEREF = "attempt to dereference a singular iterator"
+MSG_SINGULAR_ADVANCE = "attempt to advance a singular iterator"
+MSG_PAST_END_DEREF = "attempt to dereference a past-the-end iterator"
+MSG_PAST_END_ADVANCE = "attempt to advance an iterator past the end"
+MSG_MAYBE_END_DEREF = (
+    "iterator may be past-the-end; compare it against end() before "
+    "dereferencing"
+)
+MSG_CROSS_CONTAINER = "comparing iterators into two different containers"
+MSG_UNSORTED_LOWER_BOUND = (
+    "the incoming sequence [first, last) may not be sorted, but this "
+    "algorithm requires a sorted sequence"
+)
+MSG_NOT_A_HEAP = (
+    "the container may not satisfy the heap property required by this "
+    "algorithm (establish it with make_heap)"
+)
+MSG_SORTED_LINEAR_FIND = (
+    "potential optimization: the incoming sequence [first, last) is sorted, "
+    "but will be searched linearly with this algorithm. Consider replacing "
+    "this algorithm with one specialized for sorted sequences "
+    "(e.g., lower_bound)"
+)
+
+
+class AlgorithmContext:
+    """What an algorithm spec handler gets to work with."""
+
+    def __init__(self, interp: Any, args: list[Any], line: int) -> None:
+        self.interp = interp
+        self.args = args
+        self.line = line
+        self.sink: DiagnosticSink = interp.sink
+
+    def iterator_args(self) -> list[AbstractIterator]:
+        return [a for a in self.args if isinstance(a, AbstractIterator)]
+
+    def range_container(self) -> Optional[AbstractContainer]:
+        its = self.iterator_args()
+        if len(its) >= 2 and its[0].container.cid != its[1].container.cid:
+            self.sink.warning(MSG_CROSS_CONTAINER, self.line)
+        return its[0].container if its else None
+
+    def check_use(self, it: AbstractIterator) -> None:
+        self.interp.check_iterator_use(it, self.line, MSG_SINGULAR_ADVANCE)
+
+
+AlgorithmHandler = Callable[[AlgorithmContext], Any]
+
+
+def _spec_find(ctx: AlgorithmContext) -> Any:
+    """find(first, last, value): linear search.  Exit: result may be end.
+    Flow-sensitive suggestion (Section 3.2): linear search over a range
+    known to be sorted should be lower_bound."""
+    for it in ctx.iterator_args():
+        ctx.check_use(it)
+    c = ctx.range_container()
+    if c is None:
+        return AbstractValue("find-result")
+    if SORTED in c.properties:
+        ctx.sink.suggestion(MSG_SORTED_LINEAR_FIND, ctx.line)
+    return AbstractIterator(
+        c, Position.UNKNOWN, Validity.VALID, c.epoch,
+        may_be_end=True, origin_line=ctx.line,
+    )
+
+
+def _spec_sort(ctx: AlgorithmContext) -> Any:
+    """sort(first, last) or sort(c): exit handler establishes sortedness —
+    "sorting algorithms introduce a sortedness property" (Section 3.1)."""
+    c: Optional[AbstractContainer] = None
+    for a in ctx.args:
+        if isinstance(a, AbstractContainer):
+            c = a
+        elif isinstance(a, AbstractIterator):
+            ctx.check_use(a)
+            c = a.container
+    if c is not None:
+        c.properties.add(SORTED)
+    return AbstractValue()
+
+
+def _spec_lower_bound(ctx: AlgorithmContext) -> Any:
+    """lower_bound(first, last, value): entry handler checks the sortedness
+    precondition."""
+    for it in ctx.iterator_args():
+        ctx.check_use(it)
+    c = ctx.range_container()
+    if c is not None and SORTED not in c.properties:
+        ctx.sink.warning(MSG_UNSORTED_LOWER_BOUND, ctx.line)
+    if c is None:
+        return AbstractValue("lower-bound-result")
+    return AbstractIterator(
+        c, Position.UNKNOWN, Validity.VALID, c.epoch,
+        may_be_end=True, origin_line=ctx.line,
+    )
+
+
+def _spec_binary_search(ctx: AlgorithmContext) -> Any:
+    for it in ctx.iterator_args():
+        ctx.check_use(it)
+    c = ctx.range_container()
+    if c is not None and SORTED not in c.properties:
+        ctx.sink.warning(MSG_UNSORTED_LOWER_BOUND, ctx.line)
+    return AbstractBool.UNKNOWN
+
+
+def _spec_max_element(ctx: AlgorithmContext) -> Any:
+    """max_element(first, last): returns an iterator that is end for an
+    empty range — dereferencing it unchecked is a range violation."""
+    for it in ctx.iterator_args():
+        ctx.check_use(it)
+    c = ctx.range_container()
+    if c is None:
+        return AbstractValue("max-element-result")
+    return AbstractIterator(
+        c, Position.UNKNOWN, Validity.VALID, c.epoch,
+        may_be_end=True, origin_line=ctx.line,
+    )
+
+
+def _spec_copy(ctx: AlgorithmContext) -> Any:
+    for it in ctx.iterator_args():
+        ctx.check_use(it)
+    its = ctx.iterator_args()
+    if len(its) >= 3:
+        out = its[2]
+        return AbstractIterator(
+            out.container, Position.UNKNOWN, Validity.VALID,
+            out.container.epoch, origin_line=ctx.line,
+        )
+    return AbstractValue()
+
+
+def _spec_reverse(ctx: AlgorithmContext) -> Any:
+    for it in ctx.iterator_args():
+        ctx.check_use(it)
+    c = ctx.range_container()
+    if c is not None:
+        c.properties.discard(SORTED)
+    return AbstractValue()
+
+
+def _spec_is_sorted(ctx: AlgorithmContext) -> Any:
+    for it in ctx.iterator_args():
+        ctx.check_use(it)
+    c = ctx.range_container()
+    if c is not None and SORTED in c.properties:
+        return AbstractBool.TRUE
+    return AbstractBool.UNKNOWN
+
+
+def _container_arg(ctx: AlgorithmContext):
+    for a in ctx.args:
+        if isinstance(a, AbstractContainer):
+            return a
+    its = ctx.iterator_args()
+    return its[0].container if its else None
+
+
+def _spec_make_heap(ctx: AlgorithmContext) -> Any:
+    """Exit handler: establishes the heap property (and destroys
+    sortedness — a heap is not a sorted sequence)."""
+    c = _container_arg(ctx)
+    if c is not None:
+        c.properties.add(HEAP)
+        c.properties.discard(SORTED)
+    return AbstractValue()
+
+
+def _spec_push_heap(ctx: AlgorithmContext) -> Any:
+    """Entry: requires a heap, or a heap with one appended element (the
+    state push_back leaves).  Exit: full heap property restored."""
+    c = _container_arg(ctx)
+    if c is not None:
+        if HEAP not in c.properties and HEAP_TAIL not in c.properties:
+            ctx.sink.warning(MSG_NOT_A_HEAP, ctx.line)
+        c.properties.discard(HEAP_TAIL)
+        c.properties.add(HEAP)
+    return AbstractValue()
+
+
+def _spec_pop_heap(ctx: AlgorithmContext) -> Any:
+    """Entry: requires the heap property; the prefix remains a heap."""
+    c = _container_arg(ctx)
+    if c is not None and HEAP not in c.properties:
+        ctx.sink.warning(MSG_NOT_A_HEAP, ctx.line)
+    return AbstractValue()
+
+
+def _spec_sort_heap(ctx: AlgorithmContext) -> Any:
+    """Entry: requires heap.  Exit: sorted, no longer a heap."""
+    c = _container_arg(ctx)
+    if c is not None:
+        if HEAP not in c.properties:
+            ctx.sink.warning(MSG_NOT_A_HEAP, ctx.line)
+        c.properties.discard(HEAP)
+        c.properties.add(SORTED)
+    return AbstractValue()
+
+
+ALGORITHM_SPECS: dict[str, AlgorithmHandler] = {
+    "find": _spec_find,
+    "find_if": _spec_find,
+    "sort": _spec_sort,
+    "stable_sort": _spec_sort,
+    "lower_bound": _spec_lower_bound,
+    "upper_bound": _spec_lower_bound,
+    "binary_search": _spec_binary_search,
+    "max_element": _spec_max_element,
+    "min_element": _spec_max_element,
+    "copy": _spec_copy,
+    "reverse": _spec_reverse,
+    "is_sorted": _spec_is_sorted,
+    "make_heap": _spec_make_heap,
+    "push_heap": _spec_push_heap,
+    "pop_heap": _spec_pop_heap,
+    "sort_heap": _spec_sort_heap,
+}
+
+
+def register_algorithm_spec(name: str, handler: AlgorithmHandler) -> None:
+    """Extension point: libraries ship specifications for their own
+    algorithms ("library-supplied semantic specifications")."""
+    ALGORITHM_SPECS[name] = handler

@@ -1,0 +1,15 @@
+"""Shared pytest configuration.
+
+Hypothesis deadlines are disabled: several property tests drive concept
+checks whose first invocation pays a one-time structural-analysis cost that
+later (cached) calls do not, which trips per-example deadlines spuriously.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,141 @@
+"""Tests for the two sequential algorithm concept taxonomies (STL and BGL
+domains, Section 1) and the generic Taxonomy machinery."""
+
+import pytest
+
+from repro.concepts import AlgorithmConcept, Constraint, Param, Taxonomy
+from repro.concepts.builtins import (
+    ForwardIterator,
+    InputIterator,
+    RandomAccessContainer,
+    Sequence,
+)
+from repro.concepts.complexity import constant, linear, linearithmic, logarithmic
+from repro.graphs import AdjacencyList, EdgeListGraphImpl, GridGraph
+from repro.graphs.taxonomy import bgl_taxonomy
+from repro.sequences import DList, Vector
+from repro.sequences.taxonomy import stl_taxonomy
+
+
+class TestTaxonomyMachinery:
+    def test_refinement_cannot_loosen_guarantees(self):
+        base = AlgorithmConcept("fast", "p", guarantees={"time": logarithmic()})
+        loose = AlgorithmConcept("slow refinement", "p",
+                                 guarantees={"time": linear()},
+                                 refines=(base,))
+        t = Taxonomy("t")
+        with pytest.raises(ValueError):
+            t.add_algorithm(loose)
+
+    def test_refinement_inherits_guarantees(self):
+        base = AlgorithmConcept("sort", "sorting",
+                                guarantees={"comparisons": linearithmic()})
+        stable = AlgorithmConcept("stable sort", "sorting", refines=(base,))
+        assert stable.all_guarantees()["comparisons"] == linearithmic()
+
+    def test_refines_transitively(self):
+        a = AlgorithmConcept("a", "p")
+        b = AlgorithmConcept("b", "p", refines=(a,))
+        c = AlgorithmConcept("c", "p", refines=(b,))
+        assert c.refines_transitively(a)
+        assert not a.refines_transitively(c)
+
+    def test_roots_and_descendants(self):
+        t = stl_taxonomy()
+        roots = {c.name for c in t.roots()}
+        assert "Input Iterator" in roots
+        desc = {c.name for c in t.descendants(InputIterator)}
+        assert "Forward Iterator" in desc
+
+    def test_document_renders(self):
+        text = stl_taxonomy().document()
+        assert "binary_search" in text
+        assert "guarantees comparisons" in text
+        assert "GAP" in text
+
+
+class TestStlTaxonomy:
+    def test_search_selection_by_capability(self):
+        t = stl_taxonomy()
+        # A type with only input iteration gets linear find...
+        algos = t.applicable_algorithms(
+            "search", {"It": DList.iterator, "C": DList}
+        )
+        names = {a.name for a in algos}
+        assert "find" in names
+        # binary_search needs SortedRange, which plain DList doesn't model.
+        assert "binary_search" not in names
+
+    def test_best_search_on_sorted_range(self):
+        t = stl_taxonomy()
+
+        # A sorted-range wrapper type: structurally a ForwardContainer that
+        # also declares the SortedRange postcondition.
+        from repro.concepts import declare_model
+        from repro.concepts.builtins import SortedRange
+
+        class SortedVector(Vector):
+            pass
+
+        declare_model(SortedRange, SortedVector)
+        best = t.select_algorithm(
+            "search", {"It": SortedVector.iterator, "C": SortedVector},
+            resource="comparisons",
+        )
+        assert best.name in ("binary_search", "lower_bound")
+        assert best.all_guarantees()["comparisons"] == logarithmic()
+
+    def test_sorting_distinguished_by_space(self):
+        t = stl_taxonomy()
+        algos = {a.name: a for a in t.algorithms_for_problem("sorting")}
+        qs = algos["quicksort"].all_guarantees()
+        ms = algos["merge sort"].all_guarantees()
+        # Equal comparison bounds...
+        assert qs["comparisons"] == ms["comparisons"]
+        # ...distinguished by the extra-space guarantee ("requires more
+        # precision", Section 1).
+        assert qs["extra space"] < ms["extra space"]
+
+    def test_gap_listed(self):
+        t = stl_taxonomy()
+        gaps = {a.name for a in t.gaps("sorting")}
+        assert "in-place stable sort" in gaps
+
+    def test_implementations_run(self):
+        t = stl_taxonomy()
+        find = t.algorithms["find"].implementation
+        v = Vector([3, 1, 4])
+        assert find(v.begin(), v.end(), 4).deref() == 4
+
+
+class TestBglTaxonomy:
+    def test_traversals_applicable_to_models(self):
+        t = bgl_taxonomy()
+        algos = t.applicable_algorithms("traversal", {"G": AdjacencyList})
+        assert {a.name for a in algos} == {"breadth_first_search",
+                                           "depth_first_search"}
+        # GridGraph models IncidenceGraph too:
+        algos2 = t.applicable_algorithms("traversal", {"G": GridGraph})
+        assert len(algos2) == 2
+        # EdgeListGraphImpl models neither traversal's requirements:
+        assert t.applicable_algorithms("traversal",
+                                       {"G": EdgeListGraphImpl}) == []
+
+    def test_shortest_path_selection_prefers_bfs(self):
+        t = bgl_taxonomy()
+        best = t.select_algorithm("shortest paths", {"G": AdjacencyList},
+                                  resource="time")
+        assert best.name == "bfs shortest paths"  # n+m beats n log n + m log n
+
+    def test_gaps(self):
+        t = bgl_taxonomy()
+        gap_names = {a.name for a in t.gaps("shortest paths")}
+        assert "all-pairs shortest paths" in gap_names
+        assert {a.name for a in t.gaps("spanning tree")} == \
+            {"minimum spanning tree"}
+
+    def test_implementations_run(self):
+        t = bgl_taxonomy()
+        g = AdjacencyList(0, [(0, 1), (1, 2)])
+        dist = t.algorithms["bfs shortest paths"].implementation(g, 0)
+        assert dist.get(2) == 2

@@ -1,0 +1,208 @@
+"""Tests for the concept description language (the paper's future-work
+'single, cohesive syntax', compiled to first-class Concept objects)."""
+
+import pytest
+
+from repro.concepts import (
+    ConceptSyntaxError,
+    ModelRegistry,
+    SemanticAxiomViolation,
+    parse_concept,
+    parse_concepts,
+)
+from repro.concepts.complexity import constant, logarithmic
+from repro.graphs import AdjacencyList, Edge, EdgeListGraphImpl, GraphEdge
+
+FIG1_DSL = """
+concept GraphEdge<Edge> {
+    type Edge::vertex_type
+    fn source(Edge) -> Edge::vertex_type
+    fn target(Edge) -> Edge::vertex_type
+}
+"""
+
+FIG2_DSL = FIG1_DSL + """
+concept IncidenceGraph<Graph> {
+    type Graph::vertex_type
+    type Graph::edge_type
+    type Graph::out_edge_iterator
+    Graph::out_edge_iterator::value_type == Graph::edge_type
+    Graph::edge_type models GraphEdge
+    fn out_edges(Graph, Graph::vertex_type)
+    fn out_degree(Graph, Graph::vertex_type) -> int
+}
+"""
+
+
+class TestParsing:
+    def test_fig1_roundtrip(self):
+        c = parse_concept(FIG1_DSL)
+        assert c.name == "GraphEdge"
+        rows = {r[0] for r in c.table()}
+        assert "Edge::vertex_type" in rows
+        assert "source(Edge)" in rows
+
+    def test_parsed_concept_checks_like_handwritten(self):
+        cs = parse_concepts(FIG2_DSL)
+        reg = ModelRegistry()
+        assert reg.check(cs["GraphEdge"], Edge).ok
+        assert reg.check(cs["IncidenceGraph"], AdjacencyList).ok
+        assert not reg.check(cs["IncidenceGraph"], EdgeListGraphImpl).ok
+
+    def test_parsed_equivalent_to_library_concept(self):
+        # The DSL concept and the handwritten Fig. 1 concept accept and
+        # reject the same types.
+        dsl = parse_concept(FIG1_DSL)
+        reg = ModelRegistry()
+
+        class NotEdge:
+            pass
+
+        for t in (Edge, NotEdge):
+            assert reg.check(dsl, t).ok == reg.check(GraphEdge, t).ok
+
+    def test_refinement(self):
+        cs = parse_concepts("""
+concept Base<T> {
+    fn f(T)
+}
+concept Derived<T> refines Base<T> {
+    fn g(T)
+}
+""")
+        assert cs["Derived"].refines_concept(cs["Base"])
+        reqs = [r.describe() for r in cs["Derived"].all_requirements()]
+        assert any("f(" in r for r in reqs)
+
+    def test_refinement_from_env(self):
+        base = parse_concept("concept B<T> {\n fn f(T)\n}")
+        child = parse_concept(
+            "concept C<T> refines B<T> {\n fn g(T)\n}", env={"B": base}
+        )
+        assert child.refines_concept(base)
+
+    def test_multi_type_concept(self):
+        cs = parse_concepts("""
+concept Pairwise<A, B> {
+    fn combine(A, B) -> A
+}
+""")
+        assert cs["Pairwise"].is_multi_type
+
+    def test_operator_requirement(self):
+        c = parse_concept("""
+concept Ordered<T> {
+    op < (T, T) -> bool
+}
+""")
+        reg = ModelRegistry()
+        assert reg.check(c, int).ok
+
+        class Unordered:
+            pass
+
+        assert not reg.check(c, Unordered).ok
+
+    def test_complexity_guarantee(self):
+        c = parse_concept("""
+concept Fast<T> {
+    fn find(T) -> int
+    complexity find: O(log n)
+}
+""")
+        gs = {g.operation: g.bound for g in c.complexity_guarantees()}
+        assert gs["find"] == logarithmic()
+
+    def test_nominal_flag(self):
+        c = parse_concept("""
+concept Tagged<T> {
+    nominal
+}
+""")
+        assert c.nominal
+        reg = ModelRegistry()
+        assert not reg.check(c, int).ok  # needs declaration
+
+    def test_comments_and_blank_lines(self):
+        c = parse_concept("""
+# leading comment
+concept C<T> {
+
+    fn f(T)   # trailing comment
+
+}
+""")
+        assert len(c.valid_expressions()) == 1
+
+
+class TestAxioms:
+    def make_monoid(self):
+        return parse_concept("""
+concept MonoidD<T> {
+    fn op(T, T) -> T
+    fn identity(T) -> T
+    axiom right_identity(a): op(a, identity(a)) == a
+    axiom associativity(a, b, c): op(op(a, b), c) == op(a, op(b, c))
+}
+""")
+
+    def test_axioms_hold_for_good_model(self):
+        c = self.make_monoid()
+        reg = ModelRegistry()
+        reg.declare(c, int,
+                    operation_impls={"op": lambda a, b: a + b,
+                                     "identity": lambda a: 0},
+                    sampler=lambda: [(3, 5, 7), (0, 1, -2)])
+        assert reg.check_semantics(c, int) == []
+
+    def test_axioms_refute_bad_model(self):
+        c = self.make_monoid()
+        reg = ModelRegistry()
+        reg.declare(c, int,
+                    operation_impls={"op": lambda a, b: a - b,  # not a monoid
+                                     "identity": lambda a: 0},
+                    sampler=lambda: [(3, 5, 7)])
+        with pytest.raises(SemanticAxiomViolation):
+            reg.check_semantics(c, int)
+
+
+class TestErrors:
+    def test_unknown_parameter(self):
+        with pytest.raises(ConceptSyntaxError):
+            parse_concept("concept C<T> {\n fn f(U)\n}")
+
+    def test_unknown_refined_concept(self):
+        with pytest.raises(ConceptSyntaxError):
+            parse_concept("concept C<T> refines Mystery<T> {\n fn f(T)\n}")
+
+    def test_unknown_models_target(self):
+        with pytest.raises(ConceptSyntaxError):
+            parse_concept("""
+concept C<T> {
+    type T::part
+    T::part models Mystery
+}
+""")
+
+    def test_unrecognized_requirement(self):
+        with pytest.raises(ConceptSyntaxError) as exc:
+            parse_concept("concept C<T> {\n wibble wobble\n}")
+        assert "unrecognized" in str(exc.value)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ConceptSyntaxError):
+            parse_concept("concept C<T> {\n fn f(T)")
+
+    def test_bad_axiom_expression(self):
+        with pytest.raises(ConceptSyntaxError):
+            parse_concept("concept C<T> {\n axiom broken(a): ==)(\n}")
+
+    def test_builtin_has_no_assoc(self):
+        with pytest.raises(ConceptSyntaxError):
+            parse_concept("concept C<T> {\n fn f(int::value)\n}")
+
+    def test_parse_concept_requires_exactly_one(self):
+        from repro.concepts import ConceptDefinitionError
+
+        with pytest.raises(ConceptDefinitionError):
+            parse_concept(FIG2_DSL)

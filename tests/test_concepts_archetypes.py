@@ -1,0 +1,137 @@
+"""Tests for archetype synthesis and algorithm budget checking
+(Section 2.1's concept archetypes)."""
+
+import pytest
+
+from repro.concepts import (
+    ArchetypeViolation,
+    Assoc,
+    AssociatedType,
+    Concept,
+    Exact,
+    Param,
+    SameType,
+    exercise,
+    make_archetypes,
+    method,
+    operator,
+)
+from repro.concepts.builtins import (
+    BidirectionalIterator,
+    Container,
+    ForwardIterator,
+    InputIterator,
+    RandomAccessIterator,
+    TrivialIterator,
+)
+
+T = Param("T")
+
+
+class TestArchetypeSynthesis:
+    def test_archetypes_model_their_concept(self):
+        # self_check runs inside make_archetypes; reaching here means each
+        # synthesized archetype structurally models its concept.
+        for c in (TrivialIterator, InputIterator, ForwardIterator,
+                  BidirectionalIterator, RandomAccessIterator, Container):
+            make_archetypes(c)
+
+    def test_granted_operations_work(self):
+        aset = make_archetypes(ForwardIterator)
+        it = aset.instance("It")
+        it.deref()
+        it.increment()
+        copy = it.clone()
+        assert copy.equals(it) in (True, False)
+
+    def test_ungranted_method_raises(self):
+        aset = make_archetypes(ForwardIterator)
+        it = aset.instance("It")
+        with pytest.raises(ArchetypeViolation) as exc:
+            it.decrement()
+        assert "decrement" in str(exc.value)
+        assert "Forward Iterator" in str(exc.value)
+
+    def test_ungranted_operator_raises(self):
+        aset = make_archetypes(ForwardIterator)
+        it = aset.instance("It")
+        with pytest.raises(ArchetypeViolation):
+            it < it
+        with pytest.raises(ArchetypeViolation):
+            it[0]
+
+    def test_refined_concept_grants_more(self):
+        aset = make_archetypes(RandomAccessIterator)
+        it = aset.instance("It")
+        it.decrement()          # granted via Bidirectional
+        it.advance(3)           # granted via RandomAccess
+        assert isinstance(it.distance(it), int)
+
+    def test_exact_result_types(self):
+        C = Concept("WithInt", requirements=[
+            method("t.count()", "count", [T], Exact(int))
+        ])
+        aset = make_archetypes(C)
+        x = aset.instance("T")
+        assert x.count() == 0
+
+    def test_associated_type_instances(self):
+        aset = make_archetypes(TrivialIterator)
+        v = aset.instance(Assoc(Param("It"), "value_type"))
+        assert v is not None
+
+    def test_same_type_constraint_unifies_classes(self):
+        C = Concept("Unified", requirements=[
+            AssociatedType("a", T),
+            AssociatedType("b", T),
+            SameType(Assoc(T, "a"), Assoc(T, "b")),
+        ])
+        aset = make_archetypes(C)
+        assert aset.classes[str(Assoc(T, "a"))] is aset.classes[str(Assoc(T, "b"))]
+
+    def test_behavior_override(self):
+        calls = []
+
+        def fake_deref(self):
+            calls.append("deref")
+            return 7
+
+        aset = make_archetypes(InputIterator, behaviors={"deref": fake_deref})
+        it = aset.instance("It")
+        assert it.deref() == 7
+        assert calls == ["deref"]
+
+
+class TestExercise:
+    def test_algorithm_within_budget_passes(self):
+        def uses_only_forward(it):
+            it.deref()
+            it.increment()
+            return it.clone()
+
+        result = exercise(
+            uses_only_forward, ForwardIterator, lambda a: [a.instance("It")]
+        )
+        assert result is not None
+
+    def test_algorithm_over_budget_detected(self):
+        # An "algorithm" claiming ForwardIterator but secretly indexing —
+        # the error class archetypes exist to catch (Section 2.1: errors "go
+        # unnoticed until a user provides a data type meeting only the
+        # minimal stated requirements").
+        def secretly_random_access(it):
+            it.advance(5)
+
+        with pytest.raises(ArchetypeViolation):
+            exercise(
+                secretly_random_access, ForwardIterator,
+                lambda a: [a.instance("It")],
+            )
+
+    def test_operator_over_budget_detected(self):
+        def secretly_compares(it):
+            return it < it
+
+        with pytest.raises(ArchetypeViolation):
+            exercise(secretly_compares, InputIterator,
+                     lambda a: [a.instance("It")])

@@ -1,0 +1,417 @@
+"""Unit tests for the concept definition language and structural checking."""
+
+import pytest
+
+from repro.concepts import (
+    AmbiguousOverloadError,
+    Assoc,
+    AssociatedType,
+    Concept,
+    ConceptCheckError,
+    ConceptDefinitionError,
+    ConceptRequirement,
+    Constraint,
+    Exact,
+    GenericFunction,
+    ModelRegistry,
+    NoMatchingOverloadError,
+    Param,
+    SameType,
+    check_concept,
+    method,
+    models,
+    most_refined_concept,
+    operator,
+    propagate,
+    substitute,
+)
+
+T = Param("T")
+
+
+# ---------------------------------------------------------------------------
+# Concept definition
+# ---------------------------------------------------------------------------
+
+
+class TestConceptDefinition:
+    def test_basic_concept(self):
+        c = Concept("Fooable", requirements=[method("t.foo()", "foo", [T])])
+        assert c.name == "Fooable"
+        assert c.arity == 1
+        assert not c.is_multi_type
+
+    def test_multi_type_concept(self):
+        c = Concept("Pairwise", params=("A", "B"))
+        assert c.arity == 2
+        assert c.is_multi_type
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ConceptDefinitionError):
+            Concept("Bad", params=("T", "T"))
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ConceptDefinitionError):
+            Concept("Bad", params=())
+
+    def test_unknown_param_in_requirement_rejected(self):
+        with pytest.raises(ConceptDefinitionError):
+            Concept("Bad", params=("T",),
+                    requirements=[method("u.foo()", "foo", [Param("U")])])
+
+    def test_refinement_arity_mismatch_rejected(self):
+        base = Concept("Base", params=("A", "B"))
+        with pytest.raises(ConceptDefinitionError):
+            Concept("Child", params=("T",), refines=[base])
+
+    def test_positional_refinement(self):
+        base = Concept("Base", params=("X",),
+                       requirements=[method("x.f()", "f", [Param("X")])])
+        child = Concept("Child", params=("T",), refines=[base])
+        assert child.refines_concept(base)
+        assert not base.refines_concept(child)
+        # inherited requirement re-expressed over the child's parameter
+        reqs = [r.describe() for r in child.all_requirements()]
+        assert "x.f()" in reqs[0]
+
+    def test_explicit_refinement_binding(self):
+        base = Concept("Base", params=("X",),
+                       requirements=[method("x.f()", "f", [Param("X")])])
+        child = Concept("Child", params=("A", "B"),
+                        refines=[(base, (Param("B"),))])
+        # base's requirement now applies to B
+        req = child.all_requirements()[0]
+        assert "B" in {p for p in req.free_params()}
+
+    def test_ancestors_diamond(self):
+        root = Concept("Root")
+        left = Concept("Left", refines=[root])
+        right = Concept("Right", refines=[root])
+        bottom = Concept("Bottom", refines=[left, right])
+        names = [a.name for a in bottom.ancestors()]
+        assert names.count("Root") == 1
+        assert set(names) == {"Root", "Left", "Right"}
+
+    def test_diamond_requirements_deduplicated(self):
+        root = Concept("Root", requirements=[method("t.f()", "f", [T])])
+        left = Concept("Left", refines=[root])
+        right = Concept("Right", refines=[root])
+        bottom = Concept("Bottom", refines=[left, right])
+        descr = [r.describe() for r in bottom.all_requirements()]
+        assert descr.count("t.f()") == 1
+
+    def test_refines_concept_is_reflexive(self):
+        c = Concept("C")
+        assert c.refines_concept(c)
+
+    def test_table_rendering(self):
+        c = Concept(
+            "Edgy",
+            params=("Edge",),
+            requirements=[
+                AssociatedType("vertex_type", Param("Edge"),
+                               "Associated vertex type"),
+                method("source(e)", "source", [Param("Edge")],
+                       Assoc(Param("Edge"), "vertex_type")),
+            ],
+        )
+        rows = c.table()
+        assert ("Edge::vertex_type", "Associated vertex type") in rows
+        assert ("source(e)", "Edge::vertex_type") in rows
+
+
+class TestSubstitution:
+    def test_param_substitution(self):
+        out = substitute(Param("X"), {"X": Param("T")})
+        assert out == Param("T")
+
+    def test_assoc_substitution(self):
+        out = substitute(Assoc(Param("X"), "v"), {"X": Param("T")})
+        assert out == Assoc(Param("T"), "v")
+
+    def test_unmapped_param_unchanged(self):
+        assert substitute(Param("X"), {}) == Param("X")
+
+    def test_exact_untouched(self):
+        e = Exact(int)
+        assert substitute(e, {"X": Param("T")}) is e
+
+
+# ---------------------------------------------------------------------------
+# Structural conformance
+# ---------------------------------------------------------------------------
+
+
+class Fooer:
+    def foo(self):
+        return 42
+
+
+Fooable = Concept("Fooable", requirements=[method("t.foo()", "foo", [T])])
+
+
+class TestStructuralCheck:
+    def test_conforming_type(self):
+        assert check_concept(Fooable, Fooer).ok
+
+    def test_nonconforming_type(self):
+        class Bare:
+            pass
+
+        report = check_concept(Fooable, Bare)
+        assert not report.ok
+        assert "foo" in report.failures[0].requirement
+
+    def test_error_message_names_concept_and_type(self):
+        class Bare:
+            pass
+
+        report = check_concept(Fooable, Bare)
+        with pytest.raises(ConceptCheckError) as exc:
+            report.raise_if_failed(context="call to frobnicate()")
+        msg = str(exc.value)
+        assert "Bare" in msg
+        assert "Fooable" in msg
+        assert "frobnicate" in msg
+
+    def test_associated_type_via_class_attribute(self):
+        HasVal = Concept("HasVal", requirements=[
+            AssociatedType("value_type", T)
+        ])
+
+        class WithVal:
+            value_type = int
+
+        class WithoutVal:
+            pass
+
+        assert check_concept(HasVal, WithVal).ok
+        assert not check_concept(HasVal, WithoutVal).ok
+
+    def test_same_type_constraint(self):
+        Cn = Concept("Consistent", requirements=[
+            AssociatedType("a", T),
+            AssociatedType("b", T),
+            SameType(Assoc(T, "a"), Assoc(T, "b")),
+        ])
+
+        class Good:
+            a = int
+            b = int
+
+        class Bad:
+            a = int
+            b = str
+
+        assert check_concept(Cn, Good).ok
+        report = check_concept(Cn, Bad)
+        assert not report.ok
+        assert any("==" in f.requirement for f in report.failures)
+
+    def test_nested_concept_requirement(self):
+        Inner = Concept("Inner", requirements=[method("t.g()", "g", [T])])
+        Outer = Concept("Outer", requirements=[
+            AssociatedType("part", T),
+            ConceptRequirement(Inner, (Assoc(T, "part"),)),
+        ])
+
+        class GoodPart:
+            def g(self):
+                pass
+
+        class BadPart:
+            pass
+
+        class GoodOuter:
+            part = GoodPart
+
+        class BadOuter:
+            part = BadPart
+
+        assert check_concept(Outer, GoodOuter).ok
+        assert not check_concept(Outer, BadOuter).ok
+
+    def test_operator_requirement(self):
+        Addable = Concept("Addable", requirements=[
+            operator("a + b", "+", [T, T], T)
+        ])
+        assert check_concept(Addable, int).ok
+
+        class NoAdd:
+            pass
+
+        assert not check_concept(Addable, NoAdd).ok
+
+    def test_arity_mismatch_fails_cleanly(self):
+        Two = Concept("Two", params=("A", "B"))
+        report = models.check(Two, (int,))
+        assert not report.ok
+
+    def test_check_is_cached(self):
+        reg = ModelRegistry()
+        r1 = reg.check(Fooable, Fooer)
+        r2 = reg.check(Fooable, Fooer)
+        assert r1 is r2
+
+
+# ---------------------------------------------------------------------------
+# Nominal modeling via concept maps
+# ---------------------------------------------------------------------------
+
+
+class TestConceptMaps:
+    def test_adaptation_supplies_missing_operation(self):
+        reg = ModelRegistry()
+
+        class Alien:
+            def do_the_thing(self):
+                return 1
+
+        # Structurally non-conforming...
+        assert not reg.check(Fooable, Alien).ok
+        # ...but adaptable via a concept map.
+        reg2 = ModelRegistry()
+        reg2.declare(Fooable, Alien,
+                     operation_impls={"foo": lambda self: self.do_the_thing()})
+        assert reg2.check(Fooable, Alien).ok
+
+    def test_declare_checks_and_rejects(self):
+        reg = ModelRegistry()
+
+        class Bare:
+            pass
+
+        with pytest.raises(ConceptCheckError):
+            reg.declare(Fooable, Bare)
+        # failed declaration is not recorded
+        assert reg.concept_map_for(Fooable, (Bare,)) is None
+
+    def test_concept_map_binds_associated_type(self):
+        HasVal = Concept("HasVal2", requirements=[
+            AssociatedType("value_type", T)
+        ])
+        reg = ModelRegistry()
+
+        class Plain:
+            pass
+
+        reg.declare(HasVal, Plain, type_bindings={"value_type": float})
+        assert reg.check(HasVal, Plain).ok
+
+    def test_map_covers_subclasses(self):
+        reg = ModelRegistry()
+
+        class Base:
+            def foo(self):
+                pass
+
+        class Derived(Base):
+            pass
+
+        reg.declare(Fooable, Base)
+        assert reg.concept_map_for(Fooable, (Derived,)) is not None
+
+
+# ---------------------------------------------------------------------------
+# Concept-based overloading
+# ---------------------------------------------------------------------------
+
+Animal = Concept("AnimalC", requirements=[method("t.speak()", "speak", [T])])
+Dog = Concept("DogC", refines=[Animal],
+              requirements=[method("t.fetch()", "fetch", [T])])
+
+
+class GoodDog:
+    def speak(self):
+        return "woof"
+
+    def fetch(self):
+        return "ball"
+
+
+class PlainAnimal:
+    def speak(self):
+        return "..."
+
+
+class TestOverloading:
+    def make_fn(self):
+        f = GenericFunction("describe")
+
+        @f.overload(requires=[(Animal, 0)])
+        def base(x):
+            return "animal"
+
+        @f.overload(requires=[(Dog, 0)])
+        def special(x):
+            return "dog"
+
+        return f
+
+    def test_most_refined_wins(self):
+        f = self.make_fn()
+        assert f(GoodDog()) == "dog"
+
+    def test_general_fallback(self):
+        f = self.make_fn()
+        assert f(PlainAnimal()) == "animal"
+
+    def test_no_match_error_lists_attempts(self):
+        f = self.make_fn()
+        with pytest.raises(NoMatchingOverloadError) as exc:
+            f(3)
+        assert "describe" in str(exc.value)
+        assert "int" in str(exc.value)
+
+    def test_ambiguous_overloads_raise(self):
+        A = Concept("Aq", requirements=[method("t.a()", "a", [T])])
+        B = Concept("Bq", requirements=[method("t.b()", "b", [T])])
+        f = GenericFunction("amb")
+
+        @f.overload(requires=[(A, 0)])
+        def fa(x):
+            return "a"
+
+        @f.overload(requires=[(B, 0)])
+        def fb(x):
+            return "b"
+
+        class Both:
+            def a(self):
+                pass
+
+            def b(self):
+                pass
+
+        with pytest.raises(AmbiguousOverloadError):
+            f(Both())
+
+    def test_dispatch_cached(self):
+        f = self.make_fn()
+        f(GoodDog())
+        o1 = f.resolve((GoodDog,))
+        o2 = f.resolve((GoodDog,))
+        assert o1 is o2
+
+    def test_unconstrained_overload_is_least_specific(self):
+        f = self.make_fn()
+
+        @f.overload(requires=[])
+        def anything(x):
+            return "anything"
+
+        assert f(3) == "anything"
+        assert f(GoodDog()) == "dog"
+
+    def test_most_refined_concept_helper(self):
+        got = most_refined_concept([Animal, Dog], GoodDog)
+        assert got is Dog
+        got2 = most_refined_concept([Animal, Dog], PlainAnimal)
+        assert got2 is Animal
+        assert most_refined_concept([Animal, Dog], int) is None
+
+    def test_dispatch_table_lists_overloads(self):
+        f = self.make_fn()
+        table = f.dispatch_table()
+        assert len(table) == 2
+        assert any("AnimalC" in row for row in table)

@@ -1,0 +1,237 @@
+"""Tests for constraint propagation, verbosity metrics, and complexity
+algebra — the machinery behind the Section 2.2-2.4 quantitative claims."""
+
+import pytest
+
+from repro.concepts import (
+    AlgorithmSignature,
+    Assoc,
+    AssociatedType,
+    Concept,
+    ConceptRequirement,
+    Constraint,
+    Param,
+    implied_by,
+    method,
+    propagate,
+)
+from repro.concepts.complexity import (
+    BigO,
+    constant,
+    fits,
+    linear,
+    linearithmic,
+    logarithmic,
+    parse,
+    quadratic,
+)
+from repro.concepts.verbosity import (
+    build_two_type_hierarchy,
+    constraint_blowup,
+    multitype_split,
+    multitype_split_with_propagation,
+    parameter_blowup,
+    split_into_interfaces,
+)
+
+T = Param("T")
+
+# A miniature graph-concept chain mirroring Figs. 1-2.
+GraphEdge = Concept(
+    "GraphEdgeP",
+    params=("Edge",),
+    requirements=[
+        AssociatedType("vertex_type", Param("Edge")),
+        method("source(e)", "source", [Param("Edge")]),
+    ],
+)
+
+IncidenceGraph = Concept(
+    "IncidenceGraphP",
+    params=("Graph",),
+    requirements=[
+        AssociatedType("vertex_type", Param("Graph")),
+        AssociatedType("edge_type", Param("Graph")),
+        ConceptRequirement(GraphEdge, (Assoc(Param("Graph"), "edge_type"),)),
+    ],
+)
+
+
+class TestPropagation:
+    def test_declared_constraint_preserved(self):
+        out = propagate([(IncidenceGraph, (Param("G"),))])
+        assert out.written_count() == 1
+        assert out.declared[0].concept is IncidenceGraph
+
+    def test_derived_constraints_found(self):
+        out = propagate([(IncidenceGraph, (Param("G"),))])
+        derived_names = [c.concept.name for c in out.derived]
+        assert "GraphEdgeP" in derived_names
+        # The derived constraint applies to G::edge_type.
+        derived = out.derived[0]
+        assert str(derived.args[0]) == "G::edge_type"
+
+    def test_total_exceeds_written(self):
+        out = propagate([(IncidenceGraph, (Param("G"),))])
+        assert out.total_count() > out.written_count()
+
+    def test_closure_deduplicates(self):
+        out = propagate([
+            (IncidenceGraph, (Param("G"),)),
+            (IncidenceGraph, (Param("G"),)),
+        ])
+        renders = [c.render() for c in out.all_constraints()]
+        assert len(renders) == len(set(renders))
+
+    def test_depth_limit_terminates_cycles(self):
+        # A requires B on its assoc, B requires A on its assoc: cyclic.
+        A = Concept("CycA", params=("X",), requirements=[
+            AssociatedType("peer", Param("X")),
+        ])
+        B = Concept("CycB", params=("Y",), requirements=[
+            AssociatedType("peer", Param("Y")),
+        ])
+        # Add mutual requirements after creation is impossible (frozen), so
+        # build with nested reqs directly:
+        A2 = Concept("CycA2", params=("X",), requirements=[
+            AssociatedType("peer", Param("X")),
+            ConceptRequirement(B, (Assoc(Param("X"), "peer"),)),
+        ])
+        B2 = Concept("CycB2", params=("Y",), requirements=[
+            AssociatedType("peer", Param("Y")),
+            ConceptRequirement(A2, (Assoc(Param("Y"), "peer"),)),
+        ])
+        out = propagate([(B2, (Param("T"),))], max_depth=5)
+        assert out.total_count() < 50  # bounded
+
+    def test_implied_by(self):
+        declared = [Constraint(IncidenceGraph, (Param("G"),))]
+        q = Constraint(GraphEdge, (Assoc(Param("G"), "edge_type"),))
+        assert implied_by(declared, q)
+        not_implied = Constraint(GraphEdge, (Param("G"),))
+        assert not implied_by(declared, not_implied)
+
+    def test_implied_by_refinement(self):
+        Base = Concept("BaseI", params=("X",))
+        Child = Concept("ChildI", params=("X",), refines=[Base])
+        declared = [Constraint(Child, (Param("T"),))]
+        assert implied_by(declared, Constraint(Base, (Param("T"),)))
+
+
+class TestAlgorithmSignature:
+    def sig(self):
+        return AlgorithmSignature(
+            "first_neighbor",
+            ("G",),
+            (Constraint(IncidenceGraph, (Param("G"),)),),
+        )
+
+    def test_terse_declaration(self):
+        decl = self.sig().declaration(with_propagation=True)
+        assert decl.count("where") == 1 or decl.count(":") == 1
+
+    def test_full_declaration_longer(self):
+        s = self.sig()
+        terse = s.declaration(with_propagation=True)
+        full = s.declaration(with_propagation=False)
+        assert len(full) > len(terse)
+        assert "GraphEdgeP" in full
+        assert "GraphEdgeP" not in terse
+
+    def test_counts(self):
+        written, total = self.sig().constraint_counts()
+        assert written == 1
+        assert total >= 2
+
+
+class TestVerbosity:
+    def test_parameter_blowup_at_least_double(self):
+        # Section 2.2: "the number of type parameters in generic algorithms
+        # was often more than doubled".
+        sig = AlgorithmSignature(
+            "first_neighbor", ("G",),
+            (Constraint(IncidenceGraph, (Param("G"),)),),
+        )
+        report = parameter_blowup(sig)
+        assert report.with_feature == 1
+        assert report.without_feature >= 3  # G + vertex_type + edge_type (+ nested)
+        assert report.blowup >= 2.0
+
+    def test_constraint_blowup(self):
+        sig = AlgorithmSignature(
+            "first_neighbor", ("G",),
+            (Constraint(IncidenceGraph, (Param("G"),)),),
+        )
+        report = constraint_blowup(sig)
+        assert report.with_feature == 1
+        assert report.without_feature >= 2
+
+    def test_two_type_hierarchy_shape(self):
+        chain = build_two_type_hierarchy(4)
+        assert len(chain) == 4
+        assert chain[-1].refines_concept(chain[0])
+        assert all(c.arity == 2 for c in chain)
+
+    def test_split_interfaces_two_per_level(self):
+        chain = build_two_type_hierarchy(3)
+        names = split_into_interfaces(chain[-1])
+        assert len(names) == 6  # 2 interfaces per level
+
+    def test_multitype_split_exponential(self):
+        # Section 2.4: "the number of subtype constraints needed in an
+        # algorithm is 2^n".
+        for n in (1, 2, 3, 5, 8):
+            report = multitype_split(n)
+            assert report.without_feature == 2 ** n
+            assert report.with_feature == 1
+
+    def test_propagation_tames_exponential(self):
+        r8 = multitype_split_with_propagation(8)
+        assert r8.with_feature == 2  # constant at the use site
+        assert r8.without_feature == 16  # linear overall
+        assert multitype_split(8).without_feature > r8.without_feature
+
+
+class TestComplexityAlgebra:
+    def test_ordering_chain(self):
+        assert constant() < logarithmic() < linear() < linearithmic() < quadratic()
+
+    def test_incomparable_variables(self):
+        n = linear("n")
+        m = linear("m")
+        assert not n.comparable(m)
+
+    def test_product(self):
+        assert linear() * logarithmic() == linearithmic()
+
+    def test_sum_is_max(self):
+        assert linear() + constant() == linear()
+        assert (linear() + quadratic()) == quadratic()
+
+    def test_sum_keeps_incomparables(self):
+        s = linear("n") + linear("m")
+        assert len(s.monomials) == 2
+
+    def test_parse(self):
+        assert parse("n log n") == linearithmic()
+        assert parse("n^2") == quadratic()
+        assert parse("1") == constant()
+        assert parse("O(log n)") == logarithmic()
+        assert parse("n + m") == linear("n") + linear("m")
+
+    def test_str_roundtrip(self):
+        assert str(linearithmic()) == "O(n log n)"
+        assert str(constant()) == "O(1)"
+
+    def test_fits_accepts_matching_shape(self):
+        data = [({"n": n}, 3.0 * n) for n in (100, 1000, 10000)]
+        assert fits(linear(), data)
+
+    def test_fits_rejects_wrong_shape(self):
+        data = [({"n": n}, 3.0 * n * n) for n in (100, 1000, 10000)]
+        assert not fits(linear(), data)
+
+    def test_dominates_log_vs_poly(self):
+        # n^0.5 dominates log n
+        from repro.concepts.complexity import polynomial
+        assert logarithmic() < polynomial(0.5)

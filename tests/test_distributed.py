@@ -1,0 +1,440 @@
+"""Tests for the distributed substrate: simulator semantics, timing models,
+failures, the classic algorithms' correctness and message complexities, and
+the seven-dimension taxonomy."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    Arbitrary,
+    Asynchronous,
+    Classification,
+    Complete,
+    Context,
+    FailurePlan,
+    Grid,
+    Line,
+    Message,
+    PartiallySynchronous,
+    Process,
+    Ring,
+    SimulationError,
+    Simulator,
+    Star,
+    Synchronous,
+    Tree,
+    byzantine_lying_id,
+    crash,
+    random_connected,
+    refines,
+    standard_taxonomy,
+)
+from repro.distributed.algorithms import (
+    best_case_ids,
+    run_bully,
+    run_chang_roberts,
+    run_echo,
+    run_flooding,
+    run_hirschberg_sinclair,
+    run_spanning_tree,
+    run_token_ring,
+    worst_case_ids,
+)
+from repro.distributed.algorithms.spanning_tree import is_spanning_tree
+
+
+class TestTopologies:
+    def test_ring(self):
+        r = Ring(5)
+        assert sorted(r.neighbors(0)) == [1, 4]
+        assert Ring(5, directed=True).neighbors(2) == [3]
+        assert r.num_links() == 5
+
+    def test_complete(self):
+        k = Complete(5)
+        assert len(k.neighbors(0)) == 4
+        assert k.num_links() == 10
+
+    def test_star(self):
+        s = Star(5)
+        assert len(s.neighbors(0)) == 4
+        assert s.neighbors(3) == [0]
+
+    def test_line_and_tree(self):
+        l = Line(4)
+        assert l.neighbors(0) == [1]
+        assert sorted(l.neighbors(2)) == [1, 3]
+        t = Tree(7)
+        assert sorted(t.neighbors(0)) == [1, 2]
+        assert sorted(t.neighbors(1)) == [0, 3, 4]
+
+    def test_grid(self):
+        g = Grid(3, 3)
+        assert len(g.neighbors(4)) == 4
+        assert len(g.neighbors(0)) == 2
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            t = random_connected(17, 0.05, seed=seed)
+            assert t.is_connected()
+
+    def test_arbitrary_from_edges(self):
+        t = Arbitrary(3, [(0, 1), (1, 2)])
+        assert sorted(t.neighbors(1)) == [0, 2]
+        assert t.is_connected()
+        assert not Arbitrary(3, [(0, 1)]).is_connected()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Ring(0)
+
+
+class _PingPong(Process):
+    """Two processes exchange `count` ping/pongs."""
+
+    def on_start(self, ctx: Context) -> None:
+        if self.rank == 0:
+            ctx.send(1, "ping", self.params["count"])
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        ctx.charge(1)
+        if msg.payload > 0:
+            ctx.send(msg.src, "pong", msg.payload - 1)
+        else:
+            ctx.decide("done")
+
+
+class TestSimulator:
+    def test_ping_pong_counts_messages(self):
+        sim = Simulator(Complete(2), [_PingPong(0, count=4), _PingPong(1, count=4)])
+        m = sim.run()
+        assert m.messages_sent == 5
+        assert m.local_computation[0] + m.local_computation[1] == 5
+
+    def test_synchronous_rounds_counted(self):
+        sim = Simulator(Complete(2), [_PingPong(0, count=3), _PingPong(1, count=3)],
+                        timing=Synchronous())
+        m = sim.run()
+        assert m.rounds == 4  # one hop per round
+
+    def test_asynchronous_time_varies_with_seed(self):
+        t1 = Simulator(Complete(2), [_PingPong(0, count=5), _PingPong(1, count=5)],
+                       timing=Asynchronous(seed=1)).run().finish_time
+        t2 = Simulator(Complete(2), [_PingPong(0, count=5), _PingPong(1, count=5)],
+                       timing=Asynchronous(seed=2)).run().finish_time
+        assert t1 != t2
+
+    def test_partially_synchronous_bounded(self):
+        m = Simulator(Complete(2), [_PingPong(0, count=9), _PingPong(1, count=9)],
+                      timing=PartiallySynchronous(bound=2.0, seed=0)).run()
+        assert m.finish_time <= 10 * 2.0
+
+    def test_process_count_mismatch(self):
+        with pytest.raises(SimulationError):
+            Simulator(Complete(3), [_PingPong(0)])
+
+    def test_message_budget_guard(self):
+        class Spammer(Process):
+            def on_start(self, ctx):
+                ctx.send(1 - self.rank, "x")
+
+            def on_message(self, ctx, msg):
+                ctx.send(msg.src, "x")
+
+        sim = Simulator(Complete(2), [Spammer(0), Spammer(1)],
+                        max_messages=100)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_crashed_process_sends_and_receives_nothing(self):
+        plan = crash(1, at=0.0)
+        sim = Simulator(Complete(2), [_PingPong(0, count=3), _PingPong(1, count=3)],
+                        failures=plan)
+        m = sim.run()
+        assert m.messages_delivered == 0
+        assert 1 not in m.decisions
+
+    def test_dead_link_drops(self):
+        plan = FailurePlan(dead_links={(0, 1)})
+        sim = Simulator(Complete(2), [_PingPong(0, count=3), _PingPong(1, count=3)],
+                        failures=plan)
+        m = sim.run()
+        assert m.messages_dropped == 1
+        assert m.messages_delivered == 0
+
+
+class TestChangRoberts:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 31])
+    def test_elects_max_id(self, n):
+        m = run_chang_roberts(n)
+        assert m.consensus() == n - 1
+        assert len(m.decisions) == n
+
+    def test_worst_case_quadratic(self):
+        # worst-case ids: election messages = n(n+1)/2, plus n announcement.
+        n = 24
+        m = run_chang_roberts(n, ids=worst_case_ids(n))
+        assert m.messages_sent == n * (n + 1) // 2 + n
+
+    def test_best_case_linear(self):
+        n = 24
+        m = run_chang_roberts(n, ids=best_case_ids(n))
+        # n launches, n-1 immediately swallowed except the max's lap: 2n-1,
+        # plus n announcements.
+        assert m.messages_sent <= 3 * n
+
+    def test_works_async(self):
+        m = run_chang_roberts(16, timing=Asynchronous(seed=9))
+        assert m.consensus() == 15
+
+    @given(st.permutations(list(range(9))))
+    def test_any_id_arrangement_elects_max(self, ids):
+        m = run_chang_roberts(9, ids=ids)
+        assert m.consensus() == 8
+
+    def test_local_computation_accounted(self):
+        m = run_chang_roberts(16, ids=worst_case_ids(16))
+        assert m.total_local_computation > 0
+
+
+class TestHirschbergSinclair:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 33])
+    def test_elects_max_id(self, n):
+        m = run_hirschberg_sinclair(n)
+        assert m.consensus() == n - 1
+        assert len(m.decisions) == n
+
+    def test_nlogn_worst_case(self):
+        # HS stays O(n log n) on the ids arrangement that is CR's worst case.
+        n = 64
+        m = run_hirschberg_sinclair(n, ids=worst_case_ids(n))
+        assert m.messages_sent <= 10 * n * (math.log2(n) + 1)
+
+    def test_beats_chang_roberts_worst_case_at_scale(self):
+        n = 64
+        cr = run_chang_roberts(n, ids=worst_case_ids(n))
+        hs = run_hirschberg_sinclair(n, ids=worst_case_ids(n))
+        assert hs.messages_sent < cr.messages_sent
+
+    @given(st.permutations(list(range(8))))
+    def test_any_id_arrangement_elects_max(self, ids):
+        m = run_hirschberg_sinclair(8, ids=ids)
+        assert m.consensus() == 7
+
+    def test_works_async(self):
+        m = run_hirschberg_sinclair(16, timing=Asynchronous(seed=4))
+        assert m.consensus() == 15
+
+
+class TestFlooding:
+    @pytest.mark.parametrize("topo", [
+        Ring(9), Complete(9), Star(9), Line(9), Tree(9), Grid(3, 3),
+    ])
+    def test_everyone_receives(self, topo):
+        m = run_flooding(topo, value="hello")
+        assert m.consensus() == "hello"
+        assert len(m.decisions) == topo.n
+
+    def test_message_bound_2e(self):
+        topo = Grid(4, 4)
+        m = run_flooding(topo)
+        assert m.messages_sent <= 2 * topo.num_links()
+
+    def test_sync_time_is_eccentricity(self):
+        # On a line from one end, rounds = n-1.
+        m = run_flooding(Line(10), initiator=0, timing=Synchronous())
+        assert m.rounds == 9
+
+    def test_tolerates_redundant_link_failure(self):
+        # Killing one link of a 2-connected topology: still everyone gets it.
+        plan = FailurePlan(dead_links={(0, 1)})
+        m = run_flooding(Ring(8), failures=plan)
+        assert len(m.decisions) == 8
+
+    def test_partition_blocks_delivery(self):
+        plan = FailurePlan(dead_links={(0, 1), (0, 7)})
+        m = run_flooding(Ring(8), failures=plan)
+        assert len(m.decisions) < 8
+
+
+class TestEcho:
+    @pytest.mark.parametrize("topo", [
+        Ring(8), Complete(8), Star(8), Tree(8), Grid(3, 3),
+    ])
+    def test_aggregates_count(self, topo):
+        m = run_echo(topo)
+        assert m.decisions[0] == topo.n  # sum of 1s = node count
+
+    def test_exactly_2e_messages(self):
+        for topo in (Ring(8), Complete(6), Grid(3, 4)):
+            m = run_echo(topo)
+            assert m.messages_sent == 2 * topo.num_links()
+
+    def test_aggregates_values(self):
+        topo = Grid(3, 3)
+        values = [v * v for v in range(9)]
+        m = run_echo(topo, values=values)
+        assert m.decisions[0] == sum(values)
+
+    def test_async_still_correct(self):
+        m = run_echo(Grid(4, 4), timing=Asynchronous(seed=13))
+        assert m.decisions[0] == 16
+
+
+class TestSpanningTree:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_builds_valid_tree(self, seed):
+        topo = random_connected(25, 0.15, seed=seed)
+        m = run_spanning_tree(topo, timing=Asynchronous(seed=seed))
+        assert is_spanning_tree(m, 25)
+
+    def test_sync_tree_is_bfs_like(self):
+        # Under synchronous timing, parents are at strictly smaller BFS
+        # depth: depth(child) = depth(parent) + 1 from the root.
+        topo = Grid(4, 4)
+        m = run_spanning_tree(topo, timing=Synchronous())
+        assert is_spanning_tree(m, 16)
+        # BFS depth on grid from corner = Manhattan distance.
+        for child, parent in m.decisions.items():
+            if child == 0:
+                continue
+            cd = (child // 4) + (child % 4)
+            pd = (parent // 4) + (parent % 4)
+            assert pd == cd - 1
+
+    def test_async_trees_vary_with_schedule(self):
+        topo = Grid(4, 4)
+        trees = set()
+        for seed in range(6):
+            m = run_spanning_tree(topo, timing=Asynchronous(seed=seed))
+            trees.add(tuple(sorted(m.decisions.items())))
+        assert len(trees) > 1  # delivery order shapes the tree
+
+
+class TestBully:
+    def test_elects_highest(self):
+        m = run_bully(6)
+        assert m.consensus() == 5
+
+    def test_tolerates_leader_crash(self):
+        m = run_bully(6, failures=crash(5, at=0.0))
+        live = [r for r in range(5)]
+        assert m.agreement_among(live) == 4
+
+    def test_tolerates_multiple_crashes(self):
+        plan = crash(5, at=0.0)
+        plan = crash(4, at=0.0, plan=plan)
+        m = run_bully(6, failures=plan)
+        live = [r for r in range(4)]
+        assert m.agreement_among(live) == 3
+
+    def test_ring_elections_do_not_tolerate_crash(self):
+        # The taxonomy dimension in action: Chang-Roberts on a ring with a
+        # crashed process never elects (messages cannot pass the corpse).
+        m = run_chang_roberts(6, failures=crash(3, at=0.0))
+        live = [r for r in range(6) if r != 3]
+        assert m.agreement_among(live) is None
+
+    def test_quadratic_message_bound(self):
+        m = run_bully(10)
+        assert m.messages_sent <= 6 * 10 * 10
+
+
+class TestByzantine:
+    def test_lying_id_subverts_chang_roberts(self):
+        # A Byzantine process that rewrites ids breaks the election — the
+        # taxonomy's point that these algorithms assume failures=none.
+        # Here the forged id 999 belongs to nobody, so it circulates
+        # forever: the election loses liveness (detected by the simulator's
+        # message budget).
+        from repro.distributed.algorithms.chang_roberts import ChangRoberts
+
+        plan = byzantine_lying_id(2, fake_id=999)
+        procs = [ChangRoberts(r, pid=r) for r in range(6)]
+        sim = Simulator(Ring(6, directed=True), procs, failures=plan,
+                        max_messages=2_000)
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert sim.metrics.consensus() != 5
+
+
+class TestTokenRing:
+    def test_all_requests_served(self):
+        m = run_token_ring(5, requests_per_process=3)
+        assert len(m.cs_entries) == 15
+
+    def test_mutual_exclusion_no_overlap(self):
+        m = run_token_ring(6, requests_per_process=2,
+                           timing=Asynchronous(seed=7))
+        times = sorted(t for t, _ in m.cs_entries)
+        assert len(times) == len(set(times))  # never two holders at once
+
+    def test_one_message_per_entry_plus_circulation(self):
+        n = 8
+        m = run_token_ring(n, requests_per_process=1)
+        assert m.messages_sent == n - 1  # token passes, absorbed at the end
+
+
+class TestTaxonomy:
+    def test_dimension_refinement(self):
+        assert refines("topology", "unidirectional ring", "ring")
+        assert refines("topology", "ring", "arbitrary")
+        assert not refines("topology", "arbitrary", "ring")
+        assert refines("timing", "synchronous", "asynchronous")
+        assert refines("failures", "none", "crash")
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(KeyError):
+            refines("topology", "torus", "ring")
+        with pytest.raises(KeyError):
+            Classification("leader election", "torus", "none",
+                           "message passing", "any", "asynchronous", "static")
+
+    def test_query_by_problem(self):
+        tax = standard_taxonomy()
+        elections = tax.query(problem="leader election")
+        assert {e.name for e in elections} == {
+            "chang-roberts", "hirschberg-sinclair", "bully", "itai-rodeh"
+        }
+
+    def test_topology_matching_direction(self):
+        tax = standard_taxonomy()
+        # A bidirectional-ring network can run HS and arbitrary-topology
+        # algorithms, but not the complete-graph bully.
+        usable = {e.name for e in tax.query(topology="bidirectional ring")}
+        assert "hirschberg-sinclair" in usable
+        assert "flooding" in usable
+        assert "bully" not in usable
+
+    def test_failure_requirement(self):
+        tax = standard_taxonomy()
+        tolerant = {e.name for e in tax.query(problem="leader election",
+                                              failures="crash")}
+        assert tolerant == {"bully"}
+
+    def test_selection_prefers_better_message_bound(self):
+        tax = standard_taxonomy()
+        best = tax.select("messages", problem="leader election",
+                          topology="bidirectional ring")
+        assert best.name == "hirschberg-sinclair"
+
+    def test_selection_matches_measurement(self):
+        # The taxonomy's asymptotic choice agrees with simulation at scale.
+        n = 64
+        cr = run_chang_roberts(n, ids=worst_case_ids(n))
+        hs = run_hirschberg_sinclair(n, ids=worst_case_ids(n))
+        assert hs.messages_sent < cr.messages_sent
+
+    def test_gap_detection(self):
+        tax = standard_taxonomy()
+        gaps = tax.gaps("consensus")
+        assert gaps  # no consensus algorithm registered: all combos are gaps
+        assert all(g["problem"] == "consensus" for g in gaps)
+
+    def test_document_renders(self):
+        text = standard_taxonomy().document()
+        assert "chang-roberts" in text
+        assert "guarantees messages" in text

@@ -1,0 +1,91 @@
+"""Tests for dynamic process management (taxonomy dimension 7): topology
+growth, scheduled spawns, and the dynamic spanning tree."""
+
+import pytest
+
+from repro.distributed import (
+    Arbitrary,
+    Asynchronous,
+    Ring,
+    SimulationError,
+    Simulator,
+    Synchronous,
+    refines,
+    standard_taxonomy,
+)
+from repro.distributed.algorithms import run_dynamic_spanning_tree
+from repro.distributed.algorithms.dynamic_tree import DynamicSpanningTree
+from repro.distributed.algorithms.spanning_tree import is_spanning_tree
+
+
+class TestTopologyGrowth:
+    def test_add_node(self):
+        t = Arbitrary(3, [(0, 1), (1, 2)])
+        new = t.add_node([0, 2])
+        assert new == 3
+        assert t.n == 4
+        assert sorted(t.neighbors(3)) == [0, 2]
+        assert 3 in t.neighbors(0)
+
+    def test_add_node_validates_links(self):
+        t = Arbitrary(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            t.add_node([5])
+
+    def test_fixed_topologies_reject_spawn(self):
+        sim = Simulator(Ring(3), [DynamicSpanningTree(r) for r in range(3)])
+        with pytest.raises(SimulationError):
+            sim.schedule_spawn(1.0, DynamicSpanningTree(-1, joiner=True), [0])
+
+
+class TestDynamicSpanningTree:
+    def test_joins_extend_the_tree(self):
+        m = run_dynamic_spanning_tree(
+            4, [(0, 1), (1, 2), (2, 3)],
+            joins=[(5.0, [2]), (7.0, [4, 1])],
+        )
+        assert m.n == 6
+        assert is_spanning_tree(m, 6)
+        assert m.decisions[4] == 2          # joined through node 2
+        assert m.decisions[5] in (4, 1)     # whichever granted first
+
+    def test_join_into_running_flood(self):
+        # Joining at t=0.5 — while the initial tree is still forming —
+        # must still end with everyone attached.
+        m = run_dynamic_spanning_tree(
+            5, [(0, 1), (1, 2), (2, 3), (3, 4)],
+            joins=[(0.5, [4])],
+        )
+        assert is_spanning_tree(m, 6)
+
+    def test_many_joins_async(self):
+        joins = [(float(3 + k), [k % 4]) for k in range(6)]
+        m = run_dynamic_spanning_tree(
+            4, [(0, 1), (1, 2), (2, 3)], joins=joins,
+            timing=Asynchronous(seed=3),
+        )
+        assert m.n == 10
+        assert is_spanning_tree(m, 10)
+
+    def test_static_run_matches_static_algorithm(self):
+        m = run_dynamic_spanning_tree(6, [(0, 1), (0, 2), (1, 3), (2, 4),
+                                          (4, 5)], joins=[])
+        assert is_spanning_tree(m, 6)
+
+
+class TestTaxonomyDimension7:
+    def test_refinement_direction(self):
+        assert refines("process management", "dynamic", "static")
+        assert not refines("process management", "static", "dynamic")
+
+    def test_only_dynamic_algorithms_qualify(self):
+        tax = standard_taxonomy()
+        dyn = {e.name for e in tax.query(process_management="dynamic")}
+        assert dyn == {"dynamic-spanning-tree"}
+
+    def test_dynamic_algorithms_serve_static_requests_too(self):
+        tax = standard_taxonomy()
+        static_ok = {e.name for e in tax.query(problem="spanning tree",
+                                               process_management="static")}
+        assert "dynamic-spanning-tree" in static_ok
+        assert "spanning-tree" in static_ok

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs clean and prints its headline
+results (the quickstart + domain scenarios are part of the public API
+surface, so they are tested like any other deliverable)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: (script, substring that must appear in stdout)
+CASES = [
+    ("quickstart.py", "constraints written: 1"),
+    ("static_checking.py", "attempt to dereference a singular iterator"),
+    ("optimizer.py", "concept-based rules generate"),
+    ("proof_checking.py", "checked in"),
+    ("graph_library.py", "topological order"),
+    ("distributed_election.py", "Taxonomy-driven selection"),
+    ("data_parallel.py", "speedup"),
+    ("sensor_network.py", "tree still valid: True"),
+    ("concept_language.py", "refuted"),
+]
+
+SLOW = {"mixed_precision.py"}
+
+
+@pytest.mark.parametrize("script,needle", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, needle):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert needle in proc.stdout, (
+        f"{script}: expected {needle!r} in output;\n{proc.stdout[-1500:]}"
+    )
+
+
+def test_all_examples_are_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {c[0] for c in CASES} | SLOW
+    assert scripts == covered, (
+        f"untested examples: {scripts - covered}; stale: {covered - scripts}"
+    )

@@ -1,0 +1,151 @@
+"""Tests for the library extension points the paper emphasizes:
+library-supplied STLlint specifications, user rewrite rules co-existing,
+and remaining Athena deduction forms."""
+
+import pytest
+
+from repro.athena import (
+    Atom,
+    Exists,
+    Iff,
+    Implies,
+    OrderSig,
+    Proof,
+    ProofError,
+    equals,
+    forall,
+    total_order_axioms,
+)
+from repro.athena.terms import App, Var, const, replace_subterm
+from repro.stllint import (
+    ALGORITHM_SPECS,
+    Severity,
+    check_source,
+    register_algorithm_spec,
+)
+from repro.stllint.abstract_values import AbstractValue
+from repro.stllint.specs import SORTED, AlgorithmContext
+
+
+class TestStllintLibrarySpecs:
+    """'STLlint is a static checker ... that makes use of library-supplied
+    semantic specifications' — user libraries can ship their own."""
+
+    def teardown_method(self):
+        ALGORITHM_SPECS.pop("parallel_prefix", None)
+        ALGORITHM_SPECS.pop("shuffle", None)
+
+    def test_custom_spec_entry_handler(self):
+        # A library algorithm demanding sortedness, shipped as a spec.
+        def spec(ctx: AlgorithmContext):
+            for it in ctx.iterator_args():
+                ctx.check_use(it)
+            c = ctx.range_container()
+            if c is not None and SORTED not in c.properties:
+                ctx.sink.warning(
+                    "parallel_prefix requires a sorted run partition",
+                    ctx.line,
+                )
+            return AbstractValue()
+
+        register_algorithm_spec("parallel_prefix", spec)
+        report = check_source('''
+def f(v: "vector"):
+    parallel_prefix(v.begin(), v.end())
+''')
+        assert any("parallel_prefix requires" in d.message
+                   for d in report.warnings)
+        clean = check_source('''
+def f(v: "vector"):
+    sort(v.begin(), v.end())
+    parallel_prefix(v.begin(), v.end())
+''')
+        assert not any("parallel_prefix requires" in d.message
+                       for d in clean.warnings)
+
+    def test_custom_spec_exit_handler(self):
+        # shuffle's exit handler destroys sortedness, like reverse's.
+        def spec(ctx: AlgorithmContext):
+            c = ctx.range_container()
+            if c is not None:
+                c.properties.discard(SORTED)
+            return AbstractValue()
+
+        register_algorithm_spec("shuffle", spec)
+        report = check_source('''
+def f(v: "vector"):
+    sort(v.begin(), v.end())
+    shuffle(v.begin(), v.end())
+    found = binary_search(v.begin(), v.end(), 1)
+''')
+        assert any("may not be sorted" in d.message for d in report.warnings)
+
+
+class TestAthenaRemainingForms:
+    def test_iff_intro_and_elim(self):
+        A, B = Atom("A"), Atom("B")
+        pf = Proof([Implies(A, B), Implies(B, A)])
+        iff = pf.equiv(Implies(A, B), Implies(B, A))
+        assert iff == Iff(A, B)
+        assert pf.left_iff(iff) == Implies(A, B)
+        assert pf.right_iff(iff) == Implies(B, A)
+
+    def test_equiv_rejects_non_mutual(self):
+        A, B, C = Atom("A"), Atom("B"), Atom("C")
+        pf = Proof([Implies(A, B), Implies(C, A)])
+        with pytest.raises(ProofError):
+            pf.equiv(Implies(A, B), Implies(C, A))
+
+    def test_existential_generalization(self):
+        x = Var("x")
+        P = lambda t: Atom("P", (t,))
+        pf = Proof([P(const("c"))])
+        thm = pf.egen(Exists("x", P(x)), const("c"), P(const("c")))
+        assert thm == Exists("x", P(x))
+        with pytest.raises(ProofError):
+            pf.egen(Exists("x", P(x)), const("d"), P(const("c")))
+
+    def test_total_order_extends_swo(self):
+        sig = OrderSig("<")
+        axs = total_order_axioms(sig)
+        assert len(axs) == 4  # 3 SWO + totality
+        from repro.athena import Or
+
+        totality = axs[-1]
+        # shape: forall x y. x<y | (x=y | y<x)
+        inner = totality.body.body  # strip two quantifiers
+        assert isinstance(inner, Or)
+
+    def test_replace_subterm(self):
+        f = App("f", (const("a"), App("g", (const("a"),))))
+        out = replace_subterm(f, const("a"), const("b"))
+        assert str(out) == "f(b, g(b))"
+
+    def test_double_negation(self):
+        from repro.athena import Not
+
+        A = Atom("A")
+        pf = Proof([Not(Not(A))])
+        assert pf.double_negation(Not(Not(A))) == A
+        with pytest.raises(ProofError):
+            Proof([A]).double_negation(A)
+
+    def test_rewrite_on_propositions(self):
+        a, b = const("a"), const("b")
+        P = Atom("P", (App("f", (a,)),))
+        pf = Proof([P, equals(a, b)])
+        out = pf.rewrite(P, equals(a, b))
+        assert out == Atom("P", (App("f", (b,)),))
+        with pytest.raises(ProofError):
+            pf.rewrite(out, equals(a, b))  # 'a' no longer occurs
+
+
+class TestSeverityAccess:
+    def test_of_filter(self):
+        report = check_source('''
+def f(v: "vector"):
+    sort(v.begin(), v.end())
+    i = find(v.begin(), v.end(), 1)
+''')
+        assert report.of(Severity.SUGGESTION)
+        assert not report.of(Severity.ERROR)

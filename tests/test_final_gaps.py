@@ -1,0 +1,107 @@
+"""Last coverage gaps: lossy networks, expression Call nodes, the module
+entry point, and remaining small utilities."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.distributed import FailurePlan, Grid, Ring
+from repro.distributed.algorithms import run_echo, run_flooding
+from repro.simplicissimus import BinOp, Call, Const, Var, simplify
+
+
+class TestLossyNetworks:
+    def test_lossless_baseline(self):
+        plan = FailurePlan(loss_probability=0.0)
+        m = run_flooding(Grid(4, 4), failures=plan)
+        assert len(m.decisions) == 16
+        assert m.messages_dropped == 0
+
+    def test_loss_counted(self):
+        plan = FailurePlan(loss_probability=0.3, seed=4)
+        m = run_flooding(Grid(4, 4), failures=plan)
+        assert m.messages_dropped > 0
+        assert m.messages_delivered + m.messages_dropped == m.messages_sent
+
+    def test_redundant_topology_tolerates_some_loss(self):
+        # On a well-connected grid, moderate loss usually still informs
+        # most nodes (flooding's redundancy); on a ring, a single lost
+        # message cuts everyone downstream.
+        plan_grid = FailurePlan(loss_probability=0.15, seed=7)
+        m_grid = run_flooding(Grid(5, 5), failures=plan_grid)
+        plan_ring = FailurePlan(loss_probability=0.15, seed=7)
+        m_ring = run_flooding(Ring(25), failures=plan_ring)
+        assert len(m_grid.decisions) > len(m_ring.decisions)
+
+    def test_total_loss_blocks_everything(self):
+        plan = FailurePlan(loss_probability=1.0, seed=1)
+        m = run_flooding(Grid(3, 3), failures=plan)
+        assert len(m.decisions) == 1  # only the initiator knows
+
+    def test_echo_deadlocks_gracefully_under_loss(self):
+        # Echo has no redundancy: loss may stall the convergecast.  The
+        # simulation must still terminate (no events left), just without a
+        # decision at the sink.
+        plan = FailurePlan(loss_probability=0.5, seed=3)
+        m = run_echo(Grid(4, 4), failures=plan)
+        assert m.messages_dropped > 0  # and we returned, so it terminated
+
+
+class TestExprCallNodes:
+    def test_call_through_function_table(self):
+        e = Call("fma", (Var("a"), Var("b"), Const(2)))
+        env = {"a": 3, "b": 4,
+               "__functions__": {"fma": lambda a, b, c: a * b + c}}
+        assert e.evaluate(env) == 14
+
+    def test_missing_function_reported(self):
+        e = Call("mystery", (Const(1),))
+        with pytest.raises(LookupError):
+            e.evaluate({})
+
+    def test_calls_are_rewrite_transparent(self):
+        # Subexpressions inside a call still simplify.
+        e = Call("f", (BinOp("*", Var("x"), Const(1)),))
+        out = simplify(e, {"x": int}).expr
+        assert out == Call("f", (Var("x"),))
+        env = {"x": 5, "__functions__": {"f": lambda v: v + 1}}
+        assert out.evaluate(env) == 6
+
+
+class TestModuleEntryPoint:
+    def test_python_m_repro_self_check(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr[-1000:]
+        assert "all subsystem checks passed" in proc.stdout
+        for name in ("concepts", "stllint", "simplicissimus", "athena",
+                     "distributed", "parallel"):
+            assert f"repro.{name}" in proc.stdout
+
+
+class TestSmallUtilities:
+    def test_complexity_product_and_polynomial(self):
+        from repro.concepts.complexity import (
+            linear,
+            linearithmic,
+            logarithmic,
+            polynomial,
+            product,
+        )
+
+        assert product(linear(), logarithmic()) == linearithmic()
+        assert polynomial(3) > polynomial(2)
+
+    def test_conj_idem_method(self):
+        from repro.athena import And, Atom, Proof, conj_idem
+
+        A = Atom("A")
+        pf = Proof([A])
+        assert conj_idem(pf, A) == And(A, A)
+
+    def test_topology_edges_normalized(self):
+        r = Ring(4)
+        assert all(u < v for u, v in r.edges())

@@ -1,0 +1,415 @@
+"""Tests for the graph substrate: Fig. 1/Fig. 2 concept conformance and the
+concept-checked generic algorithms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.concepts import ConceptCheckError, check_concept
+from repro.graphs import (
+    AdjacencyGraph,
+    AdjacencyList,
+    BidirectionalGraph,
+    CycleError,
+    DictPropertyMap,
+    Edge,
+    EdgeListGraph,
+    EdgeListGraphImpl,
+    FunctionPropertyMap,
+    GraphEdge,
+    GridGraph,
+    IncidenceGraph,
+    NegativeWeightError,
+    RecordingVisitor,
+    VertexListGraph,
+    breadth_first_distances,
+    breadth_first_search,
+    connected_components,
+    depth_first_search,
+    dijkstra_shortest_paths,
+    first_neighbor,
+    reconstruct_path,
+    source,
+    strongly_connected_components,
+    target,
+    topological_sort,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 / Fig. 2 conformance
+# ---------------------------------------------------------------------------
+
+
+class TestFig1GraphEdge:
+    def test_edge_models_graph_edge(self):
+        report = check_concept(GraphEdge, Edge)
+        assert report.ok
+
+    def test_checked_rows_match_fig1(self):
+        report = check_concept(GraphEdge, Edge)
+        checked = " ".join(report.checked)
+        assert "vertex_type" in checked
+        assert "source(e)" in checked
+        assert "target(e)" in checked
+
+    def test_nonconforming_edge(self):
+        class NotAnEdge:
+            pass
+
+        report = check_concept(GraphEdge, NotAnEdge)
+        assert not report.ok
+
+    def test_edge_missing_assoc_type(self):
+        class HalfEdge:
+            def source(self):
+                return 0
+
+            def target(self):
+                return 1
+
+        report = check_concept(GraphEdge, HalfEdge)
+        assert not report.ok
+        assert any("vertex_type" in f.requirement for f in report.failures)
+
+
+class TestFig2IncidenceGraph:
+    @pytest.mark.parametrize("cls", [AdjacencyList, GridGraph])
+    def test_models(self, cls):
+        assert check_concept(IncidenceGraph, cls).ok
+
+    def test_edge_list_does_not_model(self):
+        # No out_edges/out_degree: structurally non-conforming.
+        report = check_concept(IncidenceGraph, EdgeListGraphImpl)
+        assert not report.ok
+        missing = " ".join(f.requirement for f in report.failures)
+        assert "out_edges" in missing
+
+    def test_same_type_constraint_enforced(self):
+        # A graph whose out-edge iterator yields the wrong value type.
+        class WrongIterValue:
+            value_type = int  # should be the edge type
+
+        class BadGraph:
+            vertex_type = int
+            edge_type = Edge
+            out_edge_iterator = WrongIterValue
+
+            def out_edges(self, v):
+                return []
+
+            def out_degree(self, v):
+                return 0
+
+        report = check_concept(IncidenceGraph, BadGraph)
+        assert not report.ok
+        assert any("==" in f.requirement for f in report.failures)
+
+    def test_bidirectional_refines_incidence(self):
+        assert BidirectionalGraph.refines_concept(IncidenceGraph)
+        assert check_concept(BidirectionalGraph, AdjacencyList).ok
+
+
+# ---------------------------------------------------------------------------
+# Graph structure
+# ---------------------------------------------------------------------------
+
+
+class TestAdjacencyList:
+    def test_add_edge_grows(self):
+        g = AdjacencyList()
+        g.add_edge(0, 5)
+        assert g.num_vertices() == 6
+        assert g.num_edges() == 1
+
+    def test_out_edges_range(self):
+        g = AdjacencyList(3, [(0, 1), (0, 2)])
+        rng = g.out_edges(0)
+        targets = []
+        it = rng.begin()
+        while not it.equals(rng.end()):
+            targets.append(target(it.deref()))
+            it.increment()
+        assert targets == [1, 2]
+        assert g.out_degree(0) == 2
+
+    def test_in_edges(self):
+        g = AdjacencyList(3, [(0, 2), (1, 2)])
+        assert g.in_degree(2) == 2
+        assert {source(e) for e in g.in_edges(2)} == {0, 1}
+
+    def test_undirected_symmetry(self):
+        g = AdjacencyList(2, [(0, 1)], directed=False)
+        assert g.out_degree(0) == 1
+        assert g.out_degree(1) == 1
+        assert g.num_edges() == 1
+
+    def test_remove_edge(self):
+        g = AdjacencyList(3, [(0, 1), (0, 2)])
+        assert g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+        assert not g.remove_edge(0, 1)
+
+    def test_reverse(self):
+        g = AdjacencyList(3, [(0, 1), (1, 2)])
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert not r.has_edge(0, 1)
+
+
+class TestGridGraph:
+    def test_degrees(self):
+        g = GridGraph(3, 3)
+        assert g.out_degree(4) == 4    # center
+        assert g.out_degree(0) == 2    # corner
+        assert g.out_degree(1) == 3    # edge
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            GridGraph(0, 3)
+
+    def test_adjacency(self):
+        g = GridGraph(2, 2)
+        assert sorted(g.adjacent_vertices(0)) == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Algorithms
+# ---------------------------------------------------------------------------
+
+
+def diamond():
+    return AdjacencyList(0, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+
+
+class TestBFS:
+    def test_predecessors_give_shortest_path(self):
+        pred = breadth_first_search(diamond(), 0)
+        path = reconstruct_path(pred, 0, 4)
+        assert path is not None
+        assert len(path) == 4  # 0 -> {1|2} -> 3 -> 4
+
+    def test_distances(self):
+        dist = breadth_first_distances(diamond(), 0)
+        assert dist.get(0) == 0
+        assert dist.get(3) == 2
+        assert dist.get(4) == 3
+
+    def test_unreachable(self):
+        g = AdjacencyList(3, [(0, 1)])
+        pred = breadth_first_search(g, 0)
+        assert reconstruct_path(pred, 0, 2) is None
+
+    def test_visitor_event_order(self):
+        vis = RecordingVisitor()
+        breadth_first_search(diamond(), 0, vis)
+        discovered = vis.of_kind("discover")
+        assert discovered[0] == 0
+        assert set(discovered) == {0, 1, 2, 3, 4}
+        # finish(0) must come after discover of its neighbours
+        finish0 = vis.events.index(("finish", 0))
+        assert vis.events.index(("discover", 1)) < finish0
+        assert vis.events.index(("discover", 2)) < finish0
+
+    def test_rejects_non_incidence_graph(self):
+        g = EdgeListGraphImpl(3, [(0, 1)])
+        with pytest.raises(ConceptCheckError) as exc:
+            breadth_first_search(g, 0)
+        assert "Incidence Graph" in str(exc.value)
+        assert "breadth_first_search" in str(exc.value)
+
+    def test_runs_on_grid_unchanged(self):
+        # Same generic algorithm, structurally different model of Fig. 2.
+        dist = breadth_first_distances(GridGraph(4, 4), 0)
+        assert dist.get(15) == 6  # Manhattan distance to far corner
+
+    @given(st.integers(2, 6), st.integers(2, 6))
+    def test_grid_distance_is_manhattan(self, rows, cols):
+        g = GridGraph(rows, cols)
+        dist = breadth_first_distances(g, 0)
+        for v in g.vertices():
+            r, c = divmod(v, cols)
+            assert dist.get(v) == r + c
+
+
+class TestDFS:
+    def test_forest_covers_graph(self):
+        vis = RecordingVisitor()
+        depth_first_search(diamond(), 0, vis)
+        assert set(vis.of_kind("discover")) == {0, 1, 2, 3, 4}
+
+    def test_every_discover_has_finish(self):
+        vis = RecordingVisitor()
+        depth_first_search(diamond(), 0, vis)
+        assert sorted(vis.of_kind("discover")) == sorted(vis.of_kind("finish"))
+
+    def test_back_edge_on_cycle(self):
+        g = AdjacencyList(0, [(0, 1), (1, 2), (2, 0)])
+        vis = RecordingVisitor()
+        depth_first_search(g, 0, vis)
+        assert vis.of_kind("back") == [(2, 0)]
+
+    def test_full_traversal_without_start(self):
+        g = AdjacencyList(4, [(0, 1), (2, 3)])
+        vis = RecordingVisitor()
+        depth_first_search(g, None, vis)
+        assert set(vis.of_kind("discover")) == {0, 1, 2, 3}
+
+    def test_nesting_property(self):
+        # DFS discover/finish intervals are properly nested.
+        vis = RecordingVisitor()
+        depth_first_search(diamond(), 0, vis)
+        open_set: list = []
+        for name, payload in vis.events:
+            if name == "discover":
+                open_set.append(payload)
+            elif name == "finish":
+                assert open_set[-1] == payload
+                open_set.pop()
+        assert open_set == []
+
+
+class TestDijkstra:
+    def test_weighted_shortest_path(self):
+        g = AdjacencyList(0, [(0, 1), (1, 2), (0, 2)])
+        w = {(0, 1): 1, (1, 2): 1, (0, 2): 5}
+        wmap = FunctionPropertyMap(lambda e: w[(source(e), target(e))])
+        dist, pred = dijkstra_shortest_paths(g, 0, wmap)
+        assert dist.get(2) == 2
+        assert reconstruct_path(pred, 0, 2) == [0, 1, 2]
+
+    def test_unit_weights_match_bfs(self):
+        g = diamond()
+        dist, _ = dijkstra_shortest_paths(g, 0)
+        bfs = breadth_first_distances(g, 0)
+        for v in g.vertices():
+            assert dist.get(v) == bfs.get(v)
+
+    def test_negative_weight_rejected(self):
+        g = AdjacencyList(0, [(0, 1)])
+        wmap = FunctionPropertyMap(lambda e: -1)
+        with pytest.raises(NegativeWeightError):
+            dijkstra_shortest_paths(g, 0, wmap)
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    max_size=30))
+    def test_matches_networkx(self, edge_list):
+        import networkx as nx
+
+        g = AdjacencyList(10, edge_list)
+        dist, _ = dijkstra_shortest_paths(g, 0)
+        ng = nx.DiGraph()
+        ng.add_nodes_from(range(10))
+        ng.add_edges_from(edge_list)
+        expected = nx.single_source_shortest_path_length(ng, 0)
+        for v in range(10):
+            assert dist.get(v) == expected.get(v)
+
+
+class TestTopologicalSort:
+    def test_respects_edges(self):
+        g = diamond()
+        order = topological_sort(g)
+        pos = {v: i for i, v in enumerate(order)}
+        for e in g.edges():
+            assert pos[source(e)] < pos[target(e)]
+
+    def test_cycle_detected(self):
+        g = AdjacencyList(0, [(0, 1), (1, 0)])
+        with pytest.raises(CycleError):
+            topological_sort(g)
+
+
+class TestComponents:
+    def test_connected_components(self):
+        g = AdjacencyList(5, [(0, 1), (2, 3)], directed=False)
+        comp = connected_components(g)
+        assert comp.get(0) == comp.get(1)
+        assert comp.get(2) == comp.get(3)
+        assert comp.get(0) != comp.get(2)
+        assert comp.get(4) not in (comp.get(0), comp.get(2))
+
+    def test_scc(self):
+        g = AdjacencyList(0, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)])
+        comp = strongly_connected_components(g)
+        assert comp.get(0) == comp.get(1) == comp.get(2)
+        assert comp.get(3) == comp.get(4)
+        assert comp.get(0) != comp.get(3)
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                    max_size=25))
+    def test_scc_matches_networkx(self, edge_list):
+        import networkx as nx
+
+        g = AdjacencyList(8, edge_list)
+        comp = strongly_connected_components(g)
+        ng = nx.DiGraph()
+        ng.add_nodes_from(range(8))
+        ng.add_edges_from(edge_list)
+        for expected in nx.strongly_connected_components(ng):
+            labels = {comp.get(v) for v in expected}
+            assert len(labels) == 1
+        # distinct SCCs get distinct labels
+        n_expected = sum(1 for _ in nx.strongly_connected_components(ng))
+        assert len({comp.get(v) for v in range(8)}) == n_expected
+
+
+class TestFirstNeighbor:
+    def test_returns_first_target(self):
+        g = AdjacencyList(3, [(0, 2), (0, 1)])
+        assert first_neighbor(g, 0) == 2
+
+    def test_none_for_sink(self):
+        g = AdjacencyList(2, [(0, 1)])
+        assert first_neighbor(g, 1) is None
+
+
+class TestBellmanFord:
+    def test_negative_weights_handled(self):
+        from repro.graphs import bellman_ford_shortest_paths
+
+        g = AdjacencyList(0, [(0, 1), (1, 2), (0, 2)])
+        w = {(0, 1): 4, (1, 2): -3, (0, 2): 2}
+        wmap = FunctionPropertyMap(lambda e: w[(source(e), target(e))])
+        dist, pred = bellman_ford_shortest_paths(g, 0, wmap)
+        assert dist.get(2) == 1          # 0->1->2 beats the direct edge
+        assert reconstruct_path(pred, 0, 2) == [0, 1, 2]
+
+    def test_agrees_with_dijkstra_on_nonnegative(self):
+        from repro.graphs import bellman_ford_shortest_paths
+
+        g = AdjacencyList(0, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        w = {(0, 1): 1, (1, 2): 1, (0, 2): 5, (2, 3): 2}
+        wmap = FunctionPropertyMap(lambda e: w[(source(e), target(e))])
+        bf, _ = bellman_ford_shortest_paths(g, 0, wmap)
+        dj, _ = dijkstra_shortest_paths(g, 0, wmap)
+        for v in g.vertices():
+            assert bf.get(v) == dj.get(v)
+
+    def test_negative_cycle_detected(self):
+        from repro.graphs import bellman_ford_shortest_paths
+
+        g = AdjacencyList(0, [(0, 1), (1, 0)])
+        wmap = FunctionPropertyMap(lambda e: -1)
+        with pytest.raises(NegativeWeightError):
+            bellman_ford_shortest_paths(g, 0, wmap)
+
+    def test_unreachable_left_undefined(self):
+        from repro.graphs import bellman_ford_shortest_paths
+
+        g = AdjacencyList(3, [(0, 1)])
+        dist, _ = bellman_ford_shortest_paths(g, 0)
+        assert dist.get(2) is None
+
+    def test_taxonomy_offers_it_where_dijkstra_refuses(self):
+        # Dijkstra requires Incidence Graph; Bellman-Ford only needs the
+        # edge set: on an EdgeListGraphImpl the taxonomy finds exactly it.
+        from repro.graphs.taxonomy import bgl_taxonomy
+
+        t = bgl_taxonomy()
+        usable = {a.name for a in t.applicable_algorithms(
+            "shortest paths", {"G": EdgeListGraphImpl})}
+        assert "bellman-ford" in usable
+        assert "dijkstra" not in usable

@@ -1,0 +1,115 @@
+"""Tests for the performance-requirement validation harness: complexity
+guarantees checked against measurements, like axioms against samples."""
+
+import pytest
+
+from repro.concepts import AlgorithmConcept, check_guarantee
+from repro.concepts.complexity import linear, linearithmic, logarithmic, quadratic
+from repro.sequences import Vector
+from repro.sequences.algorithms import find, lower_bound
+from repro.sequences.taxonomy import stl_taxonomy
+
+
+class _CountingProbe:
+    """A needle whose equality/ordering calls are counted (measures real
+    comparison counts without instrumenting the algorithms)."""
+
+    def __init__(self, counter):
+        self.counter = counter
+
+    def __eq__(self, other):
+        self.counter[0] += 1
+        return False
+
+    def __lt__(self, other):
+        self.counter[0] += 1
+        return False
+
+    def __gt__(self, other):
+        self.counter[0] += 1
+        return True
+
+    def __hash__(self):
+        return 0
+
+
+def _find_comparisons(n: int) -> int:
+    v = Vector(range(n))
+    counter = [0]
+    find(v.begin(), v.end(), _CountingProbe(counter))
+    return counter[0]
+
+
+class _CountedInt(int):
+    counter = [0]
+
+    def __lt__(self, other):
+        _CountedInt.counter[0] += 1
+        return int.__lt__(self, other)
+
+
+def _lower_bound_comparisons(n: int) -> int:
+    v = Vector([_CountedInt(i) for i in range(n)])
+    _CountedInt.counter[0] = 0
+    lower_bound(v.begin(), v.end(), n)  # worst probe
+    return max(_CountedInt.counter[0], 1)
+
+
+class TestCheckGuarantee:
+    def test_linear_find_consistent(self):
+        t = stl_taxonomy()
+        gc = check_guarantee(
+            t.algorithms["find"], "comparisons", _find_comparisons,
+            [{"n": n} for n in (64, 256, 1024, 4096)],
+        )
+        assert gc.holds
+        assert "consistent with O(n)" in gc.render()
+
+    def test_logarithmic_lower_bound_consistent(self):
+        t = stl_taxonomy()
+        gc = check_guarantee(
+            t.algorithms["lower_bound"], "comparisons",
+            _lower_bound_comparisons,
+            [{"n": n} for n in (64, 1024, 16384)],
+        )
+        assert gc.holds, gc.render()
+
+    def test_false_guarantee_refuted(self):
+        # Declare linear find as logarithmic: measurement refutes it.
+        fake = AlgorithmConcept(
+            "fake find", "search",
+            guarantees={"comparisons": logarithmic()},
+        )
+        gc = check_guarantee(
+            fake, "comparisons", _find_comparisons,
+            [{"n": n} for n in (64, 1024, 16384)],
+        )
+        assert not gc.holds
+        assert "INCONSISTENT" in gc.render()
+
+    def test_missing_resource_rejected(self):
+        t = stl_taxonomy()
+        with pytest.raises(KeyError):
+            check_guarantee(t.algorithms["find"], "messages",
+                            _find_comparisons, [{"n": 8}])
+
+    def test_distributed_guarantees_cross_check(self):
+        # The distributed taxonomy's message guarantees, validated through
+        # the same harness.
+        from repro.distributed import standard_taxonomy
+        from repro.distributed.algorithms import (
+            run_chang_roberts,
+            worst_case_ids,
+        )
+
+        tax = standard_taxonomy()
+        entry = tax.entries["chang-roberts"]
+        algo = AlgorithmConcept("chang-roberts", "leader election",
+                                guarantees=dict(entry.guarantees))
+        gc = check_guarantee(
+            algo, "messages",
+            lambda n: run_chang_roberts(n, ids=worst_case_ids(n)).messages_sent,
+            [{"n": n} for n in (16, 32, 64, 128)],
+            tolerance=2.5,
+        )
+        assert gc.holds, gc.render()

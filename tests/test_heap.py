@@ -1,0 +1,112 @@
+"""Tests for the STL heap algorithm family."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.concepts import ConceptCheckError
+from repro.sequences import (
+    Deque,
+    DList,
+    Vector,
+    heapsort,
+    is_heap,
+    make_heap,
+    pop_heap,
+    push_heap,
+    sort_heap,
+)
+
+
+class TestHeapProperty:
+    @given(st.lists(st.integers(), max_size=120))
+    def test_make_heap_establishes_property(self, xs):
+        v = Vector(xs)
+        make_heap(v)
+        assert is_heap(v)
+        assert sorted(v.to_list()) == sorted(xs)  # permutation
+
+    def test_empty_and_single(self):
+        v = Vector([])
+        make_heap(v)
+        assert is_heap(v)
+        v1 = Vector([5])
+        make_heap(v1)
+        assert is_heap(v1)
+
+    def test_is_heap_rejects_non_heaps(self):
+        assert not is_heap(Vector([1, 9, 2]))
+        assert is_heap(Vector([9, 5, 7, 1]))
+
+    @given(st.lists(st.integers(), min_size=1, max_size=80), st.integers())
+    def test_push_heap(self, xs, new):
+        v = Vector(xs)
+        make_heap(v)
+        v._capacity = 10_000  # keep iterators valid; not under test here
+        v.push_back(new)
+        push_heap(v)
+        assert is_heap(v)
+        assert sorted(v.to_list()) == sorted(xs + [new])
+
+    @given(st.lists(st.integers(), min_size=1, max_size=80))
+    def test_pop_heap_moves_max_to_back(self, xs):
+        v = Vector(xs)
+        make_heap(v)
+        pop_heap(v)
+        assert v.at(v.size() - 1) == max(xs)
+        popped = v.pop_back()
+        assert popped == max(xs)
+        assert is_heap(v)
+
+
+class TestSortHeap:
+    @given(st.lists(st.integers(), max_size=150))
+    def test_heapsort(self, xs):
+        v = Vector(xs)
+        heapsort(v)
+        assert v.to_list() == sorted(xs)
+
+    def test_custom_comparator_descending(self):
+        v = Vector([3, 1, 2])
+        heapsort(v, lambda a, b: b < a)
+        assert v.to_list() == [3, 2, 1]
+
+    def test_sort_heap_requires_heap_precondition(self):
+        # With the precondition met, ascending order results.
+        v = Vector([5, 3, 8, 1])
+        make_heap(v)
+        sort_heap(v)
+        assert v.to_list() == [1, 3, 5, 8]
+
+    def test_works_on_deque(self):
+        d = Deque([4, 2, 9, 7])
+        heapsort(d)
+        assert d.to_list() == [2, 4, 7, 9]
+
+
+class TestConceptRequirement:
+    def test_dlist_rejected(self):
+        # Heap algorithms genuinely need random access.
+        with pytest.raises(ConceptCheckError) as exc:
+            make_heap(DList([3, 1, 2]))
+        assert "Random Access Container" in str(exc.value)
+        with pytest.raises(ConceptCheckError):
+            heapsort(DList([3, 1, 2]))
+
+    def test_registered_in_sorting_taxonomy(self):
+        from repro.concepts.complexity import constant, linearithmic
+        from repro.sequences.taxonomy import stl_taxonomy
+
+        t = stl_taxonomy()
+        hs = t.algorithms["heapsort"]
+        assert hs.all_guarantees()["extra space"] == constant()
+        assert hs.all_guarantees()["comparisons"] == linearithmic()
+        # Selection by extra space picks heapsort/insertion; by comparisons
+        # at random access, heapsort or quicksort.
+        best_space = min(
+            (a for a in t.algorithms_for_problem("sorting")
+             if a.implementation is not None
+             and a.all_guarantees()["comparisons"] == linearithmic()),
+            key=lambda a: (not a.all_guarantees()["extra space"] == constant()),
+        )
+        assert best_space.name == "heapsort"

@@ -1,0 +1,62 @@
+"""Tests for Itai–Rodeh randomized anonymous-ring election."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import Asynchronous, standard_taxonomy
+from repro.distributed.algorithms import run_itai_rodeh
+
+
+class TestItaiRodeh:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 17])
+    def test_exactly_one_leader(self, n):
+        m = run_itai_rodeh(n, seed=5)
+        assert len(m.leaders) == 1
+
+    def test_everyone_decides(self):
+        m = run_itai_rodeh(12, seed=2)
+        assert len(m.decisions) == 12
+        assert sum(1 for v in m.decisions.values() if v == "leader") == 1
+        assert sum(1 for v in m.decisions.values() if v == "non-leader") == 11
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=25)
+    def test_safety_under_any_seed(self, seed):
+        m = run_itai_rodeh(9, seed=seed)
+        assert len(m.leaders) == 1  # Las Vegas: never two leaders
+
+    def test_asynchronous_delivery(self):
+        for s in range(4):
+            m = run_itai_rodeh(11, seed=s, timing=Asynchronous(seed=s + 50))
+            assert len(m.leaders) == 1
+            assert len(m.decisions) == 11
+
+    def test_leader_varies_with_randomness(self):
+        # Anonymity: no rank is privileged; different seeds crown different
+        # processes.
+        leaders = {run_itai_rodeh(16, seed=s).leaders[0] for s in range(12)}
+        assert len(leaders) > 2
+
+    def test_expected_nlogn_messages(self):
+        # Average message count across seeds stays well under the CR worst
+        # case and near c * n log n.
+        import math
+
+        n = 32
+        counts = [run_itai_rodeh(n, seed=s).messages_sent for s in range(10)]
+        avg = statistics.mean(counts)
+        assert avg < n * n / 2          # far from quadratic
+        assert avg < 8 * n * math.log2(n)
+
+    def test_small_id_space_still_terminates(self):
+        # id_space=2 forces many collisions; phases retry until unique.
+        m = run_itai_rodeh(8, seed=1, id_space=2)
+        assert len(m.leaders) == 1
+
+    def test_registered_in_taxonomy(self):
+        tax = standard_taxonomy()
+        randomized = tax.query(problem="leader election", strategy="randomized")
+        assert [e.name for e in randomized] == ["itai-rodeh"]

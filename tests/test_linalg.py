@@ -1,0 +1,208 @@
+"""Tests for the vector/matrix substrate and the Fig. 3 / CLA-CRM claims."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.concepts import check_concept, models
+from repro.concepts.algebra import (
+    AdditiveAbelianGroup,
+    Field,
+    Group,
+    Monoid,
+    VectorSpace,
+    algebra,
+)
+from repro.linalg import (
+    ComplexMatrix,
+    CVector,
+    FVector,
+    Matrix,
+    SingularMatrixError,
+    axpy_mixed,
+    axpy_promote,
+    flops_mixed,
+    flops_promote,
+    matmul_mixed,
+    matmul_promote,
+    scale_mixed,
+    scale_promote,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6)
+
+
+class TestVectors:
+    def test_addition_group(self):
+        a = FVector([1.0, 2.0])
+        b = FVector([0.5, -1.0])
+        assert (a + b) == FVector([1.5, 1.0])
+        assert (a - b) == FVector([0.5, 3.0])
+        assert (-a) == FVector([-1.0, -2.0])
+        assert a + a.zeros_like() == a
+        assert a + (-a) == a.zeros_like()
+
+    def test_scaling_both_sides(self):
+        v = FVector([1.0, 2.0])
+        assert 2.0 * v == v * 2.0 == FVector([2.0, 4.0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            FVector([1.0]) + FVector([1.0, 2.0])
+
+    def test_complex_dot_conjugates(self):
+        v = CVector([1j])
+        assert v.dot(v) == pytest.approx(1.0)
+
+    def test_norm(self):
+        assert FVector([3.0, 4.0]).norm() == pytest.approx(5.0)
+
+    @given(st.lists(finite, min_size=1, max_size=8))
+    def test_group_axioms_property(self, xs):
+        v = FVector(xs)
+        assert v + v.zeros_like() == v
+        assert v + (-v) == v.zeros_like()
+
+
+class TestFig3VectorSpaceConcept:
+    """Fig. 3: (V, S) models Vector Space iff S : Field, V : Additive
+    Abelian Group, and mult(v,s) / mult(s,v) exist."""
+
+    @pytest.mark.parametrize("v_cls,s_cls", [
+        (FVector, float),
+        (CVector, complex),
+        (CVector, float),       # the CLA-CRM pair of Section 2.4
+    ])
+    def test_models(self, v_cls, s_cls):
+        assert check_concept(VectorSpace, (v_cls, s_cls)).ok
+
+    def test_scalar_not_determined_by_vector(self):
+        # The same vector type models Vector Space over two scalar types —
+        # impossible if the scalar were an associated type of the vector.
+        assert check_concept(VectorSpace, (CVector, complex)).ok
+        assert check_concept(VectorSpace, (CVector, float)).ok
+
+    def test_non_field_scalar_rejected(self):
+        report = check_concept(VectorSpace, (FVector, str))
+        assert not report.ok
+
+    def test_non_group_vector_rejected(self):
+        report = check_concept(VectorSpace, (str, float))
+        assert not report.ok
+
+    def test_fields(self):
+        for s in (float, complex, Fraction):
+            assert check_concept(Field, s).ok
+
+    def test_vector_space_axioms_hold(self):
+        for pair in ((FVector, float), (CVector, complex), (CVector, float)):
+            violations = models.check_semantics(
+                VectorSpace, pair, raise_on_failure=False
+            )
+            assert violations == []
+
+    def test_table_matches_fig3(self):
+        rows = VectorSpace.table()
+        rendered = " | ".join(r[0] for r in rows)
+        assert "mult(v, s)" in rendered
+        assert "mult(s, v)" in rendered
+        assert "Additive Abelian Group" in rendered
+        assert "Field" in rendered
+
+
+class TestMatrices:
+    def test_matmul(self):
+        a = Matrix([[1.0, 2.0], [3.0, 4.0]])
+        i = Matrix.identity(2)
+        assert (a @ i) == a
+        assert (i @ a) == a
+
+    def test_inverse_roundtrip(self):
+        a = Matrix([[2.0, 1.0], [1.0, 1.0]])
+        assert (a @ a.inverse()).is_identity()
+
+    def test_singular_rejected(self):
+        with pytest.raises(SingularMatrixError):
+            Matrix([[1.0, 2.0], [2.0, 4.0]]).inverse()
+        with pytest.raises(SingularMatrixError):
+            Matrix([[1.0, 2.0]]).inverse()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Matrix([[1.0, 2.0]]) @ Matrix([[1.0, 2.0]])
+
+    def test_algebra_structure(self):
+        assert algebra.models(Matrix, "@", Monoid)
+        assert algebra.models(Matrix, "@", Group)
+        s = algebra.lookup(Matrix, "@")
+        a = Matrix([[2.0, 0.0], [0.0, 3.0]])
+        assert s.identity_for(a).is_identity()
+        assert s.identity_test(Matrix.identity(3))
+        assert not s.identity_test(a)
+
+    def test_mixed_dtype_matmul_promotes(self):
+        a = ComplexMatrix([[1j]])
+        b = Matrix([[2.0]])
+        out = a @ b
+        assert isinstance(out, ComplexMatrix)
+        assert out.data[0, 0] == 2j
+
+
+class TestClaCrmKernels:
+    """Section 2.4: complex x real 'significantly more efficient than
+    converting the second argument to a complex number'."""
+
+    def rand_cvec(self, n=257):
+        rng = np.random.default_rng(42)
+        return CVector.from_array(rng.standard_normal(n) +
+                                  1j * rng.standard_normal(n))
+
+    def test_scale_variants_agree(self):
+        v = self.rand_cvec()
+        for s in (0.0, 1.0, -2.5, 3.25):
+            assert np.allclose(scale_promote(v, s).data,
+                               scale_mixed(v, s).data)
+
+    def test_axpy_variants_agree(self):
+        x = self.rand_cvec()
+        y = self.rand_cvec()
+        assert np.allclose(axpy_promote(1.5, x, y).data,
+                           axpy_mixed(1.5, x, y).data)
+
+    def test_matmul_variants_agree(self):
+        rng = np.random.default_rng(7)
+        a = ComplexMatrix(rng.standard_normal((31, 17)) +
+                          1j * rng.standard_normal((31, 17)))
+        b = Matrix(rng.standard_normal((17, 23)))
+        assert np.allclose(matmul_promote(a, b).data,
+                           matmul_mixed(a, b).data)
+
+    def test_matmul_shape_check(self):
+        a = ComplexMatrix([[1j, 0j]])
+        b = Matrix([[1.0, 0.0]])
+        with pytest.raises(ValueError):
+            matmul_mixed(a, b)
+
+    def test_flop_model_2x(self):
+        # The mixed kernels do half the real multiplies.
+        assert flops_promote(1000) == 2 * flops_mixed(1000)
+        assert flops_promote(8, 8, 8) == 2 * flops_mixed(8, 8, 8)
+
+    def test_mixed_scale_not_slower(self):
+        # Wall-clock sanity (loose: CI noise) — the bench quantifies it.
+        import timeit
+        v = self.rand_cvec(100_000)
+        t_promote = min(timeit.repeat(lambda: scale_promote(v, 1.5),
+                                      number=20, repeat=3))
+        t_mixed = min(timeit.repeat(lambda: scale_mixed(v, 1.5),
+                                    number=20, repeat=3))
+        assert t_mixed < t_promote * 1.5
+
+    @given(st.lists(finite, min_size=1, max_size=16), finite)
+    def test_scale_property(self, xs, s):
+        v = CVector(np.array(xs) * (1 + 1j))
+        assert np.allclose(scale_promote(v, s).data, scale_mixed(v, s).data)

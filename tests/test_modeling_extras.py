@@ -1,0 +1,217 @@
+"""Additional coverage of the modeling relation: semantic-axiom checking,
+ops_for adaptation, nominal concepts, refinement-inherited concept maps,
+and the operation registry."""
+
+import pytest
+
+from repro.concepts import (
+    AnyType,
+    Concept,
+    ConceptDefinitionError,
+    ModelRegistry,
+    Param,
+    SemanticAxiom,
+    SemanticAxiomViolation,
+    check_concept,
+    declare_model,
+    method,
+    models,
+    operator,
+    ops_for,
+)
+from repro.concepts.builtins import SortedRange, StrictWeakOrder
+from repro.concepts.modeling import OperationRegistry
+from repro.sequences import Vector
+
+T = Param("T")
+
+
+class TestCheckSemantics:
+    def make_concept(self):
+        return Concept("Involution", requirements=[
+            method("t.flip()", "flip", [T]),
+            SemanticAxiom(
+                "involutive", ("a",),
+                lambda ops, a: ops.flip(ops.flip(a)) == a,
+                "flip(flip(a)) == a",
+            ),
+        ])
+
+    def test_good_model_passes(self):
+        Inv = self.make_concept()
+        reg = ModelRegistry()
+
+        class Neg:
+            def __init__(self, v=0):
+                self.v = v
+
+            def flip(self):
+                return Neg(-self.v)
+
+            def __eq__(self, other):
+                return isinstance(other, Neg) and self.v == other.v
+
+            def __hash__(self):
+                return hash(self.v)
+
+        reg.declare(Inv, Neg, sampler=lambda: [(Neg(3),), (Neg(-7),), (Neg(0),)])
+        assert reg.check_semantics(Inv, Neg) == []
+
+    def test_bad_model_refuted_with_witness(self):
+        Inv = self.make_concept()
+        reg = ModelRegistry()
+
+        class Clamp:
+            def __init__(self, v=0):
+                self.v = v
+
+            def flip(self):
+                return Clamp(max(-self.v, 0))  # not involutive for v>0
+
+            def __eq__(self, other):
+                return isinstance(other, Clamp) and self.v == other.v
+
+            def __hash__(self):
+                return hash(self.v)
+
+        reg.declare(Inv, Clamp, sampler=lambda: [(Clamp(3),)])
+        with pytest.raises(SemanticAxiomViolation) as exc:
+            reg.check_semantics(Inv, Clamp)
+        assert "involutive" in str(exc.value)
+
+    def test_non_raising_mode_collects(self):
+        Inv = self.make_concept()
+        reg = ModelRegistry()
+
+        class Bad:
+            def flip(self):
+                return object()
+
+        reg.declare(Inv, Bad)
+        out = reg.check_semantics(Inv, Bad, samples=[(Bad(),)],
+                                  raise_on_failure=False)
+        assert len(out) == 1
+
+    def test_no_samples_is_an_error(self):
+        Inv = self.make_concept()
+        reg = ModelRegistry()
+
+        class M:
+            def flip(self):
+                return self
+
+        reg.declare(Inv, M)
+        with pytest.raises(ConceptDefinitionError):
+            reg.check_semantics(Inv, M)
+
+    def test_axiomless_concept_trivially_passes(self):
+        Plain = Concept("Plain", requirements=[method("t.f()", "f", [T])])
+
+        class M:
+            def f(self):
+                pass
+
+        assert ModelRegistry().check_semantics(Plain, M) == []
+
+
+class TestOpsFor:
+    def test_method_resolution(self):
+        Fooable = Concept("FooableX", requirements=[method("t.foo()", "foo", [T])])
+
+        class M:
+            def foo(self):
+                return "native"
+
+        assert ops_for(Fooable, M).foo(M()) == "native"
+
+    def test_concept_map_adaptation_wins(self):
+        Fooable = Concept("FooableY", requirements=[method("t.foo()", "foo", [T])])
+        reg = ModelRegistry()
+
+        class M:
+            def render(self):
+                return "adapted"
+
+        reg.declare(Fooable, M,
+                    operation_impls={"foo": lambda s: s.render()})
+        from repro.concepts.modeling import ops_for as _ops_for
+
+        assert _ops_for(Fooable, M, registry=reg).foo(M()) == "adapted"
+
+    def test_operator_resolution(self):
+        Addable = Concept("AddableX",
+                          requirements=[operator("a + b", "+", [T, T], T)])
+        ops = ops_for(Addable, int)
+        assert ops["+"](2, 3) == 5
+
+
+class TestNominalConcepts:
+    def test_structural_check_refuses(self):
+        # Vector is structurally a ForwardContainer but sortedness is a
+        # state property: nominal declaration required.
+        assert not check_concept(SortedRange, Vector).ok
+        report = check_concept(SortedRange, Vector)
+        assert any("nominal" in f.reason for f in report.failures)
+
+    def test_declaration_grants(self):
+        reg = ModelRegistry()
+
+        class AlwaysSorted(Vector):
+            pass
+
+        reg.declare(SortedRange, AlwaysSorted)
+        assert reg.check(SortedRange, AlwaysSorted).ok
+        # and only the declared type, not its base
+        assert not reg.check(SortedRange, Vector).ok
+
+
+class TestOperationRegistry:
+    def test_register_and_call(self):
+        ops = OperationRegistry()
+
+        class M:
+            pass
+
+        ops.register("greet", M, lambda m: "hi")
+        assert ops.call("greet", M()) == "hi"
+
+    def test_mro_walk(self):
+        ops = OperationRegistry()
+
+        class Base:
+            pass
+
+        class Derived(Base):
+            pass
+
+        ops.register("f", Base, lambda x: "base")
+        assert ops.find("f", Derived) is not None
+
+    def test_missing_operation(self):
+        ops = OperationRegistry()
+        with pytest.raises(LookupError):
+            ops.call("nothing", 3)
+
+    def test_decorator_form(self):
+        ops = OperationRegistry()
+
+        class M:
+            pass
+
+        @ops.register_for("twirl", M)
+        def twirl(m):
+            return "spun"
+
+        assert ops.call("twirl", M()) == "spun"
+
+
+class TestRefinementInheritedMaps:
+    def test_field_map_serves_nested_group_check(self):
+        # Declared only at Field level in repro.linalg; the nested Ring /
+        # Group / Monoid checks must find it via refinement.
+        import repro.linalg  # noqa: F401 - declares the Field map
+        from repro.concepts.algebra import Group, Monoid, Ring
+
+        assert models.check(Ring, (float,)).ok
+        assert models.check(Group, (float,)).ok
+        assert models.check(Monoid, (float,)).ok

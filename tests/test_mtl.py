@@ -1,0 +1,104 @@
+"""Tests for the MTL-style matrix concepts and concept-dispatched matvec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concepts import check_concept
+from repro.linalg import (
+    BandedMatrixConcept,
+    BandedMatrixMTL,
+    DenseMatrixConcept,
+    DenseMatrixMTL,
+    DiagonalMatrixConcept,
+    DiagonalMatrixMTL,
+    FVector,
+    matvec,
+)
+
+
+class TestConcepts:
+    def test_refinement_chain(self):
+        assert BandedMatrixConcept.refines_concept(DenseMatrixConcept)
+        assert DiagonalMatrixConcept.refines_concept(BandedMatrixConcept)
+
+    def test_models(self):
+        assert check_concept(DenseMatrixConcept, DenseMatrixMTL).ok
+        assert check_concept(BandedMatrixConcept, BandedMatrixMTL).ok
+        assert check_concept(DiagonalMatrixConcept, DiagonalMatrixMTL).ok
+        # A dense matrix is NOT banded (no bandwidth()):
+        assert not check_concept(BandedMatrixConcept, DenseMatrixMTL).ok
+
+    def test_guarantees_tighten_down_the_chain(self):
+        def bound(c):
+            return {g.operation: g.bound
+                    for g in c.complexity_guarantees()}["matvec"]
+
+        assert bound(DiagonalMatrixConcept) < bound(DenseMatrixConcept)
+
+
+class TestDispatch:
+    def test_kernel_selection(self):
+        assert "full GEMV" in matvec.resolve((DenseMatrixMTL, FVector)).name
+        assert "band GEMV" in matvec.resolve((BandedMatrixMTL, FVector)).name
+        assert "scale" in matvec.resolve((DiagonalMatrixMTL, FVector)).name
+
+    def test_all_kernels_agree_with_dense_reference(self):
+        rng = np.random.default_rng(3)
+        n = 40
+        x = FVector.from_array(rng.standard_normal(n))
+        banded = BandedMatrixMTL.random(n, 4, seed=7)
+        ref = DenseMatrixMTL(banded.to_dense().data)
+        assert np.allclose(matvec(ref, x).data, matvec(banded, x).data)
+        diag = DiagonalMatrixMTL(rng.standard_normal(n))
+        dense_diag = DenseMatrixMTL(np.diag(diag.diagonal()))
+        assert np.allclose(matvec(dense_diag, x).data, matvec(diag, x).data)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            matvec(DiagonalMatrixMTL([1.0, 2.0]), FVector([1.0]))
+        with pytest.raises(ValueError):
+            matvec(DenseMatrixMTL([[1.0, 2.0]]), FVector([1.0]))
+
+    @given(st.integers(2, 24), st.integers(0, 4), st.integers(0, 99))
+    @settings(max_examples=40)
+    def test_banded_matches_dense_property(self, n, b, seed):
+        b = min(b, n - 1)
+        banded = BandedMatrixMTL.random(n, b, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        x = FVector.from_array(rng.standard_normal(n))
+        dense = DenseMatrixMTL(banded.to_dense().data)
+        assert np.allclose(matvec(dense, x).data, matvec(banded, x).data)
+
+
+class TestStorage:
+    def test_entry_outside_band_is_zero(self):
+        m = BandedMatrixMTL.random(10, 1, seed=0)
+        assert m.entry(0, 5) == 0.0
+        assert m.entry(9, 0) == 0.0
+
+    def test_diagonal_roundtrip(self):
+        d = DiagonalMatrixMTL([1.0, 2.0, 3.0])
+        assert d.entry(1, 1) == 2.0
+        assert d.entry(0, 1) == 0.0
+        assert d.bandwidth() == 0
+        assert d.diagonal().tolist() == [1.0, 2.0, 3.0]
+
+    def test_band_storage_validation(self):
+        with pytest.raises(ValueError):
+            BandedMatrixMTL(5, 1, bands=np.zeros((2, 5)))  # needs 3 rows
+
+    def test_asymptotic_shape(self):
+        """Band matvec touches O(n·b) data; at fixed b, doubling n roughly
+        doubles (not quadruples) the kernel's work — verified via timing
+        ratio bounds loose enough for CI."""
+        import timeit
+
+        x1 = FVector.from_array(np.ones(2_000))
+        x2 = FVector.from_array(np.ones(4_000))
+        m1 = BandedMatrixMTL.random(2_000, 2, seed=1)
+        m2 = BandedMatrixMTL.random(4_000, 2, seed=1)
+        t1 = min(timeit.repeat(lambda: matvec(m1, x1), number=20, repeat=3))
+        t2 = min(timeit.repeat(lambda: matvec(m2, x2), number=20, repeat=3))
+        assert t2 / t1 < 3.5  # linear-ish, certainly not ~4x (quadratic)

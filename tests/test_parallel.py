@@ -1,0 +1,207 @@
+"""Tests for the data-parallel library: collective correctness, the
+work/span cost model, concept-guarded reductions, and speedup shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    CostLog,
+    Machine,
+    ParallelArray,
+    UnsoundReductionError,
+    jacobi_smooth,
+    parallel_dot,
+    parallel_histogram,
+    parallel_normalize,
+    parallel_sum,
+    parray,
+    prefix_sums,
+    sequential_sum,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6)
+
+
+class TestCostModel:
+    def test_brent_bound(self):
+        log = CostLog()
+        log.charge("x", work=1000, span=10)
+        assert log.time_on(1) == 1010
+        assert log.time_on(100) == 20
+        assert log.time_on(10**9) == pytest.approx(10, rel=1e-3)
+
+    def test_speedup_saturates_at_parallelism(self):
+        log = CostLog()
+        log.charge("x", work=1000, span=10)
+        assert log.parallelism == 100
+        assert log.speedup(10**6) < 1010 / 10 + 1e-9
+
+    def test_speedup_monotone(self):
+        log = CostLog()
+        log.charge("x", work=4096, span=12)
+        speedups = [log.speedup(p) for p in (1, 2, 4, 8, 16, 32)]
+        assert speedups == sorted(speedups)
+        assert speedups[0] == 1.0
+
+    def test_costs_accumulate(self):
+        m = Machine(4)
+        pa = parray(np.ones(64), m)
+        pa.map(lambda x: x + 1).map(lambda x: x * 2)
+        assert m.log.work == 128
+        assert m.log.span == 2
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            Machine(0)
+
+
+class TestCollectives:
+    def test_map(self):
+        out = parray([1, 2, 3]).map(lambda x: x * 10)
+        assert out.to_numpy().tolist() == [10, 20, 30]
+
+    def test_zip_with(self):
+        m = Machine()
+        a = parray([1, 2, 3], m)
+        b = parray([10, 20, 30], m)
+        assert a.zip_with(b, np.add).to_numpy().tolist() == [11, 22, 33]
+
+    def test_zip_size_mismatch(self):
+        m = Machine()
+        with pytest.raises(ValueError):
+            parray([1], m).zip_with(parray([1, 2], m), np.add)
+
+    def test_reduce_sum(self):
+        assert parray(np.arange(100)).reduce("+") == 4950
+
+    def test_reduce_minmax(self):
+        assert parray([5, 2, 9, 1]).reduce("min") == 1
+        assert parray([5, 2, 9, 1]).reduce("max") == 9
+
+    def test_reduce_span_logarithmic(self):
+        m = Machine()
+        parray(np.ones(1024), m).reduce("+")
+        assert m.log.ops[-1].span == 10
+        assert m.log.ops[-1].work == 1024
+
+    def test_empty_reduce_uses_identity(self):
+        assert parray(np.array([], dtype=float)).reduce("+") == 0.0
+
+    def test_scan(self):
+        out = prefix_sums([1, 2, 3, 4])
+        assert out.to_numpy().tolist() == [1, 3, 6, 10]
+
+    def test_scan_cost(self):
+        m = Machine()
+        parray(np.ones(256), m).scan("+")
+        op = m.log.ops[-1]
+        assert op.work == 512
+        assert op.span == 16
+
+    def test_stencil(self):
+        out = parray([0.0, 4.0, 0.0]).stencil([0.25, 0.5, 0.25])
+        assert out.to_numpy().tolist() == [1.0, 2.0, 1.0]
+
+    def test_sort(self):
+        out = parray([3, 1, 2]).sort()
+        assert out.to_numpy().tolist() == [1, 2, 3]
+
+    def test_gather(self):
+        m = Machine()
+        data = parray([10, 20, 30], m)
+        idx = parray([2, 0], m)
+        assert data.gather(idx).to_numpy().tolist() == [30, 10]
+
+    def test_filter(self):
+        out = parray(np.arange(10)).filter(lambda x: x % 2 == 0)
+        assert out.to_numpy().tolist() == [0, 2, 4, 6, 8]
+
+    @given(st.lists(finite, max_size=64))
+    def test_reduce_matches_sequential(self, xs):
+        arr = np.asarray(xs, dtype=float)
+        assert parray(arr).reduce("+") == pytest.approx(float(arr.sum()))
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=64))
+    def test_scan_matches_cumsum(self, xs):
+        out = parray(np.asarray(xs)).scan("+")
+        assert out.to_numpy().tolist() == np.cumsum(xs).tolist()
+
+
+class TestConceptGuards:
+    """Parallel reduce is only sound for associative operations — the
+    Semigroup concept guard, same machinery as Simplicissimus's."""
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(UnsoundReductionError):
+            parray(np.arange(4)).reduce("sat+")
+
+    def test_unsafe_escape_hatch(self):
+        # With unsafe=True the caller owns the regrouping risk.
+        m = Machine()
+        out = ParallelArray(np.arange(4), m).reduce("+", unsafe=True)
+        assert out == 6
+
+    def test_declared_structure_accepted(self):
+        # int + is a declared Abelian Group: no complaint.
+        assert parray(np.arange(4)).reduce("+") == 6
+
+    def test_error_message_names_concept(self):
+        with pytest.raises(UnsoundReductionError) as exc:
+            parray(np.arange(4)).reduce("weird-op")
+        assert "Semigroup" in str(exc.value)
+
+
+class TestAlgorithms:
+    def test_parallel_sum(self):
+        assert parallel_sum(range(1000)) == 499500
+
+    def test_sequential_baseline_has_linear_span(self):
+        total, log = sequential_sum(np.ones(512))
+        assert total == 512
+        assert log.span == 512  # no parallelism at all
+
+    def test_parallel_beats_sequential_in_model(self):
+        m = Machine(64)
+        parallel_sum(np.ones(4096), m)
+        t_par = m.time()
+        _, seq_log = sequential_sum(np.ones(4096))
+        t_seq = seq_log.time_on(64)
+        assert t_par < t_seq / 10
+
+    def test_dot(self):
+        assert parallel_dot([1, 2, 3], [4, 5, 6]) == 32
+
+    def test_normalize(self):
+        out = parallel_normalize([1.0, 3.0]).to_numpy()
+        assert out.tolist() == [0.25, 0.75]
+        with pytest.raises(ZeroDivisionError):
+            parallel_normalize([0.0, 0.0])
+
+    def test_jacobi_preserves_mean_interior(self):
+        data = np.ones(32)
+        out = jacobi_smooth(data, iterations=3).to_numpy()
+        assert np.allclose(out[4:-4], 1.0)
+
+    def test_jacobi_span_independent_of_n(self):
+        m1 = Machine()
+        jacobi_smooth(np.ones(64), iterations=5, machine=m1)
+        m2 = Machine()
+        jacobi_smooth(np.ones(4096), iterations=5, machine=m2)
+        assert m1.log.span == m2.log.span  # span scales with iterations only
+
+    def test_histogram(self):
+        out = parallel_histogram([0, 1, 1, 2, 2, 2], buckets=3).to_numpy()
+        assert out.tolist() == [1, 2, 3]
+
+    def test_speedup_curve_shape(self):
+        # Speedup ≈ min(p, parallelism): near-linear early, flat late.
+        m = Machine()
+        parallel_sum(np.ones(2 ** 14), m)
+        curve = dict(m.machine_speedups()) if hasattr(m, "machine_speedups") \
+            else dict(m.speedup_curve([1, 2, 4, 8, 1024, 4096]))
+        assert curve[2] == pytest.approx(2.0, rel=0.05)
+        assert curve[4] == pytest.approx(4.0, rel=0.1)
+        assert curve[4096] < 2 ** 14 / 14 + 2  # saturated near parallelism

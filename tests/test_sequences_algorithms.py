@@ -1,0 +1,288 @@
+"""Tests for the generic sequence algorithms, concept-based overloading, and
+the semantic requirements Fig. 6 attaches to comparison-based algorithms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.concepts import AmbiguousOverloadError, NoMatchingOverloadError
+from repro.sequences import (
+    Deque,
+    DList,
+    IntransitiveOrder,
+    Less,
+    LessByKey,
+    NotAStrictWeakOrder,
+    Vector,
+    equivalent,
+)
+from repro.sequences.algorithms import (
+    accumulate,
+    advance,
+    binary_search,
+    copy,
+    count,
+    count_if,
+    distance,
+    equal,
+    fill,
+    find,
+    find_if,
+    for_each,
+    is_sorted,
+    lower_bound,
+    max_element,
+    min_element,
+    remove_if,
+    reverse,
+    sort,
+    stable_sort,
+    upper_bound,
+)
+
+
+class TestIteratorUtilities:
+    def test_advance_random_access_is_jump(self):
+        v = Vector(range(100))
+        it = v.begin()
+        advance(it, 42)
+        assert it.deref() == 42
+        advance(it, -2)
+        assert it.deref() == 40
+
+    def test_advance_linear(self):
+        l = DList(range(10))
+        it = l.begin()
+        advance(it, 4)
+        assert it.deref() == 4
+        advance(it, -2)  # DList iterators are bidirectional
+        assert it.deref() == 2
+
+    def test_distance_both_families(self):
+        v = Vector(range(7))
+        assert distance(v.begin(), v.end()) == 7
+        l = DList(range(7))
+        assert distance(l.begin(), l.end()) == 7
+
+    def test_overload_names_differ(self):
+        v = Vector(range(3))
+        l = DList(range(3))
+        ov = advance.resolve((type(v.begin()), int))
+        ol = advance.resolve((type(l.begin()), int))
+        assert ov is not ol
+
+
+class TestNonMutating:
+    def test_find_present_and_absent(self):
+        v = Vector([3, 1, 4, 1, 5])
+        assert find(v.begin(), v.end(), 4).deref() == 4
+        assert find(v.begin(), v.end(), 99).equals(v.end())
+
+    def test_find_if(self):
+        v = Vector([3, 1, 4, 1, 5])
+        it = find_if(v.begin(), v.end(), lambda x: x > 3)
+        assert it.deref() == 4
+
+    def test_count(self):
+        v = Vector([1, 2, 1, 3, 1])
+        assert count(v.begin(), v.end(), 1) == 3
+        assert count_if(v.begin(), v.end(), lambda x: x > 1) == 2
+
+    def test_for_each(self):
+        seen = []
+        l = DList([1, 2, 3])
+        for_each(l.begin(), l.end(), seen.append)
+        assert seen == [1, 2, 3]
+
+    def test_equal(self):
+        a = Vector([1, 2, 3])
+        b = DList([1, 2, 3])
+        c = Vector([1, 2, 4])
+        assert equal(a.begin(), a.end(), b.begin())
+        assert not equal(a.begin(), a.end(), c.begin())
+
+    def test_accumulate(self):
+        v = Vector([1, 2, 3, 4])
+        assert accumulate(v.begin(), v.end(), 0) == 10
+        assert accumulate(v.begin(), v.end(), 1, lambda a, b: a * b) == 24
+
+    def test_max_min_element(self):
+        v = Vector([3, 9, 2, 9, 1])
+        assert max_element(v.begin(), v.end()).deref() == 9
+        assert min_element(v.begin(), v.end()).deref() == 1
+        # first of equivalent maxima (standard guarantee)
+        m = max_element(v.begin(), v.end())
+        assert distance(v.begin(), m) == 1
+
+    def test_max_element_empty_returns_last(self):
+        v = Vector([])
+        assert max_element(v.begin(), v.end()).equals(v.end())
+
+    def test_max_element_custom_order(self):
+        v = Vector(["aaa", "z", "mm"])
+        m = max_element(v.begin(), v.end(), LessByKey(len))
+        assert m.deref() == "aaa"
+
+
+class TestSortedAlgorithms:
+    def test_lower_upper_bound(self):
+        v = Vector([1, 3, 3, 5, 7])
+        lb = lower_bound(v.begin(), v.end(), 3)
+        ub = upper_bound(v.begin(), v.end(), 3)
+        assert distance(v.begin(), lb) == 1
+        assert distance(v.begin(), ub) == 3
+
+    def test_bounds_on_absent_value(self):
+        v = Vector([1, 3, 5])
+        lb = lower_bound(v.begin(), v.end(), 4)
+        assert lb.deref() == 5
+
+    def test_binary_search(self):
+        v = Vector([2, 4, 6, 8])
+        assert binary_search(v.begin(), v.end(), 6)
+        assert not binary_search(v.begin(), v.end(), 5)
+
+    def test_bounds_work_on_forward_iterators(self):
+        l = DList([1, 3, 5, 7])
+        lb = lower_bound(l.begin(), l.end(), 5)
+        assert lb.deref() == 5
+        assert binary_search(l.begin(), l.end(), 7)
+
+    @given(st.lists(st.integers()), st.integers())
+    def test_binary_search_matches_membership(self, xs, needle):
+        xs = sorted(xs)
+        v = Vector(xs)
+        assert binary_search(v.begin(), v.end(), needle) == (needle in xs)
+
+    @given(st.lists(st.integers()), st.integers())
+    def test_lower_bound_matches_bisect(self, xs, needle):
+        import bisect
+        xs = sorted(xs)
+        v = Vector(xs)
+        lb = lower_bound(v.begin(), v.end(), needle)
+        assert distance(v.begin(), lb) == bisect.bisect_left(xs, needle)
+
+
+class TestMutating:
+    def test_copy(self):
+        src = Vector([1, 2, 3])
+        dst = Vector([0, 0, 0, 0])
+        end = copy(src.begin(), src.end(), dst.begin())
+        assert dst.to_list() == [1, 2, 3, 0]
+        assert end.deref() == 0
+
+    def test_fill(self):
+        v = Vector([1, 2, 3])
+        fill(v.begin(), v.end(), 7)
+        assert v.to_list() == [7, 7, 7]
+
+    def test_reverse_vector(self):
+        v = Vector([1, 2, 3, 4])
+        reverse(v.begin(), v.end())
+        assert v.to_list() == [4, 3, 2, 1]
+
+    def test_reverse_odd_and_empty(self):
+        v = Vector([1, 2, 3])
+        reverse(v.begin(), v.end())
+        assert v.to_list() == [3, 2, 1]
+        e = Vector([])
+        reverse(e.begin(), e.end())
+        assert e.to_list() == []
+
+    def test_reverse_dlist(self):
+        l = DList([1, 2, 3, 4, 5])
+        reverse(l.begin(), l.end())
+        assert l.to_list() == [5, 4, 3, 2, 1]
+
+    def test_remove_if_vector(self):
+        v = Vector([60, 40, 75, 30, 90])
+        n = remove_if(v, lambda g: g < 60)
+        assert n == 2
+        assert v.to_list() == [60, 75, 90]
+
+    def test_remove_if_dlist(self):
+        l = DList([60, 40, 75, 30, 90])
+        n = remove_if(l, lambda g: g < 60)
+        assert n == 2
+        assert l.to_list() == [60, 75, 90]
+
+    @given(st.lists(st.integers()))
+    def test_remove_if_property(self, xs):
+        v = Vector(xs)
+        remove_if(v, lambda x: x % 2 == 0)
+        assert v.to_list() == [x for x in xs if x % 2 != 0]
+
+
+class TestSortDispatch:
+    def test_vector_uses_quicksort(self):
+        assert "quicksort" in sort.resolve((Vector,)).name
+
+    def test_deque_uses_quicksort(self):
+        assert "quicksort" in sort.resolve((Deque,)).name
+
+    def test_dlist_uses_merge_sort(self):
+        assert "merge sort" in sort.resolve((DList,)).name
+
+    def test_non_container_rejected(self):
+        with pytest.raises(NoMatchingOverloadError):
+            sort([3, 1, 2])
+
+    @given(st.lists(st.integers()))
+    def test_sort_vector(self, xs):
+        v = Vector(xs)
+        sort(v)
+        assert v.to_list() == sorted(xs)
+
+    @given(st.lists(st.integers()))
+    def test_sort_dlist(self, xs):
+        l = DList(xs)
+        sort(l)
+        assert l.to_list() == sorted(xs)
+
+    @given(st.lists(st.integers()))
+    def test_sort_deque(self, xs):
+        d = Deque(xs)
+        sort(d)
+        assert d.to_list() == sorted(xs)
+
+    def test_sort_custom_comparator(self):
+        v = Vector([3, 1, 2])
+        sort(v, lambda a, b: b < a)
+        assert v.to_list() == [3, 2, 1]
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers())))
+    def test_stable_sort_preserves_ties(self, pairs):
+        v = Vector(pairs)
+        stable_sort(v, LessByKey(lambda p: p[0]))
+        assert v.to_list() == sorted(pairs, key=lambda p: p[0])
+
+    def test_is_sorted(self):
+        v = Vector([1, 2, 2, 3])
+        assert is_sorted(v.begin(), v.end())
+        w = Vector([2, 1])
+        assert not is_sorted(w.begin(), w.end())
+
+
+class TestBrokenComparators:
+    """Fig. 6's axioms are 'the minimal requirements on < for correctness' —
+    these tests witness actual incorrectness when they are violated."""
+
+    def test_not_swo_breaks_equivalence(self):
+        leq = NotAStrictWeakOrder()
+        # irreflexivity fails:
+        assert leq(1, 1)
+        # and the induced 'equivalence' is empty even on equal values:
+        assert not equivalent(leq, 1, 1)
+
+    def test_intransitive_order_violates_transitivity(self):
+        lt = IntransitiveOrder()
+        # 2 < 1 < 0 < 2 (rock-paper-scissors): transitivity fails
+        assert lt(2, 0) and lt(0, 1) and not lt(2, 1)
+
+    def test_sort_with_leq_still_terminates_but_semantics_undefined(self):
+        # With our implementations sorting with <= happens to terminate;
+        # the *point* is that nothing guarantees it — which is why STLlint
+        # and Athena check the axioms rather than hoping.
+        v = Vector([2, 1, 2, 1])
+        sort(v, NotAStrictWeakOrder())
+        assert sorted(v.to_list()) == [1, 1, 2, 2]

@@ -1,0 +1,316 @@
+"""Tests for the concept-based rewriter: Fig. 5 rules, guards, normalization,
+user extension (LiDIA), and the cost model."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.linalg  # declares the Matrix structures used below
+from repro.linalg import Matrix
+from repro.simplicissimus import (
+    BinOp,
+    Const,
+    IdentityOf,
+    Inverse,
+    LambdaRule,
+    LiDIAFloat,
+    MethodCall,
+    Simplifier,
+    Var,
+    cost,
+    fig5_instances,
+    fig5_table,
+    lidia_simplifier,
+    normalize,
+    savings,
+    simplify,
+)
+
+x = Var("x")
+
+
+class TestEvaluation:
+    def test_const_and_var(self):
+        assert Const(7).evaluate({}) == 7
+        assert Var("a").evaluate({"a": 3}) == 3
+
+    def test_binop_through_algebra(self):
+        e = BinOp("+", Var("a"), Var("b"))
+        assert e.evaluate({"a": 2, "b": 3}) == 5
+        e2 = BinOp("concat", Var("s"), Const("!"))
+        assert e2.evaluate({"s": "hi"}) == "hi!"
+
+    def test_inverse_evaluation(self):
+        assert Inverse(Const(5), "+").evaluate({}) == -5
+        assert Inverse(Const(4.0), "*").evaluate({}) == 0.25
+
+    def test_identity_of_evaluation(self):
+        assert IdentityOf(Const(3), "+").evaluate({}) == 0
+        m = Matrix([[2.0, 0.0], [0.0, 2.0]])
+        assert IdentityOf(Const(m), "@").evaluate({}).is_identity()
+
+    def test_method_call(self):
+        e = MethodCall(Var("f"), "Inverse")
+        assert e.evaluate({"f": LiDIAFloat(2, 3)}) == LiDIAFloat(3, 2)
+
+    def test_structural_equality(self):
+        assert BinOp("+", x, Const(1)) == BinOp("+", Var("x"), Const(1))
+        assert BinOp("+", x, Const(1)) != BinOp("+", x, Const(2))
+
+
+class TestNormalization:
+    def test_subtraction_becomes_inverse(self):
+        n = normalize(BinOp("-", x, Var("y")))
+        assert n == BinOp("+", x, Inverse(Var("y"), "+"))
+
+    def test_unit_division_becomes_inverse(self):
+        n = normalize(BinOp("/", Const(1.0), x))
+        assert n == Inverse(x, "*")
+
+    def test_general_division(self):
+        n = normalize(BinOp("/", Var("a"), Var("b")))
+        assert n == BinOp("*", Var("a"), Inverse(Var("b"), "*"))
+
+    def test_matrix_inverse_method(self):
+        n = normalize(MethodCall(Var("A"), "inverse"))
+        assert n == Inverse(Var("A"), "@")
+
+
+class TestFig5MonoidRule:
+    """x + 0 -> x for every Monoid model: the first row of Fig. 5."""
+
+    @pytest.mark.parametrize("op,identity,typ", [
+        ("+", 0, int),
+        ("*", 1, int),
+        ("*", 1.0, float),
+        ("and", True, bool),
+        ("&", -1, int),
+        ("concat", "", str),
+        ("*", Fraction(1), Fraction),
+    ])
+    def test_right_identity_fires(self, op, identity, typ):
+        r = simplify(BinOp(op, x, Const(identity)), {"x": typ})
+        assert r.expr == x
+        assert r.applications[0].rule == "right-identity"
+        assert r.applications[0].concept == "Monoid"
+
+    def test_left_identity_fires(self):
+        r = simplify(BinOp("+", Const(0), x), {"x": int})
+        assert r.expr == x
+
+    def test_matrix_identity(self):
+        r = simplify(BinOp("@", Var("A"), IdentityOf(Var("A"), "@")),
+                     {"A": Matrix})
+        assert r.expr == Var("A")
+
+    def test_non_identity_not_rewritten(self):
+        r = simplify(BinOp("+", x, Const(1)), {"x": int})
+        assert r.expr == BinOp("+", x, Const(1))
+        assert not r.changed
+
+    def test_wrong_op_identity_not_rewritten(self):
+        # 1 is the identity of *, not of +.
+        r = simplify(BinOp("+", x, Const(1)), {"x": int})
+        assert not r.changed
+        r2 = simplify(BinOp("*", x, Const(0)), {"x": int})
+        assert not r2.changed
+
+    def test_untyped_variable_blocks_rewrite(self):
+        # Without a type there is no concept evidence; the guard must hold.
+        r = simplify(BinOp("+", x, Const(0)), {})
+        assert not r.changed
+
+    def test_unknown_structure_blocks_rewrite(self):
+        r = simplify(BinOp("sat+", x, Const(0)), {"x": int})
+        assert not r.changed
+
+
+class TestFig5GroupRule:
+    """x + (-x) -> 0 for every Group model: the second row of Fig. 5."""
+
+    def test_int_additive(self):
+        r = simplify(BinOp("+", x, Inverse(x, "+")), {"x": int})
+        assert r.expr == Const(0)
+        assert r.applications[0].concept == "Group"
+
+    def test_float_multiplicative_surface_form(self):
+        # f * (1.0 / f): normalization then the group rule.
+        r = simplify(BinOp("*", x, BinOp("/", Const(1.0), x)), {"x": float})
+        assert r.expr == Const(1.0)
+
+    def test_fraction(self):
+        r = simplify(BinOp("*", x, Inverse(x, "*")), {"x": Fraction})
+        assert r.expr == Const(Fraction(1))
+
+    def test_matrix_inverse(self):
+        r = simplify(BinOp("@", Var("A"), Inverse(Var("A"), "@")),
+                     {"A": Matrix})
+        assert r.expr == IdentityOf(Var("A"), "@")
+
+    def test_left_inverse(self):
+        r = simplify(BinOp("+", Inverse(x, "+"), x), {"x": int})
+        assert r.expr == Const(0)
+
+    def test_double_inverse(self):
+        r = simplify(Inverse(Inverse(x, "+"), "+"), {"x": int})
+        assert r.expr == x
+
+    def test_monoid_only_type_not_grouped(self):
+        # (int, *) is a Monoid but not a Group: the rule must not fire.
+        r = simplify(BinOp("*", x, Inverse(x, "*")), {"x": int})
+        assert r.expr != Const(1)
+
+    def test_different_operands_not_rewritten(self):
+        r = simplify(BinOp("+", x, Inverse(Var("y"), "+")),
+                     {"x": int, "y": int})
+        assert not r.changed
+
+
+class TestRewriterEngine:
+    def test_nested_fixpoint(self):
+        # ((x + 0) * 1) + (-((x + 0) * 1)) -> 0 takes several passes.
+        inner = BinOp("*", BinOp("+", x, Const(0)), Const(1))
+        e = BinOp("+", inner, Inverse(inner, "+"))
+        r = simplify(e, {"x": int})
+        assert r.expr == Const(0)
+
+    def test_rewrite_preserves_semantics(self):
+        inner = BinOp("*", BinOp("+", x, Const(0)), Const(1))
+        e = BinOp("+", inner, Inverse(inner, "+"))
+        r = simplify(e, {"x": int})
+        for v in (-3, 0, 17):
+            assert e.evaluate({"x": v}) == r.expr.evaluate({"x": v})
+
+    @given(st.integers(), st.integers())
+    def test_semantics_preserved_property(self, a, b):
+        e = BinOp("+", BinOp("*", Var("a"), Const(1)),
+                  BinOp("+", Var("b"), Const(0)))
+        r = simplify(e, {"a": int, "b": int})
+        env = {"a": a, "b": b}
+        assert e.evaluate(env) == r.expr.evaluate(env)
+        assert r.expr.size() < e.size()
+
+    def test_report_mentions_rule_and_concept(self):
+        r = simplify(BinOp("*", x, Const(1)), {"x": int})
+        text = r.report()
+        assert "right-identity" in text
+        assert "Monoid" in text
+        assert "int" in text
+
+    def test_pass_limit_respected(self):
+        s = Simplifier(max_passes=1)
+        inner = BinOp("+", x, Const(0))
+        e = BinOp("+", inner, Const(0))
+        r = s.simplify(e, {"x": int})
+        assert r.passes <= 1
+
+
+class TestNewModelGetsRulesForFree:
+    """Fig. 5 advantage 3: 'optimization via concept-based rewrite rules
+    comes essentially for free' for new data types."""
+
+    def test_new_type_picks_up_both_rules(self):
+        from repro.concepts.algebra import AlgebraicStructure, AlgebraRegistry, Group
+
+        class Mod7(int):
+            pass
+
+        reg = AlgebraRegistry()
+        reg.declare(AlgebraicStructure(
+            Mod7, "+", Group, lambda a, b: Mod7((a + b) % 7),
+            identity_value=Mod7(0), inverse=lambda a: Mod7((-a) % 7),
+            samples=((Mod7(3), Mod7(5), Mod7(6)),),
+        ))
+        s = Simplifier(registry=reg)
+        r1 = s.simplify(BinOp("+", x, Const(Mod7(0))), {"x": Mod7})
+        assert r1.expr == x
+        r2 = s.simplify(BinOp("+", x, Inverse(x, "+")), {"x": Mod7})
+        assert r2.expr == Const(Mod7(0))
+
+
+class TestLiDIA:
+    def test_lidia_float_arithmetic(self):
+        f = LiDIAFloat(6, 4)
+        assert f == LiDIAFloat(3, 2)          # kept reduced
+        assert f.Inverse() == LiDIAFloat(2, 3)
+        assert f * f.Inverse() == LiDIAFloat(1)
+        assert (1 / f) == f.Inverse()
+        assert -f == LiDIAFloat(-3, 2)
+        assert LiDIAFloat(-3, 2).Inverse() == LiDIAFloat(-2, 3)
+
+    def test_zero_handling(self):
+        with pytest.raises(ZeroDivisionError):
+            LiDIAFloat(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            LiDIAFloat(0).Inverse()
+
+    def test_library_rule_specializes_division(self):
+        s = lidia_simplifier()
+        r = s.simplify(BinOp("/", Const(1.0), Var("f")), {"f": LiDIAFloat})
+        assert r.expr == MethodCall(Var("f"), "Inverse")
+
+    def test_library_rule_wins_over_generic_normalization(self):
+        # Without the library rule, 1.0/f normalizes to Inverse(f, '*');
+        # with it, the specialized method call is produced instead.
+        plain = Simplifier()
+        r_plain = plain.simplify(BinOp("/", Const(1.0), Var("f")),
+                                 {"f": LiDIAFloat})
+        assert r_plain.expr == Inverse(Var("f"), "*")
+        s = lidia_simplifier()
+        r = s.simplify(BinOp("/", Const(1.0), Var("f")), {"f": LiDIAFloat})
+        assert r.expr == MethodCall(Var("f"), "Inverse")
+
+    def test_specialized_form_cheaper(self):
+        tenv = {"f": LiDIAFloat}
+        generic = BinOp("/", Const(1.0), Var("f"))
+        special = MethodCall(Var("f"), "Inverse")
+        assert cost(special, tenv) < cost(generic, tenv)
+
+    def test_rules_do_not_leak_to_other_types(self):
+        s = lidia_simplifier()
+        r = s.simplify(BinOp("/", Const(1.0), Var("f")), {"f": float})
+        assert r.expr == Inverse(Var("f"), "*")  # generic path, no MethodCall
+
+
+class TestFig5Table:
+    def test_papers_ten_instances_present(self):
+        renderings = {i.rendering for i in fig5_instances()}
+        required = {
+            "i*1 -> i", "f*1.0 -> f", "b and True -> b",
+            "i&0xFFF..F -> i", "s concat '' -> s", "A@I -> A",
+            "i+(-i) -> 0", "f*(1/f) -> 1.0", "A@A^-1 -> I",
+        }
+        missing = required - renderings
+        assert not missing, missing
+        # the rational instance (r * r^-1 -> 1)
+        assert any(i.type_name == "Fraction" and i.concept == "Group"
+                   for i in fig5_instances())
+
+    def test_two_rules_many_instances(self):
+        instances = fig5_instances()
+        assert len({i.rule for i in instances}) == 2
+        assert len(instances) >= 10
+
+    def test_table_renders(self):
+        text = fig5_table()
+        assert "Monoid" in text
+        assert "Group" in text
+        assert "2 concept-based rules" in text
+
+
+class TestCostModel:
+    def test_savings_positive_for_rewrites(self):
+        tenv = {"A": Matrix}
+        before = BinOp("@", Var("A"), IdentityOf(Var("A"), "@"))
+        after = simplify(before, tenv).expr
+        assert savings(before, after, tenv) > 0
+
+    def test_matrix_ops_cost_more_than_int(self):
+        assert cost(BinOp("@", Var("A"), Var("B")), {"A": Matrix}) > \
+            cost(BinOp("+", Var("a"), Var("b")), {"a": int})
+
+    def test_leaves_are_free(self):
+        assert cost(Var("x")) == 0
+        assert cost(Const(3)) == 0

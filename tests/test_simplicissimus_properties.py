@@ -1,0 +1,64 @@
+"""Property-based tests for the rewriter: on randomly generated expression
+trees, simplification must preserve semantics and never grow the tree."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.simplicissimus import BinOp, Const, Expr, Inverse, Var, simplify
+
+TENV = {"x": int, "y": int, "z": int}
+VARS = ["x", "y", "z"]
+
+
+def exprs(max_depth: int = 4) -> st.SearchStrategy[Expr]:
+    """Random int-typed expression trees over +, *, unary negation, and
+    identity constants (so rewrites actually fire)."""
+    leaves = st.one_of(
+        st.sampled_from(VARS).map(Var),
+        st.sampled_from([0, 1, -1, 2, 7]).map(Const),
+    )
+
+    def extend(children: st.SearchStrategy[Expr]) -> st.SearchStrategy[Expr]:
+        return st.one_of(
+            st.tuples(st.sampled_from(["+", "*"]), children, children)
+            .map(lambda t: BinOp(t[0], t[1], t[2])),
+            children.map(lambda e: Inverse(e, "+")),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=2 ** max_depth)
+
+
+@given(exprs(), st.integers(-50, 50), st.integers(-50, 50),
+       st.integers(-50, 50))
+@settings(max_examples=150)
+def test_simplify_preserves_semantics(expr, x, y, z):
+    env = {"x": x, "y": y, "z": z}
+    simplified = simplify(expr, TENV).expr
+    assert expr.evaluate(env) == simplified.evaluate(env)
+
+
+@given(exprs())
+@settings(max_examples=150)
+def test_simplify_never_grows(expr):
+    from repro.simplicissimus import normalize
+
+    result = simplify(expr, TENV)
+    assert result.expr.size() <= normalize(expr).size()
+
+
+@given(exprs())
+@settings(max_examples=100)
+def test_simplify_is_idempotent(expr):
+    once = simplify(expr, TENV)
+    twice = simplify(once.expr, TENV, )
+    assert twice.expr == once.expr
+
+
+@given(exprs(), st.integers(-20, 20))
+@settings(max_examples=100)
+def test_untyped_env_never_rewrites_or_breaks(expr, x):
+    # With no type information the guard blocks every rule; evaluation of
+    # the unchanged tree still works.
+    result = simplify(expr, {})
+    env = {"x": x, "y": 1, "z": 2}
+    assert result.expr.evaluate(env) == expr.evaluate(env)

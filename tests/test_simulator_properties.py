@@ -1,0 +1,48 @@
+"""Property-based tests for the distributed simulator and algorithms over
+randomized topologies and schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import Asynchronous, Synchronous, random_connected
+from repro.distributed.algorithms import run_echo, run_flooding, run_spanning_tree
+from repro.distributed.algorithms.spanning_tree import is_spanning_tree
+
+
+@given(st.integers(2, 20), st.integers(0, 1000))
+@settings(max_examples=30)
+def test_flooding_reaches_everyone_on_random_topologies(n, seed):
+    topo = random_connected(n, extra_edge_prob=0.15, seed=seed)
+    m = run_flooding(topo, value="v")
+    assert len(m.decisions) == n
+    assert m.consensus() == "v"
+    assert m.messages_sent <= 2 * topo.num_links()
+
+
+@given(st.integers(2, 18), st.integers(0, 500))
+@settings(max_examples=25)
+def test_echo_counts_nodes_on_random_topologies(n, seed):
+    topo = random_connected(n, extra_edge_prob=0.2, seed=seed)
+    m = run_echo(topo)
+    assert m.decisions[0] == n
+    assert m.messages_sent == 2 * topo.num_links()
+
+
+@given(st.integers(2, 16), st.integers(0, 300), st.integers(0, 50))
+@settings(max_examples=25)
+def test_spanning_tree_valid_under_random_schedules(n, topo_seed, sched_seed):
+    topo = random_connected(n, extra_edge_prob=0.25, seed=topo_seed)
+    m = run_spanning_tree(topo, timing=Asynchronous(seed=sched_seed))
+    assert is_spanning_tree(m, n)
+
+
+@given(st.integers(2, 14), st.integers(0, 200))
+@settings(max_examples=20)
+def test_sync_and_async_agree_on_echo_result(n, seed):
+    topo = random_connected(n, extra_edge_prob=0.1, seed=seed)
+    sync = run_echo(topo, timing=Synchronous())
+    async_ = run_echo(topo, timing=Asynchronous(seed=seed + 1))
+    assert sync.decisions[0] == async_.decisions[0] == n
+    # message count is schedule-independent for echo (exactly 2E)
+    assert sync.messages_sent == async_.messages_sent

@@ -1,0 +1,207 @@
+"""Tests for the AVL TreeMap: associative semantics, AVL/BST invariants
+under random workloads (hypothesis), iterator behaviour and invalidation,
+and its concept story (Sorted Associative Container + nominal SortedRange)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concepts import check_concept
+from repro.concepts.builtins import (
+    BidirectionalIterator,
+    ReversibleContainer,
+    SortedRange,
+)
+from repro.sequences import (
+    PastTheEndError,
+    SingularIteratorError,
+    SortedAssociativeContainer,
+    TreeIterator,
+    TreeMap,
+    Vector,
+)
+from repro.sequences.algorithms import binary_search, distance, is_sorted, lower_bound
+
+
+class TestConceptStory:
+    def test_models(self):
+        assert check_concept(ReversibleContainer, TreeMap).ok
+        assert check_concept(SortedAssociativeContainer, TreeMap).ok
+        assert check_concept(BidirectionalIterator, TreeIterator).ok
+
+    def test_sorted_range_nominal_model(self):
+        # TreeMap is declared sorted; a plain Vector is not.
+        assert check_concept(SortedRange, TreeMap).ok
+        assert not check_concept(SortedRange, Vector).ok
+
+    def test_taxonomy_selects_binary_search_for_trees(self):
+        from repro.sequences.taxonomy import stl_taxonomy
+
+        t = stl_taxonomy()
+        best = t.select_algorithm(
+            "search", {"It": TreeIterator, "C": TreeMap},
+            resource="comparisons",
+        )
+        assert best.name in ("binary_search", "lower_bound")
+
+    def test_complexity_guarantees_logarithmic(self):
+        gs = {g.operation: g.bound
+              for g in SortedAssociativeContainer.complexity_guarantees()}
+        from repro.concepts.complexity import logarithmic
+
+        assert gs["insert_key"] == logarithmic()
+        assert gs["find_key"] == logarithmic()
+
+
+class TestBasicOperations:
+    def test_insert_find_erase(self):
+        t = TreeMap()
+        assert t.insert_key(5)
+        assert not t.insert_key(5)  # unique keys
+        assert t.contains(5)
+        assert 5 in t
+        assert t.find_key(5).deref() == 5
+        assert t.find_key(99).equals(t.end())
+        assert t.erase_key(5) == 1
+        assert t.erase_key(5) == 0
+        assert t.empty()
+
+    def test_map_semantics(self):
+        t = TreeMap([("b", 2), ("a", 1)])
+        assert t.get("a") == 1
+        assert t.get("zz", "missing") == "missing"
+        assert t.items() == [("a", 1), ("b", 2)]
+        it = t.find_key("a")
+        it.set_value(100)
+        assert t.get("a") == 100
+
+    def test_sorted_iteration(self):
+        t = TreeMap([5, 1, 4, 2, 3])
+        assert list(t) == [1, 2, 3, 4, 5]
+        assert is_sorted(t.begin(), t.end())
+
+    def test_custom_comparator(self):
+        t = TreeMap([1, 3, 2], less=lambda a, b: b < a)
+        assert list(t) == [3, 2, 1]
+
+    def test_lower_bound_key(self):
+        t = TreeMap([10, 20, 30])
+        assert t.lower_bound_key(15).deref() == 20
+        assert t.lower_bound_key(20).deref() == 20
+        assert t.lower_bound_key(31).equals(t.end())
+
+    def test_clear(self):
+        t = TreeMap([1, 2, 3])
+        it = t.begin()
+        t.clear()
+        assert t.empty()
+        assert not it.is_valid()
+
+
+class TestIterators:
+    def test_bidirectional_walk(self):
+        t = TreeMap([2, 1, 3])
+        it = t.end()
+        out = []
+        while not it.equals(t.begin()):
+            it.decrement()
+            out.append(it.deref())
+        assert out == [3, 2, 1]
+
+    def test_past_the_end_guards(self):
+        t = TreeMap([1])
+        with pytest.raises(PastTheEndError):
+            t.end().deref()
+        with pytest.raises(PastTheEndError):
+            t.end().increment()
+        with pytest.raises(PastTheEndError):
+            t.begin().decrement()
+        empty = TreeMap()
+        with pytest.raises(PastTheEndError):
+            empty.end().decrement()
+
+    def test_generic_algorithms_work(self):
+        t = TreeMap(range(0, 100, 2))
+        assert binary_search(t.begin(), t.end(), 42)
+        assert not binary_search(t.begin(), t.end(), 43)
+        lb = lower_bound(t.begin(), t.end(), 31)
+        assert lb.deref() == 32
+        assert distance(t.begin(), t.end()) == 50
+
+    def test_erase_at_iterator_returns_successor(self):
+        t = TreeMap([1, 2, 3])
+        it = t.find_key(2)
+        nxt = t.erase(it)
+        assert nxt.deref() == 3
+        assert list(t) == [1, 3]
+
+    def test_erase_invalidates_only_target(self):
+        t = TreeMap([1, 2, 3])  # AVL shape: root 2, leaves 1 and 3
+        a = t.find_key(1)
+        b = t.find_key(2)
+        t.erase_key(3)  # leaf erase: other positions untouched
+        assert a.is_valid()
+        assert b.is_valid()
+        assert a.deref() == 1
+
+    def test_erased_iterator_is_singular(self):
+        t = TreeMap([1, 2, 3])
+        doomed = t.find_key(2)
+        t.erase_key(2)
+        with pytest.raises(SingularIteratorError):
+            doomed.deref()
+
+    def test_two_child_erase_invalidates_both_involved_nodes(self):
+        # Erasing a two-child node swaps payload with its successor; both
+        # positions' iterators are conservatively invalidated.
+        t = TreeMap([2, 1, 3])
+        at_two = t.find_key(2)     # the two-child root
+        at_three = t.find_key(3)   # its successor (payload moves here)
+        t.erase_key(2)
+        assert not at_two.is_valid()
+        assert not at_three.is_valid()
+        assert list(t) == [1, 3]
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    def test_insert_keeps_avl(self, keys):
+        t = TreeMap()
+        for k in keys:
+            t.insert_key(k)
+        t._check_invariants()
+        assert list(t) == sorted(set(keys))
+
+    @given(st.lists(st.integers(-50, 50), max_size=120),
+           st.lists(st.integers(-50, 50), max_size=120))
+    def test_mixed_insert_erase_keeps_avl(self, inserts, erases):
+        t = TreeMap()
+        expected = set()
+        for k in inserts:
+            t.insert_key(k)
+            expected.add(k)
+        for k in erases:
+            removed = t.erase_key(k)
+            assert removed == (1 if k in expected else 0)
+            expected.discard(k)
+        t._check_invariants()
+        assert list(t) == sorted(expected)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=500,
+                    unique=True))
+    @settings(max_examples=30)
+    def test_logarithmic_height(self, keys):
+        import math
+
+        t = TreeMap(keys)
+        # AVL height bound: h <= 1.4405 log2(n + 2)
+        assert t._root.height <= 1.4405 * math.log2(len(keys) + 2) + 1
+
+    @given(st.lists(st.integers(-100, 100), max_size=80), st.integers(-100, 100))
+    def test_lower_bound_key_matches_generic(self, keys, probe):
+        t = TreeMap(keys)
+        fast = t.lower_bound_key(probe)
+        slow = lower_bound(t.begin(), t.end(), probe)
+        assert fast.equals(slow) or (
+            fast.equals(t.end()) and slow.equals(t.end())
+        )

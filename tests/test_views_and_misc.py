@@ -1,0 +1,196 @@
+"""Coverage for ListView, insertion_sort_range, stllint '!=' syntax, and
+assorted smaller behaviours across the substrates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.concepts import check_concept
+from repro.concepts.builtins import RandomAccessContainer
+from repro.sequences import Vector
+from repro.sequences.algorithms import insertion_sort_range, is_sorted
+from repro.sequences.views import ListView, view_of
+from repro.stllint import MSG_SINGULAR_DEREF, check_source
+
+
+class TestListView:
+    def test_models_random_access_container(self):
+        assert check_concept(RandomAccessContainer, ListView).ok
+
+    def test_read_access(self):
+        v = ListView([10, 20, 30])
+        assert v.size() == 3
+        assert v.at(1) == 20
+        assert v[2] == 30
+        assert list(v) == [10, 20, 30]
+        assert not v.empty()
+        assert ListView([]).empty()
+
+    def test_read_only(self):
+        v = ListView([1, 2])
+        it = v.begin()
+        with pytest.raises(TypeError):
+            it.set(9)
+
+    def test_iterator_range(self):
+        v = ListView([1, 2, 3])
+        it = v.begin()
+        out = []
+        while not it.equals(v.end()):
+            out.append(it.deref())
+            it.increment()
+        assert out == [1, 2, 3]
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            ListView([1]).at(1)
+
+    def test_view_of_binds_value_type(self):
+        IntView = view_of(int)
+        assert IntView.value_type is int
+        assert IntView.iterator.value_type is int
+        assert view_of(int) is IntView  # cached
+
+    def test_random_access_iteration(self):
+        v = ListView(list(range(10)))
+        it = v.begin()
+        it.advance(7)
+        assert it.deref() == 7
+        assert v.begin().distance(v.end()) == 10
+
+
+class TestInsertionSortRange:
+    @given(st.lists(st.integers(), max_size=60))
+    def test_sorts(self, xs):
+        v = Vector(xs)
+        insertion_sort_range(v.begin(), v.end())
+        assert v.to_list() == sorted(xs)
+
+    def test_empty_and_single(self):
+        v = Vector([])
+        insertion_sort_range(v.begin(), v.end())
+        assert v.to_list() == []
+        v2 = Vector([5])
+        insertion_sort_range(v2.begin(), v2.end())
+        assert v2.to_list() == [5]
+
+    def test_custom_comparator(self):
+        v = Vector([1, 3, 2])
+        insertion_sort_range(v.begin(), v.end(), lambda a, b: b < a)
+        assert v.to_list() == [3, 2, 1]
+
+    def test_stability(self):
+        pairs = [(2, "a"), (1, "b"), (2, "c"), (1, "d")]
+        v = Vector(pairs)
+        insertion_sort_range(v.begin(), v.end(),
+                             lambda a, b: a[0] < b[0])
+        assert v.to_list() == [(1, "b"), (1, "d"), (2, "a"), (2, "c")]
+
+
+class TestStllintCompareSyntax:
+    """The checker also understands `it == other` / `it != other` compare
+    syntax, not just the .equals() method form."""
+
+    def test_bang_equals_loop(self):
+        report = check_source('''
+def walk(v: "vector"):
+    it = v.begin()
+    while it != v.end():
+        use(it.deref())
+        it.increment()
+''')
+        assert report.clean, report.render()
+
+    def test_fig4_with_compare_syntax(self):
+        report = check_source('''
+def extract_fails(students: "vector", fails: "vector"):
+    it = students.begin()
+    while it != students.end():
+        if fgrade(it.deref()):
+            fails.push_back(it.deref())
+            students.erase(it)
+        else:
+            it.increment()
+''')
+        assert any(d.message == MSG_SINGULAR_DEREF for d in report.warnings)
+
+    def test_eq_early_return(self):
+        report = check_source('''
+def lookup(v: "vector"):
+    i = find(v.begin(), v.end(), 42)
+    if i == v.end():
+        return
+    return i.deref()
+''')
+        assert report.clean, report.render()
+
+    def test_cross_container_compare_warns(self):
+        report = check_source('''
+def confused(a: "vector", b: "vector"):
+    x = a.begin()
+    y = b.begin()
+    while x != y:
+        x.increment()
+''')
+        assert any("different containers" in d.message
+                   for d in report.warnings)
+
+
+class TestStllintMoreShapes:
+    def test_insert_clears_sortedness(self):
+        report = check_source('''
+def f(v: "vector"):
+    sort(v.begin(), v.end())
+    p = v.begin()
+    v.insert(p, x)
+    found = binary_search(v.begin(), v.end(), 42)
+''')
+        assert any("may not be sorted" in d.message for d in report.warnings)
+
+    def test_erase_preserves_sortedness(self):
+        report = check_source('''
+def f(v: "vector"):
+    sort(v.begin(), v.end())
+    p = v.begin()
+    p2 = v.erase(p)
+    found = binary_search(v.begin(), v.end(), 42)
+''')
+        assert not any("may not be sorted" in d.message
+                       for d in report.warnings)
+
+    def test_reverse_clears_sortedness(self):
+        report = check_source('''
+def f(v: "vector"):
+    sort(v.begin(), v.end())
+    reverse(v.begin(), v.end())
+    found = binary_search(v.begin(), v.end(), 42)
+''')
+        assert any("may not be sorted" in d.message for d in report.warnings)
+
+    def test_max_element_result_checked(self):
+        report = check_source('''
+def f(v: "vector"):
+    m = max_element(v.begin(), v.end())
+    if not m.equals(v.end()):
+        return m.deref()
+''')
+        assert report.clean, report.render()
+
+    def test_max_element_result_unchecked(self):
+        report = check_source('''
+def f(v: "vector"):
+    m = max_element(v.begin(), v.end())
+    return m.deref()
+''')
+        assert not report.clean
+
+    def test_break_supported(self):
+        report = check_source('''
+def f(v: "vector"):
+    it = v.begin()
+    while not it.equals(v.end()):
+        if target(it.deref()):
+            break
+        it.increment()
+''')
+        assert report.clean, report.render()
