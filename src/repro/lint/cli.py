@@ -1,0 +1,85 @@
+"""Command-line entry point: ``python -m repro.lint <paths>``.
+
+Exit status: 0 when no finding reaches the ``--fail-on`` threshold, 1
+when one does, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .driver import LintConfig, lint_paths
+from .suppressions import all_check_codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "ConceptLint: whole-program STLlint driver — symbolic "
+            "iterator/invalidation checking, library pre/postconditions, "
+            "and @where concept-conformance checking over Python sources."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "suggestion", "note",
+                              "never"),
+        default="warning",
+        help="least severe finding that fails the run (default: warning)",
+    )
+    parser.add_argument(
+        "--no-concept-pass", action="store_true",
+        help="skip @where call-site conformance checking",
+    )
+    parser.add_argument(
+        "--no-interprocedural", action="store_true",
+        help="do not inline same-module calls",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=[], metavar="GLOB",
+        help="glob pattern of paths to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true",
+        help="print every check code usable in "
+             "'# stllint: ignore[<check>]' and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_checks:
+        for code in all_check_codes():
+            print(code)
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+    config = LintConfig(
+        fail_on=args.fail_on,
+        concept_pass=not args.no_concept_pass,
+        interprocedural=not args.no_interprocedural,
+        exclude=tuple(args.exclude),
+    )
+    report = lint_paths(args.paths, config)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 1 if report.fails(args.fail_on) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

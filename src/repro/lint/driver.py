@@ -1,0 +1,309 @@
+"""The whole-program lint driver.
+
+STLlint, as the paper describes it, "analyzes whole programs" — this
+module is the project-level harness around the per-function symbolic
+interpreter of :mod:`repro.stllint`:
+
+- discovers every ``*.py`` file under the given paths,
+- finds every function with container-annotated parameters (or locals)
+  and checks it, with same-module calls analyzed interprocedurally,
+- runs the concept-conformance pass over ``@where`` call sites,
+- applies ``# stllint: ignore[...]`` suppressions,
+- aggregates everything into a :class:`ProjectReport` that renders as
+  text or machine-readable JSON and gates an exit status by severity.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.stllint.diagnostics import Severity
+from repro.stllint.interpreter import Checker, module_function_table
+from repro.stllint.specs import CONTAINER_SPECS
+
+from .suppressions import check_code, collect_suppressions, is_suppressed
+
+#: Severity rank, most severe first (for --fail-on thresholds).
+SEVERITY_ORDER: dict[str, int] = {
+    "error": 0,
+    "warning": 1,
+    "suggestion": 2,
+    "note": 3,
+}
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass
+class LintConfig:
+    """Knobs for one lint run."""
+
+    fail_on: str = "warning"          # least severe level that fails the run
+    concept_pass: bool = True         # check @where call sites
+    interprocedural: bool = True      # inline same-module calls
+    exclude: tuple[str, ...] = ()     # glob patterns matched against paths
+
+
+@dataclass
+class LintFinding:
+    """One reported diagnostic, file-level."""
+
+    path: str
+    function: str
+    line: int
+    severity: str                     # "error" | "warning" | "suggestion" | "note"
+    check: str
+    message: str
+    source_line: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "function": self.function,
+            "line": self.line,
+            "severity": self.severity,
+            "check": self.check,
+            "message": self.message,
+            "source_line": self.source_line,
+        }
+
+    def render(self) -> str:
+        out = (
+            f"{self.path}:{self.line}: {self.severity}: {self.message} "
+            f"[{self.check}]"
+        )
+        if self.function and self.function != "<module>":
+            out += f" (in {self.function})"
+        if self.source_line.strip():
+            out += f"\n    {self.source_line.strip()}"
+        return out
+
+
+@dataclass
+class FileReport:
+    """Findings for one file."""
+
+    path: str
+    findings: list[LintFinding] = field(default_factory=list)
+    suppressed: int = 0
+    functions_checked: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "functions_checked": self.functions_checked,
+            "suppressed": self.suppressed,
+            "diagnostics": [f.to_dict() for f in self.findings],
+        }
+
+
+@dataclass
+class ProjectReport:
+    """Aggregated findings across every linted file."""
+
+    files: list[FileReport] = field(default_factory=list)
+
+    @property
+    def findings(self) -> list[LintFinding]:
+        return [f for fr in self.files for f in fr.findings]
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def summary(self) -> dict:
+        return {
+            "files": len(self.files),
+            "functions_checked": sum(
+                fr.functions_checked for fr in self.files
+            ),
+            "errors": self.count("error"),
+            "warnings": self.count("warning"),
+            "suggestions": self.count("suggestion"),
+            "notes": self.count("note"),
+            "suppressed": sum(fr.suppressed for fr in self.files),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files": [fr.to_dict() for fr in self.files],
+            "summary": self.summary(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        s = self.summary()
+        lines.append(
+            f"{s['errors']} error(s), {s['warnings']} warning(s), "
+            f"{s['suggestions']} suggestion(s), {s['notes']} note(s) "
+            f"in {s['files']} file(s) "
+            f"({s['functions_checked']} function(s) checked, "
+            f"{s['suppressed']} suppressed)"
+        )
+        return "\n".join(lines)
+
+    def fails(self, threshold: str) -> bool:
+        """True if any finding is at least as severe as ``threshold``."""
+        if threshold == "never":
+            return False
+        limit = SEVERITY_ORDER[threshold]
+        return any(
+            SEVERITY_ORDER[f.severity] <= limit for f in self.findings
+        )
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+
+
+def _container_annotated(arg: ast.arg) -> bool:
+    ann = arg.annotation
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value.lower() in CONTAINER_SPECS
+    if isinstance(ann, ast.Name):
+        return ann.id.lower() in CONTAINER_SPECS
+    return False
+
+
+def _is_lintable(fn: ast.FunctionDef) -> bool:
+    """A function is checked when it declares tracked container state:
+    a container-annotated parameter, or a container-annotated local."""
+    if any(_container_annotated(a) for a in fn.args.args):
+        return True
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.annotation, ast.Constant)
+            and isinstance(node.annotation.value, str)
+            and node.annotation.value.lower() in CONTAINER_SPECS
+        ):
+            return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> FileReport:
+    """Lint one module given as source text."""
+    config = config or LintConfig()
+    report = FileReport(path=path)
+    lines = source.splitlines()
+    suppressions = collect_suppressions(lines)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.findings.append(LintFinding(
+            path=path, function="<module>", line=exc.lineno or 0,
+            severity="error", check="parse-error",
+            message=f"file could not be parsed: {exc.msg}",
+        ))
+        return report
+
+    def add(severity: Severity, message: str, line: int,
+            function: str) -> None:
+        code = check_code(message)
+        if is_suppressed(suppressions, line, code):
+            report.suppressed += 1
+            return
+        src = lines[line - 1] if 1 <= line <= len(lines) else ""
+        report.findings.append(LintFinding(
+            path=path, function=function, line=line,
+            severity=severity.value.lower(), check=code,
+            message=message, source_line=src,
+        ))
+
+    functions = module_function_table(tree) if config.interprocedural else {}
+    seen: set[tuple[int, str]] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef) or not _is_lintable(node):
+            continue
+        report.functions_checked += 1
+        sink = Checker(node, lines, module_functions=functions).run()
+        for d in sink.diagnostics:
+            key = (d.line, d.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            add(d.severity, d.message, d.line, node.name)
+
+    if config.concept_pass:
+        from .concept_pass import run_concept_pass
+
+        for finding in run_concept_pass(tree):
+            add(finding.severity, finding.message, finding.line,
+                finding.function)
+
+    report.findings.sort(key=lambda f: (f.line, SEVERITY_ORDER[f.severity]))
+    return report
+
+
+def lint_file(
+    path: PathLike, config: Optional[LintConfig] = None
+) -> FileReport:
+    p = pathlib.Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        report = FileReport(path=str(p))
+        report.findings.append(LintFinding(
+            path=str(p), function="<module>", line=0, severity="error",
+            check="io-error", message=f"cannot read file: {exc}",
+        ))
+        return report
+    return lint_source(source, path=str(p), config=config)
+
+
+def discover_files(
+    paths: Sequence[PathLike], exclude: Iterable[str] = ()
+) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: list[pathlib.Path] = []
+    exclude = tuple(exclude)
+
+    def excluded(p: pathlib.Path) -> bool:
+        return any(p.match(pattern) for pattern in exclude)
+
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if any(part.startswith(".") or part == "__pycache__"
+                       for part in f.parts):
+                    continue
+                if not excluded(f):
+                    out.append(f)
+        elif p.suffix == ".py" or p.is_file() or not p.exists():
+            # Nonexistent paths are kept: lint_file turns them into an
+            # io-error finding rather than a silently empty (passing) run.
+            if not excluded(p):
+                out.append(p)
+    # De-duplicate while preserving order.
+    unique: list[pathlib.Path] = []
+    seen: set[str] = set()
+    for p in out:
+        key = str(p.resolve())
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[PathLike], config: Optional[LintConfig] = None
+) -> ProjectReport:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    config = config or LintConfig()
+    report = ProjectReport()
+    for f in discover_files(paths, config.exclude):
+        report.files.append(lint_file(f, config))
+    return report

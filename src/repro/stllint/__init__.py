@@ -36,7 +36,14 @@ from .archetype_check import (
     check_traversal_requirement,
 )
 from .diagnostics import Diagnostic, DiagnosticSink, Severity
-from .interpreter import Checker, Env, check_function, check_source
+from .interpreter import (
+    MAX_INLINE_DEPTH,
+    Checker,
+    Env,
+    check_function,
+    check_source,
+    module_function_table,
+)
 from .specs import (
     ALGORITHM_SPECS,
     CONTAINER_SPECS,
@@ -44,13 +51,17 @@ from .specs import (
     MSG_MAYBE_END_DEREF,
     MSG_NOT_A_HEAP,
     MSG_PAST_END_DEREF,
+    MSG_SINGULAR_ADVANCE,
     MSG_SINGULAR_DEREF,
     MSG_SORTED_LINEAR_FIND,
+    MSG_UNINLINED_CALL,
+    MSG_UNMODELED_STMT,
     MSG_UNSORTED_LOWER_BOUND,
     SORTED,
     ContainerSpec,
     InvalidationRule,
     register_algorithm_spec,
+    unregister_algorithm_spec,
 )
 
 __all__ = [
@@ -58,11 +69,14 @@ __all__ = [
     "Position", "Validity",
     "Diagnostic", "DiagnosticSink", "Severity",
     "Checker", "Env", "check_function", "check_source",
+    "module_function_table", "MAX_INLINE_DEPTH",
     "ALGORITHM_SPECS", "CONTAINER_SPECS", "ContainerSpec",
-    "InvalidationRule", "register_algorithm_spec", "SORTED",
+    "InvalidationRule", "register_algorithm_spec",
+    "unregister_algorithm_spec", "SORTED",
     "MSG_CROSS_CONTAINER", "MSG_MAYBE_END_DEREF", "MSG_NOT_A_HEAP",
-    "MSG_PAST_END_DEREF",
+    "MSG_PAST_END_DEREF", "MSG_SINGULAR_ADVANCE",
     "MSG_SINGULAR_DEREF", "MSG_SORTED_LINEAR_FIND",
+    "MSG_UNINLINED_CALL", "MSG_UNMODELED_STMT",
     "MSG_UNSORTED_LOWER_BOUND",
     "SinglePassSequence", "SinglePassIterator", "MultiPassSequence",
     "MultipassViolation", "check_traversal_requirement",

@@ -48,11 +48,19 @@ from .specs import (
     MSG_PAST_END_DEREF,
     MSG_SINGULAR_ADVANCE,
     MSG_SINGULAR_DEREF,
+    MSG_UNINLINED_CALL,
+    MSG_UNMODELED_STMT,
     SORTED,
     AlgorithmContext,
 )
 
 MAX_LOOP_ITERATIONS = 6
+
+#: Bound on the dynamic inlining chain for interprocedural analysis: a
+#: call to a same-module function is analyzed in the caller's abstract
+#: state up to this depth; past it (or on recursion) the call is treated
+#: as opaque and an explicit Note records the lost precision.
+MAX_INLINE_DEPTH = 4
 
 
 class Env:
@@ -123,12 +131,25 @@ class _ContinueSignal(Exception):
 
 
 class Checker:
-    """Checks one function's body against the library specifications."""
+    """Checks one function's body against the library specifications.
 
-    def __init__(self, tree: ast.FunctionDef, source_lines: list[str]) -> None:
+    ``module_functions`` maps names of functions defined in the same
+    module to their ASTs; calls to them are analyzed interprocedurally by
+    bounded inlining (the whole-program mode of Section 3.1, where
+    invalidation effects propagate across helper functions).
+    """
+
+    def __init__(
+        self,
+        tree: ast.FunctionDef,
+        source_lines: list[str],
+        module_functions: Optional[dict[str, ast.FunctionDef]] = None,
+    ) -> None:
         self.tree = tree
         self.sink = DiagnosticSink(source_lines, tree.name)
         self.env = Env()
+        self.module_functions = module_functions or {}
+        self._inline_stack: list[str] = [tree.name]
 
     # -- entry ----------------------------------------------------------------
 
@@ -162,10 +183,7 @@ class Checker:
 
     def _exec_stmt(self, node: ast.stmt, env: Env) -> None:
         if isinstance(node, ast.Assign):
-            value = self._eval(node.value, env)
-            for t in node.targets:
-                if isinstance(t, ast.Name):
-                    env.vars[t.id] = value
+            self._exec_assign(node, env)
             return
         if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
             kind = None
@@ -185,10 +203,41 @@ class Checker:
         if isinstance(node, ast.While):
             self._exec_while(node, env)
             return
-        if isinstance(node, ast.Return):
-            if node.value is not None:
-                self._eval(node.value, env)
+        if isinstance(node, ast.For):
+            self._exec_for(node, env)
+            return
+        if isinstance(node, ast.Try):
+            self._exec_try(node, env)
+            return
+        if isinstance(node, ast.With):
+            for item in node.items:
+                self._eval(item.context_expr, env)
+                if isinstance(item.optional_vars, ast.Name):
+                    env.vars[item.optional_vars.id] = AbstractValue(
+                        item.optional_vars.id
+                    )
+            self._exec_block(node.body, env)
+            return
+        if isinstance(node, ast.Assert):
+            self._eval(node.test, env)
+            if node.msg is not None:
+                self._eval(node.msg, env)
+            return
+        if isinstance(node, ast.Delete):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    env.vars.pop(t.id, None)
+            return
+        if isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self._eval(node.exc, env)
+            # An exception ends this path (for this function's analysis).
             raise _ReturnSignal(None)
+        if isinstance(node, ast.Return):
+            value = None
+            if node.value is not None:
+                value = self._eval(node.value, env)
+            raise _ReturnSignal(value)
         if isinstance(node, ast.Break):
             raise _BreakSignal()
         if isinstance(node, ast.Continue):
@@ -196,9 +245,50 @@ class Checker:
         if isinstance(node, ast.Pass):
             return
         # Unmodeled statements are evaluated for their subexpressions only.
+        # If one mentions tracked container state, say so out loud rather
+        # than silently losing soundness.
+        self._note_unmodeled(node, env)
         for child in ast.iter_child_nodes(node):
             if isinstance(child, ast.expr):
                 self._eval(child, env)
+
+    def _exec_assign(self, node: ast.Assign, env: Env) -> None:
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], (ast.Tuple, ast.List))
+        ):
+            target = node.targets[0]
+            if (
+                isinstance(node.value, (ast.Tuple, ast.List))
+                and len(node.value.elts) == len(target.elts)
+            ):
+                # Elementwise binding (a, b = x, y) — evaluate the whole
+                # right-hand side first, so swaps behave.
+                values = [self._eval(v, env) for v in node.value.elts]
+            else:
+                self._eval(node.value, env)
+                values = [AbstractValue() for _ in target.elts]
+            for elt, value in zip(target.elts, values):
+                if isinstance(elt, ast.Name):
+                    env.vars[elt.id] = value
+            return
+        value = self._eval(node.value, env)
+        for t in node.targets:
+            if isinstance(t, ast.Name):
+                env.vars[t.id] = value
+
+    def _note_unmodeled(self, node: ast.stmt, env: Env) -> None:
+        names = {
+            n.id for n in ast.walk(node) if isinstance(n, ast.Name)
+        }
+        if any(
+            isinstance(env.vars.get(n), (AbstractContainer, AbstractIterator))
+            for n in names
+        ):
+            self.sink.note(
+                f"{type(node).__name__} {MSG_UNMODELED_STMT}",
+                getattr(node, "lineno", 0),
+            )
 
     def _exec_if(self, node: ast.If, env: Env) -> None:
         cond = self._eval(node.test, env)
@@ -254,6 +344,131 @@ class Checker:
             state = new_state
         self._refine(node.test, state, False)
         env.vars = state.vars
+
+    def _exec_for(self, node: ast.For, env: Env) -> None:
+        """Desugar ``for x in c`` into the begin/end/increment iterator
+        protocol when ``c`` is a tracked container, so invalidation-in-loop
+        bugs (Fig. 4) are caught in idiomatic Python loops too::
+
+            it = c.begin()
+            while not it.equals(c.end()):
+                x = it.deref()
+                <body>
+                it.increment()
+
+        Other iterables run the body to an abstract fixpoint with opaque
+        loop variables, so container effects inside the body still join.
+        """
+        line = node.lineno
+        iterable = self._eval(node.iter, env)
+        container_loop = (
+            isinstance(iterable, AbstractContainer)
+            and isinstance(node.target, ast.Name)
+        )
+        # "<...>" cannot collide with a user identifier.
+        it_name = f"<for@{line}>"
+        if container_loop:
+            env.vars[it_name] = AbstractIterator(
+                iterable, Position.BEGIN, Validity.VALID, iterable.epoch,
+                may_be_end=True, origin_line=line,
+            )
+        state = env
+        for _ in range(MAX_LOOP_ITERATIONS):
+            body_env = state.copy()
+            if container_loop:
+                it = body_env.vars[it_name]
+                # Loop entry implies the implicit `not it.equals(c.end())`.
+                if isinstance(it, AbstractIterator):
+                    it.may_be_end = False
+                    if it.position is Position.END:
+                        it.position = Position.UNKNOWN
+                    it.container.maybe_empty = False
+                    self._iterator_op(it, "deref", [], line)
+                body_env.vars[node.target.id] = AbstractValue(node.target.id)
+            else:
+                self._bind_loop_target(node.target, body_env)
+            advance = container_loop
+            try:
+                self._exec_block(node.body, body_env)
+            except (_BreakSignal, _ReturnSignal):
+                # Neither path reaches the implicit increment.
+                advance = False
+            except _ContinueSignal:
+                pass
+            if advance:
+                it = body_env.vars.get(it_name)
+                if isinstance(it, AbstractIterator):
+                    self._iterator_op(it, "increment", [], line)
+            new_state = state.join(body_env)
+            if new_state.same_state(state):
+                state = new_state
+                break
+            state = new_state
+        if node.orelse:
+            self._exec_block(node.orelse, state)
+        state.vars.pop(it_name, None)
+        env.vars = state.vars
+
+    def _bind_loop_target(self, target: ast.expr, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env.vars[target.id] = AbstractValue(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_loop_target(elt, env)
+
+    def _exec_try(self, node: ast.Try, env: Env) -> None:
+        """May-analysis over exceptional control flow.  The handler entry
+        state is the join of the states before and after the ``try`` body —
+        an exception may fire anywhere inside it — and every iterator over
+        a container the body *mutated* is conservatively havocked (it may
+        have been invalidated part-way through)."""
+        pre_epochs = {
+            v.cid: v.epoch for v in env.vars.values()
+            if isinstance(v, AbstractContainer)
+        }
+        body_env = env.copy()
+        body_returned = False
+        try:
+            self._exec_block(node.body, body_env)
+            if node.orelse:
+                self._exec_block(node.orelse, body_env)
+        except _ReturnSignal:
+            body_returned = True
+        result: Optional[Env] = None if body_returned else body_env
+        for handler in node.handlers:
+            h_env = env.join(body_env)
+            self._havoc_mutated(h_env, pre_epochs)
+            if handler.type is not None:
+                self._eval(handler.type, h_env)
+            if handler.name:
+                h_env.vars[handler.name] = AbstractValue(handler.name)
+            try:
+                self._exec_block(handler.body, h_env)
+            except _ReturnSignal:
+                continue
+            result = h_env if result is None else result.join(h_env)
+        if result is None:
+            # Every path returned (or raised); run finally, end this path.
+            if node.finalbody:
+                f_env = env.join(body_env)
+                self._exec_block(node.finalbody, f_env)
+            raise _ReturnSignal(None)
+        if node.finalbody:
+            self._exec_block(node.finalbody, result)
+        env.vars = result.vars
+
+    def _havoc_mutated(self, env: Env, pre_epochs: dict[int, int]) -> None:
+        mutated = {
+            v.cid for v in env.vars.values()
+            if isinstance(v, AbstractContainer)
+            and v.epoch != pre_epochs.get(v.cid, v.epoch)
+        }
+        for v in env.vars.values():
+            if isinstance(v, AbstractIterator) and v.container.cid in mutated:
+                v.invalidate(definitely=False)
+            elif isinstance(v, AbstractContainer) and v.cid in mutated:
+                v.properties.clear()
+                v.maybe_empty = True
 
     # -- condition refinement ------------------------------------------------------
 
@@ -365,6 +580,8 @@ class Checker:
     def _eval_call(self, node: ast.Call, env: Env) -> Any:
         line = node.lineno
         args = [self._eval(a, env) for a in node.args]
+        for kw in node.keywords:
+            self._eval(kw.value, env)
         if isinstance(node.func, ast.Attribute):
             recv = self._eval(node.func.value, env)
             return self._method_call(recv, node.func.attr, args, line, env)
@@ -373,11 +590,70 @@ class Checker:
             handler = ALGORITHM_SPECS.get(name)
             if handler is not None:
                 return handler(AlgorithmContext(self, args, line))
+            callee = self.module_functions.get(name)
+            if callee is not None and not node.keywords:
+                return self._inline_call(name, callee, args, env, line)
             # Unknown free function: opaque result; arguments were already
             # evaluated (so a singular deref inside them is reported).
             return AbstractValue(f"{name}()")
         self._eval(node.func, env)
         return AbstractValue()
+
+    # -- interprocedural analysis ------------------------------------------------
+
+    def _inline_call(
+        self, name: str, callee: ast.FunctionDef, args: list[Any],
+        env: Env, line: int,
+    ) -> Any:
+        """Analyze a same-module callee with the caller's abstract
+        arguments (bounded inlining).
+
+        The callee runs in a child environment that carries every caller
+        binding under a mangled name, so invalidation — which scans the
+        active environment by container identity — reaches the caller's
+        iterators exactly as it would have had the callee's body been
+        written inline.  On return the (possibly joined/copied) caller
+        bindings are written back.
+        """
+        a = callee.args
+        if (
+            a.vararg is not None or a.kwarg is not None or a.kwonlyargs
+            or a.posonlyargs or len(args) != len(a.args)
+        ):
+            self._note_uninlined(name, args, line)
+            return AbstractValue(f"{name}()")
+        if name in self._inline_stack or len(self._inline_stack) > MAX_INLINE_DEPTH:
+            self._note_uninlined(name, args, line)
+            return AbstractValue(f"{name}()")
+        # "<...>" cannot collide with user identifiers or nested prefixes
+        # from a different depth.
+        prefix = f"<inline{len(self._inline_stack)}:{name}>"
+        callee_env = Env()
+        for outer, value in env.vars.items():
+            callee_env.vars[prefix + outer] = value
+        for param, value in zip(a.args, args):
+            callee_env.vars[param.arg] = value
+        self._inline_stack.append(name)
+        result: Any = AbstractValue(f"{name}()")
+        try:
+            self._exec_block(callee.body, callee_env)
+        except _ReturnSignal as sig:
+            if sig.value is not None:
+                result = sig.value
+        except (_BreakSignal, _ContinueSignal):
+            pass
+        finally:
+            self._inline_stack.pop()
+        for key, value in callee_env.vars.items():
+            if key.startswith(prefix):
+                env.vars[key[len(prefix):]] = value
+        return result
+
+    def _note_uninlined(self, name: str, args: list[Any], line: int) -> None:
+        if any(
+            isinstance(v, (AbstractContainer, AbstractIterator)) for v in args
+        ):
+            self.sink.note(f"{name}(): {MSG_UNINLINED_CALL}", line)
 
     # -- container/iterator operations --------------------------------------------------
 
@@ -450,6 +726,13 @@ class Checker:
         if name in ("pop_back", "pop_front"):
             self._apply_invalidation(c, spec.erase, None, env)  # conservative
             c.mutate()
+            return AbstractValue()
+        if name == "remove":
+            # Erase-by-value (the idiomatic Python spelling): same
+            # invalidation behaviour as erase at an unknown position.
+            self._apply_invalidation(c, spec.erase, None, env)
+            c.mutate()
+            c.properties.discard(SORTED)
             return AbstractValue()
         if name == "clear":
             self._invalidate_all(c, env, definitely=True)
@@ -561,15 +844,28 @@ class Checker:
 # ---------------------------------------------------------------------------
 
 
-def check_source(source: str) -> DiagnosticSink:
-    """Check every function in ``source``; returns a combined sink."""
+def module_function_table(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """Top-level functions of a module, for interprocedural analysis."""
+    return {
+        node.name: node for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def check_source(source: str, *, interprocedural: bool = True) -> DiagnosticSink:
+    """Check every function in ``source``; returns a combined sink.
+
+    With ``interprocedural=True`` (the default), calls between functions
+    defined in ``source`` are analyzed by bounded inlining.
+    """
     source = textwrap.dedent(source)
     tree = ast.parse(source)
     lines = source.splitlines()
+    functions = module_function_table(tree) if interprocedural else {}
     combined = DiagnosticSink(lines)
     for node in tree.body:
         if isinstance(node, ast.FunctionDef):
-            sink = Checker(node, lines).run()
+            sink = Checker(node, lines, module_functions=functions).run()
             for d in sink.diagnostics:
                 combined.emit(d.severity, d.message, d.line)
     return combined

@@ -114,6 +114,14 @@ MSG_SORTED_LINEAR_FIND = (
     "this algorithm with one specialized for sorted sequences "
     "(e.g., lower_bound)"
 )
+MSG_UNMODELED_STMT = (
+    "statement is not modeled by the checker but mentions a tracked "
+    "container or iterator; analysis may be incomplete here"
+)
+MSG_UNINLINED_CALL = (
+    "call passes tracked container state to a function the checker cannot "
+    "inline (recursion or depth limit); its effects are not analyzed"
+)
 
 
 class AlgorithmContext:
@@ -312,7 +320,27 @@ ALGORITHM_SPECS: dict[str, AlgorithmHandler] = {
 }
 
 
-def register_algorithm_spec(name: str, handler: AlgorithmHandler) -> None:
+def register_algorithm_spec(
+    name: str, handler: AlgorithmHandler, *, override: bool = False
+) -> None:
     """Extension point: libraries ship specifications for their own
-    algorithms ("library-supplied semantic specifications")."""
+    algorithms ("library-supplied semantic specifications").
+
+    Registering a name that already has a spec (including the built-in
+    ones) raises :class:`ValueError` unless ``override=True`` — silently
+    replacing a specification would silently change every subsequent
+    analysis.
+    """
+    if not override and name in ALGORITHM_SPECS:
+        raise ValueError(
+            f"algorithm spec {name!r} is already registered; pass "
+            f"override=True to replace it"
+        )
     ALGORITHM_SPECS[name] = handler
+
+
+def unregister_algorithm_spec(name: str) -> Optional[AlgorithmHandler]:
+    """Remove a registered spec (returns it, or None if absent).  Calls to
+    an unregistered name are treated as opaque: arguments are still
+    evaluated, but no container effects are assumed."""
+    return ALGORITHM_SPECS.pop(name, None)

@@ -21,6 +21,7 @@ CASES = [
     ("data_parallel.py", "speedup"),
     ("sensor_network.py", "tree still valid: True"),
     ("concept_language.py", "refuted"),
+    ("lint_demo.py", "attempt to dereference a singular iterator"),
 ]
 
 SLOW = {"mixed_precision.py"}

@@ -22,6 +22,7 @@ from repro.stllint import (
     Severity,
     check_source,
     register_algorithm_spec,
+    unregister_algorithm_spec,
 )
 from repro.stllint.abstract_values import AbstractValue
 from repro.stllint.specs import SORTED, AlgorithmContext
@@ -79,6 +80,49 @@ def f(v: "vector"):
     found = binary_search(v.begin(), v.end(), 1)
 ''')
         assert any("may not be sorted" in d.message for d in report.warnings)
+
+    def test_duplicate_registration_rejected(self):
+        handler = lambda ctx: AbstractValue()
+        register_algorithm_spec("parallel_prefix", handler)
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm_spec("parallel_prefix", handler)
+        # Built-in specs are protected the same way.
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm_spec("find", handler)
+
+    def test_override_replaces_handler(self):
+        def loud(ctx: AlgorithmContext):
+            ctx.sink.warning("first handler", ctx.line)
+            return AbstractValue()
+
+        def quiet(ctx: AlgorithmContext):
+            return AbstractValue()
+
+        register_algorithm_spec("parallel_prefix", loud)
+        register_algorithm_spec("parallel_prefix", quiet, override=True)
+        report = check_source('''
+def f(v: "vector"):
+    parallel_prefix(v.begin(), v.end())
+''')
+        assert not any("first handler" in d.message for d in report.warnings)
+
+    def test_unregister_returns_handler(self):
+        handler = lambda ctx: AbstractValue()
+        register_algorithm_spec("parallel_prefix", handler)
+        assert unregister_algorithm_spec("parallel_prefix") is handler
+        assert "parallel_prefix" not in ALGORITHM_SPECS
+        # Unknown names are a no-op, not an error.
+        assert unregister_algorithm_spec("no_such_spec") is None
+
+    def test_unknown_algorithm_call_is_opaque(self):
+        # A call with no registered spec yields an opaque value and no
+        # diagnostics — the checker does not guess at unknown semantics.
+        report = check_source('''
+def f(v: "vector"):
+    x = frobnicate(v.begin(), v.end())
+    y = x
+''')
+        assert not report.diagnostics
 
 
 class TestAthenaRemainingForms:

@@ -1,0 +1,472 @@
+"""ConceptLint: the whole-program driver, the interpreter extensions it
+relies on (for-loop desugaring, tuple assignment, try/except havoc,
+interprocedural inlining), suppression comments, and the concept-
+conformance pass over ``@where`` call sites."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    ALL_CHECKS,
+    LintConfig,
+    all_check_codes,
+    check_code,
+    collect_suppressions,
+    lint_paths,
+    lint_source,
+    main,
+    run_concept_pass,
+)
+from repro.stllint import (
+    MSG_SINGULAR_ADVANCE,
+    MSG_SINGULAR_DEREF,
+    MSG_UNINLINED_CALL,
+    MSG_UNMODELED_STMT,
+    Severity,
+    check_source,
+)
+
+
+def msgs(report, severity=None):
+    ds = report.diagnostics
+    if severity is not None:
+        ds = [d for d in ds if d.severity == severity]
+    return [d.message for d in ds]
+
+
+# ---------------------------------------------------------------------------
+# Interpreter extensions: for-loop desugaring
+# ---------------------------------------------------------------------------
+
+
+class TestForLoopDesugaring:
+    def test_fig4_bug_with_idiomatic_for(self):
+        # Fig. 4's invalidation bug, written as a Python for loop: the
+        # hidden iterator is invalidated by remove(), so the loop's
+        # implicit advance and deref both go singular.
+        report = check_source('''
+def extract(students: "vector", fails: "vector"):
+    for s in students:
+        if fgrade(s):
+            fails.push_back(s)
+            students.remove(s)
+''')
+        assert MSG_SINGULAR_ADVANCE in msgs(report, Severity.WARNING)
+        assert MSG_SINGULAR_DEREF in msgs(report, Severity.WARNING)
+        # Both are reported at the for statement, where the hidden
+        # iterator lives.
+        lines = {d.line for d in report.warnings}
+        assert lines == {3}
+
+    def test_clean_for_loop(self):
+        report = check_source('''
+def total(v: "vector"):
+    acc = 0
+    for x in v:
+        acc = acc + x
+    return acc
+''')
+        assert report.clean
+        assert not report.diagnostics
+
+    def test_for_over_other_container_is_safe(self):
+        # Mutating a *different* container inside the loop is fine.
+        report = check_source('''
+def copy_all(src: "vector", dst: "vector"):
+    for x in src:
+        dst.push_back(x)
+''')
+        assert report.clean
+
+    def test_break_suppresses_trailing_advance(self):
+        # A loop that erases and immediately breaks never advances the
+        # dead iterator, so no warning should fire.
+        report = check_source('''
+def drop_first_match(v: "vector"):
+    for x in v:
+        if x == 0:
+            v.remove(x)
+            break
+''')
+        assert MSG_SINGULAR_ADVANCE not in msgs(report)
+
+    def test_for_orelse_runs_on_exit_state(self):
+        report = check_source('''
+def f(v: "vector"):
+    for x in v:
+        pass
+    else:
+        v.push_back(1)
+''')
+        assert report.clean
+
+
+# ---------------------------------------------------------------------------
+# Interpreter extensions: tuple assignment, try/except, unmodeled stmts
+# ---------------------------------------------------------------------------
+
+
+class TestTupleAssignment:
+    def test_swap_preserves_iterator_validity(self):
+        report = check_source('''
+def f(v: "vector"):
+    i = v.begin()
+    j = v.end()
+    i, j = j, i
+    x = j.deref()
+''')
+        # After the swap, j is the old begin() — dereferencable.
+        assert MSG_SINGULAR_DEREF not in msgs(report)
+
+    def test_tuple_unpack_tracks_elements(self):
+        report = check_source('''
+def f(v: "vector"):
+    a, b = v.begin(), v.end()
+    x = b.deref()
+''')
+        # b is the end iterator; dereferencing it must be flagged.
+        assert any("past-the-end" in m for m in msgs(report))
+
+    def test_mismatched_unpack_is_opaque_not_crash(self):
+        report = check_source('''
+def f(v: "vector"):
+    a, b = pair_of_things()
+    v.push_back(a)
+''')
+        assert report.clean
+
+
+class TestTryExceptHavoc:
+    def test_handler_sees_weakened_state(self):
+        # The try body may or may not have run before the exception: an
+        # iterator into a container mutated in the body may be invalid
+        # in the handler.
+        report = check_source('''
+def f(v: "vector"):
+    it = v.begin()
+    try:
+        v.push_back(1)
+    except ValueError:
+        x = it.deref()
+''')
+        assert any("singular" in m for m in msgs(report))
+
+    def test_untouched_containers_survive(self):
+        report = check_source('''
+def f(v: "vector", w: "vector"):
+    it = v.begin()
+    try:
+        w.push_back(1)
+    except ValueError:
+        x = it.deref()
+''')
+        assert report.clean
+
+    def test_finally_always_runs(self):
+        report = check_source('''
+def f(v: "vector"):
+    try:
+        v.push_back(1)
+    finally:
+        it = v.begin()
+        x = it.deref()
+''')
+        assert report.clean
+
+
+class TestUnmodeledStatements:
+    def test_note_when_tracked_state_involved(self):
+        report = check_source('''
+def f(v: "vector"):
+    v += other
+''')
+        notes = msgs(report, Severity.NOTE)
+        assert any(MSG_UNMODELED_STMT in m for m in notes)
+
+    def test_silent_when_no_tracked_state(self):
+        report = check_source('''
+def f(v: "vector"):
+    n = 0
+    n += 1
+    v.push_back(n)
+''')
+        assert not report.diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural analysis
+# ---------------------------------------------------------------------------
+
+
+class TestInterprocedural:
+    def test_helper_invalidates_callers_iterator(self):
+        report = check_source('''
+def shrink(v):
+    v.erase(v.begin())
+
+def f(v: "vector"):
+    it = v.begin()
+    shrink(v)
+    return it.deref()
+''')
+        assert MSG_SINGULAR_DEREF in msgs(report)
+
+    def test_benign_helper_stays_clean(self):
+        report = check_source('''
+def peek(v):
+    return v.begin().deref()
+
+def f(v: "vector"):
+    v.push_back(1)
+    it = v.begin()
+    x = peek(v)
+    return it.deref()
+''')
+        assert report.clean
+
+    def test_recursion_cutoff_emits_note(self):
+        report = check_source('''
+def gobble(v):
+    v.erase(v.begin())
+    gobble(v)
+
+def f(v: "vector"):
+    gobble(v)
+''')
+        assert any(MSG_UNINLINED_CALL in m
+                   for m in msgs(report, Severity.NOTE))
+
+    def test_return_value_flows_back(self):
+        report = check_source('''
+def first(v):
+    return v.begin()
+
+def f(v: "vector"):
+    it = first(v)
+    v.push_back(1)
+    return it.deref()
+''')
+        # The returned iterator aliases v; push_back may invalidate it.
+        assert any("singular" in m for m in msgs(report))
+
+    def test_disabled_interprocedural_misses_the_bug(self):
+        src = '''
+def shrink(v):
+    v.erase(v.begin())
+
+def f(v: "vector"):
+    it = v.begin()
+    shrink(v)
+    return it.deref()
+'''
+        flagged = lint_source(src, config=LintConfig(interprocedural=True))
+        plain = lint_source(src, config=LintConfig(interprocedural=False))
+        assert any(f.check == "singular-deref" for f in flagged.findings)
+        assert not any(f.check == "singular-deref" for f in plain.findings)
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments and check codes
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_collect(self):
+        lines = [
+            "x = 1",
+            "y = it.deref()  # stllint: ignore[singular-deref]",
+            "z = 2  # stllint: ignore[a, b]",
+            "w = 3  # stllint: ignore",
+        ]
+        supp = collect_suppressions(lines)
+        assert supp[2] == {"singular-deref"}
+        assert supp[3] == {"a", "b"}
+        assert supp[4] == {ALL_CHECKS}
+        assert 1 not in supp
+
+    def test_suppressed_findings_are_counted_not_shown(self):
+        report = lint_source('''
+def f(v: "vector"):
+    e = v.end()
+    return e.deref()  # stllint: ignore[past-end-deref]
+''')
+        assert not report.findings
+        assert report.suppressed == 1
+
+    def test_wrong_code_does_not_suppress(self):
+        report = lint_source('''
+def f(v: "vector"):
+    e = v.end()
+    return e.deref()  # stllint: ignore[cross-container]
+''')
+        assert any(f.check == "past-end-deref" for f in report.findings)
+
+    def test_bare_ignore_suppresses_everything(self):
+        report = lint_source('''
+def f(v: "vector"):
+    e = v.end()
+    return e.deref()  # stllint: ignore
+''')
+        assert not report.findings
+        assert report.suppressed == 1
+
+    def test_every_message_maps_to_a_code(self):
+        codes = all_check_codes()
+        assert "singular-deref" in codes
+        assert "concept-conformance" in codes
+        assert check_code(MSG_SINGULAR_ADVANCE) == "singular-advance"
+        assert check_code("some future message") == "library-spec"
+
+
+# ---------------------------------------------------------------------------
+# Concept-conformance pass
+# ---------------------------------------------------------------------------
+
+
+CONCEPT_SRC = '''
+from repro.concepts import where
+from repro.graphs.interfaces import IncidenceGraph
+
+@where(g=IncidenceGraph)
+def out_degree(g, v):
+    return 0
+
+def bad():
+    return out_degree(42, 0)
+
+def unknown(g):
+    return out_degree(g, 0)
+'''
+
+
+class TestConceptPass:
+    def test_violation_reported_as_error(self):
+        report = lint_source(CONCEPT_SRC)
+        errors = [f for f in report.findings if f.severity == "error"]
+        assert len(errors) == 1
+        assert errors[0].check == "concept-conformance"
+        assert "does not model" in errors[0].message
+        assert errors[0].function == "bad"
+
+    def test_uninferrable_arguments_are_not_guessed(self):
+        # `unknown` passes an un-typed parameter: no finding.
+        import ast
+
+        findings = run_concept_pass(ast.parse(CONCEPT_SRC))
+        assert all(f.function != "unknown" for f in findings)
+
+    def test_disabled_by_config(self):
+        report = lint_source(
+            CONCEPT_SRC, config=LintConfig(concept_pass=False)
+        )
+        assert not report.findings
+
+
+# ---------------------------------------------------------------------------
+# Driver: discovery, reports, JSON, CLI
+# ---------------------------------------------------------------------------
+
+
+BUGGY = '''
+def f(v: "vector"):
+    it = v.begin()
+    v.push_back(1)
+    return it.deref()
+'''
+
+CLEAN = '''
+def f(v: "vector"):
+    v.push_back(1)
+    it = v.begin()
+    return it.deref()
+'''
+
+
+class TestDriver:
+    def test_lint_paths_over_directory(self, tmp_path):
+        (tmp_path / "buggy.py").write_text(BUGGY)
+        (tmp_path / "clean.py").write_text(CLEAN)
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "also_clean.py").write_text(CLEAN)
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text(BUGGY)
+
+        report = lint_paths([tmp_path])
+        assert len(report.files) == 3          # __pycache__ skipped
+        assert report.summary()["warnings"] >= 1
+        assert report.fails("warning")
+        assert not report.fails("error")
+        assert not report.fails("never")
+
+    def test_exclude_patterns(self, tmp_path):
+        (tmp_path / "buggy.py").write_text(BUGGY)
+        report = lint_paths(
+            [tmp_path], LintConfig(exclude=("*buggy*",))
+        )
+        assert not report.files
+
+    def test_json_round_trips(self, tmp_path):
+        (tmp_path / "buggy.py").write_text(BUGGY)
+        report = lint_paths([tmp_path])
+        data = json.loads(report.to_json())
+        assert data["version"] == 1
+        assert data["summary"]["files"] == 1
+        diags = data["files"][0]["diagnostics"]
+        assert diags and diags[0]["check"]
+        assert diags[0]["line"] > 0
+
+    def test_missing_path_is_a_finding(self, tmp_path):
+        # A typo'd path must not produce a silently empty, passing run.
+        report = lint_paths([tmp_path / "no_such_dir"])
+        assert [f.check for f in report.findings] == ["io-error"]
+        assert report.fails("error")
+
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = lint_paths([tmp_path])
+        assert [f.check for f in report.findings] == ["parse-error"]
+        assert report.fails("error")
+
+    def test_render_text_has_summary_line(self, tmp_path):
+        (tmp_path / "buggy.py").write_text(BUGGY)
+        text = lint_paths([tmp_path]).render_text()
+        assert "warning(s)" in text
+        assert "function(s) checked" in text
+
+    def test_functions_without_containers_are_skipped(self):
+        report = lint_source('''
+def pure(x, y):
+    return x + y
+''')
+        assert report.functions_checked == 0
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        buggy = tmp_path / "buggy.py"
+        buggy.write_text(BUGGY)
+        clean = tmp_path / "clean.py"
+        clean.write_text(CLEAN)
+
+        assert main([str(clean)]) == 0
+        assert main([str(buggy)]) == 1
+        assert main([str(buggy), "--fail-on", "error"]) == 0
+        assert main([str(buggy), "--fail-on", "never"]) == 0
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_json_output(self, tmp_path, capsys):
+        buggy = tmp_path / "buggy.py"
+        buggy.write_text(BUGGY)
+        main([str(buggy), "--format", "json"])
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["summary"]["warnings"] >= 1
+
+    def test_list_checks(self, capsys):
+        assert main(["--list-checks"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "singular-deref" in out
+        assert "concept-conformance" in out

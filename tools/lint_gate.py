@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI gate: self-host ConceptLint over ``examples/`` and demand *exact*
+findings.
+
+``examples/lint_demo.py`` deliberately plants one bug of each class the
+linter exists to catch (Fig. 4 loop invalidation, an interprocedural
+variant, a ``@where`` violation, and one suppressed past-the-end read);
+every other example must lint clean.  Any drift — a lost warning, a new
+false positive, a suppression that stops working — fails the build.
+
+Run:  python tools/lint_gate.py          (from the repo root)
+"""
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.lint import LintConfig, lint_paths  # noqa: E402
+
+#: The complete set of (file, function, check) findings the example
+#: directory must produce — no more, no less.
+EXPECTED = {
+    ("lint_demo.py", "extract_fails", "singular-advance"),
+    ("lint_demo.py", "extract_fails", "singular-deref"),
+    ("lint_demo.py", "drop_front_twice", "singular-deref"),
+    ("lint_demo.py", "misuse_graph_algorithm", "concept-conformance"),
+}
+
+EXPECTED_SUPPRESSED = 1
+
+
+def main() -> int:
+    report = lint_paths([REPO / "examples"], LintConfig())
+    actual = {
+        (f.path.split("/")[-1], f.function, f.check)
+        for f in report.findings
+    }
+
+    ok = True
+    missing = EXPECTED - actual
+    unexpected = actual - EXPECTED
+    if missing:
+        ok = False
+        print("lint gate: MISSING expected findings:")
+        for item in sorted(missing):
+            print(f"  {item}")
+    if unexpected:
+        ok = False
+        print("lint gate: UNEXPECTED findings (new bug or false positive):")
+        for item in sorted(unexpected):
+            print(f"  {item}")
+
+    suppressed = report.summary()["suppressed"]
+    if suppressed != EXPECTED_SUPPRESSED:
+        ok = False
+        print(
+            f"lint gate: expected {EXPECTED_SUPPRESSED} suppressed "
+            f"finding(s), got {suppressed}"
+        )
+
+    print(report.render_text())
+    if ok:
+        print("lint gate: OK — examples produce exactly the expected "
+              "findings")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
