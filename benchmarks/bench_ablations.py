@@ -51,7 +51,7 @@ def test_nominal_check_cost(benchmark):
     reg.declare(Fooable, _Model)
 
     def run():
-        reg._cache.clear()
+        reg.invalidate()   # public uncached-path switch (bumps generation)
         return reg.check(Fooable, _Model).ok
 
     assert benchmark(run)

@@ -1,0 +1,193 @@
+"""Experiment T-dispatch-cache: the repro.runtime fast path.
+
+Steady-state concept dispatch must be an O(1) table hit, not a re-walk of
+every overload's requirements.  This bench measures the same resolution
+three ways:
+
+- **cached**: warm ``DispatchTable``, one dict probe per call;
+- **uncached**: ``registry.invalidate()`` before every resolve — generation
+  bump forces a table rebuild plus full structural concept checks (what
+  every call would cost without the runtime layer);
+- **call fast path**: end-to-end ``f(x)`` through ``GenericFunction.__call__``.
+
+Shape asserted: cached resolution is at least ``MIN_SPEEDUP``x faster than
+uncached, and registry mutations still change dispatch outcomes (the cache
+is never stale).
+
+Standalone mode (used by the CI bench-smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch_cache.py --quick
+
+prints the table, writes ``benchmarks/out/dispatch_cache_stats.json``
+(timings + a ``repro.runtime.stats()`` snapshot), and exits nonzero if the
+speedup floor is missed.
+"""
+
+import json
+import pathlib
+import timeit
+
+MIN_SPEEDUP = 5.0
+OUT_JSON = pathlib.Path(__file__).parent / "out" / "dispatch_cache_stats.json"
+
+
+def _measure(iterations: int, repeat: int = 5) -> dict:
+    """Time cached vs uncached resolution of ``sort`` on ``Vector`` plus the
+    end-to-end call fast path of a trivial generic function."""
+    from repro import runtime
+    from repro.concepts import Concept, GenericFunction, ModelRegistry
+    from repro.sequences import Vector
+    from repro.sequences.algorithms import sort
+
+    key = (Vector,)
+    reg = sort.registry
+    sort.resolve(key)  # warm the table
+
+    t_cached = min(
+        timeit.repeat(lambda: sort.resolve(key), number=iterations,
+                      repeat=repeat)
+    ) / iterations
+
+    cold_iters = max(10, iterations // 100)
+
+    def cold():
+        reg.invalidate()
+        sort.resolve(key)
+
+    t_uncached = min(
+        timeit.repeat(cold, number=cold_iters, repeat=repeat)
+    ) / cold_iters
+    sort.resolve(key)  # leave the table warm for whoever runs next
+
+    # End-to-end call overhead with a trivial body, on a private registry.
+    local = ModelRegistry(label="bench-dispatch")
+    Base = Concept("BenchBase")
+    f = GenericFunction("bench_probe", registry=local)
+
+    @f.overload(requires=[(Base, 0)])
+    def _impl(x):
+        return x
+
+    f(1)  # warm
+    t_call = min(
+        timeit.repeat(lambda: f(1), number=iterations, repeat=repeat)
+    ) / iterations
+
+    speedup = t_uncached / t_cached
+    return {
+        "iterations": iterations,
+        "cached_resolve_us": t_cached * 1e6,
+        "uncached_resolve_us": t_uncached * 1e6,
+        "call_fast_path_us": t_call * 1e6,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "ok": speedup >= MIN_SPEEDUP,
+        "stats": runtime.stats(),
+    }
+
+
+def _render(m: dict) -> str:
+    return "\n".join([
+        f"{'path':<28s} {'per-op':>12s}",
+        f"{'cached resolve (table hit)':<28s} {m['cached_resolve_us']:>10.3f}us",
+        f"{'uncached (invalidate each)':<28s} {m['uncached_resolve_us']:>10.3f}us",
+        f"{'call fast path f(x)':<28s} {m['call_fast_path_us']:>10.3f}us",
+        f"speedup: {m['speedup']:.1f}x (floor {m['min_speedup']:.0f}x)",
+    ])
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+
+def test_cached_resolution_speedup(benchmark, record):
+    m = _measure(iterations=2_000)
+    record("dispatch_cache", _render(m))
+    assert m["speedup"] >= MIN_SPEEDUP, (
+        f"cached dispatch only {m['speedup']:.1f}x faster than uncached; "
+        f"floor is {MIN_SPEEDUP}x"
+    )
+    from repro.sequences import Vector
+    from repro.sequences.algorithms import sort
+
+    benchmark(lambda: sort.resolve((Vector,)))
+
+
+def test_call_fast_path(benchmark):
+    """Steady-state __call__ through the warm table."""
+    from repro.sequences import Vector
+    from repro.sequences.algorithms import sort
+
+    v = Vector([3, 1, 2])
+    sort(v)  # warm
+
+    def run():
+        w = Vector([5, 4, 6, 1])
+        sort(w)
+        return w
+
+    w = benchmark(run)
+    assert w.to_list() == [1, 4, 5, 6]
+
+
+def test_mutation_never_serves_stale_entries(benchmark):
+    """The cache-coherence half of the contract: a registry mutation between
+    calls must change the dispatch outcome, warm table or not."""
+    from repro.concepts import Concept, GenericFunction, ModelRegistry
+
+    reg = ModelRegistry(label="bench-staleness")
+    Base = Concept("BenchStaleBase")
+    Special = Concept("BenchStaleSpecial", refines=[Base], nominal=True)
+    f = GenericFunction("bench_stale", registry=reg)
+
+    @f.overload(requires=[(Base, 0)])
+    def generic(x):
+        return "generic"
+
+    @f.overload(requires=[(Special, 0)])
+    def special(x):
+        return "special"
+
+    class Probe:
+        pass
+
+    def cycle():
+        assert f(Probe()) == "generic"
+        reg.register(Special, Probe)
+        assert f(Probe()) == "special"
+        reg.unregister(Special, Probe)
+        assert f(Probe()) == "generic"
+
+    benchmark(cycle)
+
+
+# ---------------------------------------------------------------------------
+# standalone mode (CI bench-smoke job)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations (CI smoke mode)")
+    parser.add_argument("--json", type=pathlib.Path, default=OUT_JSON,
+                        help=f"stats JSON output path (default {OUT_JSON})")
+    args = parser.parse_args(argv)
+
+    m = _measure(iterations=500 if args.quick else 5_000)
+    print(_render(m))
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(m, indent=2, default=str) + "\n")
+    print(f"stats written to {args.json}")
+    if not m["ok"]:
+        print(f"FAIL: speedup {m['speedup']:.1f}x below floor "
+              f"{MIN_SPEEDUP:.0f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -107,3 +107,45 @@ def test_dispatch_overhead_is_cached(benchmark):
         return sort.resolve((Vector,))
 
     assert benchmark(resolve) is not None
+
+
+# ---------------------------------------------------------------------------
+# standalone mode (CI bench-smoke job)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+    import timeit
+
+    parser = argparse.ArgumentParser(
+        description="overload-sort dispatch smoke check")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations (CI smoke mode)")
+    args = parser.parse_args(argv)
+
+    choices = {cls.__name__: sort.resolve((cls,)).name
+               for cls in (Vector, Deque, DList)}
+    for name, chosen in choices.items():
+        print(f"{name:16s} -> {chosen}")
+    ok = ("quicksort" in choices["Vector"]
+          and "quicksort" in choices["Deque"]
+          and "merge sort" in choices["DList"])
+
+    iters = 500 if args.quick else 5_000
+    t = min(timeit.repeat(lambda: sort.resolve((Vector,)),
+                          number=iters, repeat=5)) / iters
+    print(f"cached resolve: {t * 1e6:.3f}us/op")
+
+    data = _data(1_000)
+    v = Vector(data)
+    sort(v)
+    ok = ok and v.to_list() == sorted(data)
+    if not ok:
+        print("FAIL: dispatch choices or sorted output wrong")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from .modeling import (
     ModelRegistry,
     OperationRegistry,
     OpsNamespace,
+    RegistrySnapshot,
     check_concept,
     declare_model,
     models,
@@ -133,6 +134,7 @@ __all__ = [
     "operator",
     "ops_for",
     "OpsNamespace",
+    "RegistrySnapshot",
     "propagate",
     "require",
     "substitute",

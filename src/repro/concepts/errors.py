@@ -13,7 +13,7 @@ the paper asks for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 
 class ConceptError(Exception):
@@ -87,23 +87,50 @@ class AmbiguousOverloadError(ConceptError):
 
 
 class NoMatchingOverloadError(ConceptError):
-    """No registered implementation's concept requirements are satisfied."""
+    """No registered implementation's concept requirements are satisfied.
+
+    The per-overload explanation (one "tried: ..." line per overload, each
+    requiring fresh conformance checks to render) is built **lazily**, at
+    ``__str__`` time: a caller that catches the error only to fall back to
+    another dispatch path never pays for diagnostics nobody reads.  Pass
+    either ``attempts`` (pre-rendered strings) or ``attempts_factory`` (a
+    zero-argument callable producing them on demand).
+    """
 
     def __init__(
         self,
         function_name: str,
         arg_types: Sequence[type],
-        attempts: Sequence[str],
+        attempts: Optional[Sequence[str]] = None,
+        attempts_factory: Optional[Callable[[], Sequence[str]]] = None,
     ) -> None:
         self.function_name = function_name
         self.arg_types = tuple(arg_types)
-        self.attempts = tuple(attempts)
+        self._attempts = None if attempts is None else tuple(attempts)
+        self._attempts_factory = attempts_factory
+        names = ", ".join(t.__name__ for t in self.arg_types)
+        super().__init__(
+            f"no implementation of '{function_name}' accepts argument "
+            f"types ({names})"
+        )
+
+    @property
+    def attempts(self) -> tuple[str, ...]:
+        if self._attempts is None:
+            factory = self._attempts_factory
+            self._attempts = (
+                tuple(factory()) if factory is not None else ()
+            )
+        return self._attempts
+
+    def __str__(self) -> str:
         names = ", ".join(t.__name__ for t in self.arg_types)
         lines = [
-            f"no implementation of '{function_name}' accepts argument types ({names})"
+            f"no implementation of '{self.function_name}' accepts "
+            f"argument types ({names})"
         ]
-        lines.extend("  tried: " + a for a in attempts)
-        super().__init__("\n".join(lines))
+        lines.extend("  tried: " + a for a in self.attempts)
+        return "\n".join(lines)
 
 
 class ArchetypeViolation(ConceptError):

@@ -20,9 +20,13 @@ lookup for free functions such as ``source(e)`` and ``out_edges(v, g)``.
 from __future__ import annotations
 
 import itertools
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+from time import perf_counter
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
+from ..runtime import metrics as runtime_metrics
 from .concept import Concept
 from .errors import (
     CheckReport,
@@ -116,16 +120,81 @@ class ConceptMap:
             )
 
 
-class ModelRegistry:
-    """Stores concept maps and answers (cached) modeling queries."""
+class RegistrySnapshot:
+    """An immutable copy of a registry's declarations, produced by
+    :meth:`ModelRegistry.snapshot` and consumed by
+    :meth:`ModelRegistry.restore` / :meth:`ModelRegistry.scoped`."""
 
-    def __init__(self, ops: Optional[OperationRegistry] = None) -> None:
+    __slots__ = ("_maps", "generation")
+
+    def __init__(
+        self,
+        maps: Mapping[tuple[Concept, tuple[type, ...]], ConceptMap],
+        generation: int,
+    ) -> None:
+        self._maps = dict(maps)
+        self.generation = generation
+
+    def __len__(self) -> int:
+        return len(self._maps)
+
+
+class ModelRegistry:
+    """Stores concept maps and answers (cached) modeling queries.
+
+    Mutation surface: :meth:`register` / :meth:`unregister` /
+    :meth:`snapshot` / :meth:`restore` / :meth:`scoped` / :meth:`invalidate`.
+    Every mutation bumps a monotonic **generation counter**; memoized
+    verdicts are keyed on ``(generation, concept, types)``, so a bump makes
+    every previously cached verdict unreachable — downstream caches
+    (``@where`` signature caches, :class:`GenericFunction` dispatch tables)
+    compare generations and rebuild instead of serving stale results.
+    """
+
+    def __init__(
+        self,
+        ops: Optional[OperationRegistry] = None,
+        label: Optional[str] = None,
+    ) -> None:
         self.ops = ops if ops is not None else operations
+        self.label = label if label is not None else f"registry@{id(self):#x}"
         # Keyed by the Concept object itself (NOT id(concept)): holding a
         # strong reference prevents id-reuse aliasing after a concept from
         # another scope is garbage collected.
         self._maps: dict[tuple[Concept, tuple[type, ...]], ConceptMap] = {}
-        self._cache: dict[tuple[Concept, tuple[type, ...]], CheckReport] = {}
+        # (generation, concept, types) -> report.  Mutations bump
+        # _generation and clear the dict; the generation in the key means a
+        # check that was in flight during a mutation can only deposit its
+        # (possibly stale) verdict under the OLD generation, where no
+        # post-mutation reader will ever look.
+        self._cache: dict[
+            tuple[int, Concept, tuple[type, ...]], CheckReport
+        ] = {}
+        self._generation = 0
+        self._mutex = threading.Lock()
+        self.stats = runtime_metrics.RegistryStats()
+        runtime_metrics.track_registry(self)
+
+    # -- generations ---------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter, bumped by every mutation.  Caches keyed on a
+        generation are implicitly invalidated by a bump."""
+        return self._generation
+
+    def _bump(self) -> None:
+        """Invalidate all memoized verdicts (callers hold no locks)."""
+        with self._mutex:
+            self._generation += 1
+        self._cache.clear()
+        self.stats.invalidations += 1
+
+    def invalidate(self) -> None:
+        """Publicly drop every memoized verdict — the supported replacement
+        for reaching into ``_cache`` (used by benchmarks to measure the
+        uncached path)."""
+        self._bump()
 
     # -- declarations --------------------------------------------------------
 
@@ -154,14 +223,66 @@ class ModelRegistry:
             sampler,
         )
         self._maps[(concept, tys)] = cmap
-        self._cache.clear()
+        self._bump()
         if check:
             report = self.check(concept, tys)
             if not report.ok:
                 del self._maps[(concept, tys)]
-                self._cache.clear()
+                self._bump()
                 report.raise_if_failed(context=f"concept_map declaration")
         return cmap
+
+    def register(
+        self,
+        concept: Concept,
+        types: Sequence[type] | type,
+        **kwargs: Any,
+    ) -> ConceptMap:
+        """Declare that ``types`` model ``concept`` (the coherent mutation
+        surface; alias of :meth:`declare`)."""
+        return self.declare(concept, types, **kwargs)
+
+    def unregister(
+        self, concept: Concept, types: Sequence[type] | type
+    ) -> bool:
+        """Remove a previously declared concept map.  Returns True if a map
+        was removed.  Bumps the generation, so every memoized verdict (and
+        every downstream dispatch table) is invalidated."""
+        tys = (types,) if isinstance(types, type) else tuple(types)
+        removed = self._maps.pop((concept, tys), None)
+        if removed is None:
+            return False
+        self._bump()
+        return True
+
+    def snapshot(self) -> RegistrySnapshot:
+        """An immutable copy of the current declarations."""
+        return RegistrySnapshot(self._maps, self._generation)
+
+    def restore(self, snapshot: RegistrySnapshot) -> None:
+        """Reset the declarations to ``snapshot`` (generation still moves
+        *forward*: restoring is a mutation, not time travel — any verdict
+        cached since the snapshot must die)."""
+        self._maps = dict(snapshot._maps)
+        self._bump()
+
+    @contextmanager
+    def scoped(self) -> Iterator["ModelRegistry"]:
+        """Context manager for temporary models::
+
+            with models.scoped():
+                models.register(Monoid, SaturatingInt, ...)
+                ...   # dispatch sees the model
+            # on exit the declaration (and every cached verdict) is gone
+
+        Replaces the ad-hoc save/clobber/restore of ``_maps`` found in older
+        tests and benchmarks.
+        """
+        snap = self.snapshot()
+        try:
+            yield self
+        finally:
+            self.restore(snap)
 
     def concept_map_for(
         self, concept: Concept, types: tuple[type, ...]
@@ -196,12 +317,27 @@ class ModelRegistry:
     def check(
         self, concept: Concept, types: Sequence[type] | type
     ) -> CheckReport:
-        """Structural + nominal conformance check; cached."""
+        """Structural + nominal conformance check; memoized per generation
+        (the steady-state cost is one dict lookup)."""
         tys = (types,) if isinstance(types, type) else tuple(types)
-        key = (concept, tys)
+        key = (self._generation, concept, tys)
         cached = self._cache.get(key)
         if cached is not None:
+            self.stats.hits += 1
             return cached
+        self.stats.misses += 1
+        t0 = perf_counter()
+        try:
+            return self._check_uncached(key, concept, tys)
+        finally:
+            self.stats.check_time_s += perf_counter() - t0
+
+    def _check_uncached(
+        self,
+        key: tuple[int, Concept, tuple[type, ...]],
+        concept: Concept,
+        tys: tuple[type, ...],
+    ) -> CheckReport:
         if len(tys) != concept.arity:
             report = CheckReport(concept.name, tys)
             report.failures.append(
@@ -434,7 +570,7 @@ class CheckContext(CheckContextProtocol):
 
 
 #: Default process-wide model registry.
-models = ModelRegistry()
+models = ModelRegistry(label="default")
 
 
 def declare_model(

@@ -21,11 +21,12 @@ high-level diagnostics the paper calls for.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from ..runtime import metrics as runtime_metrics
+from ..runtime.dispatch import DispatchTable
 from .concept import Concept
-from .errors import AmbiguousOverloadError, NoMatchingOverloadError
 from .modeling import ModelRegistry, models as default_registry
 
 RequirementSpec = tuple[Concept, tuple[int, ...]]
@@ -49,6 +50,8 @@ class Overload:
     impl: Callable
     requires: tuple[RequirementSpec, ...]
     name: str
+    #: Times this overload was chosen by dispatch (runtime metrics).
+    calls: int = field(default=0, compare=False, repr=False)
 
     def matches(self, arg_types: Sequence[type], registry: ModelRegistry) -> bool:
         return all(
@@ -101,6 +104,13 @@ class GenericFunction:
     ``IndexedAccessSequence`` refining ``LinearAccessSequence`` makes the
     second overload strictly more specific, so arrays get quicksort and
     linked lists the default — with no change at any call site.
+
+    Dispatch runs through a lazily compiled
+    :class:`repro.runtime.dispatch.DispatchTable`: the specificity relation
+    between overloads is flattened once per (overload set, registry
+    generation), after which a call is a single dict hit on the argument
+    type tuple.  Registering an overload or mutating the registry discards
+    the table; the next call recompiles it.
     """
 
     def __init__(
@@ -109,9 +119,15 @@ class GenericFunction:
         self.name = name
         self.registry = registry if registry is not None else default_registry
         self.overloads: list[Overload] = []
-        self._dispatch_cache: dict[tuple[type, ...], Overload] = {}
+        self._table: Optional[DispatchTable] = None
+        # Counters folded in from retired tables, so stats survive rebuilds.
+        self._hits = 0
+        self._misses = 0
+        self._rebuilds = 0
+        self._check_time_s = 0.0
         functools.update_wrapper(self, self.__call__, updated=())
         self.__name__ = name
+        runtime_metrics.track_generic_function(self)
 
     def overload(
         self,
@@ -124,55 +140,85 @@ class GenericFunction:
             self.overloads.append(
                 Overload(impl, _normalize_requires(requires), name or impl.__name__)
             )
-            self._dispatch_cache.clear()
+            self._retire_table()
             return impl
 
         return deco
 
+    # -- the decision table ---------------------------------------------------
+
+    def _retire_table(self) -> None:
+        table = self._table
+        if table is not None:
+            self._hits += table.hits
+            self._misses += table.misses
+            self._check_time_s += table.check_time_s
+            self._table = None
+
+    def _current_table(self) -> DispatchTable:
+        table = self._table
+        gen = self.registry._generation
+        if table is None or table.generation != gen:
+            self._retire_table()
+            table = DispatchTable(
+                self.name, tuple(self.overloads), self.registry, gen
+            )
+            self._table = table
+            self._rebuilds += 1
+        return table
+
     def resolve(self, arg_types: Sequence[type]) -> Overload:
         """Resolve the overload for the given argument types (public so the
         benchmarks can measure dispatch in isolation)."""
-        key = tuple(arg_types)
-        cached = self._dispatch_cache.get(key)
-        if cached is not None:
-            return cached
-        candidates = [o for o in self.overloads if o.matches(arg_types, self.registry)]
-        if not candidates:
-            raise NoMatchingOverloadError(
-                self.name,
-                arg_types,
-                [o.why_not(arg_types, self.registry) for o in self.overloads],
-            )
-        best = [
-            c
-            for c in candidates
-            if all(
-                c.at_least_as_specific_as(o)
-                for o in candidates
-            )
-        ]
-        if len(best) != 1:
-            # Maximal elements only (unordered pairs).
-            maximal = [
-                c
-                for c in candidates
-                if not any(
-                    o is not c
-                    and o.at_least_as_specific_as(c)
-                    and not c.at_least_as_specific_as(o)
-                    for o in candidates
-                )
-            ]
-            if len(maximal) == 1:
-                best = maximal
-            else:
-                raise AmbiguousOverloadError(self.name, [m.name for m in maximal])
-        self._dispatch_cache[key] = best[0]
-        return best[0]
+        return self._current_table().resolve(tuple(arg_types))
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
-        chosen = self.resolve(tuple(type(a) for a in args))
+        # Fast path, inlined: current-generation table, known type tuple.
+        key = tuple(map(type, args))
+        table = self._table
+        if table is None or table.generation != self.registry._generation:
+            table = self._current_table()
+        chosen = table.entries.get(key)
+        if chosen is not None:
+            table.hits += 1
+        else:
+            chosen = table.resolve_slow(key)
+        chosen.calls += 1
         return chosen.impl(*args, **kwargs)
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Runtime metrics: table hits/misses, rebuilds, per-overload
+        dispatch counts, time spent in uncached resolution."""
+        table = self._table
+        live_hits = table.hits if table is not None else 0
+        live_misses = table.misses if table is not None else 0
+        live_check = table.check_time_s if table is not None else 0.0
+        return {
+            "name": self.name,
+            "overloads": len(self.overloads),
+            "table_size": len(table.entries) if table is not None else 0,
+            "table_generation": table.generation if table is not None else None,
+            "hits": self._hits + live_hits,
+            "misses": self._misses + live_misses,
+            "rebuilds": self._rebuilds,
+            "check_time_s": self._check_time_s + live_check,
+            "overload_calls": {o.name: o.calls for o in self.overloads},
+        }
+
+    def reset_stats(self) -> None:
+        self._hits = 0
+        self._misses = 0
+        self._rebuilds = 0
+        self._check_time_s = 0.0
+        table = self._table
+        if table is not None:
+            table.hits = 0
+            table.misses = 0
+            table.check_time_s = 0.0
+        for o in self.overloads:
+            o.calls = 0
 
     def dispatch_table(self) -> list[str]:
         """Human-readable list of overloads with their requirements."""

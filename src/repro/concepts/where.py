@@ -3,60 +3,110 @@
 Section 2.1 surveys constraint mechanisms — CLU/Theta/Ada where clauses,
 Haskell type classes, ML signatures — and asks for one that (a) groups
 requirements into reusable concepts and (b) reports violations at the call
-boundary.  :func:`where` is that mechanism for Python functions::
+boundary.  :func:`where` is that mechanism for Python functions, and it is
+**one unified API** for single- and multi-type constraints::
 
     @where(g=IncidenceGraph, weight=ReadablePropertyMap)
     def dijkstra(g, start, weight): ...
 
-Every call checks the named arguments' types against their concepts
-(cached, so the steady-state cost is a dict lookup) and raises
-:class:`ConceptCheckError` naming the function, the argument, and the
-unsatisfied requirement — never a mid-algorithm AttributeError.
-
-Multi-type constraints take a tuple of parameter names::
-
-    @where(VectorSpace=("v", "s"))          # keyword = concept-name binding
+    @where((VectorSpace, ("v", "s")))          # multi-type: positional tuple
     def axpy(v, s, w): ...
 
-is spelled with :func:`where_multi` to keep concepts first-class values:
+    @where((VectorSpace, ("v", "s")), cmp=StrictWeakOrder)   # mixed
+    def f(v, s, cmp): ...
 
-    @where_multi((VectorSpace, ("v", "s")))
-    def axpy(v, s, w): ...
+Every call checks the named arguments' types against their concepts and
+raises :class:`ConceptCheckError` naming the function, the argument, and the
+unsatisfied requirement — never a mid-algorithm AttributeError.  Verdicts
+are memoized per argument-type tuple **keyed on the registry generation**:
+the steady-state cost is a set lookup, and a ``register``/``unregister`` on
+the registry invalidates the site's cache instead of silently serving stale
+verdicts.  Per-site hit/miss counters feed :func:`repro.runtime.stats`.
+
+:func:`where_multi` remains as a deprecated alias of the positional-tuple
+form.
 """
 
 from __future__ import annotations
 
 import functools
 import inspect
-from typing import Any, Callable, Optional, Sequence
+import warnings
+from typing import Any, Callable, Optional, Sequence, Union
 
+from ..runtime import metrics as runtime_metrics
 from .concept import Concept
 from .errors import ConceptCheckError
 from .modeling import ModelRegistry, models as default_registry
 
+ConstraintSpec = Union[
+    tuple[Concept, Sequence[str]],
+    tuple[Concept, str],
+    "ModelRegistry",
+]
+
+
+def _normalize_constraints(
+    positional: Sequence[Any],
+    named: dict[str, Concept],
+) -> tuple[Optional[ModelRegistry], list[tuple[Concept, tuple[str, ...]]]]:
+    """Split ``where``'s positional arguments into an optional registry
+    (legacy first-positional form) and (concept, params) constraint specs."""
+    registry: Optional[ModelRegistry] = None
+    specs: list[tuple[Concept, tuple[str, ...]]] = []
+    rest = list(positional)
+    if rest and isinstance(rest[0], ModelRegistry):
+        registry = rest.pop(0)
+    for item in rest:
+        if not (isinstance(item, tuple) and len(item) == 2):
+            raise TypeError(
+                "positional @where constraints must be "
+                "(Concept, parameter-names) tuples; got "
+                f"{item!r}"
+            )
+        concept, params = item
+        if not isinstance(concept, Concept):
+            raise TypeError(
+                f"@where constraint {item!r}: first element must be a "
+                f"Concept"
+            )
+        if isinstance(params, str):
+            params = (params,)
+        specs.append((concept, tuple(params)))
+    for param, concept in named.items():
+        specs.append((concept, (param,)))
+    return registry, specs
+
 
 def where(
-    _registry: Optional[ModelRegistry] = None,
-    **constraints: Concept,
-) -> Callable[[Callable], Callable]:
-    """Attach single-type concept constraints to named parameters."""
-    return where_multi(
-        *((concept, (param,)) for param, concept in constraints.items()),
-        registry=_registry,
-    )
-
-
-def where_multi(
-    *constraints: tuple[Concept, Sequence[str]],
+    *constraints: Any,
     registry: Optional[ModelRegistry] = None,
+    **named: Concept,
 ) -> Callable[[Callable], Callable]:
-    """Attach constraints, each binding a concept to one or more parameter
-    names (multi-type concepts bind several)."""
-    reg = registry if registry is not None else default_registry
+    """Attach concept constraints to named parameters.
+
+    Accepts, in one decorator:
+
+    - ``param=Concept`` keyword constraints (single-type concepts);
+    - positional ``(Concept, ("a", "b"))`` tuples (multi-type concepts —
+      the old ``where_multi`` spelling);
+    - an optional leading :class:`ModelRegistry` positional argument or
+      ``registry=`` keyword to check against a non-default registry.
+
+    Constraint order is positional tuples first, then keywords, in the
+    order written.
+    """
+    pos_registry, specs = _normalize_constraints(constraints, named)
+    if pos_registry is not None and registry is not None:
+        raise TypeError(
+            "@where received two registries (positional and keyword)"
+        )
+    reg = pos_registry if pos_registry is not None else registry
+    reg = reg if reg is not None else default_registry
 
     def deco(fn: Callable) -> Callable:
         sig = inspect.signature(fn)
-        for concept, params in constraints:
+        for concept, params in specs:
             for p in params:
                 if p not in sig.parameters:
                     raise TypeError(
@@ -68,16 +118,31 @@ def where_multi(
                     f"@where on {fn.__name__}: {concept.name} constrains "
                     f"{concept.arity} type(s), got {len(params)} parameter(s)"
                 )
-        checked_ok: set[tuple[int, tuple[type, ...]]] = set()
+        site = runtime_metrics.WhereSiteStats(
+            getattr(fn, "__qualname__", fn.__name__)
+        )
+        checked_ok: set[tuple[Concept, tuple[type, ...]]] = set()
+        # Generation the cache was built against; a registry mutation bumps
+        # the generation and the first call after it drops every memoized
+        # verdict instead of serving stale ones.
+        cache_gen = [-1]
 
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
+            gen = reg._generation
+            if gen != cache_gen[0]:
+                if checked_ok:
+                    site.invalidations += 1
+                checked_ok.clear()
+                cache_gen[0] = gen
             bound = sig.bind(*args, **kwargs)
-            for concept, params in constraints:
+            for concept, params in specs:
                 types = tuple(type(bound.arguments[p]) for p in params)
                 key = (concept, types)
                 if key in checked_ok:
+                    site.hits += 1
                     continue
+                site.misses += 1
                 report = reg.check(concept, types)
                 if not report.ok:
                     raise ConceptCheckError(
@@ -90,10 +155,27 @@ def where_multi(
                 checked_ok.add(key)
             return fn(*args, **kwargs)
 
-        wrapper.__concept_constraints__ = tuple(constraints)  # type: ignore[attr-defined]
+        wrapper.__concept_constraints__ = tuple(specs)  # type: ignore[attr-defined]
+        wrapper.__where_stats__ = site  # type: ignore[attr-defined]
+        runtime_metrics.track_where_site(site)
         return wrapper
 
     return deco
+
+
+def where_multi(
+    *constraints: tuple[Concept, Sequence[str]],
+    registry: Optional[ModelRegistry] = None,
+) -> Callable[[Callable], Callable]:
+    """Deprecated alias: :func:`where` now accepts positional
+    ``(Concept, params)`` tuples directly."""
+    warnings.warn(
+        "where_multi() is deprecated; pass (Concept, params) tuples "
+        "directly to where()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return where(*constraints, registry=registry)
 
 
 def constraints_of(fn: Callable) -> tuple[tuple[Concept, tuple[str, ...]], ...]:

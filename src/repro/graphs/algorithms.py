@@ -1,9 +1,13 @@
 """Generic graph algorithms over the Fig. 1/Fig. 2 concepts.
 
-Each algorithm names its concept requirements in its docstring and asserts
-them on entry with :func:`repro.concepts.require` — the checkable `where`
-clause Section 2.1 asks for, reporting failures at the call boundary instead
-of deep inside the traversal.
+Each algorithm names its concept requirements in its docstring and declares
+them with the unified :func:`repro.concepts.where` decorator — the checkable
+`where` clause Section 2.1 asks for, reporting failures at the call boundary
+instead of deep inside the traversal.  The decorator memoizes verdicts per
+argument-type tuple keyed on the model-registry generation
+(:mod:`repro.runtime`), so the steady-state entry cost is a set lookup.
+Conditional requirements (e.g. full-graph DFS needing Vertex List Graph)
+stay as inline :func:`repro.concepts.require` calls.
 """
 
 from __future__ import annotations
@@ -12,9 +16,10 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Optional
 
-from ..concepts import require
+from ..concepts import require, where
 from .interfaces import (
     AdjacencyGraph,
+    EdgeListGraph,
     IncidenceGraph,
     VertexListGraph,
     source,
@@ -32,6 +37,7 @@ class NegativeWeightError(ValueError):
     runtime because it cannot be checked structurally.)"""
 
 
+@where(g=IncidenceGraph)
 def breadth_first_search(
     g: Any,
     start: Any,
@@ -43,7 +49,6 @@ def breadth_first_search(
     Returns the predecessor map of the BFS tree.
     O(V + E) with O(1) amortized queue operations.
     """
-    require(IncidenceGraph, type(g), context="breadth_first_search")
     pred = DictPropertyMap()
     seen = {start}
     q: deque = deque([start])
@@ -67,12 +72,12 @@ def breadth_first_search(
     return pred
 
 
+@where(g=IncidenceGraph)
 def breadth_first_distances(g: Any, start: Any) -> DictPropertyMap:
     """Unweighted shortest path lengths from ``start`` (BFS levels).
 
     where Graph : Incidence Graph.
     """
-    require(IncidenceGraph, type(g), context="breadth_first_distances")
     dist = DictPropertyMap()
     dist.put(start, 0)
     q: deque = deque([start])
@@ -90,6 +95,7 @@ def breadth_first_distances(g: Any, start: Any) -> DictPropertyMap:
     return dist
 
 
+@where(g=IncidenceGraph)
 def depth_first_search(
     g: Any,
     start: Optional[Any] = None,
@@ -101,7 +107,6 @@ def depth_first_search(
     where Graph : Incidence Graph [; Graph : Vertex List Graph].
     Returns the predecessor map of the DFS forest.
     """
-    require(IncidenceGraph, type(g), context="depth_first_search")
     pred = DictPropertyMap()
     color: dict[Any, str] = {}
 
@@ -147,6 +152,7 @@ def depth_first_search(
     return pred
 
 
+@where(g=IncidenceGraph)
 def dijkstra_shortest_paths(
     g: Any,
     start: Any,
@@ -159,7 +165,6 @@ def dijkstra_shortest_paths(
     edges (defaults to unit weights).  Precondition: weights >= 0.
     Returns (distance map, predecessor map).  O((V + E) log V).
     """
-    require(IncidenceGraph, type(g), context="dijkstra_shortest_paths")
     if weight is None:
         weight = ConstantPropertyMap(1)
     dist = DictPropertyMap()
@@ -201,14 +206,13 @@ class CycleError(ValueError):
     """topological_sort's precondition (acyclicity) was violated."""
 
 
+@where((IncidenceGraph, "g"), (VertexListGraph, "g"))
 def topological_sort(g: Any) -> list[Any]:
     """Kahn's algorithm.
 
     where Graph : Incidence Graph, Vertex List Graph.
     Precondition: g is a DAG (raises CycleError otherwise).
     """
-    require(IncidenceGraph, type(g), context="topological_sort")
-    require(VertexListGraph, type(g), context="topological_sort")
     indeg: dict[Any, int] = {v: 0 for v in g.vertices()}
     for u in g.vertices():
         rng = g.out_edges(u)
@@ -234,14 +238,13 @@ def topological_sort(g: Any) -> list[Any]:
     return order
 
 
+@where((AdjacencyGraph, "g"), (VertexListGraph, "g"))
 def connected_components(g: Any) -> DictPropertyMap:
     """Component labels for an *undirected* graph (or the weak components
     of a directed one if its adjacency is symmetric).
 
     where Graph : Adjacency Graph, Vertex List Graph.
     """
-    require(AdjacencyGraph, type(g), context="connected_components")
-    require(VertexListGraph, type(g), context="connected_components")
     comp = DictPropertyMap()
     label = 0
     for root in g.vertices():
@@ -259,13 +262,12 @@ def connected_components(g: Any) -> DictPropertyMap:
     return comp
 
 
+@where((IncidenceGraph, "g"), (VertexListGraph, "g"))
 def strongly_connected_components(g: Any) -> DictPropertyMap:
     """Tarjan's SCC algorithm (iterative).
 
     where Graph : Incidence Graph, Vertex List Graph.
     """
-    require(IncidenceGraph, type(g), context="strongly_connected_components")
-    require(VertexListGraph, type(g), context="strongly_connected_components")
     index: dict[Any, int] = {}
     low: dict[Any, int] = {}
     on_stack: set = set()
@@ -329,6 +331,7 @@ def reconstruct_path(pred: DictPropertyMap, start: Any, goal: Any) -> Optional[l
     return path
 
 
+@where((EdgeListGraph, "g"), (VertexListGraph, "g"))
 def bellman_ford_shortest_paths(
     g: Any,
     start: Any,
@@ -341,10 +344,6 @@ def bellman_ford_shortest_paths(
     naming a witness edge otherwise).  O(V·E) — the taxonomy's price for
     weakening Dijkstra's nonnegativity precondition.
     """
-    from .interfaces import EdgeListGraph as _ELG, VertexListGraph as _VLG
-
-    require(_ELG, type(g), context="bellman_ford_shortest_paths")
-    require(_VLG, type(g), context="bellman_ford_shortest_paths")
     if weight is None:
         weight = ConstantPropertyMap(1)
     dist = DictPropertyMap()

@@ -37,6 +37,7 @@ from .mtl import (
     DiagonalMatrixConcept,
     DiagonalMatrixMTL,
     matvec,
+    matvec_with_fallback,
 )
 from .mixed import (
     axpy_mixed,
@@ -53,7 +54,7 @@ from .vectors import CVector, FVector
 __all__ = [
     "FVector", "CVector", "Matrix", "ComplexMatrix", "SingularMatrixError",
     "DenseMatrixConcept", "BandedMatrixConcept", "DiagonalMatrixConcept",
-    "DenseMatrixMTL", "BandedMatrixMTL", "DiagonalMatrixMTL", "matvec",
+    "DenseMatrixMTL", "BandedMatrixMTL", "DiagonalMatrixMTL", "matvec", "matvec_with_fallback",
     "scale_mixed", "scale_promote", "matmul_mixed", "matmul_promote",
     "axpy_mixed", "axpy_promote", "flops_mixed", "flops_promote",
 ]

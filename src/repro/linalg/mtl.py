@@ -215,6 +215,24 @@ def _matvec_diagonal(m, x: FVector) -> FVector:
     return FVector.from_array(m.diagonal() * x.data)
 
 
+def matvec_with_fallback(m, x: FVector) -> FVector:
+    """Dispatch ``matvec`` by concept; fall back to a plain dense product
+    for matrix-likes that model none of the MTL concepts but expose
+    ``.data`` (e.g. ad-hoc test doubles).
+
+    The fallback path is why :class:`NoMatchingOverloadError` builds its
+    per-overload explanation lazily: catching the error here costs three
+    cheap table probes, not a re-walk of every overload's requirements to
+    render diagnostics nobody reads.
+    """
+    from ..concepts import NoMatchingOverloadError
+
+    try:
+        return matvec(m, x)
+    except NoMatchingOverloadError:
+        return FVector.from_array(np.asarray(m.data) @ x.data)
+
+
 def _declare() -> None:
     _models.declare(DenseMatrixConcept, DenseMatrixMTL)
     _models.declare(BandedMatrixConcept, BandedMatrixMTL)

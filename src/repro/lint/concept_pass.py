@@ -122,32 +122,35 @@ def _parse_where_decorator(
         return None
     where, where_multi = _where_functions()
     constraints: list[tuple[Any, tuple[str, ...]]] = []
-    if target is where:
-        if dec.args:          # a positional arg is a custom registry: skip
-            return None
+    if target is where or target is where_multi:
+        if any(kw.arg == "registry" for kw in dec.keywords):
+            return None   # custom registry: our default-registry check lies
+        for arg in dec.args:
+            # The unified @where takes positional (Concept, params) tuples;
+            # any other positional argument (a custom registry) makes the
+            # site unanalyzable against the default registry.
+            if not (isinstance(arg, ast.Tuple) and len(arg.elts) == 2):
+                return None
+            concept = imports.resolve(arg.elts[0])
+            names_node = arg.elts[1]
+            if concept is None:
+                continue
+            if isinstance(names_node, ast.Constant) and isinstance(
+                names_node.value, str
+            ):
+                constraints.append((concept, (names_node.value,)))
+            elif isinstance(names_node, (ast.Tuple, ast.List)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in names_node.elts
+            ):
+                names = tuple(e.value for e in names_node.elts)
+                constraints.append((concept, names))
         for kw in dec.keywords:
             if kw.arg is None:
                 return None   # **kwargs: not statically recoverable
             concept = imports.resolve(kw.value)
             if concept is not None:
                 constraints.append((concept, (kw.arg,)))
-        return constraints
-    if target is where_multi:
-        if any(kw.arg == "registry" for kw in dec.keywords):
-            return None
-        for arg in dec.args:
-            if not (isinstance(arg, ast.Tuple) and len(arg.elts) == 2):
-                continue
-            concept = imports.resolve(arg.elts[0])
-            names_node = arg.elts[1]
-            if concept is None:
-                continue
-            if isinstance(names_node, (ast.Tuple, ast.List)) and all(
-                isinstance(e, ast.Constant) and isinstance(e.value, str)
-                for e in names_node.elts
-            ):
-                names = tuple(e.value for e in names_node.elts)
-                constraints.append((concept, names))
         return constraints
     return None
 

@@ -1,5 +1,12 @@
 """Data-parallel algorithms composed from the ParallelArray collectives,
-with a sequential baseline for each (the bench compares shapes)."""
+with a sequential baseline for each (the bench compares shapes).
+
+Entry points are constrained with the unified :func:`repro.concepts.where`
+decorator against :data:`SizedIterable` — a generator (single-pass, no
+``len``) fails at the call boundary with a concept-level diagnostic instead
+of an opaque numpy error mid-collective.  The check is generation-cached
+(:mod:`repro.runtime`): its steady-state cost is a set lookup.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +14,28 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..concepts import Concept, Param, method, where
 from .machine import CostLog, Machine
 from .parray import ParallelArray, parray
 
+_S = Param("S")
 
+#: What every data-parallel entry point needs from its input: a finite,
+#: re-iterable collection (lists, ranges, numpy arrays all model this
+#: structurally; one-shot generators do not).
+SizedIterable = Concept(
+    "Sized Iterable",
+    params=("S",),
+    requirements=[
+        method("len(s)", "__len__", [_S]),
+        method("iter(s)", "__iter__", [_S]),
+    ],
+    doc="A finite, re-iterable collection — the minimal requirement of the "
+        "data-parallel collectives.",
+)
+
+
+@where(data=SizedIterable)
 def parallel_sum(data: Sequence[float], machine: Optional[Machine] = None) -> float:
     """Tree-sum: work n, span log n."""
     return parray(np.asarray(data, dtype=float), machine).reduce("+")
@@ -24,6 +49,7 @@ def sequential_sum(data: Sequence[float]) -> tuple[float, CostLog]:
     return float(arr.sum()), log
 
 
+@where(a=SizedIterable, b=SizedIterable)
 def parallel_dot(a: Sequence[float], b: Sequence[float],
                  machine: Optional[Machine] = None) -> float:
     """zip_with(*) then tree-reduce(+)."""
@@ -33,12 +59,14 @@ def parallel_dot(a: Sequence[float], b: Sequence[float],
     return pa.zip_with(pb, np.multiply, name="dot-mul").reduce("+")
 
 
+@where(data=SizedIterable)
 def prefix_sums(data: Sequence[float],
                 machine: Optional[Machine] = None) -> ParallelArray:
     """Inclusive prefix sums via parallel scan."""
     return parray(np.asarray(data, dtype=float), machine).scan("+")
 
 
+@where(data=SizedIterable)
 def parallel_normalize(data: Sequence[float],
                        machine: Optional[Machine] = None) -> ParallelArray:
     """map/reduce composition: x / sum(x)."""
@@ -50,6 +78,7 @@ def parallel_normalize(data: Sequence[float],
     return pa.map(lambda x: x / total, name="normalize")
 
 
+@where(data=SizedIterable)
 def jacobi_smooth(data: Sequence[float], iterations: int = 1,
                   machine: Optional[Machine] = None) -> ParallelArray:
     """Iterated 3-point smoothing stencil — the mesh/sensor-network
@@ -60,6 +89,7 @@ def jacobi_smooth(data: Sequence[float], iterations: int = 1,
     return pa
 
 
+@where(data=SizedIterable)
 def parallel_histogram(data: Sequence[int], buckets: int,
                        machine: Optional[Machine] = None) -> ParallelArray:
     """Map to bucket ids, then a segmented count (modeled as map + sort +

@@ -1,0 +1,163 @@
+"""Precompiled per-type-tuple decision tables for concept-based dispatch.
+
+The paper's bet is that concept checks can be pervasive because they are
+cheap; this module is where "cheap" is made true for
+:class:`~repro.concepts.overload.GenericFunction`.  A
+:class:`DispatchTable` is compiled lazily, once per (overload set, registry
+generation):
+
+- the pairwise specificity relation between overloads — the expensive
+  refinement-lattice walks — is flattened into a boolean matrix at compile
+  time, so slow-path resolution does O(k^2) bit tests instead of concept
+  graph traversals;
+- every successfully resolved argument-type tuple is entered into a plain
+  dict, so the steady-state cost of a dispatch is one dict hit;
+- the table records the registry generation it was compiled against and is
+  discarded wholesale when the registry mutates, so no stale verdict can
+  survive a ``register``/``unregister``.
+
+Exception classes are imported lazily inside the error paths: this module
+sits below :mod:`repro.concepts` and must not import it at module scope.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Optional, Sequence
+
+TypeKey = tuple
+
+
+class DispatchTable:
+    """One compiled decision table: a snapshot of an overload set resolved
+    against one registry generation."""
+
+    __slots__ = (
+        "name",
+        "overloads",
+        "registry",
+        "generation",
+        "entries",
+        "order",
+        "hits",
+        "misses",
+        "check_time_s",
+        "_at_least",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        overloads: Sequence[Any],
+        registry: Any,
+        generation: int,
+    ) -> None:
+        self.name = name
+        self.overloads = tuple(overloads)
+        self.registry = registry
+        self.generation = generation
+        #: type tuple -> chosen Overload; THE fast path.
+        self.entries: dict[TypeKey, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.check_time_s = 0.0
+        n = len(self.overloads)
+        # Pairwise specificity, resolved once: at_least[i][j] iff overload i
+        # is at least as specific as overload j.
+        al = [
+            [a.at_least_as_specific_as(b) for b in self.overloads]
+            for a in self.overloads
+        ]
+        self._at_least = al
+
+        # Flattened specificity ordering (most-specific-first linearization,
+        # stable w.r.t. registration order among unordered overloads).  The
+        # slow path walks candidates in this order, so the winning overload
+        # is typically found without scanning the whole candidate set.
+        def strictly_below(i: int) -> int:
+            return sum(
+                1 for j in range(n) if al[i][j] and not al[j][i]
+            )
+
+        self.order = tuple(sorted(range(n), key=lambda i: -strictly_below(i)))
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self, key: TypeKey) -> Any:
+        """O(1) dict hit in the steady state; falls back to
+        :meth:`resolve_slow` (which populates the table) on a miss."""
+        entry = self.entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        return self.resolve_slow(key)
+
+    def resolve_slow(self, key: TypeKey) -> Any:
+        """Full candidate matching + specificity selection; populates
+        ``entries`` so the next identical call is a dict hit."""
+        self.misses += 1
+        t0 = perf_counter()
+        reg = self.registry
+        ovs = self.overloads
+        candidates = [i for i in self.order if ovs[i].matches(key, reg)]
+        self.check_time_s += perf_counter() - t0
+        if not candidates:
+            from repro.concepts.errors import NoMatchingOverloadError
+
+            # Explanations are built lazily (at __str__ time): callers that
+            # catch the error for fallback dispatch never pay for them.
+            raise NoMatchingOverloadError(
+                self.name,
+                key,
+                attempts_factory=lambda: [
+                    o.why_not(key, reg) for o in ovs
+                ],
+            )
+        al = self._at_least
+        best = [i for i in candidates if all(al[i][j] for j in candidates)]
+        if len(best) != 1:
+            # Maximal elements only (unordered pairs).
+            maximal = [
+                i
+                for i in candidates
+                if not any(
+                    j != i and al[j][i] and not al[i][j] for j in candidates
+                )
+            ]
+            if len(maximal) == 1:
+                best = maximal
+            else:
+                from repro.concepts.errors import AmbiguousOverloadError
+
+                raise AmbiguousOverloadError(
+                    self.name, [ovs[i].name for i in maximal]
+                )
+        chosen = ovs[best[0]]
+        # Only memoize a verdict computed against the current generation: a
+        # concurrent registry mutation mid-resolution must not plant a stale
+        # entry in a table that will keep being consulted.
+        if self.generation == getattr(reg, "_generation", self.generation):
+            self.entries[key] = chosen
+        return chosen
+
+    def snapshot(self) -> dict:
+        return {
+            "generation": self.generation,
+            "entries": len(self.entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "check_time_s": self.check_time_s,
+        }
+
+
+def compile_table(
+    name: str,
+    overloads: Sequence[Any],
+    registry: Any,
+    generation: Optional[int] = None,
+) -> DispatchTable:
+    """Compile a decision table against the registry's current generation."""
+    gen = generation if generation is not None else getattr(
+        registry, "_generation", 0
+    )
+    return DispatchTable(name, overloads, registry, gen)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from ..concepts import GenericFunction, require
+from ..concepts import where
 from ..concepts.builtins import RandomAccessContainer
 from .function_objects import Less
 
@@ -39,19 +39,19 @@ def _sift_down(c: Any, start: int, end: int, less: Callable) -> None:
             return
 
 
+@where(c=RandomAccessContainer)
 def make_heap(c: Any, less: Callable = _default_less) -> None:
     """Heapify in place.  O(n) comparisons (bottom-up Floyd heapify).
     where C : Random Access Container."""
-    require(RandomAccessContainer, type(c), context="make_heap")
     n = c.size()
     for start in range(n // 2 - 1, -1, -1):
         _sift_down(c, start, n, less)
 
 
+@where(c=RandomAccessContainer)
 def is_heap(c: Any, less: Callable = _default_less) -> bool:
     """O(n) heap-property check (the property sort_heap's entry handler
     would verify)."""
-    require(RandomAccessContainer, type(c), context="is_heap")
     n = c.size()
     for i in range(1, n):
         if less(c.at((i - 1) // 2), c.at(i)):
@@ -59,10 +59,10 @@ def is_heap(c: Any, less: Callable = _default_less) -> bool:
     return True
 
 
+@where(c=RandomAccessContainer)
 def push_heap(c: Any, less: Callable = _default_less) -> None:
     """Precondition: [0, n-1) is a heap; restores the property for [0, n).
     O(log n)."""
-    require(RandomAccessContainer, type(c), context="push_heap")
     i = c.size() - 1
     while i > 0:
         parent = (i - 1) // 2
@@ -75,10 +75,10 @@ def push_heap(c: Any, less: Callable = _default_less) -> None:
             return
 
 
+@where(c=RandomAccessContainer)
 def pop_heap(c: Any, less: Callable = _default_less) -> None:
     """Precondition: [0, n) is a heap.  Moves the maximum to position n-1
     and restores the property on [0, n-1).  O(log n)."""
-    require(RandomAccessContainer, type(c), context="pop_heap")
     n = c.size()
     if n <= 1:
         return
@@ -88,9 +88,9 @@ def pop_heap(c: Any, less: Callable = _default_less) -> None:
     _sift_down(c, 0, n - 1, less)
 
 
+@where(c=RandomAccessContainer)
 def sort_heap(c: Any, less: Callable = _default_less) -> None:
     """Precondition: heap.  Ascending order on exit.  O(n log n)."""
-    require(RandomAccessContainer, type(c), context="sort_heap")
     n = c.size()
     for end in range(n, 1, -1):
         tmp = c.at(0)

@@ -1,0 +1,404 @@
+"""Tests for repro.runtime: generation-cached model resolution, precompiled
+dispatch tables, the registry mutation surface, and runtime metrics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import runtime
+from repro.concepts import (
+    Concept,
+    ConceptCheckError,
+    GenericFunction,
+    ModelRegistry,
+    NoMatchingOverloadError,
+    Param,
+    RegistrySnapshot,
+    method,
+    where,
+)
+
+T = Param("T")
+
+
+def _quackable():
+    return Concept(
+        "RtQuackable", requirements=[method("t.quack()", "quack", [T])]
+    )
+
+
+class Duck:
+    def quack(self):
+        return "quack"
+
+
+class Robot:
+    pass
+
+
+# ---------------------------------------------------------------------------
+# generation counter
+# ---------------------------------------------------------------------------
+
+
+class TestGenerations:
+    def test_every_mutation_bumps(self):
+        reg = ModelRegistry()
+        Q = _quackable()
+        g0 = reg.generation
+        reg.register(Q, Duck)
+        assert reg.generation == g0 + 1
+        assert reg.unregister(Q, Duck)
+        assert reg.generation == g0 + 2
+        reg.invalidate()
+        assert reg.generation == g0 + 3
+
+    def test_unregister_missing_is_not_a_mutation(self):
+        reg = ModelRegistry()
+        Q = _quackable()
+        g0 = reg.generation
+        assert not reg.unregister(Q, Duck)
+        assert reg.generation == g0
+
+    def test_verdict_cache_is_generation_keyed(self):
+        reg = ModelRegistry()
+        Q = _quackable()
+        assert reg.check(Q, Duck).ok
+        hits_before = reg.stats.hits
+        assert reg.check(Q, Duck).ok          # memoized
+        assert reg.stats.hits == hits_before + 1
+        reg.invalidate()
+        misses_before = reg.stats.misses
+        assert reg.check(Q, Duck).ok          # re-checked: new generation
+        assert reg.stats.misses == misses_before + 1
+
+    def test_snapshot_restore(self):
+        reg = ModelRegistry()
+        Q = _quackable()
+        snap = reg.snapshot()
+        assert isinstance(snap, RegistrySnapshot)
+        reg.register(Q, Duck)
+        assert reg.concept_map_for(Q, (Duck,)) is not None
+        reg.restore(snap)
+        assert reg.concept_map_for(Q, (Duck,)) is None
+        # restore moves the generation FORWARD — verdicts cached after the
+        # snapshot must not survive.
+        assert reg.generation > snap.generation
+
+    def test_scoped_context_manager(self):
+        reg = ModelRegistry()
+        Nominal = Concept(
+            "RtNominal",
+            requirements=[method("t.quack()", "quack", [T])],
+            nominal=True,
+        )
+        assert not reg.models(Nominal, Duck)
+        with reg.scoped():
+            reg.register(Nominal, Duck)
+            assert reg.models(Nominal, Duck)
+        assert not reg.models(Nominal, Duck)
+        assert reg.concept_map_for(Nominal, (Duck,)) is None
+
+    def test_scoped_restores_on_exception(self):
+        reg = ModelRegistry()
+        Q = _quackable()
+        with pytest.raises(RuntimeError):
+            with reg.scoped():
+                reg.register(Q, Duck)
+                raise RuntimeError("boom")
+        assert reg.concept_map_for(Q, (Duck,)) is None
+
+
+# ---------------------------------------------------------------------------
+# dispatch-table invalidation: the acceptance-criterion scenario
+# ---------------------------------------------------------------------------
+
+
+class TestDispatchInvalidation:
+    def _make(self):
+        reg = ModelRegistry()
+        Anything = Concept("RtAnything")
+        # Refines Anything so the overload pair is ordered, nominal so that
+        # whether it matches is decided purely by registry mutations.
+        Nominal = Concept(
+            "RtSpecial",
+            refines=[Anything],
+            requirements=[method("t.quack()", "quack", [T])],
+            nominal=True,
+        )
+        f = GenericFunction("classify", registry=reg)
+
+        @f.overload(requires=[(Anything, 0)])
+        def generic(x):
+            return "generic"
+
+        @f.overload(requires=[(Nominal, 0)], name="special")
+        def special(x):
+            return "special"
+
+        return reg, Anything, Nominal, f
+
+    def test_register_call_unregister_call(self):
+        """register -> call -> unregister -> call must change the dispatch
+        outcome: no stale cached verdict survives a generation bump."""
+        reg, _, Nominal, f = self._make()
+        assert f(Duck()) == "generic"          # table now caches Duck
+        reg.register(Nominal, Duck)
+        assert f(Duck()) == "special"          # mutation invalidated it
+        reg.unregister(Nominal, Duck)
+        assert f(Duck()) == "generic"          # and again
+        assert f.stats()["rebuilds"] >= 3
+
+    def test_steady_state_is_table_hit(self):
+        reg, _, Nominal, f = self._make()
+        f(Duck())
+        before = f.stats()
+        for _ in range(10):
+            f(Duck())
+        after = f.stats()
+        assert after["hits"] == before["hits"] + 10
+        assert after["misses"] == before["misses"]
+
+    def test_per_overload_dispatch_counts(self):
+        reg, _, Nominal, f = self._make()
+        reg.register(Nominal, Duck)
+        for _ in range(3):
+            f(Duck())
+        f(Robot())
+        counts = f.stats()["overload_calls"]
+        assert counts["special"] == 3
+        assert counts["generic"] == 1
+
+    def test_registering_overload_discards_table(self):
+        reg, Anything, Nominal, f = self._make()
+        assert f(Duck()) == "generic"
+        rebuilds_before = f.stats()["rebuilds"]
+        Later = Concept("RtLater", refines=[Anything], nominal=True)
+
+        @f.overload(requires=[(Later, 0)], name="later")
+        def later(x):
+            return "later"
+
+        reg.register(Later, Duck)
+        assert f(Duck()) == "later"
+        assert f.stats()["rebuilds"] > rebuilds_before
+
+    def test_where_cache_invalidated_by_mutation(self):
+        reg = ModelRegistry()
+        Nominal = Concept(
+            "RtWhereNominal",
+            requirements=[method("t.quack()", "quack", [T])],
+            nominal=True,
+        )
+
+        @where((Nominal, "d"), registry=reg)
+        def speak(d):
+            return d.quack()
+
+        with pytest.raises(ConceptCheckError):
+            speak(Duck())
+        reg.register(Nominal, Duck)
+        assert speak(Duck()) == "quack"        # verdict cached now
+        reg.unregister(Nominal, Duck)
+        with pytest.raises(ConceptCheckError):
+            speak(Duck())                      # stale OK-verdict did not survive
+
+
+# ---------------------------------------------------------------------------
+# concurrency smoke test
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_concurrent_readers_with_mutating_writer(self):
+        """Readers dispatch while a writer register/unregisters a competing
+        model: every observed outcome must be one of the two legal results,
+        and the final steady state must reflect the last mutation."""
+        reg = ModelRegistry()
+        Anything = Concept("RtAnyC")
+        Nominal = Concept(
+            "RtConcurrent",
+            refines=[Anything],
+            requirements=[method("t.quack()", "quack", [T])],
+            nominal=True,
+        )
+        f = GenericFunction("concurrent", registry=reg)
+
+        @f.overload(requires=[(Anything, 0)])
+        def generic(x):
+            return "generic"
+
+        @f.overload(requires=[(Nominal, 0)])
+        def special(x):
+            return "special"
+
+        errors: list[BaseException] = []
+        results: set[str] = set()
+        stop = threading.Event()
+
+        def reader():
+            d = Duck()
+            while not stop.is_set():
+                try:
+                    results.add(f(d))
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for _ in range(60):
+            reg.register(Nominal, Duck)
+            reg.unregister(Nominal, Duck)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors, errors
+        assert results <= {"generic", "special"}
+        # Final state: model gone -> generic, from a fresh table.
+        assert f(Duck()) == "generic"
+
+    def test_generation_bump_is_race_safe(self):
+        """Parallel mutators: the generation counter never loses a bump."""
+        reg = ModelRegistry()
+        n_threads, n_bumps = 8, 200
+
+        def bump():
+            for _ in range(n_bumps):
+                reg.invalidate()
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert reg.generation == n_threads * n_bumps
+
+
+# ---------------------------------------------------------------------------
+# lazy NoMatchingOverloadError
+# ---------------------------------------------------------------------------
+
+
+class TestLazyNoMatchError:
+    def test_explanation_is_lazy(self):
+        built = []
+
+        def factory():
+            built.append(True)
+            return ["overload-a: nope", "overload-b: nope"]
+
+        err = NoMatchingOverloadError("f", (int,), attempts_factory=factory)
+        assert not built                      # constructing does not render
+        msg = str(err)
+        assert built == [True]
+        assert "overload-a: nope" in msg
+        str(err)
+        assert built == [True]                # rendered once, memoized
+
+    def test_catch_for_fallback_never_builds(self):
+        reg = ModelRegistry()
+        Nominal = Concept("RtNope", nominal=True)
+        f = GenericFunction("nope", registry=reg)
+
+        @f.overload(requires=[(Nominal, 0)])
+        def only(x):
+            return "only"
+
+        with pytest.raises(NoMatchingOverloadError) as exc:
+            f(3)
+        assert exc.value._attempts is None    # nothing rendered yet
+        assert "tried:" in str(exc.value)     # rendering works on demand
+        assert exc.value.attempts
+
+    def test_eager_attempts_still_supported(self):
+        err = NoMatchingOverloadError("f", (str,), attempts=["a: no"])
+        assert err.attempts == ("a: no",)
+        assert "a: no" in str(err)
+
+    def test_matvec_fallback_path(self):
+        import numpy as np
+
+        from repro.linalg import FVector, matvec_with_fallback
+
+        class ForeignMatrix:
+            data = np.eye(2)
+
+        out = matvec_with_fallback(ForeignMatrix(), FVector([1.0, 2.0]))
+        assert out == FVector([1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# runtime metrics
+# ---------------------------------------------------------------------------
+
+
+class TestRuntimeStats:
+    def test_stats_shape(self):
+        snap = runtime.stats()
+        assert set(snap) == {
+            "registries", "generic_functions", "where_sites", "totals",
+        }
+        for key in (
+            "model_cache_hits", "model_cache_misses", "invalidations",
+            "dispatch_hits", "dispatch_misses", "table_rebuilds",
+            "where_hits", "where_misses", "check_time_s",
+        ):
+            assert key in snap["totals"]
+
+    def test_generic_function_appears_with_counts(self):
+        reg = ModelRegistry(label="stats-test")
+        Any_ = Concept("RtStatsAny")
+        f = GenericFunction("stats_probe", registry=reg)
+
+        @f.overload(requires=[(Any_, 0)])
+        def impl(x):
+            return x
+
+        for _ in range(5):
+            f(1)
+        snap = runtime.stats()
+        mine = [g for g in snap["generic_functions"]
+                if g["name"] == "stats_probe"]
+        assert mine and mine[0]["hits"] >= 4
+        regs = [r for r in snap["registries"] if r["label"] == "stats-test"]
+        assert regs and regs[0]["generation"] == reg.generation
+
+    def test_where_site_counters(self):
+        Q = _quackable()
+        reg = ModelRegistry()
+
+        @where((Q, "d"), registry=reg)
+        def speak(d):
+            return d.quack()
+
+        speak(Duck())
+        speak(Duck())
+        site = speak.__where_stats__
+        assert site.misses == 1 and site.hits == 1
+        reg.invalidate()
+        speak(Duck())
+        assert site.invalidations == 1 and site.misses == 2
+
+    def test_report_renders(self):
+        text = runtime.report()
+        assert "repro.runtime dispatch stats" in text
+        assert "model cache:" in text
+
+    def test_reset_stats(self):
+        reg = ModelRegistry(label="reset-test")
+        Q = _quackable()
+        reg.check(Q, Duck)
+        assert reg.stats.misses > 0
+        runtime.reset_stats()
+        assert reg.stats.misses == 0 and reg.stats.hits == 0
+
+    def test_install_stats_report_idempotent(self):
+        import io
+
+        buf = io.StringIO()
+        runtime.install_stats_report(buf)
+        runtime.install_stats_report(buf)   # second call is a no-op

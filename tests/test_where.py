@@ -102,9 +102,13 @@ class TestWhere:
             degree(EdgeListGraphImpl(2, [(0, 1)]), 0)
 
 
-class TestWhereMulti:
+class TestUnifiedWhere:
+    """The single @where accepts positional (Concept, params) tuples for
+    multi-type concepts, keyword bindings for single-type ones, and both at
+    once."""
+
     def test_multi_type_constraint(self):
-        @where_multi((VectorSpace, ("v", "s")))
+        @where((VectorSpace, ("v", "s")))
         def scale(v, s):
             return v * s
 
@@ -114,13 +118,65 @@ class TestWhereMulti:
             scale("vector?", 2.0)
 
     def test_multiple_constraints(self):
-        @where_multi((Quackable, ("a",)), (Quackable, ("b",)))
+        @where((Quackable, ("a",)), (Quackable, ("b",)))
         def duet(a, b):
             return a.quack() + b.quack()
 
         assert duet(Duck(), Duck()) == "quackquack"
         with pytest.raises(ConceptCheckError):
             duet(Duck(), Dog())
+
+    def test_mixed_positional_and_keyword(self):
+        @where((VectorSpace, ("v", "s")), d=Quackable)
+        def noisy_scale(v, s, d):
+            d.quack()
+            return v * s
+
+        assert noisy_scale(CVector([1j]), 2.0, Duck()) == CVector([2j])
+        with pytest.raises(ConceptCheckError):
+            noisy_scale(CVector([1j]), 2.0, Dog())
+
+    def test_single_param_name_as_string(self):
+        @where((Quackable, "d"))
+        def speak(d):
+            return d.quack()
+
+        assert speak(Duck()) == "quack"
+        assert constraints_of(speak) == ((Quackable, ("d",)),)
+
+    def test_bad_positional_constraint_rejected(self):
+        with pytest.raises(TypeError):
+            @where(Quackable)  # bare concept: must be (Concept, params)
+            def f(d):
+                pass
+
+    def test_two_registries_rejected(self):
+        reg = ModelRegistry()
+        with pytest.raises(TypeError):
+            @where(reg, registry=reg, d=Quackable)
+            def f(d):
+                pass
+
+    def test_registry_keyword(self):
+        reg = ModelRegistry()
+
+        @where((Quackable, ("d",)), registry=reg)
+        def speak(d):
+            return d.quack()
+
+        assert speak(Duck()) == "quack"
+
+
+class TestWhereMultiAlias:
+    def test_deprecated_alias_still_works(self):
+        with pytest.warns(DeprecationWarning, match="where_multi"):
+            @where_multi((VectorSpace, ("v", "s")))
+            def scale(v, s):
+                return v * s
+
+        assert scale(CVector([1j]), 2.0) == CVector([2j])
+        with pytest.raises(ConceptCheckError):
+            scale("vector?", 2.0)
 
 
 class TestIntrospection:
@@ -134,7 +190,7 @@ class TestIntrospection:
         assert constraints_of(len) == ()
 
     def test_declaration_rendering(self):
-        @where_multi((VectorSpace, ("v", "s")))
+        @where((VectorSpace, ("v", "s")))
         def axpy(v, s, w):
             return v * s + w
 
