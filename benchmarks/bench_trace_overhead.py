@@ -1,0 +1,239 @@
+"""Experiment T-trace-overhead: tracing must be free when it is off.
+
+The contract (`repro.trace` docstring): the dispatch-table *hit* path
+carries zero added instructions — hits reach traces as counters folded in
+from :mod:`repro.runtime.metrics` — and every other choke point pays one
+module-global ``is None`` check when disabled.  This bench verifies both
+halves against :mod:`bench_dispatch_cache`'s quick path:
+
+- **hit path**: warm ``sort.resolve`` per-op time, compared against the
+  recorded ``dispatch_cache_stats.json`` baseline when present (CI runs
+  ``bench_dispatch_cache.py --quick`` first in the same job) and against
+  an in-process control repetition otherwise;
+- **miss path**: ``resolve_slow`` (instrumented, tracer disabled) A/B'd
+  against the uninstrumented ``_resolve_slow`` it guards, on the same
+  table with the entry cache cleared per call — the one place a disabled
+  check exists, measured directly;
+- **enabled mode**: a tracer is switched on, traced dispatch/rewrite work
+  runs, and the resulting Chrome trace is written to
+  ``benchmarks/out/trace_overhead_trace.json`` (CI uploads it; the test
+  suite schema-checks it).
+
+Standalone mode (CI bench-smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --quick
+
+exits nonzero if disabled overhead reaches ``MAX_OVERHEAD_PCT``.
+"""
+
+import gc
+import json
+import pathlib
+import timeit
+
+MAX_OVERHEAD_PCT = 5.0
+#: Slack under which a "regression" is timing noise, not code: 5% of a
+#: ~100ns dict probe is well inside run-to-run jitter (absolute floor),
+#: and even µs-scale paths wobble ~1% run-to-run (relative floor).
+NOISE_FLOOR_US = 0.03
+NOISE_FLOOR_REL = 0.01
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+OUT_JSON = OUT_DIR / "trace_overhead.json"
+OUT_TRACE = OUT_DIR / "trace_overhead_trace.json"
+DISPATCH_BASELINE_JSON = OUT_DIR / "dispatch_cache_stats.json"
+
+
+def _per_op(fn, iterations: int, repeat: int = 5) -> float:
+    return min(timeit.repeat(fn, number=iterations, repeat=repeat)) / iterations
+
+
+def _per_op_ab(fn_a, fn_b, iterations: int, repeat: int = 5) -> tuple[float, float]:
+    """Interleaved A/B timing: ABBA rounds so neither arm absorbs the
+    warmup (caches, branch predictors) or a load spike alone; GC is off
+    during measurement; min-of-rounds per arm."""
+    fn_a()
+    fn_b()
+    timeit.timeit(fn_a, number=iterations)  # warmup round, discarded
+    timeit.timeit(fn_b, number=iterations)
+    t_a = t_b = float("inf")
+    gc_was_on = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeat):
+            t_a = min(t_a, timeit.timeit(fn_a, number=iterations))
+            t_b = min(t_b, timeit.timeit(fn_b, number=iterations))
+            t_b = min(t_b, timeit.timeit(fn_b, number=iterations))
+            t_a = min(t_a, timeit.timeit(fn_a, number=iterations))
+    finally:
+        if gc_was_on:
+            gc.enable()
+    return t_a / iterations, t_b / iterations
+
+
+def _overhead_pct(t_new_us: float, t_base_us: float) -> float:
+    floor = max(NOISE_FLOOR_US, NOISE_FLOOR_REL * t_base_us)
+    if t_new_us - t_base_us <= floor:
+        return 0.0
+    return (t_new_us / t_base_us - 1.0) * 100.0
+
+
+def _measure(iterations: int, repeat: int = 5) -> dict:
+    from repro import trace
+    from repro.sequences import Vector
+    from repro.sequences.algorithms import sort
+    from repro.simplicissimus import Simplifier
+    from repro.simplicissimus.expr import BinOp, Const, Var
+
+    trace.disable()
+    key = (Vector,)
+    sort.resolve(key)  # warm
+
+    # -- hit path, disabled tracer (bench_dispatch_cache's quick path) ----
+    t_hit, t_hit_control = _per_op_ab(
+        lambda: sort.resolve(key), lambda: sort.resolve(key),
+        iterations, repeat,
+    )
+
+    recorded_us = None
+    if DISPATCH_BASELINE_JSON.exists():
+        recorded_us = json.loads(DISPATCH_BASELINE_JSON.read_text()).get(
+            "cached_resolve_us"
+        )
+
+    # -- miss path, disabled tracer: instrumented wrapper vs its body -----
+    table = sort._current_table()
+    # The miss path is µs-scale: longer samples, or scheduler jitter
+    # dominates the per-op delta.
+    miss_iters = max(400, iterations // 5)
+
+    def miss_instrumented():
+        table.entries.clear()
+        table.resolve_slow(key)
+
+    def miss_bare():
+        table.entries.clear()
+        table._resolve_slow(key)
+
+    t_miss, t_miss_bare = _per_op_ab(
+        miss_instrumented, miss_bare, miss_iters, repeat
+    )
+    sort.resolve(key)  # leave the table warm
+
+    # -- enabled mode: real spans, exported as the CI artifact ------------
+    tracer = trace.enable(trace.Tracer("bench_trace_overhead"))
+    t_hit_enabled = _per_op(lambda: sort.resolve(key), iterations, repeat)
+    table.entries.clear()
+    sort.resolve(key)  # one traced miss + memoization
+    x = Var("x")
+    Simplifier().simplify(
+        BinOp("+", BinOp("+", x, Const(0)), Const(0)), tenv={"x": int}
+    )
+    trace.disable()
+    OUT_DIR.mkdir(exist_ok=True)
+    trace.export_chrome(tracer, OUT_TRACE)
+
+    hit_vs_control = _overhead_pct(t_hit * 1e6, t_hit_control * 1e6)
+    hit_vs_recorded = (
+        _overhead_pct(t_hit * 1e6, recorded_us)
+        if recorded_us else None
+    )
+    miss_overhead = _overhead_pct(t_miss * 1e6, t_miss_bare * 1e6)
+    gated = [hit_vs_control, miss_overhead] + (
+        [hit_vs_recorded] if hit_vs_recorded is not None else []
+    )
+    return {
+        "iterations": iterations,
+        "hit_disabled_us": t_hit * 1e6,
+        "hit_control_us": t_hit_control * 1e6,
+        "hit_enabled_us": t_hit_enabled * 1e6,
+        "hit_recorded_baseline_us": recorded_us,
+        "miss_disabled_us": t_miss * 1e6,
+        "miss_bare_us": t_miss_bare * 1e6,
+        "overhead_hit_vs_control_pct": hit_vs_control,
+        "overhead_hit_vs_recorded_pct": hit_vs_recorded,
+        "overhead_miss_pct": miss_overhead,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "trace_events": len(tracer.records),
+        "trace_path": str(OUT_TRACE),
+        "ok": all(o < MAX_OVERHEAD_PCT for o in gated),
+    }
+
+
+def _render(m: dict) -> str:
+    rec = (f"{m['hit_recorded_baseline_us']:.3f}us "
+           f"({m['overhead_hit_vs_recorded_pct']:+.1f}%)"
+           if m["hit_recorded_baseline_us"] else "absent")
+    return "\n".join([
+        f"{'path':<34s} {'per-op':>12s}",
+        f"{'hit, tracer disabled':<34s} {m['hit_disabled_us']:>10.3f}us",
+        f"{'hit, control repeat':<34s} {m['hit_control_us']:>10.3f}us",
+        f"{'hit, tracer enabled':<34s} {m['hit_enabled_us']:>10.3f}us",
+        f"{'miss, instrumented (disabled)':<34s} {m['miss_disabled_us']:>10.3f}us",
+        f"{'miss, bare body':<34s} {m['miss_bare_us']:>10.3f}us",
+        f"recorded quick baseline: {rec}",
+        f"disabled overhead: hit {m['overhead_hit_vs_control_pct']:.2f}% / "
+        f"miss {m['overhead_miss_pct']:.2f}% "
+        f"(ceiling {m['max_overhead_pct']:.0f}%)",
+        f"enabled trace: {m['trace_events']} record(s) -> {m['trace_path']}",
+    ])
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_tracer_overhead(record):
+    m = _measure(iterations=2_000)
+    record("trace_overhead", _render(m))
+    assert m["overhead_hit_vs_control_pct"] < MAX_OVERHEAD_PCT, (
+        f"disabled-tracer hit path {m['overhead_hit_vs_control_pct']:.1f}% "
+        f"over control; ceiling {MAX_OVERHEAD_PCT}%"
+    )
+    assert m["overhead_miss_pct"] < MAX_OVERHEAD_PCT, (
+        f"disabled-tracer miss path {m['overhead_miss_pct']:.1f}% over the "
+        f"uninstrumented body; ceiling {MAX_OVERHEAD_PCT}%"
+    )
+
+
+def test_emitted_trace_is_valid_chrome_json():
+    from repro.trace import validate_chrome_trace
+
+    _measure(iterations=200)
+    doc = json.loads(OUT_TRACE.read_text())
+    events = validate_chrome_trace(doc)
+    names = {e["name"] for e in events}
+    assert "dispatch.miss" in names
+    assert "rewrite.simplify" in names
+    assert any(e["ph"] == "C" for e in events), "counters not folded in"
+
+
+# ---------------------------------------------------------------------------
+# standalone mode (CI bench-smoke job)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations (CI smoke mode)")
+    parser.add_argument("--json", type=pathlib.Path, default=OUT_JSON,
+                        help=f"summary JSON output path (default {OUT_JSON})")
+    args = parser.parse_args(argv)
+
+    m = _measure(iterations=500 if args.quick else 5_000)
+    print(_render(m))
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(m, indent=2, default=str) + "\n")
+    print(f"summary written to {args.json}")
+    if not m["ok"]:
+        print(f"FAIL: disabled-tracer overhead at or above "
+              f"{MAX_OVERHEAD_PCT:.0f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

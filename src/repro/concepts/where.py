@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import functools
 import inspect
+import sys
 import warnings
 from typing import Any, Callable, Optional, Sequence, Union
 
@@ -163,6 +164,24 @@ def where(
     return deco
 
 
+def _caller_stacklevel() -> int:
+    """Stacklevel that makes ``warnings.warn`` blame the first frame
+    *outside* this package — the user's decorator application site —
+    rather than decorator internals or re-export shims."""
+    pkg_prefix = __name__.rsplit(".", 1)[0] + "."
+    # sys._getframe(1) is where_multi's own frame, i.e. stacklevel 1 as
+    # warnings.warn (called from where_multi) counts it.
+    level = 1
+    frame = sys._getframe(1)
+    while frame is not None:
+        mod = frame.f_globals.get("__name__", "")
+        if mod != __name__ and not mod.startswith(pkg_prefix):
+            return level
+        level += 1
+        frame = frame.f_back
+    return 2
+
+
 def where_multi(
     *constraints: tuple[Concept, Sequence[str]],
     registry: Optional[ModelRegistry] = None,
@@ -173,7 +192,7 @@ def where_multi(
         "where_multi() is deprecated; pass (Concept, params) tuples "
         "directly to where()",
         DeprecationWarning,
-        stacklevel=2,
+        stacklevel=_caller_stacklevel(),
     )
     return where(*constraints, registry=registry)
 

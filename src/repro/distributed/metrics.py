@@ -28,6 +28,11 @@ class RunMetrics:
     decisions: dict[int, Any] = field(default_factory=dict)
     finish_time: float = 0.0
     rounds: int = 0
+    #: True when the run was cut off by ``max_time``/``max_messages``
+    #: rather than reaching quiescence — a truncated run is NOT a
+    #: completed one, and every consumer can (and should) tell them apart.
+    truncated: bool = False
+    truncation_reason: str = ""
 
     @property
     def total_local_computation(self) -> int:
@@ -51,10 +56,13 @@ class RunMetrics:
         return None
 
     def summary(self) -> str:
-        return (
+        out = (
             f"n={self.n} messages={self.messages_sent} "
             f"(delivered={self.messages_delivered}, "
             f"dropped={self.messages_dropped}) time={self.finish_time:.2f} "
             f"rounds={self.rounds} local-comp={self.total_local_computation} "
             f"(max/node={self.max_local_computation})"
         )
+        if self.truncated:
+            out += f" TRUNCATED[{self.truncation_reason}]"
+        return out

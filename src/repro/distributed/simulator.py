@@ -12,6 +12,7 @@ import heapq
 import math
 from typing import Any, Callable, Optional, Sequence, Type
 
+from ..trace import core as _trace
 from .core import Context, Message, Process
 from .failures import FailurePlan
 from .metrics import RunMetrics
@@ -20,12 +21,27 @@ from .timing import Synchronous, TimingModel
 
 
 class SimulationError(RuntimeError):
-    pass
+    """Raised on misconfiguration and (by default) on limit breaches;
+    for breaches, ``metrics`` carries the partial run with
+    ``truncated=True`` so post-mortems see how far the run got."""
+
+    def __init__(self, message: str,
+                 metrics: Optional[RunMetrics] = None) -> None:
+        super().__init__(message)
+        self.metrics = metrics
 
 
 class Simulator:
     """Runs a set of processes over a topology under a timing model and
-    failure plan."""
+    failure plan.
+
+    Hitting ``max_time``/``max_messages`` never looks like quiescence:
+    the breach is detected in the run loop (not inside a process callback,
+    where user ``try``/``except`` could swallow it), ``metrics.truncated``
+    is set with the reason, and then either :class:`SimulationError` is
+    raised (``on_limit="raise"``, the default) or the partial metrics are
+    returned (``on_limit="truncate"``).
+    """
 
     def __init__(
         self,
@@ -35,7 +51,13 @@ class Simulator:
         failures: Optional[FailurePlan] = None,
         max_time: float = 1e6,
         max_messages: int = 5_000_000,
+        on_limit: str = "raise",
+        tracer: Optional[_trace.Tracer] = None,
     ) -> None:
+        if on_limit not in ("raise", "truncate"):
+            raise SimulationError(
+                f"on_limit must be 'raise' or 'truncate', got {on_limit!r}"
+            )
         if len(processes) != topology.n:
             raise SimulationError(
                 f"{topology.n} processes expected, got {len(processes)}"
@@ -46,6 +68,11 @@ class Simulator:
         self.failures = failures if failures is not None else FailurePlan()
         self.max_time = max_time
         self.max_messages = max_messages
+        self.on_limit = on_limit
+        self.tracer = tracer
+        # Effective tracer: refreshed from the global at run() entry so
+        # REPRO_TRACE=1 covers simulations constructed before enable().
+        self._tracer: Optional[_trace.Tracer] = tracer
         self.metrics = RunMetrics(n=topology.n)
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Message]] = []
@@ -53,6 +80,8 @@ class Simulator:
         self._halted: set[int] = set()
         self._round_no = 0
         self._pending_spawns: list[tuple[float, Process, list[int]]] = []
+        #: First limit breached (set by _send, consumed by the run loop).
+        self._breach: Optional[str] = None
 
     # -- internal API used by Context ----------------------------------------
 
@@ -62,9 +91,22 @@ class Simulator:
         self.metrics.messages_sent += 1
         self.metrics.per_process_sent[msg.src] += 1
         if self.metrics.messages_sent > self.max_messages:
-            raise SimulationError("message budget exceeded (runaway algorithm?)")
+            # Record the breach and let the run loop act on it: raising
+            # here, inside the sending process's callback, would let a
+            # broad ``except`` in user code eat the budget check.
+            if self._breach is None:
+                self._breach = (
+                    f"message budget exceeded "
+                    f"(max_messages={self.max_messages}; "
+                    f"runaway algorithm?)"
+                )
+            return
         if self.failures.link_dead(msg.src, msg.dst) or self.failures.drops():
             self.metrics.messages_dropped += 1
+            tr = self._tracer
+            if tr is not None:
+                tr.event("sim.drop", cat="sim", src=msg.src, dst=msg.dst,
+                         tag=msg.tag, t=self.now)
             return
         msg = self.failures.corrupt(msg)
         delay = self.timing.delay(msg, self.now)
@@ -116,17 +158,53 @@ class Simulator:
         if self.failures.crashed(msg.dst, self.now) or msg.dst in self._halted:
             return
         self.metrics.messages_delivered += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.event("sim.deliver", cat="sim", src=msg.src, dst=msg.dst,
+                     tag=msg.tag, t=self.now)
         self.processes[msg.dst].on_message(self._context(msg.dst), msg)
 
     def _fire_round_hooks(self) -> None:
         self._round_no += 1
         self.metrics.rounds = self._round_no
+        tr = self._tracer
+        if tr is not None:
+            tr.event("sim.round", cat="sim", round=self._round_no,
+                     t=self.now)
         for p in self.processes:
             if not self.failures.crashed(p.rank, self.now) and \
                     p.rank not in self._halted:
                 p.on_round(self._context(p.rank), self._round_no)
 
+    def _truncate(self, reason: str) -> RunMetrics:
+        """Mark the run as cut off by a limit and either raise or return
+        the partial metrics, per ``on_limit``."""
+        self.metrics.truncated = True
+        self.metrics.truncation_reason = reason
+        self.metrics.finish_time = self.now
+        tr = self._tracer
+        if tr is not None:
+            tr.event("sim.truncated", cat="sim", reason=reason, t=self.now)
+        if self.on_limit == "raise":
+            raise SimulationError(reason, metrics=self.metrics)
+        return self.metrics
+
     def run(self) -> RunMetrics:
+        self._tracer = (
+            self.tracer if self.tracer is not None else _trace.ACTIVE
+        )
+        tr = self._tracer
+        if tr is None:
+            return self._run()
+        with tr.span("sim.run", cat="sim", n=self.topology.n,
+                     timing=type(self.timing).__name__) as sp:
+            metrics = self._run()
+            sp.set("messages", metrics.messages_sent)
+            sp.set("rounds", metrics.rounds)
+            sp.set("truncated", metrics.truncated)
+        return metrics
+
+    def _run(self) -> RunMetrics:
         # Start every live process.
         for p in self.processes:
             if not self.failures.crashed(p.rank, 0.0):
@@ -134,9 +212,11 @@ class Simulator:
         synchronous = isinstance(self.timing, Synchronous)
         last_round_boundary = 0
         while self._queue:
+            if self._breach is not None:
+                return self._truncate(self._breach)
             t, _, msg = heapq.heappop(self._queue)
             if t > self.max_time:
-                raise SimulationError(f"exceeded max_time={self.max_time}")
+                return self._truncate(f"exceeded max_time={self.max_time}")
             if synchronous:
                 boundary = math.floor(t)
                 while last_round_boundary < boundary:
@@ -148,6 +228,8 @@ class Simulator:
                 self._run_due_spawns(t)
                 continue
             self._deliver(msg)
+        if self._breach is not None:
+            return self._truncate(self._breach)
         self.metrics.finish_time = self.now
         if synchronous:
             self.metrics.rounds = max(self.metrics.rounds,

@@ -7,8 +7,11 @@ when one does, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional, Sequence
+
+from repro import trace
 
 from .driver import LintConfig, lint_paths
 from .suppressions import all_check_codes
@@ -53,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every check code usable in "
              "'# stllint: ignore[<check>]' and exit",
     )
+    parser.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="OUT.json",
+        help="record per-file/per-function analysis spans and write a "
+             "Chrome trace-event JSON (load via chrome://tracing)",
+    )
     return parser
 
 
@@ -73,7 +81,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         interprocedural=not args.no_interprocedural,
         exclude=tuple(args.exclude),
     )
-    report = lint_paths(args.paths, config)
+    tracer = trace.enable() if args.trace is not None else trace.active()
+    with_trace = tracer is not None
+    if with_trace:
+        with tracer.span("lint.run", cat="lint",
+                         paths=[str(p) for p in args.paths]):
+            report = lint_paths(args.paths, config)
+    else:
+        report = lint_paths(args.paths, config)
+    if args.trace is not None:
+        trace.export_chrome(tracer, args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
     if args.format == "json":
         print(report.to_json())
     else:

@@ -24,6 +24,7 @@ from typing import Iterable, Optional, Sequence, Union
 from repro.stllint.diagnostics import Severity
 from repro.stllint.interpreter import Checker, module_function_table
 from repro.stllint.specs import CONTAINER_SPECS
+from repro.trace import core as _trace
 
 from .suppressions import check_code, collect_suppressions, is_suppressed
 
@@ -209,6 +210,8 @@ def lint_source(
         ))
         return report
 
+    tr = _trace.ACTIVE
+
     def add(severity: Severity, message: str, line: int,
             function: str) -> None:
         code = check_code(message)
@@ -221,6 +224,10 @@ def lint_source(
             severity=severity.value.lower(), check=code,
             message=message, source_line=src,
         ))
+        if tr is not None:
+            tr.event("lint.finding", cat="lint", path=path,
+                     function=function, check=code, line=line,
+                     severity=severity.value.lower())
 
     functions = module_function_table(tree) if config.interprocedural else {}
     seen: set[tuple[int, str]] = set()
@@ -228,7 +235,13 @@ def lint_source(
         if not isinstance(node, ast.FunctionDef) or not _is_lintable(node):
             continue
         report.functions_checked += 1
-        sink = Checker(node, lines, module_functions=functions).run()
+        if tr is None:
+            sink = Checker(node, lines, module_functions=functions).run()
+        else:
+            with tr.span("lint.function", cat="lint", path=path,
+                         function=node.name, line=node.lineno) as sp:
+                sink = Checker(node, lines, module_functions=functions).run()
+                sp.set("diagnostics", len(sink.diagnostics))
         for d in sink.diagnostics:
             key = (d.line, d.message)
             if key in seen:
@@ -239,7 +252,12 @@ def lint_source(
     if config.concept_pass:
         from .concept_pass import run_concept_pass
 
-        for finding in run_concept_pass(tree):
+        if tr is None:
+            pass_findings = run_concept_pass(tree)
+        else:
+            with tr.span("lint.concept-pass", cat="lint", path=path):
+                pass_findings = list(run_concept_pass(tree))
+        for finding in pass_findings:
             add(finding.severity, finding.message, finding.line,
                 finding.function)
 
@@ -260,7 +278,14 @@ def lint_file(
             check="io-error", message=f"cannot read file: {exc}",
         ))
         return report
-    return lint_source(source, path=str(p), config=config)
+    tr = _trace.ACTIVE
+    if tr is None:
+        return lint_source(source, path=str(p), config=config)
+    with tr.span("lint.file", cat="lint", path=str(p)) as sp:
+        report = lint_source(source, path=str(p), config=config)
+        sp.set("functions_checked", report.functions_checked)
+        sp.set("findings", len(report.findings))
+    return report
 
 
 def discover_files(

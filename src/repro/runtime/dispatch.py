@@ -22,10 +22,16 @@ sits below :mod:`repro.concepts` and must not import it at module scope.
 
 from __future__ import annotations
 
-from time import perf_counter
+from time import perf_counter, perf_counter_ns
 from typing import Any, Optional, Sequence
 
+from ..trace import core as _trace
+
 TypeKey = tuple
+
+
+def _type_names(key: TypeKey) -> list[str]:
+    return [getattr(t, "__name__", str(t)) for t in key]
 
 
 class DispatchTable:
@@ -52,6 +58,8 @@ class DispatchTable:
         registry: Any,
         generation: int,
     ) -> None:
+        tr = _trace.ACTIVE
+        t0 = perf_counter_ns() if tr is not None else 0
         self.name = name
         self.overloads = tuple(overloads)
         self.registry = registry
@@ -80,6 +88,13 @@ class DispatchTable:
             )
 
         self.order = tuple(sorted(range(n), key=lambda i: -strictly_below(i)))
+        if tr is not None:
+            # A rebuild: compiling the specificity matrix is the cost a
+            # registry mutation forces back onto the next call.
+            tr.complete(
+                "dispatch.compile", t0, cat="dispatch",
+                function=name, overloads=n, generation=generation,
+            )
 
     # -- resolution ----------------------------------------------------------
 
@@ -94,7 +109,33 @@ class DispatchTable:
 
     def resolve_slow(self, key: TypeKey) -> Any:
         """Full candidate matching + specificity selection; populates
-        ``entries`` so the next identical call is a dict hit."""
+        ``entries`` so the next identical call is a dict hit.
+
+        Table *misses* get a span each (they are rare and expensive);
+        table *hits* are deliberately un-instrumented — the tracer folds
+        the hit counters in from :mod:`repro.runtime.metrics` at export
+        time, keeping the hot path free of even a disabled-check.
+        """
+        tr = _trace.ACTIVE
+        if tr is None:
+            return self._resolve_slow(key)
+        t0 = perf_counter_ns()
+        try:
+            chosen = self._resolve_slow(key)
+        except Exception as exc:
+            tr.complete(
+                "dispatch.miss", t0, cat="dispatch", function=self.name,
+                args=_type_names(key), error=type(exc).__name__,
+            )
+            raise
+        tr.complete(
+            "dispatch.miss", t0, cat="dispatch", function=self.name,
+            args=_type_names(key), chosen=chosen.name,
+            generation=self.generation,
+        )
+        return chosen
+
+    def _resolve_slow(self, key: TypeKey) -> Any:
         self.misses += 1
         t0 = perf_counter()
         reg = self.registry

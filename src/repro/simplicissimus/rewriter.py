@@ -15,28 +15,50 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..concepts.algebra import AlgebraRegistry, algebra as default_algebra
+from ..trace import core as _trace
 from .expr import Expr, TypeEnv, normalize, rebuild
 from .rules import RewriteRule, RuleApplication, STANDARD_RULES
 
 
 @dataclass
 class RewriteResult:
-    """The simplified expression plus an audit trail of rule firings."""
+    """The simplified expression plus an audit trail of rule firings.
+
+    ``converged`` distinguishes a genuine fixpoint from a run cut off by
+    ``max_passes`` — a non-converged result is still sound (every applied
+    rule was concept-guarded) but may not be fully simplified, and
+    :meth:`report` says so instead of passing it off as finished.
+    """
 
     expr: Expr
     applications: list[RuleApplication] = field(default_factory=list)
     passes: int = 0
+    converged: bool = True
 
     @property
     def changed(self) -> bool:
         return bool(self.applications)
 
     def nodes_eliminated(self, original: Expr) -> int:
-        return original.size() - self.expr.size()
+        """Nodes removed relative to ``original``, never negative: a
+        rewrite that *grows* the expression (e.g. the generic inverse
+        normalization introducing an ``IdentityOf`` node) eliminates
+        nothing.  The signed quantity is :meth:`size_delta`."""
+        return max(0, original.size() - self.expr.size())
+
+    def size_delta(self, original: Expr) -> int:
+        """Signed size change: negative when the rewrite shrank the
+        expression, positive when it grew it."""
+        return self.expr.size() - original.size()
 
     def report(self) -> str:
-        lines = [f"simplified in {self.passes} pass(es), "
-                 f"{len(self.applications)} rewrite(s):"]
+        head = (f"simplified in {self.passes} pass(es), "
+                f"{len(self.applications)} rewrite(s):")
+        if not self.converged:
+            head = (f"did NOT converge within {self.passes} pass(es) "
+                    f"({len(self.applications)} rewrite(s) applied; "
+                    f"result may not be fully simplified):")
+        lines = [head]
         for a in self.applications:
             lines.append(
                 f"  [{a.rule} / {a.concept} @ {a.instance_type}] "
@@ -58,11 +80,13 @@ class Simplifier:
         rules: Sequence[RewriteRule] = STANDARD_RULES,
         registry: Optional[AlgebraRegistry] = None,
         max_passes: int = 32,
+        tracer: Optional[_trace.Tracer] = None,
     ) -> None:
         self.library_rules: list[RewriteRule] = []
         self.generic_rules: list[RewriteRule] = list(rules)
         self.registry = registry if registry is not None else default_algebra
         self.max_passes = max_passes
+        self.tracer = tracer
 
     def extend(self, rule: RewriteRule) -> RewriteRule:
         """Register a user/library rule (Section 3.2's extension point)."""
@@ -79,19 +103,59 @@ class Simplifier:
         tenv: Optional[TypeEnv] = None,
         pre_normalize: bool = True,
     ) -> RewriteResult:
-        """Rewrite to fixpoint (or ``max_passes``)."""
+        """Rewrite to fixpoint (or ``max_passes``, reported as
+        ``converged=False`` on the result)."""
         tenv = tenv or {}
+        tr = self.tracer if self.tracer is not None else _trace.ACTIVE
+        if tr is None:
+            return self._simplify(expr, tenv, pre_normalize, None)
+        with tr.span("rewrite.simplify", cat="rewrite",
+                     expr=str(expr)) as outer:
+            result = self._simplify(expr, tenv, pre_normalize, tr)
+            outer.set("passes", result.passes)
+            outer.set("rewrites", len(result.applications))
+            outer.set("converged", result.converged)
+        return result
+
+    def _simplify(
+        self,
+        expr: Expr,
+        tenv: TypeEnv,
+        pre_normalize: bool,
+        tr: Optional[_trace.Tracer],
+    ) -> RewriteResult:
         if pre_normalize:
             expr = normalize(expr)
         applications: list[RuleApplication] = []
         passes = 0
+        converged = False
         while passes < self.max_passes:
             passes += 1
-            new_expr, changed = self._rewrite_once(expr, tenv, applications)
-            expr = new_expr
+            seen = len(applications)
+            if tr is None:
+                expr, changed = self._rewrite_once(expr, tenv, applications)
+            else:
+                with tr.span("rewrite.pass", cat="rewrite",
+                             number=passes) as sp:
+                    expr, changed = self._rewrite_once(
+                        expr, tenv, applications
+                    )
+                    for a in applications[seen:]:
+                        tr.event(
+                            "rewrite.rule", cat="rewrite", rule=a.rule,
+                            concept=a.concept, instance=a.instance_type,
+                            before=a.before, after=a.after,
+                        )
+                    sp.set("rewrites", len(applications) - seen)
             if not changed:
+                converged = True
                 break
-        return RewriteResult(expr, applications, passes)
+        if not converged and tr is not None:
+            tr.event(
+                "rewrite.max-passes-exhausted", cat="rewrite",
+                max_passes=self.max_passes, expr=str(expr),
+            )
+        return RewriteResult(expr, applications, passes, converged)
 
     def _rewrite_once(
         self, node: Expr, tenv: TypeEnv, applications: list[RuleApplication]

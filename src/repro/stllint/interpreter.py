@@ -28,6 +28,7 @@ import ast
 import textwrap
 from typing import Any, Optional
 
+from ..trace import core as _trace
 from .abstract_values import (
     AbstractBool,
     AbstractContainer,
@@ -463,6 +464,13 @@ class Checker:
             if isinstance(v, AbstractContainer)
             and v.epoch != pre_epochs.get(v.cid, v.epoch)
         }
+        tr = _trace.ACTIVE
+        if tr is not None and mutated:
+            tr.event(
+                "stllint.havoc", cat="lint",
+                function=self._inline_stack[0],
+                containers=len(mutated),
+            )
         for v in env.vars.values():
             if isinstance(v, AbstractIterator) and v.container.cid in mutated:
                 v.invalidate(definitely=False)
@@ -627,6 +635,13 @@ class Checker:
             return AbstractValue(f"{name}()")
         # "<...>" cannot collide with user identifiers or nested prefixes
         # from a different depth.
+        tr = _trace.ACTIVE
+        if tr is not None:
+            tr.event(
+                "stllint.inline", cat="lint", callee=name, line=line,
+                caller=self._inline_stack[-1],
+                depth=len(self._inline_stack),
+            )
         prefix = f"<inline{len(self._inline_stack)}:{name}>"
         callee_env = Env()
         for outer, value in env.vars.items():
@@ -653,6 +668,12 @@ class Checker:
         if any(
             isinstance(v, (AbstractContainer, AbstractIterator)) for v in args
         ):
+            tr = _trace.ACTIVE
+            if tr is not None:
+                tr.event(
+                    "stllint.uninlined", cat="lint", callee=name, line=line,
+                    caller=self._inline_stack[-1],
+                )
             self.sink.note(f"{name}(): {MSG_UNINLINED_CALL}", line)
 
     # -- container/iterator operations --------------------------------------------------

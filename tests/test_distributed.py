@@ -438,3 +438,72 @@ class TestTaxonomy:
         text = standard_taxonomy().document()
         assert "chang-roberts" in text
         assert "guarantees messages" in text
+
+
+class TestLimitTruncationReporting:
+    """PR 3 regression: hitting max_time/max_messages must be reported —
+    never indistinguishable from quiescence."""
+
+    class _Flood(Process):
+        def on_start(self, ctx):
+            ctx.send(1 - self.rank, "go")
+
+        def on_message(self, ctx, msg):
+            ctx.send(msg.src, "go")
+
+    def test_runaway_flood_raises_with_partial_metrics(self):
+        sim = Simulator(Complete(2), [self._Flood(0), self._Flood(1)],
+                        max_messages=100)
+        with pytest.raises(SimulationError) as exc_info:
+            sim.run()
+        assert sim.metrics.truncated is True
+        assert "message budget" in sim.metrics.truncation_reason
+        assert exc_info.value.metrics is sim.metrics
+        assert sim.metrics.messages_sent > 100
+        assert "TRUNCATED" in sim.metrics.summary()
+
+    def test_runaway_flood_truncate_mode_returns_flagged_metrics(self):
+        sim = Simulator(Complete(2), [self._Flood(0), self._Flood(1)],
+                        max_messages=100, on_limit="truncate")
+        m = sim.run()
+        assert m.truncated is True
+        assert "message budget" in m.truncation_reason
+
+    def test_breach_detected_even_if_process_swallows_exceptions(self):
+        # The old behavior raised inside the sender's callback, where a
+        # broad except could eat it and the run would look quiescent.
+        class SwallowingFlood(Process):
+            def on_start(self, ctx):
+                ctx.send(1 - self.rank, "go")
+
+            def on_message(self, ctx, msg):
+                try:
+                    ctx.send(msg.src, "go")
+                except Exception:
+                    pass
+
+        sim = Simulator(Complete(2), [SwallowingFlood(0), SwallowingFlood(1)],
+                        max_messages=100)
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert sim.metrics.truncated is True
+
+    def test_max_time_truncation_flagged(self):
+        sim = Simulator(Complete(2), [self._Flood(0), self._Flood(1)],
+                        max_time=10.0, on_limit="truncate")
+        m = sim.run()
+        assert m.truncated is True
+        assert "max_time" in m.truncation_reason
+        assert m.finish_time <= 10.0
+
+    def test_quiescent_run_not_truncated(self):
+        m = Simulator(Complete(2), [_PingPong(0, count=3),
+                                    _PingPong(1, count=3)]).run()
+        assert m.truncated is False
+        assert m.truncation_reason == ""
+        assert "TRUNCATED" not in m.summary()
+
+    def test_bad_on_limit_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(Complete(2), [self._Flood(0), self._Flood(1)],
+                      on_limit="ignore")

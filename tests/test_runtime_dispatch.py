@@ -402,3 +402,40 @@ class TestRuntimeStats:
         buf = io.StringIO()
         runtime.install_stats_report(buf)
         runtime.install_stats_report(buf)   # second call is a no-op
+
+
+class TestLateOverloadRegistration:
+    """PR 3 regression: adding an overload AFTER the dispatch table has
+    been compiled must discard the table, and the new (more specific)
+    overload must win on the very next call."""
+
+    def test_new_overload_wins_after_table_compiled(self):
+        reg = ModelRegistry()
+        Anything = Concept("RtLateAnything")
+        Nominal = Concept(
+            "RtLateSpecial",
+            refines=[Anything],
+            requirements=[method("t.quack()", "quack", [T])],
+            nominal=True,
+        )
+        reg.register(Nominal, Duck)
+        f = GenericFunction("late", registry=reg)
+
+        @f.overload(requires=[(Anything, 0)])
+        def generic(x):
+            return "generic"
+
+        assert f(Duck()) == "generic"       # table compiled, Duck cached
+        gen_before = f._table.generation
+        assert f._table.entries              # the cached entry exists
+
+        @f.overload(requires=[(Nominal, 0)], name="special")
+        def special(x):
+            return "special"
+
+        assert f._table is None              # registration retired the table
+        assert f(Duck()) == "special"        # recompiled; new overload wins
+        assert f._table.generation == gen_before  # registry never mutated
+        stats = f.stats()
+        assert stats["rebuilds"] == 2
+        assert stats["overload_calls"] == {"generic": 1, "special": 1}

@@ -314,3 +314,80 @@ class TestCostModel:
     def test_leaves_are_free(self):
         assert cost(Var("x")) == 0
         assert cost(Const(3)) == 0
+
+
+class TestConvergenceReporting:
+    """PR 3 regression: hitting max_passes must not masquerade as a
+    reached fixpoint."""
+
+    def _oscillating_simplifier(self, max_passes=4):
+        flip = LambdaRule(
+            matcher=lambda node, tenv, reg:
+                Const(2) if node == Const(1) else None,
+            name="flip-1-to-2",
+        )
+        flop = LambdaRule(
+            matcher=lambda node, tenv, reg:
+                Const(1) if node == Const(2) else None,
+            name="flop-2-to-1",
+        )
+        return Simplifier(rules=(flip, flop), max_passes=max_passes)
+
+    def test_oscillating_rules_reported_as_not_converged(self):
+        s = self._oscillating_simplifier(max_passes=4)
+        res = s.simplify(Const(1))
+        assert res.converged is False
+        assert res.passes == 4
+        assert len(res.applications) == 4  # one flip/flop per pass
+        assert "NOT converge" in res.report()
+
+    def test_oscillation_emits_trace_event(self):
+        from repro import trace
+
+        t = trace.Tracer()
+        s = self._oscillating_simplifier(max_passes=3)
+        s.tracer = t
+        res = s.simplify(Const(1))
+        assert res.converged is False
+        exhausted = [r for r in t.records
+                     if r["name"] == "rewrite.max-passes-exhausted"]
+        assert len(exhausted) == 1
+        assert exhausted[0]["attrs"]["max_passes"] == 3
+
+    def test_fixpoint_still_reports_converged(self):
+        res = simplify(BinOp("+", x, Const(0)), tenv={"x": int})
+        assert res.converged is True
+        assert "NOT" not in res.report()
+
+
+class TestGrowingRewriteSizeSemantics:
+    """PR 3 regression: a rewrite that grows the expression must not
+    report a negative elimination count."""
+
+    def _grow(self):
+        # An inverse-normalization-style rule: one Var node becomes a
+        # three-node tree.
+        grow = LambdaRule(
+            matcher=lambda node, tenv, reg:
+                BinOp("+", Var("y"), Const(0)) if node == Var("g") else None,
+            name="grow",
+        )
+        s = Simplifier(rules=(grow,))
+        original = Var("g")
+        return original, s.simplify(original)
+
+    def test_nodes_eliminated_clamped_at_zero(self):
+        original, res = self._grow()
+        assert res.changed
+        assert res.expr.size() > original.size()
+        assert res.nodes_eliminated(original) == 0
+
+    def test_size_delta_is_signed(self):
+        original, res = self._grow()
+        assert res.size_delta(original) == 2  # 1 node -> 3 nodes
+
+    def test_shrinking_rewrite_keeps_positive_elimination(self):
+        original = BinOp("+", BinOp("+", x, Const(0)), Const(0))
+        res = simplify(original, tenv={"x": int})
+        assert res.nodes_eliminated(original) == 4
+        assert res.size_delta(original) == -4

@@ -197,3 +197,27 @@ class TestIntrospection:
         decl = declaration_of(axpy)
         assert "axpy(v, s, w)" in decl
         assert "where v, s : Vector Space" in decl
+
+
+class TestWhereMultiDeprecationStacklevel:
+    def test_warning_points_at_caller_not_decorator_internals(self):
+        """PR 3 regression: the DeprecationWarning must carry the
+        decorator application site (this file), not where.py."""
+        with pytest.warns(DeprecationWarning, match="where_multi") as rec:
+            @where_multi((VectorSpace, ("v", "s")))
+            def scale(v, s):
+                return v * s
+
+        (warning,) = [w for w in rec if w.category is DeprecationWarning]
+        assert warning.filename == __file__
+
+    def test_warning_points_at_caller_through_reexport(self):
+        import repro.concepts as concepts
+
+        with pytest.warns(DeprecationWarning, match="where_multi") as rec:
+            @concepts.where_multi((VectorSpace, ("v", "s")))
+            def scale(v, s):
+                return v * s
+
+        (warning,) = [w for w in rec if w.category is DeprecationWarning]
+        assert warning.filename == __file__

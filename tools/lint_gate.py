@@ -8,6 +8,10 @@ variant, a ``@where`` violation, and one suppressed past-the-end read);
 every other example must lint clean.  Any drift — a lost warning, a new
 false positive, a suppression that stops working — fails the build.
 
+The gate also self-hosts over ``src/repro/trace/`` — the tracer is the
+bottom layer everything else reports into, so it must lint completely
+clean.
+
 Run:  python tools/lint_gate.py          (from the repo root)
 """
 
@@ -39,6 +43,14 @@ def main() -> int:
     }
 
     ok = True
+
+    trace_report = lint_paths([REPO / "src" / "repro" / "trace"],
+                              LintConfig())
+    if trace_report.findings:
+        ok = False
+        print("lint gate: src/repro/trace/ must lint clean, found:")
+        for f in trace_report.findings:
+            print(f"  {f.render()}")
     missing = EXPECTED - actual
     unexpected = actual - EXPECTED
     if missing:
@@ -63,7 +75,9 @@ def main() -> int:
     print(report.render_text())
     if ok:
         print("lint gate: OK — examples produce exactly the expected "
-              "findings")
+              "findings; src/repro/trace/ lints clean "
+              f"({trace_report.summary()['functions_checked']} "
+              "function(s) checked)")
     return 0 if ok else 1
 
 
