@@ -7,15 +7,25 @@ sort-then-find program, then measures the suggested change: linear find vs
 binary lower_bound over a size sweep — the asymptotic separation (n vs
 log n) that "complete verification ... would permit high-level
 optimizations that improve the asymptotic performance".
+
+PR 4 closes the loop: ``repro.optimize`` now *applies* the suggestion, so
+the bench also runs the full facts -> select -> rewrite -> verify pipeline
+on the same program, times the suggested and the applied variants, and
+emits a machine-readable row (``out/optimize_pipeline.json``).
 """
 
+import json
+import pathlib
 import timeit
 
 import pytest
 
+from repro.optimize import optimize_source
 from repro.sequences import Vector
 from repro.sequences.algorithms import find, lower_bound
 from repro.stllint import MSG_SORTED_LINEAR_FIND, check_source
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 PROGRAM = '''
 def lookup(v: "vector"):
@@ -62,6 +72,52 @@ def test_suggestion_emitted(benchmark, record):
     assert not improved.suggestions
     assert improved.clean
     benchmark(lambda: check_source(PROGRAM))
+
+
+def test_pipeline_applies_the_suggestion(benchmark, record):
+    """End to end: the optimizer must *perform* the rewrite the linter
+    only suggested, the rewritten program must equal the hand-improved
+    one semantically (same callee), and the measured payoff of the
+    applied variant goes into a machine-readable row."""
+    result = benchmark(lambda: optimize_source(PROGRAM))
+    assert result.changed and result.verified and not result.reverted
+    assert len(result.plans) == 1
+    plan = result.plans[0]
+    assert (plan.call, plan.replacement) == ("find", "lower_bound")
+    assert "lower_bound(v.begin(), v.end(), 42)" in result.optimized
+    # The applied output is exactly the suggested variant.
+    assert result.optimized == IMPROVED
+    # And it re-lints clean (this is what "verified" means).
+    assert check_source(result.optimized).clean
+
+    # Time both variants of the changed call at one representative size.
+    n = 2 ** 12
+    v = Vector(sorted(range(n)))
+    t_suggested = min(timeit.repeat(
+        lambda: find(v.begin(), v.end(), n - 1), number=3, repeat=3)) / 3
+    t_applied = min(timeit.repeat(
+        lambda: lower_bound(v.begin(), v.end(), n - 1),
+        number=3, repeat=3)) / 3
+
+    OUT_DIR.mkdir(exist_ok=True)
+    row = {
+        "experiment": "optimize_pipeline",
+        "program": "sort-then-linear-find",
+        "rewrites": [p.to_dict() for p in result.plans],
+        "verified": result.verified,
+        "n": n,
+        "suggested_variant_us": t_suggested * 1e6,
+        "applied_variant_us": t_applied * 1e6,
+        "speedup": t_suggested / t_applied,
+    }
+    (OUT_DIR / "optimize_pipeline.json").write_text(
+        json.dumps(row, indent=2) + "\n")
+    record("optimize_pipeline",
+           f"pipeline: {plan.describe()}\n"
+           f"measured at n={n}: suggested(find)={t_suggested * 1e6:.1f}us, "
+           f"applied(lower_bound)={t_applied * 1e6:.1f}us, "
+           f"{t_suggested / t_applied:.1f}x")
+    assert t_suggested / t_applied > 5
 
 
 @pytest.mark.parametrize("exp", [8, 12, 16])

@@ -121,6 +121,23 @@ class BigO:
     def comparable(self, other: "BigO") -> bool:
         return self.dominates(other) or other.dominates(self)
 
+    def at(self, **sizes: float) -> float:
+        """Evaluate the bound's shape at concrete sizes (max over
+        monomials, unknown variables default to 1).  This is what turns a
+        guarantee into a usable cost *weight* — ``linearithmic().at(n=1e3)``
+        ≈ 9966 — for the rewrite cost model and for empirical fitting."""
+        import math
+
+        best = 0.0
+        for m in self.monomials:
+            val = 1.0
+            for (var, kind), power in m.powers:
+                x = float(sizes.get(var, 1.0))
+                base = math.log(max(x, 2.0)) if kind == "log" else x
+                val *= base ** float(power)
+            best = max(best, val)
+        return max(best, 1e-12)
+
     def __str__(self) -> str:
         if not self.monomials:
             return "O(0)"
@@ -197,20 +214,7 @@ def fits(bound: BigO, sizes: Iterable[tuple[Mapping[str, float], float]],
     measured/predicted must stay within ``tolerance`` of its median across
     the sweep.  Used by the benchmark harness to validate *shape*, not
     absolute cost."""
-    import math
-
-    def predict(env: Mapping[str, float]) -> float:
-        best = 0.0
-        for m in bound.monomials:
-            val = 1.0
-            for (var, kind), power in m.powers:
-                x = float(env.get(var, 1.0))
-                base = math.log(max(x, 2.0)) if kind == "log" else x
-                val *= base ** float(power)
-            best = max(best, val)
-        return max(best, 1e-12)
-
-    ratios = sorted(meas / predict(env) for env, meas in sizes)
+    ratios = sorted(meas / bound.at(**env) for env, meas in sizes)
     if not ratios:
         return True
     median = ratios[len(ratios) // 2]

@@ -39,6 +39,15 @@ class AlgorithmConcept:
         refines: More general algorithm concepts this one refines (a stable
             sort *is a* sort with an extra promise).
         implementation: Optional callable realizing the concept.
+        requires_properties: Semantic properties (:mod:`repro.facts`
+            names like ``"sorted"``) the input range must satisfy — the
+            machine-readable form of "binary_search requires a sorted
+            range", checked against STLlint-derived facts.
+        establishes: Properties holding on the range afterwards.
+        destroys: Properties the algorithm's reordering invalidates.
+        result: What the call returns, for substitutability during
+            selection (``"position"`` — an iterator into the range;
+            ``"bool"``; ``"value"``; ``""`` for in-place mutators).
     """
 
     name: str
@@ -48,6 +57,10 @@ class AlgorithmConcept:
     refines: tuple["AlgorithmConcept", ...] = ()
     implementation: Optional[object] = None
     doc: str = ""
+    requires_properties: tuple[str, ...] = ()
+    establishes: tuple[str, ...] = ()
+    destroys: tuple[str, ...] = ()
+    result: str = ""
 
     def refines_transitively(self, other: "AlgorithmConcept") -> bool:
         if self is other:
@@ -181,6 +194,45 @@ class Taxonomy:
             best_bound = best.all_guarantees()[resource]
             if bound < best_bound:
                 best = algo
+        return best
+
+    def select_for_properties(
+        self,
+        problem: str,
+        properties: "Iterable[str]",
+        resource: str,
+        result: Optional[str] = None,
+        require_implementation: bool = True,
+    ) -> Optional[AlgorithmConcept]:
+        """Pick the algorithm with the asymptotically best ``resource``
+        guarantee whose *property* requirements are satisfied by
+        ``properties`` (STLlint-derived facts, closed under implication).
+
+        This is the data-driven half of the paper's Section 3.2 loop:
+        the facts layer proves ``sorted(v)`` holds at a ``find`` call, and
+        the taxonomy answers "given sortedness, what is the cheapest
+        search returning a position?" — ``lower_bound``, O(log n).
+        ``result`` restricts candidates to substitutable ones (a rewrite
+        of ``find`` needs another position-returning search, not the
+        bool-returning ``binary_search``).
+        """
+        from ..facts.properties import closure
+
+        have = closure(properties)
+        best: Optional[AlgorithmConcept] = None
+        best_bound: Optional[BigO] = None
+        for algo in self.algorithms_for_problem(problem):
+            if require_implementation and algo.implementation is None:
+                continue
+            if result is not None and algo.result != result:
+                continue
+            if not set(algo.requires_properties) <= have:
+                continue
+            bound = algo.all_guarantees().get(resource)
+            if bound is None:
+                continue
+            if best_bound is None or bound < best_bound:
+                best, best_bound = algo, bound
         return best
 
     def gaps(self, problem: str) -> list[AlgorithmConcept]:

@@ -34,6 +34,8 @@ from .driver import (
 )
 from .suppressions import (
     ALL_CHECKS,
+    UNKNOWN_SUPPRESSION_CODE,
+    UNUSED_SUPPRESSION,
     all_check_codes,
     check_code,
     collect_suppressions,
@@ -46,5 +48,6 @@ __all__ = [
     "SEVERITY_ORDER",
     "run_concept_pass", "ConceptFinding",
     "check_code", "all_check_codes", "collect_suppressions", "ALL_CHECKS",
+    "UNUSED_SUPPRESSION", "UNKNOWN_SUPPRESSION_CODE",
     "main",
 ]

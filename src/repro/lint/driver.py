@@ -26,7 +26,15 @@ from repro.stllint.interpreter import Checker, module_function_table
 from repro.stllint.specs import CONTAINER_SPECS
 from repro.trace import core as _trace
 
-from .suppressions import check_code, collect_suppressions, is_suppressed
+from .suppressions import (
+    ALL_CHECKS,
+    UNKNOWN_SUPPRESSION_CODE,
+    UNUSED_SUPPRESSION,
+    all_check_codes,
+    check_code,
+    collect_suppressions,
+    is_suppressed,
+)
 
 #: Severity rank, most severe first (for --fail-on thresholds).
 SEVERITY_ORDER: dict[str, int] = {
@@ -211,12 +219,14 @@ def lint_source(
         return report
 
     tr = _trace.ACTIVE
+    used_suppressions: set[int] = set()
 
     def add(severity: Severity, message: str, line: int,
             function: str) -> None:
         code = check_code(message)
         if is_suppressed(suppressions, line, code):
             report.suppressed += 1
+            used_suppressions.add(line)
             return
         src = lines[line - 1] if 1 <= line <= len(lines) else ""
         report.findings.append(LintFinding(
@@ -260,6 +270,38 @@ def lint_source(
         for finding in pass_findings:
             add(finding.severity, finding.message, finding.line,
                 finding.function)
+
+    # Suppression hygiene: an ignore comment naming a code the driver can
+    # never emit, or matching no finding at all, is a latent bug (the
+    # diagnostic it was written for will resurface unsilenced the moment
+    # the line changes).  These findings bypass the suppression machinery
+    # by construction — a suppression must not silence its own autopsy.
+    known = set(all_check_codes()) | {ALL_CHECKS}
+    for lineno, codes in sorted(suppressions.items()):
+        src = lines[lineno - 1] if 1 <= lineno <= len(lines) else ""
+        # "..." is the documentation placeholder (docstrings quote the
+        # comment syntax as ``ignore[...]``), not a misspelled code.
+        unknown = codes - known - {"..."}
+        if unknown:
+            report.findings.append(LintFinding(
+                path=path, function="<module>", line=lineno,
+                severity="warning", check=UNKNOWN_SUPPRESSION_CODE,
+                message=(
+                    "suppression names unknown check code(s): "
+                    + ", ".join(sorted(unknown))
+                    + " (see --list-checks)"
+                ),
+                source_line=src,
+            ))
+        if lineno not in used_suppressions and codes & known:
+            report.findings.append(LintFinding(
+                path=path, function="<module>", line=lineno,
+                severity="warning", check=UNUSED_SUPPRESSION,
+                message=(
+                    "suppression comment matches no finding on this line"
+                ),
+                source_line=src,
+            ))
 
     report.findings.sort(key=lambda f: (f.line, SEVERITY_ORDER[f.severity]))
     return report

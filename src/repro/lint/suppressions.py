@@ -62,6 +62,12 @@ _SUBSTRING_CHECKS: list[tuple[str, str]] = [
 #: Fallback for diagnostics from library-registered algorithm specs.
 FALLBACK_CHECK = "library-spec"
 
+#: Hygiene checks about the suppressions themselves (emitted by the
+#: driver, never suppressible — a suppression must not silence the
+#: warning that it is dead).
+UNUSED_SUPPRESSION = "unused-suppression"
+UNKNOWN_SUPPRESSION_CODE = "unknown-suppression-code"
+
 
 def check_code(message: str) -> str:
     """The check code for a diagnostic message."""
@@ -79,6 +85,7 @@ def all_check_codes() -> list[str]:
     codes = list(dict.fromkeys(MESSAGE_CHECKS.values()))
     codes += [code for _, code in _SUBSTRING_CHECKS]
     codes.append(FALLBACK_CHECK)
+    codes += [UNUSED_SUPPRESSION, UNKNOWN_SUPPRESSION_CODE]
     return codes
 
 

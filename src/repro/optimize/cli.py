@@ -1,0 +1,146 @@
+"""Command-line entry point: ``python -m repro.optimize <paths>``.
+
+Modes:
+
+- default: report the rewrites that would be applied (with diffs via
+  ``--diff``), leaving files untouched;
+- ``--write``: apply verified rewrites in place;
+- ``--check``: CI mode — exit 1 if any file has outstanding rewrites
+  (so a tree that should already be optimal gates the build).
+
+Exit status: 0 when nothing needs rewriting (or ``--write`` applied
+everything cleanly), 1 when ``--check`` found outstanding rewrites or a
+verification failure reverted a file, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro import trace
+
+from ..lint.driver import discover_files
+from .pipeline import DEFAULT_RESOURCE, DEFAULT_SIZE, optimize_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.optimize",
+        description=(
+            "Source-to-source optimizer: collects STLlint facts, selects "
+            "asymptotically better algorithms from the sequence taxonomy, "
+            "rewrites call sites, and verifies the result by re-linting."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to optimize",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="report only; exit 1 if any rewrite is outstanding",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="apply verified rewrites to the files in place",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="print a unified diff for each changed file",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--resource", default=DEFAULT_RESOURCE,
+        help="complexity resource driving selection "
+             f"(default: {DEFAULT_RESOURCE})",
+    )
+    parser.add_argument(
+        "--size", type=float, default=DEFAULT_SIZE,
+        help="size n at which estimated savings are priced "
+             f"(default: {DEFAULT_SIZE:g})",
+    )
+    parser.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="OUT.json",
+        help="record per-stage pipeline spans and write a Chrome "
+             "trace-event JSON (load via chrome://tracing)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.check and args.write:
+        parser.print_usage(sys.stderr)
+        print("error: --check and --write are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    tracer = trace.enable() if args.trace is not None else trace.active()
+
+    def run() -> list:
+        results = []
+        for f in discover_files(args.paths):
+            results.append(optimize_file(
+                f, write=args.write,
+                resource=args.resource, size=args.size,
+            ))
+        return results
+
+    if tracer is not None:
+        with tracer.span("optimize.run", cat="optimize",
+                         paths=[str(p) for p in args.paths]):
+            results = run()
+    else:
+        results = run()
+    if args.trace is not None:
+        trace.export_chrome(tracer, args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+
+    outstanding = sum(
+        len(r.plans) for r in results if not (args.write and r.verified)
+    )
+    reverted = sum(1 for r in results if r.reverted)
+    if args.format == "json":
+        print(json.dumps({
+            "version": 1,
+            "files": [r.to_dict() for r in results],
+            "summary": {
+                "files": len(results),
+                "rewrites": sum(len(r.plans) for r in results),
+                "reverted": reverted,
+                "written": sum(
+                    1 for r in results
+                    if args.write and r.changed and r.verified
+                ),
+            },
+        }, indent=2))
+    else:
+        for r in results:
+            print(r.render())
+            if args.diff and r.changed:
+                sys.stdout.write(r.diff())
+        total = sum(len(r.plans) for r in results)
+        action = "applied" if args.write else "available"
+        print(f"{total} rewrite(s) {action} across {len(results)} file(s)"
+              + (f", {reverted} reverted" if reverted else ""))
+
+    if reverted:
+        return 1
+    if args.check and outstanding:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

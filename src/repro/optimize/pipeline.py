@@ -1,0 +1,367 @@
+"""The source-to-source optimization pipeline.
+
+Four stages, each traced as its own span when tracing is active:
+
+1. **facts** — run STLlint's symbolic interpreter over the module and
+   collect must-hold properties at every specified-algorithm call site
+   (:func:`repro.stllint.facts_collection.collect_facts`).
+2. **select** — for each call site, ask the sequence taxonomy for the
+   asymptotically cheapest substitutable algorithm whose property
+   requirements the facts satisfy
+   (:meth:`repro.concepts.taxonomy.Taxonomy.select_for_properties`).
+3. **rewrite** — apply the selections source-to-source: locate the call
+   by AST position and replace the callee name by column surgery, so
+   formatting, comments, and line numbers are preserved.
+4. **verify** — re-lint the rewritten module (no new warnings/errors may
+   appear) and re-plan it (the pipeline must be idempotent: optimizing
+   its own output proposes nothing).  Any failure reverts to the
+   original source.
+
+This is the end-to-end loop Section 3.2 sketches: "linear search on a
+sorted sequence → binary search", driven by STLlint-derived flow facts
+and taxonomy complexity data rather than hard-coded patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..concepts.taxonomy import Taxonomy
+from ..facts.records import FactTable
+from ..lint.driver import LintConfig, LintFinding, lint_source
+from ..sequences.taxonomy import CALL_TO_CONCEPT, CONCEPT_TO_CALL, stl_taxonomy
+from ..stllint.facts_collection import collect_facts
+from ..trace import core as _trace
+
+PathLike = Union[str, pathlib.Path]
+
+#: Resource whose guarantee drives selection, and the size the asymptotic
+#: win is priced at for reporting.
+DEFAULT_RESOURCE = "comparisons"
+DEFAULT_SIZE = 1000.0
+
+
+@dataclass(frozen=True)
+class PlannedRewrite:
+    """One selected call replacement, before application."""
+
+    line: int
+    function: str
+    subject: str
+    call: str                     # source callee name being replaced
+    replacement: str              # new callee name
+    concept_from: str             # taxonomy concept of the original call
+    concept_to: str
+    bound_from: str               # rendered complexity guarantees
+    bound_to: str
+    properties: tuple[str, ...]   # must-hold facts that justified it
+    savings: float                # bound_from.at(n) - bound_to.at(n)
+    code: str                     # OPT-* finding code
+
+    def describe(self) -> str:
+        props = ", ".join(self.properties) or "-"
+        return (
+            f"{self.call} -> {self.replacement}: [{props}] holds for "
+            f"'{self.subject}' on every path, so {self.concept_to} "
+            f"({self.bound_to}) replaces {self.concept_from} "
+            f"({self.bound_from}); est. savings "
+            f"~{self.savings:.0f} {DEFAULT_RESOURCE} at n={DEFAULT_SIZE:g}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "function": self.function,
+            "subject": self.subject,
+            "call": self.call,
+            "replacement": self.replacement,
+            "concept_from": self.concept_from,
+            "concept_to": self.concept_to,
+            "bound_from": self.bound_from,
+            "bound_to": self.bound_to,
+            "properties": list(self.properties),
+            "savings": self.savings,
+            "code": self.code,
+        }
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of one pipeline run over one module."""
+
+    path: str
+    original: str
+    optimized: str
+    plans: list[PlannedRewrite] = field(default_factory=list)
+    findings: list[LintFinding] = field(default_factory=list)
+    verified: bool = True
+    reverted: bool = False
+    revert_reason: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.optimized != self.original
+
+    def diff(self) -> str:
+        return "".join(difflib.unified_diff(
+            self.original.splitlines(keepends=True),
+            self.optimized.splitlines(keepends=True),
+            fromfile=f"{self.path} (original)",
+            tofile=f"{self.path} (optimized)",
+        ))
+
+    def render(self) -> str:
+        lines = []
+        for f in self.findings:
+            lines.append(f.render())
+        if self.reverted:
+            lines.append(
+                f"{self.path}: rewrites REVERTED — {self.revert_reason}"
+            )
+        elif self.plans:
+            lines.append(
+                f"{self.path}: {len(self.plans)} rewrite(s), "
+                f"verified by re-lint"
+            )
+        else:
+            lines.append(f"{self.path}: nothing to optimize")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "changed": self.changed,
+            "verified": self.verified,
+            "reverted": self.reverted,
+            "revert_reason": self.revert_reason,
+            "rewrites": [p.to_dict() for p in self.plans],
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# Stages
+# ---------------------------------------------------------------------------
+
+
+def plan_rewrites(
+    table: FactTable,
+    taxonomy: Optional[Taxonomy] = None,
+    resource: str = DEFAULT_RESOURCE,
+    size: float = DEFAULT_SIZE,
+) -> list[PlannedRewrite]:
+    """Stage 2: data-driven selection.  A site is rewritten only when the
+    taxonomy offers a *strictly* asymptotically better algorithm, with
+    the same result kind, whose property requirements are met by the
+    site's must-hold facts."""
+    taxonomy = taxonomy or stl_taxonomy()
+    plans: list[PlannedRewrite] = []
+    for site in table.call_sites():
+        concept_name = CALL_TO_CONCEPT.get(site.algorithm)
+        if concept_name is None:
+            continue
+        current = taxonomy.algorithms.get(concept_name)
+        if current is None:
+            continue
+        best = taxonomy.select_for_properties(
+            current.problem, site.properties, resource,
+            result=current.result or None,
+        )
+        if best is None or best.name == current.name:
+            continue
+        cur_bound = current.all_guarantees().get(resource)
+        new_bound = best.all_guarantees().get(resource)
+        if cur_bound is None or new_bound is None:
+            continue
+        if not (new_bound < cur_bound):
+            continue
+        replacement = CONCEPT_TO_CALL.get(best.name)
+        if replacement is None or replacement == site.algorithm:
+            continue
+        plans.append(PlannedRewrite(
+            line=site.line,
+            function=site.function,
+            subject=site.subject,
+            call=site.algorithm,
+            replacement=replacement,
+            concept_from=current.name,
+            concept_to=best.name,
+            bound_from=str(cur_bound),
+            bound_to=str(new_bound),
+            properties=tuple(sorted(
+                str(p) for p in best.requires_properties
+            )),
+            savings=cur_bound.at(n=size) - new_bound.at(n=size),
+            code=f"OPT-{site.algorithm}-to-{replacement}".replace("_", "-"),
+        ))
+    return plans
+
+
+def apply_rewrites(source: str, plans: list[PlannedRewrite]) -> str:
+    """Stage 3: column-precise callee renaming.  Only ``name(...)`` call
+    nodes whose (line, name) matches a plan are touched; everything else
+    — formatting, comments, strings mentioning the name — is preserved."""
+    if not plans:
+        return source
+    wanted = {(p.line, p.call): p.replacement for p in plans}
+    lines = source.splitlines(keepends=True)
+    # Collect (line, col_start, col_end, replacement), applied
+    # right-to-left per line so earlier columns stay valid.
+    edits: list[tuple[int, int, int, str]] = []
+    for node in ast.walk(ast.parse(source)):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            continue
+        replacement = wanted.get((node.func.lineno, node.func.id))
+        if replacement is None:
+            continue
+        edits.append((
+            node.func.lineno, node.func.col_offset,
+            node.func.end_col_offset, replacement,
+        ))
+    for lineno, start, end, replacement in sorted(edits, reverse=True):
+        text = lines[lineno - 1]
+        lines[lineno - 1] = text[:start] + replacement + text[end:]
+    return "".join(lines)
+
+
+def _problem_findings(source: str, path: str) -> set[tuple[int, str]]:
+    """(line, check) pairs at warning severity or worse."""
+    report = lint_source(source, path=path, config=LintConfig())
+    return {
+        (f.line, f.check) for f in report.findings
+        if f.severity in ("error", "warning")
+    }
+
+
+# ---------------------------------------------------------------------------
+# Pipeline
+# ---------------------------------------------------------------------------
+
+
+def optimize_source(
+    source: str,
+    path: str = "<string>",
+    taxonomy: Optional[Taxonomy] = None,
+    resource: str = DEFAULT_RESOURCE,
+    size: float = DEFAULT_SIZE,
+) -> OptimizeResult:
+    """Run the full facts → select → rewrite → verify pipeline."""
+    tr = _trace.ACTIVE
+    taxonomy = taxonomy or stl_taxonomy()
+    result = OptimizeResult(path=path, original=source, optimized=source)
+
+    try:
+        if tr is None:
+            table = collect_facts(source)
+        else:
+            with tr.span("optimize.facts", cat="optimize", path=path) as sp:
+                table = collect_facts(source)
+                sp.set("call_sites", len(table.call_sites()))
+    except SyntaxError as exc:
+        result.verified = False
+        result.findings.append(LintFinding(
+            path=path, function="<module>", line=exc.lineno or 0,
+            severity="error", check="parse-error",
+            message=f"file could not be parsed: {exc.msg}",
+        ))
+        return result
+
+    if tr is None:
+        plans = plan_rewrites(table, taxonomy, resource, size)
+    else:
+        with tr.span("optimize.select", cat="optimize", path=path) as sp:
+            plans = plan_rewrites(table, taxonomy, resource, size)
+            sp.set("plans", len(plans))
+            for p in plans:
+                tr.event(
+                    "optimize.plan", cat="optimize", line=p.line,
+                    call=p.call, replacement=p.replacement,
+                    properties=list(p.properties), savings=p.savings,
+                )
+    if not plans:
+        return result
+
+    if tr is None:
+        optimized = apply_rewrites(source, plans)
+    else:
+        with tr.span("optimize.rewrite", cat="optimize", path=path) as sp:
+            optimized = apply_rewrites(source, plans)
+            sp.set("rewrites", len(plans))
+
+    def verify() -> tuple[bool, str]:
+        # No new warnings/errors relative to the input...
+        before = _problem_findings(source, path)
+        after = _problem_findings(optimized, path)
+        introduced = after - before
+        if introduced:
+            rendered = ", ".join(
+                f"L{line}:{check}" for line, check in sorted(introduced)
+            )
+            return False, f"re-lint found new problems ({rendered})"
+        # ...and nothing further to do: the pipeline is idempotent.
+        again = plan_rewrites(collect_facts(optimized), taxonomy,
+                              resource, size)
+        if again:
+            return False, (
+                f"not idempotent: optimized output still proposes "
+                f"{len(again)} rewrite(s)"
+            )
+        return True, ""
+
+    try:
+        if tr is None:
+            ok, reason = verify()
+        else:
+            with tr.span("optimize.verify", cat="optimize", path=path) as sp:
+                ok, reason = verify()
+                sp.set("ok", ok)
+    except SyntaxError as exc:
+        ok, reason = False, f"rewritten source does not parse: {exc.msg}"
+
+    src_lines = source.splitlines()
+    for p in plans:
+        line_text = (
+            src_lines[p.line - 1] if 1 <= p.line <= len(src_lines) else ""
+        )
+        result.findings.append(LintFinding(
+            path=path, function=p.function, line=p.line,
+            severity="suggestion", check=p.code,
+            message=p.describe(), source_line=line_text,
+        ))
+
+    if not ok:
+        result.verified = False
+        result.reverted = True
+        result.revert_reason = reason
+        return result
+
+    result.plans = plans
+    result.optimized = optimized
+    return result
+
+
+def optimize_file(
+    path: PathLike,
+    write: bool = False,
+    taxonomy: Optional[Taxonomy] = None,
+    resource: str = DEFAULT_RESOURCE,
+    size: float = DEFAULT_SIZE,
+) -> OptimizeResult:
+    """Optimize one file on disk; with ``write=True`` the rewritten
+    source replaces the file (only when verification passed)."""
+    p = pathlib.Path(path)
+    source = p.read_text(encoding="utf-8")
+    result = optimize_source(
+        source, path=str(p), taxonomy=taxonomy, resource=resource, size=size
+    )
+    if write and result.changed and result.verified:
+        p.write_text(result.optimized, encoding="utf-8")
+    return result

@@ -37,6 +37,24 @@ from .heap import heapsort
 It = Param("It")
 C = Param("C")
 
+#: Source-level call names (the STLlint subset / repro.sequences spelling)
+#: mapped to the taxonomy concept analyzed for them — the bridge the
+#: optimizer crosses from a call site to data-driven selection.
+CALL_TO_CONCEPT: dict[str, str] = {
+    "find": "find",
+    "binary_search": "binary_search",
+    "lower_bound": "lower_bound",
+    "sort": "quicksort",
+    "stable_sort": "stable merge sort",
+    "max_element": "max_element",
+    "min_element": "min_element",
+    "accumulate": "accumulate",
+    "count": "count",
+}
+
+#: ...and back: the call name that realizes a taxonomy concept in source.
+CONCEPT_TO_CALL: dict[str, str] = {v: k for k, v in CALL_TO_CONCEPT.items()}
+
 
 def stl_taxonomy() -> Taxonomy:
     """Build the STL-domain taxonomy (fresh instance; cheap)."""
@@ -52,6 +70,7 @@ def stl_taxonomy() -> Taxonomy:
         requires=(Constraint(InputIterator, (It,)),),
         guarantees={"comparisons": linear(), "traversals": linear()},
         implementation=A.find,
+        result="position",
         doc="Linear search; the least-demanding search algorithm.",
     ))
     t.add_algorithm(AlgorithmConcept(
@@ -61,6 +80,8 @@ def stl_taxonomy() -> Taxonomy:
         guarantees={"comparisons": logarithmic()},
         refines=(find,),
         implementation=A.binary_search,
+        requires_properties=("sorted",),
+        result="bool",
         doc="Refines find: stronger precondition (sortedness) buys "
             "logarithmic comparisons.",
     ))
@@ -70,6 +91,8 @@ def stl_taxonomy() -> Taxonomy:
                   Constraint(SortedRange, (C,))),
         guarantees={"comparisons": logarithmic()},
         implementation=A.lower_bound,
+        requires_properties=("sorted",),
+        result="position",
         doc="Position query on sorted ranges.",
     ))
 
@@ -79,6 +102,7 @@ def stl_taxonomy() -> Taxonomy:
         requires=(Constraint(ForwardIterator, (It,)),),
         guarantees={"comparisons": linear()},
         implementation=A.max_element,
+        result="position",
         doc="Requires Forward (multipass), not just Input — the Section "
             "3.1 distinction.",
     ))
@@ -87,6 +111,7 @@ def stl_taxonomy() -> Taxonomy:
         requires=(Constraint(ForwardIterator, (It,)),),
         guarantees={"comparisons": linear()},
         implementation=A.min_element,
+        result="position",
     ))
 
     # -- accumulation -----------------------------------------------------------
@@ -95,12 +120,14 @@ def stl_taxonomy() -> Taxonomy:
         requires=(Constraint(InputIterator, (It,)),),
         guarantees={"operations": linear()},
         implementation=A.accumulate,
+        result="value",
     ))
     t.add_algorithm(AlgorithmConcept(
         "count", problem="accumulation",
         requires=(Constraint(InputIterator, (It,)),),
         guarantees={"comparisons": linear()},
         implementation=A.count,
+        result="value",
     ))
 
     # -- sorting: where precision beyond O-bounds earns its keep ----------------
@@ -109,6 +136,8 @@ def stl_taxonomy() -> Taxonomy:
         requires=(Constraint(Sequence, (C,)),),
         guarantees={"comparisons": linearithmic(), "extra space": linear()},
         implementation=A.stable_sort,
+        establishes=("sorted",),
+        destroys=("heap", "heap-except-last"),
         doc="The linear-access default; pays O(n) scratch space.",
     ))
     t.add_algorithm(AlgorithmConcept(
@@ -117,6 +146,8 @@ def stl_taxonomy() -> Taxonomy:
         guarantees={"comparisons": linearithmic(),
                     "extra space": logarithmic()},
         implementation=lambda c: A.sort(c),
+        establishes=("sorted",),
+        destroys=("heap", "heap-except-last"),
         doc="Same comparison bound as merge sort; distinguished by the "
             "extra-space guarantee — the 'more precision' the paper wants.",
     ))
@@ -126,6 +157,8 @@ def stl_taxonomy() -> Taxonomy:
         guarantees={"comparisons": linearithmic(), "extra space": linear()},
         refines=(sort_seq,),
         implementation=A.stable_sort,
+        establishes=("sorted",),
+        destroys=("heap", "heap-except-last"),
         doc="Refines merge sort with a stability postcondition at the same "
             "bounds.",
     ))
@@ -134,6 +167,8 @@ def stl_taxonomy() -> Taxonomy:
         requires=(Constraint(RandomAccessContainer, (C,)),),
         guarantees={"comparisons": linearithmic(), "extra space": constant()},
         implementation=heapsort,
+        establishes=("sorted",),
+        destroys=("heap", "heap-except-last"),
         doc="In-place O(1)-space O(n log n) — but not stable; the sorting "
             "design space's third corner.",
     ))
@@ -142,6 +177,8 @@ def stl_taxonomy() -> Taxonomy:
         requires=(Constraint(BidirectionalIterator, (It,)),),
         guarantees={"comparisons": quadratic(), "extra space": constant()},
         implementation=A.insertion_sort_range,
+        establishes=("sorted",),
+        destroys=("heap", "heap-except-last"),
         doc="O(1) space, O(n^2) comparisons: the honest in-place "
             "linear-access option.",
     ))

@@ -9,7 +9,7 @@ Quick use::
     assert str(result.expr) == "x"        # (x, *) models Monoid
 """
 
-from .cost import DEFAULT_WEIGHTS, cost, savings
+from .cost import DEFAULT_WEIGHTS, cost, savings, taxonomy_weights
 from .expr import (
     BinOp,
     Call,
@@ -40,6 +40,7 @@ from .rules import (
     RightIdentityRule,
     RightInverseRule,
     RuleApplication,
+    SortedFindRule,
 )
 from .standard_rules import Fig5Instance, fig5_instances, fig5_table
 
@@ -48,9 +49,9 @@ __all__ = [
     "Var", "normalize", "rebuild",
     "RewriteRule", "RightIdentityRule", "LeftIdentityRule",
     "RightInverseRule", "LeftInverseRule", "DoubleInverseRule", "LambdaRule",
-    "RuleApplication", "STANDARD_RULES", "FIG5_RULES",
+    "RuleApplication", "SortedFindRule", "STANDARD_RULES", "FIG5_RULES",
     "Simplifier", "RewriteResult", "simplify",
     "LiDIAFloat", "declare_lidia", "lidia_inverse_rule", "lidia_simplifier",
-    "cost", "savings", "DEFAULT_WEIGHTS",
+    "cost", "savings", "DEFAULT_WEIGHTS", "taxonomy_weights",
     "Fig5Instance", "fig5_instances", "fig5_table",
 ]

@@ -35,6 +35,33 @@ DEFAULT_WEIGHTS: dict[tuple[str, str], float] = {
     ("str", "concat"): 2.0,
 }
 
+#: Pseudo-type key for weighting free-function calls by name:
+#: ``("<call>", "find")``.  :func:`taxonomy_weights` populates these from
+#: the sequence taxonomy's complexity guarantees.
+CALL = "<call>"
+
+
+def taxonomy_weights(n: float = 1000.0) -> dict[tuple[str, str], float]:
+    """Per-call weights derived from the STL taxonomy's complexity
+    guarantees evaluated at size ``n`` — ``find`` costs ``linear().at(n=n)``,
+    ``lower_bound`` costs ``logarithmic().at(n=n)``.  This is how the
+    expression-level cost model prices the *asymptotic* wins the optimizer
+    finds, instead of counting every call as 1.
+    """
+    from ..sequences.taxonomy import CONCEPT_TO_CALL, stl_taxonomy
+
+    out: dict[tuple[str, str], float] = {}
+    for name, algo in stl_taxonomy().algorithms.items():
+        call = CONCEPT_TO_CALL.get(name)
+        if call is None:
+            continue
+        bounds = algo.all_guarantees()
+        bound = bounds.get("comparisons") or bounds.get("operations")
+        if bound is None:
+            continue
+        out[(CALL, call)] = bound.at(n=n)
+    return out
+
 
 def cost(
     expr: Expr,
@@ -72,7 +99,7 @@ def cost(
         if isinstance(e, MethodCall):
             return child_cost + w.get((type_name(e.receiver), e.name), 1.0)
         if isinstance(e, Call):
-            return child_cost + 1.0
+            return child_cost + w.get((CALL, e.func), 1.0)
         return child_cost
 
     return walk(expr)

@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..concepts.algebra import AlgebraRegistry, algebra as default_algebra
+from ..facts.properties import FactEnv
 from ..trace import core as _trace
+from .cost import savings as _savings
 from .expr import Expr, TypeEnv, normalize, rebuild
 from .rules import RewriteRule, RuleApplication, STANDARD_RULES
 
@@ -39,6 +41,11 @@ class RewriteResult:
     def changed(self) -> bool:
         return bool(self.applications)
 
+    @property
+    def total_savings(self) -> float:
+        """Summed cost-model estimate across all applied rewrites."""
+        return sum(a.savings for a in self.applications)
+
     def nodes_eliminated(self, original: Expr) -> int:
         """Nodes removed relative to ``original``, never negative: a
         rewrite that *grows* the expression (e.g. the generic inverse
@@ -60,9 +67,15 @@ class RewriteResult:
                     f"result may not be fully simplified):")
         lines = [head]
         for a in self.applications:
+            extra = f"  (saves {a.savings:g})" if a.savings else ""
             lines.append(
                 f"  [{a.rule} / {a.concept} @ {a.instance_type}] "
-                f"{a.before}  ->  {a.after}"
+                f"{a.before}  ->  {a.after}{extra}"
+            )
+        if self.total_savings:
+            lines.append(
+                f"  estimated total savings: {self.total_savings:g} "
+                f"weighted operation(s)"
             )
         return "\n".join(lines)
 
@@ -81,12 +94,16 @@ class Simplifier:
         registry: Optional[AlgebraRegistry] = None,
         max_passes: int = 32,
         tracer: Optional[_trace.Tracer] = None,
+        weights: Optional[dict] = None,
     ) -> None:
         self.library_rules: list[RewriteRule] = []
         self.generic_rules: list[RewriteRule] = list(rules)
         self.registry = registry if registry is not None else default_algebra
         self.max_passes = max_passes
         self.tracer = tracer
+        # Extra cost-model weights (e.g. cost.taxonomy_weights(n)) merged
+        # over the defaults when estimating each rewrite's savings.
+        self.weights = weights
 
     def extend(self, rule: RewriteRule) -> RewriteRule:
         """Register a user/library rule (Section 3.2's extension point)."""
@@ -102,16 +119,21 @@ class Simplifier:
         expr: Expr,
         tenv: Optional[TypeEnv] = None,
         pre_normalize: bool = True,
+        fenv: Optional[FactEnv] = None,
     ) -> RewriteResult:
         """Rewrite to fixpoint (or ``max_passes``, reported as
-        ``converged=False`` on the result)."""
+        ``converged=False`` on the result).
+
+        ``fenv`` supplies STLlint-derived facts (subject → property set)
+        for property-guarded rules; without one, such rules never fire.
+        """
         tenv = tenv or {}
         tr = self.tracer if self.tracer is not None else _trace.ACTIVE
         if tr is None:
-            return self._simplify(expr, tenv, pre_normalize, None)
+            return self._simplify(expr, tenv, pre_normalize, None, fenv)
         with tr.span("rewrite.simplify", cat="rewrite",
                      expr=str(expr)) as outer:
-            result = self._simplify(expr, tenv, pre_normalize, tr)
+            result = self._simplify(expr, tenv, pre_normalize, tr, fenv)
             outer.set("passes", result.passes)
             outer.set("rewrites", len(result.applications))
             outer.set("converged", result.converged)
@@ -123,6 +145,7 @@ class Simplifier:
         tenv: TypeEnv,
         pre_normalize: bool,
         tr: Optional[_trace.Tracer],
+        fenv: Optional[FactEnv],
     ) -> RewriteResult:
         if pre_normalize:
             expr = normalize(expr)
@@ -133,18 +156,21 @@ class Simplifier:
             passes += 1
             seen = len(applications)
             if tr is None:
-                expr, changed = self._rewrite_once(expr, tenv, applications)
+                expr, changed = self._rewrite_once(
+                    expr, tenv, applications, fenv
+                )
             else:
                 with tr.span("rewrite.pass", cat="rewrite",
                              number=passes) as sp:
                     expr, changed = self._rewrite_once(
-                        expr, tenv, applications
+                        expr, tenv, applications, fenv
                     )
                     for a in applications[seen:]:
                         tr.event(
                             "rewrite.rule", cat="rewrite", rule=a.rule,
                             concept=a.concept, instance=a.instance_type,
                             before=a.before, after=a.after,
+                            savings=a.savings,
                         )
                     sp.set("rewrites", len(applications) - seen)
             if not changed:
@@ -158,20 +184,27 @@ class Simplifier:
         return RewriteResult(expr, applications, passes, converged)
 
     def _rewrite_once(
-        self, node: Expr, tenv: TypeEnv, applications: list[RuleApplication]
+        self,
+        node: Expr,
+        tenv: TypeEnv,
+        applications: list[RuleApplication],
+        fenv: Optional[FactEnv] = None,
     ) -> tuple[Expr, bool]:
         changed = False
         kids = []
         for c in node.children():
-            new_c, c_changed = self._rewrite_once(c, tenv, applications)
+            new_c, c_changed = self._rewrite_once(c, tenv, applications, fenv)
             kids.append(new_c)
             changed = changed or c_changed
         if changed:
             node = rebuild(node, kids)
         for rule in self.rules:
+            if rule.requires_properties and not rule.properties_hold(node, fenv):
+                continue
             out = rule.try_rewrite(node, tenv, self.registry)
             if out is not None:
                 new_node, record = out
+                record.savings = _savings(node, new_node, tenv, self.weights)
                 applications.append(record)
                 return new_node, True
         return node, changed

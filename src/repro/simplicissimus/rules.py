@@ -26,13 +26,16 @@ from ..concepts.algebra import (
     Monoid,
     algebra as default_algebra,
 )
-from .expr import BinOp, Const, Expr, IdentityOf, Inverse, TypeEnv
+from ..facts.properties import SORTED, FactEnv
+from .expr import BinOp, Call, Const, Expr, IdentityOf, Inverse, TypeEnv, Var
 
 
 @dataclass
 class RuleApplication:
     """Record of one successful rewrite (for reporting and the Fig. 5
-    instance table)."""
+    instance table).  ``savings`` is the cost model's estimated benefit
+    (filled in by the engine); ``properties`` names the STLlint-derived
+    facts the rule's property guard consumed, if any."""
 
     rule: str
     before: str
@@ -40,19 +43,54 @@ class RuleApplication:
     concept: str
     instance_type: str
     op: str
+    savings: float = 0.0
+    properties: tuple[str, ...] = ()
 
 
 class RewriteRule:
     """Base class: ``try_rewrite`` returns the replacement expression (and
-    an application record) or None."""
+    an application record) or None.
+
+    Rules carry two independent guards: ``requires`` (a concept the
+    algebra registry must confirm, checked inside ``try_rewrite``) and
+    ``requires_properties`` (STLlint-derived semantic facts like
+    ``sorted``, checked by the engine via :meth:`properties_hold` before
+    ``try_rewrite`` is even attempted).  A rule with both fires only when
+    both hold — Section 3.2's concept-guarded rewriting extended with the
+    paper's "STLlint-derived flow facts".
+    """
 
     name: str = "<rule>"
     requires: Optional[Concept] = None
+    requires_properties: tuple[str, ...] = ()
 
     def try_rewrite(
         self, node: Expr, tenv: TypeEnv, registry: AlgebraRegistry
     ) -> Optional[tuple[Expr, RuleApplication]]:
         raise NotImplementedError
+
+    def property_subject(self, node: Expr) -> Optional[str]:
+        """Which variable the property requirement is about.  Default:
+        the first ``Var`` argument of a ``Call`` (the range argument in
+        the STLlint subset's spelling ``find(v, x)``)."""
+        if isinstance(node, Call):
+            for a in node.args:
+                if isinstance(a, Var):
+                    return a.name
+        return None
+
+    def properties_hold(self, node: Expr, fenv: Optional[FactEnv]) -> bool:
+        """The property guard.  With no fact environment (``fenv=None``)
+        a property-requiring rule refuses to fire: absence of facts means
+        nothing may be assumed."""
+        if not self.requires_properties:
+            return True
+        if fenv is None:
+            return False
+        subject = self.property_subject(node)
+        if subject is None:
+            return False
+        return fenv.holds_all(subject, self.requires_properties)
 
     def _guard(
         self, typ: Optional[type], op: str, registry: AlgebraRegistry
@@ -214,6 +252,33 @@ class LambdaRule(RewriteRule):
             concept=self.requires.name if self.requires else "<library>",
             instance_type=typ.__name__ if isinstance(typ, type) else str(typ),
             op="",
+        )
+
+
+class SortedFindRule(RewriteRule):
+    """``find(v, x) -> lower_bound(v, x)`` when STLlint's facts establish
+    ``sorted(v)`` — the paper's flagship Section 3.2 integration ("linear
+    search on a sorted sequence → binary search"), as an engine rule
+    rather than a suggestion string.  The property guard (not this
+    matcher) is what makes it sound: without a fact environment proving
+    sortedness on every path, the rule never fires."""
+
+    name = "sorted-find-to-lower-bound"
+    requires_properties = (SORTED,)
+
+    def try_rewrite(self, node, tenv, registry):
+        if not (isinstance(node, Call) and node.func == "find" and node.args):
+            return None
+        new = Call("lower_bound", node.args)
+        typ = node.args[0].typeof(tenv)
+        return new, RuleApplication(
+            rule=self.name,
+            before=str(node),
+            after=str(new),
+            concept="<property>",
+            instance_type=typ.__name__ if isinstance(typ, type) else "?",
+            op="find",
+            properties=tuple(str(p) for p in self.requires_properties),
         )
 
 

@@ -36,6 +36,7 @@ from .archetype_check import (
     check_traversal_requirement,
 )
 from .diagnostics import Diagnostic, DiagnosticSink, Severity
+from .facts_collection import collect_facts
 from .interpreter import (
     MAX_INLINE_DEPTH,
     Checker,
@@ -69,6 +70,7 @@ __all__ = [
     "Position", "Validity",
     "Diagnostic", "DiagnosticSink", "Severity",
     "Checker", "Env", "check_function", "check_source",
+    "collect_facts",
     "module_function_table", "MAX_INLINE_DEPTH",
     "ALGORITHM_SPECS", "CONTAINER_SPECS", "ContainerSpec",
     "InvalidationRule", "register_algorithm_spec",

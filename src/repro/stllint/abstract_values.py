@@ -26,6 +26,8 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Any, Optional
 
+from ..facts.properties import meet as _meet
+
 _ids = itertools.count(1)
 
 
@@ -90,7 +92,10 @@ class AbstractContainer:
         assert self.cid == other.cid
         out = self.copy()
         out.epoch = max(self.epoch, other.epoch)
-        out.properties = self.properties & other.properties  # must-hold props
+        # Must-hold at the join point: the facts-lattice meet, which
+        # closes both sides under implication first (strictly-sorted on
+        # one path meets sorted on the other at sorted, not at nothing).
+        out.properties = set(_meet(self.properties, other.properties))
         out.maybe_empty = self.maybe_empty or other.maybe_empty
         return out
 

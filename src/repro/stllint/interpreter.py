@@ -28,6 +28,8 @@ import ast
 import textwrap
 from typing import Any, Optional
 
+from ..facts.properties import invalidate as _invalidate_props
+from ..facts.records import FactRecorder
 from ..trace import core as _trace
 from .abstract_values import (
     AbstractBool,
@@ -51,7 +53,6 @@ from .specs import (
     MSG_SINGULAR_DEREF,
     MSG_UNINLINED_CALL,
     MSG_UNMODELED_STMT,
-    SORTED,
     AlgorithmContext,
 )
 
@@ -145,11 +146,13 @@ class Checker:
         tree: ast.FunctionDef,
         source_lines: list[str],
         module_functions: Optional[dict[str, ast.FunctionDef]] = None,
+        facts: Optional[FactRecorder] = None,
     ) -> None:
         self.tree = tree
         self.sink = DiagnosticSink(source_lines, tree.name)
         self.env = Env()
         self.module_functions = module_functions or {}
+        self.facts = facts
         self._inline_stack: list[str] = [tree.name]
 
     # -- entry ----------------------------------------------------------------
@@ -597,7 +600,19 @@ class Checker:
             name = node.func.id
             handler = ALGORITHM_SPECS.get(name)
             if handler is not None:
-                return handler(AlgorithmContext(self, args, line))
+                ctx = AlgorithmContext(self, args, line, name=name)
+                if self.facts is None:
+                    return handler(ctx)
+                c = self._primary_container(args)
+                before = frozenset(c.properties) if c is not None else None
+                result = handler(ctx)
+                if c is not None:
+                    self.facts.record_call(
+                        name, line, self._inline_stack[-1],
+                        c.name or "?", c.kind, before,
+                        frozenset(c.properties),
+                    )
+                return result
             callee = self.module_functions.get(name)
             if callee is not None and not node.keywords:
                 return self._inline_call(name, callee, args, env, line)
@@ -678,6 +693,34 @@ class Checker:
 
     # -- container/iterator operations --------------------------------------------------
 
+    @staticmethod
+    def _primary_container(args: list[Any]) -> Optional[AbstractContainer]:
+        """The container an algorithm call is 'about': the first container
+        argument, else the first iterator argument's container."""
+        for a in args:
+            if isinstance(a, AbstractContainer):
+                return a
+        for a in args:
+            if isinstance(a, AbstractIterator):
+                return a.container
+        return None
+
+    def _mutate_properties(
+        self, c: AbstractContainer, kind: str, line: int
+    ) -> None:
+        """Route a container mutation through the facts layer's
+        data-driven invalidation tables instead of per-operation property
+        discards, recording what was destroyed when facts are on."""
+        survived = _invalidate_props(c.properties, kind)
+        if self.facts is not None:
+            for p in sorted(set(c.properties) - set(survived)):
+                self.facts.record(
+                    c.name or "?", p, line, "destroys", source=kind,
+                    function=self._inline_stack[-1],
+                )
+        c.properties.clear()
+        c.properties.update(survived)
+
     def _method_call(self, recv: Any, name: str, args: list[Any],
                      line: int, env: Env) -> Any:
         if isinstance(recv, AbstractContainer):
@@ -711,6 +754,7 @@ class Checker:
                     )
             self._apply_invalidation(c, spec.erase, target, env)
             c.mutate()
+            self._mutate_properties(c, "erase", line)
             return AbstractIterator(c, Position.UNKNOWN, Validity.VALID,
                                     c.epoch, may_be_end=True, origin_line=line)
         if name == "insert":
@@ -721,7 +765,7 @@ class Checker:
                 )
             self._apply_invalidation(c, spec.insert, target, env)
             c.mutate()
-            c.properties.discard(SORTED)
+            self._mutate_properties(c, "insert", line)
             c.maybe_empty = False
             return AbstractIterator(c, Position.UNKNOWN, Validity.VALID,
                                     c.epoch, origin_line=line)
@@ -734,31 +778,27 @@ class Checker:
             else:
                 self._apply_invalidation(c, rule, None, env)
             c.mutate()
-            c.properties.discard(SORTED)
-            # Appending to a heap leaves "heap except the last element" —
-            # exactly push_heap's precondition.
-            from .specs import HEAP, HEAP_TAIL
-
-            if HEAP in c.properties:
-                c.properties.discard(HEAP)
-                c.properties.add(HEAP_TAIL)
+            # The property tables know appending to a heap leaves
+            # "heap except the last element" — push_heap's precondition.
+            self._mutate_properties(c, "append", line)
             c.maybe_empty = False
             return AbstractValue()
         if name in ("pop_back", "pop_front"):
             self._apply_invalidation(c, spec.erase, None, env)  # conservative
             c.mutate()
+            self._mutate_properties(c, "pop", line)
             return AbstractValue()
         if name == "remove":
             # Erase-by-value (the idiomatic Python spelling): same
             # invalidation behaviour as erase at an unknown position.
             self._apply_invalidation(c, spec.erase, None, env)
             c.mutate()
-            c.properties.discard(SORTED)
+            self._mutate_properties(c, "remove", line)
             return AbstractValue()
         if name == "clear":
             self._invalidate_all(c, env, definitely=True)
             c.mutate()
-            c.properties.clear()
+            self._mutate_properties(c, "clear", line)
             c.maybe_empty = True
             return AbstractValue()
         return AbstractValue(f"{c.name}.{name}()")

@@ -20,6 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from ..facts.properties import (
+    DISTINCT,
+    HEAP,
+    HEAP_TAIL,
+    SORTED,
+    STRICTLY_SORTED,
+    closure,
+    invalidate,
+)
 from .abstract_values import (
     AbstractBool,
     AbstractContainer,
@@ -30,10 +39,9 @@ from .abstract_values import (
 )
 from .diagnostics import DiagnosticSink
 
-SORTED = "sorted"
-UNIQUE = "unique"
-HEAP = "heap"
-HEAP_TAIL = "heap-except-last"  # a heap plus one appended element
+# Historical alias: the spec layer called the no-duplicates property
+# UNIQUE before it moved into repro.facts.
+UNIQUE = DISTINCT
 
 
 @dataclass(frozen=True)
@@ -125,12 +133,24 @@ MSG_UNINLINED_CALL = (
 
 
 class AlgorithmContext:
-    """What an algorithm spec handler gets to work with."""
+    """What an algorithm spec handler gets to work with.
 
-    def __init__(self, interp: Any, args: list[Any], line: int) -> None:
+    Besides argument plumbing, the context is the handlers' interface to
+    the :mod:`repro.facts` layer: :meth:`establish`, :meth:`destroy`,
+    :meth:`require`, and :meth:`apply_mutation` both update the abstract
+    container state and (when the interpreter carries a
+    :class:`~repro.facts.records.FactRecorder`) record what happened, so
+    entry/exit handlers *produce* queryable facts instead of mutating
+    interpreter-private sets.
+    """
+
+    def __init__(
+        self, interp: Any, args: list[Any], line: int, name: str = ""
+    ) -> None:
         self.interp = interp
         self.args = args
         self.line = line
+        self.name = name
         self.sink: DiagnosticSink = interp.sink
 
     def iterator_args(self) -> list[AbstractIterator]:
@@ -145,6 +165,43 @@ class AlgorithmContext:
     def check_use(self, it: AbstractIterator) -> None:
         self.interp.check_iterator_use(it, self.line, MSG_SINGULAR_ADVANCE)
 
+    # -- property/fact interface ------------------------------------------
+
+    def holds(self, c: AbstractContainer, prop: str) -> bool:
+        """Does ``prop`` hold (under implication closure) on ``c``?"""
+        return str(prop) in closure(c.properties)
+
+    def establish(self, c: AbstractContainer, *props: str) -> None:
+        for p in props:
+            c.properties.add(p)
+
+    def destroy(self, c: AbstractContainer, *props: str) -> None:
+        for p in props:
+            c.properties.discard(p)
+
+    def apply_mutation(self, c: AbstractContainer, kind: str) -> None:
+        """Data-driven invalidation: drop/weaken ``c``'s properties per
+        the :data:`repro.facts.properties.MUTATIONS` tables."""
+        survived = invalidate(c.properties, kind)
+        c.properties.clear()
+        c.properties.update(survived)
+
+    def require(self, c: AbstractContainer, prop: str, message: str) -> bool:
+        """Entry-handler precondition check: warn (and record a
+        ``requires-missing`` fact) when ``prop`` cannot be assumed."""
+        ok = self.holds(c, prop)
+        rec = getattr(self.interp, "facts", None)
+        if rec is not None:
+            rec.record(
+                c.name or "?", prop, self.line,
+                "requires" if ok else "requires-missing",
+                source=self.name,
+                function=self.interp._inline_stack[-1],
+            )
+        if not ok:
+            self.sink.warning(message, self.line)
+        return ok
+
 
 AlgorithmHandler = Callable[[AlgorithmContext], Any]
 
@@ -158,7 +215,7 @@ def _spec_find(ctx: AlgorithmContext) -> Any:
     c = ctx.range_container()
     if c is None:
         return AbstractValue("find-result")
-    if SORTED in c.properties:
+    if ctx.holds(c, SORTED):
         ctx.sink.suggestion(MSG_SORTED_LINEAR_FIND, ctx.line)
     return AbstractIterator(
         c, Position.UNKNOWN, Validity.VALID, c.epoch,
@@ -177,7 +234,8 @@ def _spec_sort(ctx: AlgorithmContext) -> Any:
             ctx.check_use(a)
             c = a.container
     if c is not None:
-        c.properties.add(SORTED)
+        ctx.destroy(c, HEAP, HEAP_TAIL)
+        ctx.establish(c, SORTED)
     return AbstractValue()
 
 
@@ -187,8 +245,8 @@ def _spec_lower_bound(ctx: AlgorithmContext) -> Any:
     for it in ctx.iterator_args():
         ctx.check_use(it)
     c = ctx.range_container()
-    if c is not None and SORTED not in c.properties:
-        ctx.sink.warning(MSG_UNSORTED_LOWER_BOUND, ctx.line)
+    if c is not None:
+        ctx.require(c, SORTED, MSG_UNSORTED_LOWER_BOUND)
     if c is None:
         return AbstractValue("lower-bound-result")
     return AbstractIterator(
@@ -201,8 +259,8 @@ def _spec_binary_search(ctx: AlgorithmContext) -> Any:
     for it in ctx.iterator_args():
         ctx.check_use(it)
     c = ctx.range_container()
-    if c is not None and SORTED not in c.properties:
-        ctx.sink.warning(MSG_UNSORTED_LOWER_BOUND, ctx.line)
+    if c is not None:
+        ctx.require(c, SORTED, MSG_UNSORTED_LOWER_BOUND)
     return AbstractBool.UNKNOWN
 
 
@@ -238,7 +296,7 @@ def _spec_reverse(ctx: AlgorithmContext) -> Any:
         ctx.check_use(it)
     c = ctx.range_container()
     if c is not None:
-        c.properties.discard(SORTED)
+        ctx.apply_mutation(c, "reverse")
     return AbstractValue()
 
 
@@ -246,9 +304,27 @@ def _spec_is_sorted(ctx: AlgorithmContext) -> Any:
     for it in ctx.iterator_args():
         ctx.check_use(it)
     c = ctx.range_container()
-    if c is not None and SORTED in c.properties:
+    if c is not None and ctx.holds(c, SORTED):
         return AbstractBool.TRUE
     return AbstractBool.UNKNOWN
+
+
+def _spec_unique(ctx: AlgorithmContext) -> Any:
+    """unique(first, last): removes adjacent duplicates.  Exit: on a
+    sorted range no two remaining elements compare equal, so the range is
+    strictly sorted; on an arbitrary range only adjacent-distinctness is
+    known, which we do not model."""
+    for it in ctx.iterator_args():
+        ctx.check_use(it)
+    c = ctx.range_container()
+    if c is None:
+        return AbstractValue("unique-result")
+    if ctx.holds(c, SORTED):
+        ctx.establish(c, STRICTLY_SORTED, DISTINCT)
+    return AbstractIterator(
+        c, Position.UNKNOWN, Validity.VALID, c.epoch,
+        may_be_end=True, origin_line=ctx.line,
+    )
 
 
 def _container_arg(ctx: AlgorithmContext):
@@ -260,12 +336,13 @@ def _container_arg(ctx: AlgorithmContext):
 
 
 def _spec_make_heap(ctx: AlgorithmContext) -> Any:
-    """Exit handler: establishes the heap property (and destroys
-    sortedness — a heap is not a sorted sequence)."""
+    """Exit handler: establishes the heap property.  The reordering is a
+    "make-heap" mutation — sortedness is destroyed by the property
+    tables, not by an explicit discard here."""
     c = _container_arg(ctx)
     if c is not None:
-        c.properties.add(HEAP)
-        c.properties.discard(SORTED)
+        ctx.apply_mutation(c, "make-heap")
+        ctx.establish(c, HEAP)
     return AbstractValue()
 
 
@@ -274,18 +351,18 @@ def _spec_push_heap(ctx: AlgorithmContext) -> Any:
     state push_back leaves).  Exit: full heap property restored."""
     c = _container_arg(ctx)
     if c is not None:
-        if HEAP not in c.properties and HEAP_TAIL not in c.properties:
-            ctx.sink.warning(MSG_NOT_A_HEAP, ctx.line)
-        c.properties.discard(HEAP_TAIL)
-        c.properties.add(HEAP)
+        if not (ctx.holds(c, HEAP) or ctx.holds(c, HEAP_TAIL)):
+            ctx.require(c, HEAP, MSG_NOT_A_HEAP)
+        ctx.destroy(c, HEAP_TAIL)
+        ctx.establish(c, HEAP)
     return AbstractValue()
 
 
 def _spec_pop_heap(ctx: AlgorithmContext) -> Any:
     """Entry: requires the heap property; the prefix remains a heap."""
     c = _container_arg(ctx)
-    if c is not None and HEAP not in c.properties:
-        ctx.sink.warning(MSG_NOT_A_HEAP, ctx.line)
+    if c is not None:
+        ctx.require(c, HEAP, MSG_NOT_A_HEAP)
     return AbstractValue()
 
 
@@ -293,10 +370,9 @@ def _spec_sort_heap(ctx: AlgorithmContext) -> Any:
     """Entry: requires heap.  Exit: sorted, no longer a heap."""
     c = _container_arg(ctx)
     if c is not None:
-        if HEAP not in c.properties:
-            ctx.sink.warning(MSG_NOT_A_HEAP, ctx.line)
-        c.properties.discard(HEAP)
-        c.properties.add(SORTED)
+        ctx.require(c, HEAP, MSG_NOT_A_HEAP)
+        ctx.destroy(c, HEAP)
+        ctx.establish(c, SORTED)
     return AbstractValue()
 
 
@@ -313,6 +389,7 @@ ALGORITHM_SPECS: dict[str, AlgorithmHandler] = {
     "copy": _spec_copy,
     "reverse": _spec_reverse,
     "is_sorted": _spec_is_sorted,
+    "unique": _spec_unique,
     "make_heap": _spec_make_heap,
     "push_heap": _spec_push_heap,
     "pop_heap": _spec_pop_heap,

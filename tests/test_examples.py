@@ -22,6 +22,7 @@ CASES = [
     ("sensor_network.py", "tree still valid: True"),
     ("concept_language.py", "refuted"),
     ("lint_demo.py", "attempt to dereference a singular iterator"),
+    ("optimize_demo.py", "1 rewrite(s), verified by re-lint"),
 ]
 
 SLOW = {"mixed_precision.py"}

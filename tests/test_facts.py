@@ -1,0 +1,213 @@
+"""The facts layer: Property lattice semantics (closure, meet, join,
+invalidation) and the public ``collect_facts`` API that runs STLlint's
+symbolic interpreter as a fact *producer*."""
+
+import pytest
+
+from repro.facts import (
+    DISTINCT,
+    HEAP,
+    HEAP_TAIL,
+    SORTED,
+    STRICTLY_SORTED,
+    CallSite,
+    Fact,
+    FactEnv,
+    FactRecorder,
+    Property,
+    closure,
+    collect_facts,
+    get_property,
+    invalidate,
+    join,
+    meet,
+)
+
+
+# ---------------------------------------------------------------------------
+# The property lattice
+# ---------------------------------------------------------------------------
+
+
+class TestProperty:
+    def test_property_is_a_str(self):
+        # Properties interoperate with the raw-string property sets the
+        # interpreter has always used.
+        assert SORTED == "sorted"
+        assert SORTED in {"sorted", "heap"}
+        assert str(SORTED) == "sorted"
+
+    def test_registry_lookup(self):
+        assert get_property("sorted") is SORTED
+        assert get_property("no-such-property") is None
+
+    def test_unknown_mutation_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Property("bogus", destroyed_by=("frobnicate",))
+
+    def test_implication_closure(self):
+        # strictly-sorted => sorted and unique, transitively closed.
+        got = closure({STRICTLY_SORTED})
+        assert {"sorted", "unique", "strictly-sorted"} <= got
+
+    def test_closure_keeps_unregistered_names(self):
+        assert "custom-fact" in closure({"custom-fact"})
+
+
+class TestMeetJoin:
+    def test_meet_is_intersection_modulo_implication(self):
+        # One branch proves strictly-sorted, the other plain sorted: on
+        # the join point only sortedness survives — but it DOES survive,
+        # because strictly-sorted implies it.
+        assert SORTED in meet({STRICTLY_SORTED}, {SORTED})
+        assert "unique" not in meet({STRICTLY_SORTED}, {SORTED})
+
+    def test_meet_of_disjoint_is_empty(self):
+        assert meet({SORTED}, {HEAP}) == frozenset()
+
+    def test_join_is_union(self):
+        assert join({SORTED}, {DISTINCT}) == {"sorted", "unique"}
+
+
+class TestInvalidate:
+    def test_sorted_destroyed_by_append(self):
+        assert "sorted" not in invalidate({SORTED}, "append")
+
+    def test_sorted_survives_pop(self):
+        # Removing from either end of a sorted sequence keeps it sorted.
+        assert "sorted" in invalidate({SORTED}, "pop")
+
+    def test_heap_weakens_to_heap_tail_on_append(self):
+        # The push_heap protocol: after push_back the first n-1 elements
+        # still form a heap.
+        after = invalidate({HEAP}, "append")
+        assert HEAP_TAIL in after
+        assert HEAP not in after
+
+    def test_second_append_kills_heap_tail(self):
+        once = invalidate({HEAP}, "append")
+        twice = invalidate(once, "append")
+        assert HEAP_TAIL not in twice
+        assert twice == frozenset()
+
+    def test_clear_drops_everything(self):
+        assert invalidate({SORTED, HEAP, "custom"}, "clear") == frozenset()
+
+    def test_unregistered_names_survive_mutation(self):
+        assert "custom-fact" in invalidate({"custom-fact"}, "append")
+
+
+class TestFactEnv:
+    def test_holds_uses_closure(self):
+        env = FactEnv({"v": {STRICTLY_SORTED}})
+        assert env.holds("v", SORTED)
+        assert env.holds_all("v", (SORTED, "unique"))
+        assert not env.holds("v", HEAP)
+        assert not env.holds("w", SORTED)
+
+
+# ---------------------------------------------------------------------------
+# Fact records
+# ---------------------------------------------------------------------------
+
+
+class TestRecords:
+    def test_call_site_merge_is_meet(self):
+        # Two recordings of the same site (two paths): the site's
+        # must-hold properties are what holds on EVERY path.
+        rec = FactRecorder()
+        rec.record_call("find", 4, "f", "v", "vector",
+                        frozenset({"sorted"}), frozenset({"sorted"}))
+        rec.record_call("find", 4, "f", "v", "vector",
+                        frozenset(), frozenset())
+        site = rec.table().site(4, "find")
+        assert isinstance(site, CallSite)
+        assert site.properties == frozenset()
+        assert not site.must_hold(SORTED)
+        assert site.recordings == 2
+
+    def test_record_call_derives_establishes_and_destroys(self):
+        rec = FactRecorder()
+        rec.record_call("sort", 3, "f", "v", "vector",
+                        frozenset({"heap"}), frozenset({"sorted"}))
+        table = rec.table()
+        kinds = {(f.kind, str(f.prop)) for f in table.facts}
+        assert ("establishes", "sorted") in kinds
+        assert ("destroys", "heap") in kinds
+
+    def test_fact_render(self):
+        f = Fact(subject="v", prop=SORTED, line=3, kind="establishes",
+                 source="sort", function="f")
+        assert "sorted" in f.render()
+        assert "v" in f.render()
+
+
+# ---------------------------------------------------------------------------
+# collect_facts: the public producer API
+# ---------------------------------------------------------------------------
+
+
+PAPER_PROGRAM = '''
+def lookup(v: "vector", key):
+    sort(v.begin(), v.end())
+    it = find(v.begin(), v.end(), key)
+    return it
+'''
+
+MUTATED_PROGRAM = '''
+def lookup(v: "vector", key, extra):
+    sort(v.begin(), v.end())
+    v.push_back(extra)
+    it = find(v.begin(), v.end(), key)
+    return it
+'''
+
+BRANCHY_PROGRAM = '''
+def lookup(v: "vector", key, flag):
+    if flag:
+        sort(v.begin(), v.end())
+    it = find(v.begin(), v.end(), key)
+    return it
+'''
+
+
+class TestCollectFacts:
+    def test_sort_establishes_sorted_at_find(self):
+        table = collect_facts(PAPER_PROGRAM)
+        site = table.site(4, "find")
+        assert site is not None
+        assert site.must_hold(SORTED)
+        assert table.holds(SORTED, 4, "find")
+        assert SORTED in table.must_properties(4, "find")
+
+    def test_sort_site_establishes(self):
+        table = collect_facts(PAPER_PROGRAM)
+        est = table.established(SORTED)
+        assert any(f.source == "sort" and f.line == 3 for f in est)
+
+    def test_mutation_kills_sortedness(self):
+        table = collect_facts(MUTATED_PROGRAM)
+        site = table.site(5, "find")
+        assert site is not None
+        assert not site.must_hold(SORTED)
+
+    def test_branch_is_may_not_must(self):
+        # Sorted on one path only: the meet across recordings must drop
+        # it — rewriting find here would be unsound.
+        table = collect_facts(BRANCHY_PROGRAM)
+        site = table.site(5, "find")
+        assert site is not None
+        assert not site.must_hold(SORTED)
+
+    def test_env_at_closes_over_implications(self):
+        env = collect_facts(PAPER_PROGRAM).env_at(4, "find")
+        assert env.holds("v", SORTED)
+
+    def test_to_dict_round_trips(self):
+        data = collect_facts(PAPER_PROGRAM).to_dict()
+        assert data["call_sites"]
+        assert any(s["algorithm"] == "find" for s in data["call_sites"])
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(SyntaxError):
+            collect_facts("def f(:\n")

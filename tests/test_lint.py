@@ -10,6 +10,8 @@ import pytest
 
 from repro.lint import (
     ALL_CHECKS,
+    UNKNOWN_SUPPRESSION_CODE,
+    UNUSED_SUPPRESSION,
     LintConfig,
     all_check_codes,
     check_code,
@@ -318,6 +320,89 @@ def f(v: "vector"):
         assert "concept-conformance" in codes
         assert check_code(MSG_SINGULAR_ADVANCE) == "singular-advance"
         assert check_code("some future message") == "library-spec"
+
+
+class TestSuppressionHygiene:
+    """A suppression that can never work is itself a finding."""
+
+    def test_unknown_code_warns(self):
+        report = lint_source('''
+def f(v: "vector"):
+    e = v.end()
+    return e.deref()  # stllint: ignore[past-end-derf]
+''')
+        checks = [f.check for f in report.findings]
+        # The typo'd code suppresses nothing, so the real finding stays
+        # and the typo is called out.
+        assert "past-end-deref" in checks
+        assert UNKNOWN_SUPPRESSION_CODE in checks
+        bad = next(f for f in report.findings
+                   if f.check == UNKNOWN_SUPPRESSION_CODE)
+        assert "past-end-derf" in bad.message
+        assert bad.severity == "warning"
+
+    def test_multiple_codes_one_line(self):
+        # One code suppresses the finding, the other is a typo: the
+        # suppression counts as used (no unused warning) but the typo is
+        # still reported.
+        report = lint_source('''
+def f(v: "vector"):
+    e = v.end()
+    return e.deref()  # stllint: ignore[past-end-deref, past-end-derf]
+''')
+        checks = [f.check for f in report.findings]
+        assert report.suppressed == 1
+        assert "past-end-deref" not in checks
+        assert UNKNOWN_SUPPRESSION_CODE in checks
+        assert UNUSED_SUPPRESSION not in checks
+
+    def test_suppression_matching_no_finding_warns(self):
+        report = lint_source('''
+def f(v: "vector"):
+    it = v.begin()
+    return it.deref()  # stllint: ignore[singular-deref]
+''')
+        # begin() on an unknown-size container may dereference fine; the
+        # suppression silences nothing and should be flagged as dead.
+        checks = [f.check for f in report.findings]
+        assert UNUSED_SUPPRESSION in checks
+        dead = next(f for f in report.findings
+                    if f.check == UNUSED_SUPPRESSION)
+        assert dead.severity == "warning"
+        assert dead.line == 4
+
+    def test_used_suppression_does_not_warn(self):
+        report = lint_source('''
+def f(v: "vector"):
+    e = v.end()
+    return e.deref()  # stllint: ignore[past-end-deref]
+''')
+        assert report.suppressed == 1
+        assert not report.findings
+
+    def test_bare_unused_ignore_warns(self):
+        report = lint_source('''
+def f(v: "vector"):
+    x = 1  # stllint: ignore
+    return x
+''')
+        assert [f.check for f in report.findings] == [UNUSED_SUPPRESSION]
+
+    def test_docstring_placeholder_not_flagged(self):
+        # Documentation quoting the comment syntax as ``ignore[...]``
+        # must not trip the unknown-code check.
+        report = lint_source('''
+"""Use ``# stllint: ignore[...]`` to silence a check."""
+
+def f(v: "vector"):
+    return v.begin()
+''')
+        assert not report.findings
+
+    def test_hygiene_codes_are_listed(self):
+        codes = all_check_codes()
+        assert UNUSED_SUPPRESSION in codes
+        assert UNKNOWN_SUPPRESSION_CODE in codes
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,211 @@
+"""The end-to-end optimizer: facts -> select -> rewrite -> verify, the
+``python -m repro.optimize`` CLI, and the per-stage trace spans."""
+
+import json
+
+import pytest
+
+from repro import trace
+from repro.facts import collect_facts
+from repro.optimize import (
+    OptimizeResult,
+    apply_rewrites,
+    optimize_file,
+    optimize_source,
+    plan_rewrites,
+)
+from repro.optimize.cli import main
+
+SORT_THEN_FIND = '''
+def lookup(v: "vector", key):
+    sort(v.begin(), v.end())
+    it = find(v.begin(), v.end(), key)
+    return it
+'''
+
+MUTATION_BETWEEN = '''
+def lookup(v: "vector", key, extra):
+    sort(v.begin(), v.end())
+    v.push_back(extra)
+    it = find(v.begin(), v.end(), key)
+    return it
+'''
+
+UNSORTED_FIND = '''
+def lookup(v: "vector", key):
+    it = find(v.begin(), v.end(), key)
+    return it
+'''
+
+
+class TestPlanning:
+    def test_sorted_find_selects_lower_bound(self):
+        plans = plan_rewrites(collect_facts(SORT_THEN_FIND))
+        assert len(plans) == 1
+        p = plans[0]
+        assert (p.call, p.replacement) == ("find", "lower_bound")
+        assert "sorted" in p.properties
+        assert p.savings > 0
+        assert p.code == "OPT-find-to-lower-bound"
+
+    def test_guard_refuses_after_mutation(self):
+        # push_back between sort and find destroys sortedness — the
+        # refusal is the soundness story.
+        assert plan_rewrites(collect_facts(MUTATION_BETWEEN)) == []
+
+    def test_guard_refuses_without_sort(self):
+        assert plan_rewrites(collect_facts(UNSORTED_FIND)) == []
+
+    def test_sort_itself_is_never_rewritten(self):
+        # All comparison sorts share the O(n log n) bound: no strictly
+        # better candidate exists, so sort stays.
+        plans = plan_rewrites(collect_facts(SORT_THEN_FIND))
+        assert all(p.call != "sort" for p in plans)
+
+
+class TestRewriting:
+    def test_rewrite_preserves_formatting(self):
+        result = optimize_source(SORT_THEN_FIND)
+        assert result.changed
+        assert result.verified and not result.reverted
+        assert "lower_bound(v.begin(), v.end(), key)" in result.optimized
+        # Only the callee name changed: same line count, sort untouched.
+        assert (len(result.optimized.splitlines())
+                == len(SORT_THEN_FIND.splitlines()))
+        assert "sort(v.begin(), v.end())" in result.optimized
+        assert "find" not in result.optimized
+
+    def test_apply_rewrites_is_column_precise(self):
+        src = 'x = find(a.begin(), a.end(), k)  # find stays in comments\n'
+        plans = plan_rewrites(collect_facts(SORT_THEN_FIND))
+        rewritten = apply_rewrites(
+            SORT_THEN_FIND, plans
+        )
+        assert "it = lower_bound(" in rewritten
+        # A plan for a different line touches nothing here.
+        assert apply_rewrites(src, plans) == src
+
+    def test_idempotent(self):
+        once = optimize_source(SORT_THEN_FIND)
+        twice = optimize_source(once.optimized)
+        assert not twice.changed
+        assert twice.plans == []
+
+    def test_rewritten_source_relints_clean(self):
+        from repro.lint import lint_source
+
+        result = optimize_source(SORT_THEN_FIND)
+        report = lint_source(result.optimized)
+        # The sorted-linear-find suggestion is gone and lower_bound's
+        # sortedness precondition is satisfied: nothing at all to report.
+        assert not report.findings
+
+    def test_refused_file_is_unchanged(self):
+        result = optimize_source(MUTATION_BETWEEN)
+        assert not result.changed
+        assert result.optimized == MUTATION_BETWEEN
+        assert result.plans == []
+
+    def test_findings_carry_opt_codes(self):
+        result = optimize_source(SORT_THEN_FIND)
+        assert [f.check for f in result.findings] == [
+            "OPT-find-to-lower-bound"
+        ]
+        assert result.findings[0].severity == "suggestion"
+
+    def test_syntax_error_is_a_finding(self):
+        result = optimize_source("def f(:\n")
+        assert not result.verified
+        assert [f.check for f in result.findings] == ["parse-error"]
+
+    def test_result_serializes(self):
+        data = json.loads(optimize_source(SORT_THEN_FIND).to_json())
+        assert data["changed"] is True
+        assert data["rewrites"][0]["replacement"] == "lower_bound"
+
+    def test_diff_shows_the_rewrite(self):
+        d = optimize_source(SORT_THEN_FIND).diff()
+        assert "-    it = find(" in d
+        assert "+    it = lower_bound(" in d
+
+
+class TestOptimizeFile:
+    def test_dry_run_leaves_file_alone(self, tmp_path):
+        f = tmp_path / "prog.py"
+        f.write_text(SORT_THEN_FIND)
+        result = optimize_file(f)
+        assert result.changed
+        assert f.read_text() == SORT_THEN_FIND
+
+    def test_write_applies_verified_rewrites(self, tmp_path):
+        f = tmp_path / "prog.py"
+        f.write_text(SORT_THEN_FIND)
+        result = optimize_file(f, write=True)
+        assert result.verified
+        assert "lower_bound" in f.read_text()
+        # Optimizing again finds nothing: the write converged.
+        assert not optimize_file(f).changed
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        prog = tmp_path / "prog.py"
+        prog.write_text(SORT_THEN_FIND)
+        clean = tmp_path / "clean.py"
+        clean.write_text(MUTATION_BETWEEN)
+
+        assert main([str(clean), "--check"]) == 0
+        assert main([str(prog)]) == 0          # report-only: informational
+        assert main([str(prog), "--check"]) == 1
+        assert main([str(prog), "--check", "--write"]) == 2
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_write_then_check_passes(self, tmp_path, capsys):
+        prog = tmp_path / "prog.py"
+        prog.write_text(SORT_THEN_FIND)
+        assert main([str(prog), "--write"]) == 0
+        assert main([str(prog), "--check"]) == 0
+        capsys.readouterr()
+
+    def test_json_output(self, tmp_path, capsys):
+        prog = tmp_path / "prog.py"
+        prog.write_text(SORT_THEN_FIND)
+        main([str(prog), "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["summary"]["rewrites"] == 1
+        assert data["files"][0]["rewrites"][0]["call"] == "find"
+
+    def test_diff_output(self, tmp_path, capsys):
+        prog = tmp_path / "prog.py"
+        prog.write_text(SORT_THEN_FIND)
+        main([str(prog), "--diff"])
+        out = capsys.readouterr().out
+        assert "+    it = lower_bound(" in out
+
+
+class TestTracing:
+    def test_pipeline_emits_stage_spans(self):
+        tracer = trace.enable(trace.Tracer())
+        try:
+            optimize_source(SORT_THEN_FIND)
+        finally:
+            trace.disable()
+        spans = {r["name"] for r in tracer.records if r["type"] == "span"}
+        assert {"optimize.facts", "optimize.select",
+                "optimize.rewrite", "optimize.verify"} <= spans
+        plan_events = [r for r in tracer.records
+                       if r["type"] == "event" and r["name"] == "optimize.plan"]
+        assert plan_events
+        assert plan_events[0]["attrs"]["replacement"] == "lower_bound"
+
+    def test_cli_trace_flag_writes_chrome_json(self, tmp_path, capsys):
+        prog = tmp_path / "prog.py"
+        prog.write_text(SORT_THEN_FIND)
+        out = tmp_path / "trace.json"
+        main([str(prog), "--trace", str(out)])
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        names = {ev.get("name") for ev in data["traceEvents"]}
+        assert "optimize.run" in names
+        assert "optimize.facts" in names

@@ -391,3 +391,105 @@ class TestGrowingRewriteSizeSemantics:
         res = simplify(original, tenv={"x": int})
         assert res.nodes_eliminated(original) == 4
         assert res.size_delta(original) == -4
+
+
+class TestPropertyGuardedRules:
+    """PR 4: rules can require STLlint-derived *properties* on top of
+    concept membership — both refusal paths must hold."""
+
+    def _find_call(self):
+        from repro.simplicissimus import Call
+
+        return Call("find", (Var("v"), Var("key")))
+
+    def _simplifier(self):
+        from repro.simplicissimus import SortedFindRule
+
+        return Simplifier(rules=(SortedFindRule(),))
+
+    def test_fires_when_property_holds(self):
+        from repro.facts import FactEnv
+
+        s = self._simplifier()
+        r = s.simplify(self._find_call(),
+                       fenv=FactEnv({"v": {"sorted"}}))
+        assert str(r.expr) == "lower_bound(v, key)"
+        assert r.applications[0].rule == "sorted-find-to-lower-bound"
+        assert r.applications[0].properties == ("sorted",)
+
+    def test_refuses_without_fact_environment(self):
+        # Refusal path 1: no facts at all — the rule must never fire on
+        # concept/type information alone.
+        r = self._simplifier().simplify(self._find_call())
+        assert str(r.expr) == "find(v, key)"
+        assert not r.applications
+
+    def test_refuses_when_property_absent(self):
+        # Refusal path 2: facts exist but sortedness does not hold.
+        from repro.facts import FactEnv
+
+        r = self._simplifier().simplify(
+            self._find_call(), fenv=FactEnv({"v": {"heap"}}))
+        assert str(r.expr) == "find(v, key)"
+        assert not r.applications
+
+    def test_implied_property_satisfies_the_guard(self):
+        # strictly-sorted implies sorted: the guard consults the closure.
+        from repro.facts import FactEnv
+
+        r = self._simplifier().simplify(
+            self._find_call(), fenv=FactEnv({"v": {"strictly-sorted"}}))
+        assert str(r.expr) == "lower_bound(v, key)"
+
+    def test_concept_rules_unaffected_by_fenv(self):
+        # Plain concept-guarded rules keep working whether or not a fact
+        # environment is supplied.
+        from repro.facts import FactEnv
+
+        r = simplify(BinOp("*", x, Const(1)), {"x": int})
+        s = Simplifier()
+        r2 = s.simplify(BinOp("*", x, Const(1)), {"x": int},
+                        fenv=FactEnv())
+        assert r.expr == r2.expr == x
+
+
+class TestTaxonomySavings:
+    """PR 4 satellite: cost.savings() priced from taxonomy complexity
+    data surfaces on RuleApplication and in report()."""
+
+    def _rewrite(self, n=1000.0):
+        from repro.facts import FactEnv
+        from repro.simplicissimus import Call, SortedFindRule, taxonomy_weights
+
+        s = Simplifier(rules=(SortedFindRule(),),
+                       weights=taxonomy_weights(n))
+        return s.simplify(Call("find", (Var("v"), Var("key"))),
+                          fenv=FactEnv({"v": {"sorted"}}))
+
+    def test_savings_positive_and_asymptotic(self):
+        r = self._rewrite()
+        app = r.applications[0]
+        # O(n) -> O(log n) at n=1000: roughly n comparisons saved.
+        assert app.savings == pytest.approx(1000.0, rel=0.02)
+        assert r.total_savings == app.savings
+
+    def test_report_mentions_savings(self):
+        text = self._rewrite().report()
+        assert "saves" in text
+        assert "estimated total savings" in text
+
+    def test_savings_scale_with_n(self):
+        assert (self._rewrite(n=10_000.0).total_savings
+                > self._rewrite(n=1000.0).total_savings)
+
+    def test_default_weights_give_zero_savings(self):
+        # Without taxonomy weights every call costs the same: the rewrite
+        # still happens (soundness is the guard's job) but reports no win.
+        from repro.facts import FactEnv
+        from repro.simplicissimus import Call, SortedFindRule
+
+        s = Simplifier(rules=(SortedFindRule(),))
+        r = s.simplify(Call("find", (Var("v"), Var("key"))),
+                       fenv=FactEnv({"v": {"sorted"}}))
+        assert str(r.expr) == "lower_bound(v, key)"
+        assert r.total_savings == 0

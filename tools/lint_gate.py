@@ -8,9 +8,10 @@ variant, a ``@where`` violation, and one suppressed past-the-end read);
 every other example must lint clean.  Any drift — a lost warning, a new
 false positive, a suppression that stops working — fails the build.
 
-The gate also self-hosts over ``src/repro/trace/`` — the tracer is the
-bottom layer everything else reports into, so it must lint completely
-clean.
+The gate also self-hosts over ``src/repro/trace/``, ``src/repro/facts/``
+and ``src/repro/optimize/`` — the tracer is the bottom layer everything
+else reports into, and the facts/optimizer layers are what the linter's
+own verdicts feed, so all three must lint completely clean.
 
 Run:  python tools/lint_gate.py          (from the repo root)
 """
@@ -30,7 +31,11 @@ EXPECTED = {
     ("lint_demo.py", "extract_fails", "singular-deref"),
     ("lint_demo.py", "drop_front_twice", "singular-deref"),
     ("lint_demo.py", "misuse_graph_algorithm", "concept-conformance"),
+    ("optimize_demo.py", "lookup_sorted", "sorted-linear-find"),
 }
+
+#: Self-hosted source trees that must produce zero findings.
+CLEAN_DIRS = ("trace", "facts", "optimize")
 
 EXPECTED_SUPPRESSED = 1
 
@@ -44,13 +49,16 @@ def main() -> int:
 
     ok = True
 
-    trace_report = lint_paths([REPO / "src" / "repro" / "trace"],
-                              LintConfig())
-    if trace_report.findings:
-        ok = False
-        print("lint gate: src/repro/trace/ must lint clean, found:")
-        for f in trace_report.findings:
-            print(f"  {f.render()}")
+    clean_functions = 0
+    for sub in CLEAN_DIRS:
+        clean_report = lint_paths([REPO / "src" / "repro" / sub],
+                                  LintConfig())
+        clean_functions += clean_report.summary()["functions_checked"]
+        if clean_report.findings:
+            ok = False
+            print(f"lint gate: src/repro/{sub}/ must lint clean, found:")
+            for f in clean_report.findings:
+                print(f"  {f.render()}")
     missing = EXPECTED - actual
     unexpected = actual - EXPECTED
     if missing:
@@ -74,10 +82,10 @@ def main() -> int:
 
     print(report.render_text())
     if ok:
+        dirs = ", ".join(f"src/repro/{d}/" for d in CLEAN_DIRS)
         print("lint gate: OK — examples produce exactly the expected "
-              "findings; src/repro/trace/ lints clean "
-              f"({trace_report.summary()['functions_checked']} "
-              "function(s) checked)")
+              f"findings; {dirs} lint clean "
+              f"({clean_functions} function(s) checked)")
     return 0 if ok else 1
 
 
