@@ -1,0 +1,150 @@
+"""Experiment R-resilience: the price of reliability under loss.
+
+Reliable echo (Ring) and synchronizer-driven FloodSet (Complete) run
+across a grid of loss probabilities.  The *shape* asserted:
+
+- every run reaches the correct decision at every loss rate (that is the
+  transport's whole guarantee — plain echo already fails at p=0.2);
+- at p=0 the wrapper is transparent: zero retransmissions, zero
+  duplicates;
+- retransmissions grow monotonically (per seed-averaged totals) with the
+  loss rate, and stay within the retry policy's budget — reliability
+  costs messages, never correctness.
+
+Standalone mode (CI chaos-smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --quick
+
+writes ``benchmarks/out/resilience.json`` and exits nonzero if any run
+misses its decision or exhausts a retry budget.
+"""
+
+import json
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+OUT_JSON = OUT_DIR / "resilience.json"
+
+LOSS_GRID = (0.0, 0.1, 0.3, 0.5)
+
+
+def _measure(seeds: range, n: int = 6) -> dict:
+    from repro.distributed import (
+        FailurePlan,
+        Ring,
+        run_echo_reliable,
+        run_floodset_reliable,
+    )
+
+    rows = []
+    ok = True
+    for loss in LOSS_GRID:
+        for seed in seeds:
+            failures = (
+                FailurePlan(loss_probability=loss, seed=seed)
+                if loss else None
+            )
+            echo = run_echo_reliable(Ring(n), failures=failures)
+            flood = run_floodset_reliable(
+                n, f=1,
+                failures=FailurePlan(loss_probability=loss, seed=seed)
+                if loss else None)
+            correct = (
+                echo.decisions.get(0) == n
+                and flood.consensus() == 0
+                and len(flood.decisions) == n
+                and echo.retries_gave_up == 0
+                and flood.retries_gave_up == 0
+            )
+            ok &= correct
+            rows.append({
+                "loss": loss,
+                "seed": seed,
+                "echo_decision": echo.decisions.get(0),
+                "echo_messages": echo.messages_sent,
+                "echo_retx": echo.retransmissions,
+                "echo_dups": echo.duplicates_suppressed,
+                "echo_finish_time": echo.finish_time,
+                "flood_consensus": flood.consensus(),
+                "flood_retx": flood.retransmissions,
+                "correct": correct,
+            })
+
+    def avg_retx(loss: float) -> float:
+        sub = [r["echo_retx"] + r["flood_retx"]
+               for r in rows if r["loss"] == loss]
+        return sum(sub) / len(sub)
+
+    curve = {loss: avg_retx(loss) for loss in LOSS_GRID}
+    monotone = all(
+        curve[a] <= curve[b]
+        for a, b in zip(LOSS_GRID, LOSS_GRID[1:])
+    )
+    return {
+        "n": n,
+        "seeds": len(seeds),
+        "rows": rows,
+        "avg_retx_by_loss": {str(k): v for k, v in curve.items()},
+        "retx_monotone_in_loss": monotone,
+        "lossless_transparent": curve[0.0] == 0.0,
+        "ok": ok and monotone and curve[0.0] == 0.0,
+    }
+
+
+def _render(m: dict) -> str:
+    lines = [f"{'loss':>6s} {'avg retx (echo+flood)':>22s}"]
+    for loss, retx in m["avg_retx_by_loss"].items():
+        lines.append(f"{float(loss):>6.1f} {retx:>22.1f}")
+    lines.append(
+        f"all {len(m['rows'])} runs correct: {m['ok']}; "
+        f"retx monotone in loss: {m['retx_monotone_in_loss']}"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+
+def test_reliability_is_correct_at_every_loss_rate(record):
+    m = _measure(seeds=range(3))
+    record("resilience", _render(m))
+    assert all(r["correct"] for r in m["rows"]), [
+        r for r in m["rows"] if not r["correct"]
+    ]
+    # Transparency at p=0: the wrapper adds no retransmissions.
+    assert m["lossless_transparent"]
+    # Retransmission volume tracks the loss rate.
+    assert m["retx_monotone_in_loss"], m["avg_retx_by_loss"]
+
+
+# ---------------------------------------------------------------------------
+# standalone mode (CI chaos-smoke job)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer seeds (CI smoke mode)")
+    parser.add_argument("--json", type=pathlib.Path, default=OUT_JSON,
+                        help=f"summary JSON output path (default {OUT_JSON})")
+    args = parser.parse_args(argv)
+
+    m = _measure(seeds=range(2 if args.quick else 10))
+    print(_render(m))
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(m, indent=2) + "\n")
+    print(f"summary written to {args.json}")
+    if not m["ok"]:
+        print("FAIL: a reliable run missed its decision, exhausted its "
+              "retry budget, or broke the retx-vs-loss shape")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,14 @@ from .network import (
     Tree,
     random_connected,
 )
+from .reliable import (
+    ReliableChannel,
+    ReliableProcess,
+    ResilientFloodSet,
+    run_echo_reliable,
+    run_floodset_reliable,
+    wrap_reliable,
+)
 from .simulator import SimulationError, Simulator, run_algorithm
 from .taxonomy import (
     DIMENSIONS,
@@ -36,6 +44,8 @@ __all__ = [
     "Topology", "Ring", "Complete", "Star", "Line", "Tree", "Grid",
     "Arbitrary", "random_connected",
     "Simulator", "SimulationError", "run_algorithm",
+    "ReliableChannel", "ReliableProcess", "ResilientFloodSet",
+    "wrap_reliable", "run_echo_reliable", "run_floodset_reliable",
     "TimingModel", "Synchronous", "Asynchronous", "PartiallySynchronous",
     "DIMENSIONS", "Classification", "DistributedTaxonomy", "TaxonomyEntry",
     "refines", "standard_taxonomy",

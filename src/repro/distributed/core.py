@@ -61,6 +61,12 @@ class Context:
     def now(self) -> float:
         return self._sim.now
 
+    @property
+    def metrics(self) -> Any:
+        """The live :class:`~repro.distributed.metrics.RunMetrics` of this
+        run (the reliable transport folds its counters in through here)."""
+        return self._sim.metrics
+
     # -- accounting --------------------------------------------------------------
 
     def charge(self, ops: int = 1) -> None:

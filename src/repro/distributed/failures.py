@@ -31,10 +31,17 @@ class FailurePlan:
     dead_links: set[tuple[int, int]] = field(default_factory=set)
     #: probability that any given message is lost (lossy network).
     loss_probability: float = 0.0
+    #: per-link loss probabilities, keyed like ``dead_links`` (undirected,
+    #: ``(min, max)`` normalized); a link's entry overrides the scalar
+    #: ``loss_probability`` for traffic on that link only.
+    link_loss: dict[tuple[int, int], float] = field(default_factory=dict)
     seed: int = 0
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        self.link_loss = {
+            (min(u, v), max(u, v)): p for (u, v), p in self.link_loss.items()
+        }
 
     # -- queries used by the simulator ---------------------------------------
 
@@ -45,8 +52,20 @@ class FailurePlan:
     def link_dead(self, u: int, v: int) -> bool:
         return (min(u, v), max(u, v)) in self.dead_links
 
-    def drops(self) -> bool:
-        return self.loss_probability > 0 and self._rng.random() < self.loss_probability
+    def drops(self, src: Optional[int] = None,
+              dst: Optional[int] = None) -> bool:
+        """Decide (by seeded RNG) whether this message is lost.
+
+        The per-link table is consulted only when it is non-empty and the
+        endpoints are known, so plans without ``link_loss`` consume RNG
+        samples exactly as before — same seed, same dropped indices.
+        """
+        p = self.loss_probability
+        if self.link_loss and src is not None and dst is not None:
+            p = self.link_loss.get(
+                (min(src, dst), max(src, dst)), p
+            )
+        return p > 0 and self._rng.random() < p
 
     def corrupt(self, msg: Message) -> Message:
         fn = self.byzantine.get(msg.src)
@@ -60,6 +79,7 @@ class FailurePlan:
             not self.crashes
             and not self.byzantine
             and not self.dead_links
+            and not self.link_loss
             and self.loss_probability == 0
         )
 

@@ -28,6 +28,16 @@ class RunMetrics:
     decisions: dict[int, Any] = field(default_factory=dict)
     finish_time: float = 0.0
     rounds: int = 0
+    #: Reliable-transport accounting (zero unless processes run over a
+    #: :class:`~repro.distributed.reliable.ReliableChannel`): data
+    #: retransmissions, duplicate deliveries suppressed at receivers,
+    #: acks sent, sends abandoned after the retry budget, and failure-
+    #: detector suspicion events.
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
+    acks_sent: int = 0
+    retries_gave_up: int = 0
+    fd_suspicions: int = 0
     #: True when the run was cut off by ``max_time``/``max_messages``
     #: rather than reaching quiescence — a truncated run is NOT a
     #: completed one, and every consumer can (and should) tell them apart.
@@ -63,6 +73,13 @@ class RunMetrics:
             f"rounds={self.rounds} local-comp={self.total_local_computation} "
             f"(max/node={self.max_local_computation})"
         )
+        if self.retransmissions or self.duplicates_suppressed \
+                or self.retries_gave_up:
+            out += (
+                f" reliable[retx={self.retransmissions} "
+                f"dups={self.duplicates_suppressed} acks={self.acks_sent} "
+                f"gave-up={self.retries_gave_up}]"
+            )
         if self.truncated:
             out += f" TRUNCATED[{self.truncation_reason}]"
         return out

@@ -101,7 +101,8 @@ class Simulator:
                     f"runaway algorithm?)"
                 )
             return
-        if self.failures.link_dead(msg.src, msg.dst) or self.failures.drops():
+        if self.failures.link_dead(msg.src, msg.dst) \
+                or self.failures.drops(msg.src, msg.dst):
             self.metrics.messages_dropped += 1
             tr = self._tracer
             if tr is not None:

@@ -1,7 +1,10 @@
 """Command-line entry point: ``python -m repro.lint <paths>``.
 
 Exit status: 0 when no finding reaches the ``--fail-on`` threshold, 1
-when one does, 2 on usage errors.
+when one does, 2 on usage errors, 3 when the run completed with
+*partial* results (an internal error or per-file ``--timeout-s``
+deadline converted part of the analysis into LINT-INTERNAL /
+LINT-TIMEOUT findings instead of aborting the run).
 """
 
 from __future__ import annotations
@@ -61,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-file/per-function analysis spans and write a "
              "Chrome trace-event JSON (load via chrome://tracing)",
     )
+    parser.add_argument(
+        "--timeout-s", type=float, default=None, metavar="SECONDS",
+        help="per-file analysis deadline; on expiry the file gets a "
+             "LINT-TIMEOUT finding and the run continues (exit code 3)",
+    )
     return parser
 
 
@@ -80,6 +88,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         concept_pass=not args.no_concept_pass,
         interprocedural=not args.no_interprocedural,
         exclude=tuple(args.exclude),
+        timeout_s=args.timeout_s,
     )
     tracer = trace.enable() if args.trace is not None else trace.active()
     with_trace = tracer is not None
@@ -96,6 +105,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(report.to_json())
     else:
         print(report.render_text())
+    # 3 = partial results: crash isolation or a deadline cut analysis
+    # short somewhere, so the (otherwise valid) findings are incomplete.
+    if report.partial:
+        return 3
     return 1 if report.fails(args.fail_on) else 0
 
 

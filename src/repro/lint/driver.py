@@ -21,6 +21,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
+from repro.resilience import Deadline, DeadlineExceeded
 from repro.stllint.diagnostics import Severity
 from repro.stllint.interpreter import Checker, module_function_table
 from repro.stllint.specs import CONTAINER_SPECS
@@ -28,6 +29,8 @@ from repro.trace import core as _trace
 
 from .suppressions import (
     ALL_CHECKS,
+    LINT_INTERNAL,
+    LINT_TIMEOUT,
     UNKNOWN_SUPPRESSION_CODE,
     UNUSED_SUPPRESSION,
     all_check_codes,
@@ -55,6 +58,7 @@ class LintConfig:
     concept_pass: bool = True         # check @where call sites
     interprocedural: bool = True      # inline same-module calls
     exclude: tuple[str, ...] = ()     # glob patterns matched against paths
+    timeout_s: Optional[float] = None  # per-file analysis deadline
 
 
 @dataclass
@@ -123,6 +127,14 @@ class ProjectReport:
     def count(self, severity: str) -> int:
         return sum(1 for f in self.findings if f.severity == severity)
 
+    @property
+    def partial(self) -> bool:
+        """True when crash isolation or a deadline cut analysis short —
+        the findings are valid but not complete (exit code 3)."""
+        return any(
+            f.check in (LINT_INTERNAL, LINT_TIMEOUT) for f in self.findings
+        )
+
     def summary(self) -> dict:
         return {
             "files": len(self.files),
@@ -134,6 +146,10 @@ class ProjectReport:
             "suggestions": self.count("suggestion"),
             "notes": self.count("note"),
             "suppressed": sum(fr.suppressed for fr in self.files),
+            "internal_errors": sum(
+                1 for f in self.findings
+                if f.check in (LINT_INTERNAL, LINT_TIMEOUT)
+            ),
         }
 
     def to_dict(self) -> dict:
@@ -239,19 +255,50 @@ def lint_source(
                      function=function, check=code, line=line,
                      severity=severity.value.lower())
 
+    deadline = (
+        Deadline.after(config.timeout_s)
+        if config.timeout_s is not None else None
+    )
+
+    def internal(check: str, message: str, line: int,
+                 function: str) -> None:
+        # Crash-isolation findings bypass suppressions: a per-line ignore
+        # comment must not silence the fact that analysis itself broke.
+        report.findings.append(LintFinding(
+            path=path, function=function, line=line, severity="error",
+            check=check, message=message,
+        ))
+        if tr is not None:
+            tr.event("lint.internal", cat="lint", path=path,
+                     function=function, check=check)
+
     functions = module_function_table(tree) if config.interprocedural else {}
     seen: set[tuple[int, str]] = set()
     for node in ast.walk(tree):
         if not isinstance(node, ast.FunctionDef) or not _is_lintable(node):
             continue
+        if deadline is not None and deadline.expired():
+            internal(LINT_TIMEOUT, (
+                f"file analysis budget of {config.timeout_s:g}s exhausted; "
+                f"'{node.name}' and later functions were not checked"
+            ), node.lineno, node.name)
+            break
         report.functions_checked += 1
-        if tr is None:
-            sink = Checker(node, lines, module_functions=functions).run()
-        else:
-            with tr.span("lint.function", cat="lint", path=path,
-                         function=node.name, line=node.lineno) as sp:
+        try:
+            if tr is None:
                 sink = Checker(node, lines, module_functions=functions).run()
-                sp.set("diagnostics", len(sink.diagnostics))
+            else:
+                with tr.span("lint.function", cat="lint", path=path,
+                             function=node.name, line=node.lineno) as sp:
+                    sink = Checker(
+                        node, lines, module_functions=functions).run()
+                    sp.set("diagnostics", len(sink.diagnostics))
+        except Exception as exc:  # noqa: BLE001 - crash isolation
+            internal(LINT_INTERNAL, (
+                f"internal error while checking '{node.name}': "
+                f"{type(exc).__name__}: {exc}"
+            ), node.lineno, node.name)
+            continue
         for d in sink.diagnostics:
             key = (d.line, d.message)
             if key in seen:
@@ -259,14 +306,22 @@ def lint_source(
             seen.add(key)
             add(d.severity, d.message, d.line, node.name)
 
-    if config.concept_pass:
+    if config.concept_pass and not (
+            deadline is not None and deadline.expired()):
         from .concept_pass import run_concept_pass
 
-        if tr is None:
-            pass_findings = run_concept_pass(tree)
-        else:
-            with tr.span("lint.concept-pass", cat="lint", path=path):
-                pass_findings = list(run_concept_pass(tree))
+        try:
+            if tr is None:
+                pass_findings = run_concept_pass(tree)
+            else:
+                with tr.span("lint.concept-pass", cat="lint", path=path):
+                    pass_findings = list(run_concept_pass(tree))
+        except Exception as exc:  # noqa: BLE001 - crash isolation
+            pass_findings = []
+            internal(LINT_INTERNAL, (
+                f"internal error in the concept pass: "
+                f"{type(exc).__name__}: {exc}"
+            ), 0, "<module>")
         for finding in pass_findings:
             add(finding.severity, finding.message, finding.line,
                 finding.function)
@@ -307,6 +362,15 @@ def lint_source(
     return report
 
 
+def _failed_file_report(path: str, check: str, message: str) -> FileReport:
+    report = FileReport(path=path)
+    report.findings.append(LintFinding(
+        path=path, function="<module>", line=0, severity="error",
+        check=check, message=message,
+    ))
+    return report
+
+
 def lint_file(
     path: PathLike, config: Optional[LintConfig] = None
 ) -> FileReport:
@@ -314,20 +378,29 @@ def lint_file(
     try:
         source = p.read_text(encoding="utf-8")
     except OSError as exc:
-        report = FileReport(path=str(p))
-        report.findings.append(LintFinding(
-            path=str(p), function="<module>", line=0, severity="error",
-            check="io-error", message=f"cannot read file: {exc}",
+        return _failed_file_report(
+            str(p), "io-error", f"cannot read file: {exc}")
+    except UnicodeDecodeError as exc:
+        # Undecodable bytes are this file's problem, not the run's: the
+        # internal-error path reports it and the other files still lint.
+        return _failed_file_report(str(p), LINT_INTERNAL, (
+            f"cannot decode file as UTF-8 "
+            f"(byte {exc.start}: {exc.reason}); file skipped"
         ))
+    try:
+        tr = _trace.ACTIVE
+        if tr is None:
+            return lint_source(source, path=str(p), config=config)
+        with tr.span("lint.file", cat="lint", path=str(p)) as sp:
+            report = lint_source(source, path=str(p), config=config)
+            sp.set("functions_checked", report.functions_checked)
+            sp.set("findings", len(report.findings))
         return report
-    tr = _trace.ACTIVE
-    if tr is None:
-        return lint_source(source, path=str(p), config=config)
-    with tr.span("lint.file", cat="lint", path=str(p)) as sp:
-        report = lint_source(source, path=str(p), config=config)
-        sp.set("functions_checked", report.functions_checked)
-        sp.set("findings", len(report.findings))
-    return report
+    except Exception as exc:  # noqa: BLE001 - per-file crash isolation
+        return _failed_file_report(str(p), LINT_INTERNAL, (
+            f"internal error while linting this file: "
+            f"{type(exc).__name__}: {exc}; file skipped, run continues"
+        ))
 
 
 def discover_files(

@@ -68,6 +68,12 @@ FALLBACK_CHECK = "library-spec"
 UNUSED_SUPPRESSION = "unused-suppression"
 UNKNOWN_SUPPRESSION_CODE = "unknown-suppression-code"
 
+#: Driver-resilience findings (also never suppressible): an internal
+#: exception converted to a per-file finding by crash isolation, and a
+#: per-file deadline expiring mid-analysis.
+LINT_INTERNAL = "LINT-INTERNAL"
+LINT_TIMEOUT = "LINT-TIMEOUT"
+
 
 def check_code(message: str) -> str:
     """The check code for a diagnostic message."""
@@ -86,6 +92,7 @@ def all_check_codes() -> list[str]:
     codes += [code for _, code in _SUBSTRING_CHECKS]
     codes.append(FALLBACK_CHECK)
     codes += [UNUSED_SUPPRESSION, UNKNOWN_SUPPRESSION_CODE]
+    codes += [LINT_INTERNAL, LINT_TIMEOUT]
     return codes
 
 

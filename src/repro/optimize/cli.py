@@ -10,7 +10,10 @@ Modes:
 
 Exit status: 0 when nothing needs rewriting (or ``--write`` applied
 everything cleanly), 1 when ``--check`` found outstanding rewrites or a
-verification failure reverted a file, 2 on usage errors.
+verification failure reverted a file, 2 on usage errors, 3 when the run
+completed with *partial* results (an internal error or per-file
+``--timeout-s`` deadline converted part of the pipeline into
+OPT-INTERNAL / OPT-TIMEOUT findings instead of aborting the run).
 """
 
 from __future__ import annotations
@@ -24,7 +27,13 @@ from typing import Optional, Sequence
 from repro import trace
 
 from ..lint.driver import discover_files
-from .pipeline import DEFAULT_RESOURCE, DEFAULT_SIZE, optimize_file
+from .pipeline import (
+    DEFAULT_RESOURCE,
+    DEFAULT_SIZE,
+    OPT_INTERNAL,
+    OPT_TIMEOUT,
+    optimize_file,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-stage pipeline spans and write a Chrome "
              "trace-event JSON (load via chrome://tracing)",
     )
+    parser.add_argument(
+        "--timeout-s", type=float, default=None, metavar="SECONDS",
+        help="per-file pipeline deadline; on expiry the file gets an "
+             "OPT-TIMEOUT finding, stays untouched, and the run "
+             "continues (exit code 3)",
+    )
     return parser
 
 
@@ -94,6 +109,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             results.append(optimize_file(
                 f, write=args.write,
                 resource=args.resource, size=args.size,
+                timeout_s=args.timeout_s,
             ))
         return results
 
@@ -135,6 +151,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"{total} rewrite(s) {action} across {len(results)} file(s)"
               + (f", {reverted} reverted" if reverted else ""))
 
+    # 3 = partial results: one or more files hit crash isolation or a
+    # deadline; their findings name them, the other files completed.
+    partial = any(
+        f.check in (OPT_INTERNAL, OPT_TIMEOUT)
+        for r in results for f in r.findings
+    )
+    if partial:
+        return 3
     if reverted:
         return 1
     if args.check and outstanding:

@@ -34,6 +34,7 @@ from typing import Optional, Union
 from ..concepts.taxonomy import Taxonomy
 from ..facts.records import FactTable
 from ..lint.driver import LintConfig, LintFinding, lint_source
+from ..resilience import Deadline
 from ..sequences.taxonomy import CALL_TO_CONCEPT, CONCEPT_TO_CALL, stl_taxonomy
 from ..stllint.facts_collection import collect_facts
 from ..trace import core as _trace
@@ -44,6 +45,12 @@ PathLike = Union[str, pathlib.Path]
 #: win is priced at for reporting.
 DEFAULT_RESOURCE = "comparisons"
 DEFAULT_SIZE = 1000.0
+
+#: Driver-resilience finding codes (mirroring the linter's LINT-INTERNAL /
+#: LINT-TIMEOUT): an internal exception isolated to one file, and a
+#: per-file deadline expiring between stages.
+OPT_INTERNAL = "OPT-INTERNAL"
+OPT_TIMEOUT = "OPT-TIMEOUT"
 
 
 @dataclass(frozen=True)
@@ -246,17 +253,40 @@ def _problem_findings(source: str, path: str) -> set[tuple[int, str]]:
 # ---------------------------------------------------------------------------
 
 
+def _timeout_result(result: OptimizeResult, path: str,
+                    budget: float) -> OptimizeResult:
+    result.verified = False
+    result.optimized = result.original
+    result.findings.append(LintFinding(
+        path=path, function="<module>", line=0, severity="error",
+        check=OPT_TIMEOUT,
+        message=(
+            f"optimization budget of {budget:g}s exhausted; "
+            f"file left untouched, run continues"
+        ),
+    ))
+    return result
+
+
 def optimize_source(
     source: str,
     path: str = "<string>",
     taxonomy: Optional[Taxonomy] = None,
     resource: str = DEFAULT_RESOURCE,
     size: float = DEFAULT_SIZE,
+    deadline: Optional[Deadline] = None,
 ) -> OptimizeResult:
-    """Run the full facts → select → rewrite → verify pipeline."""
+    """Run the full facts → select → rewrite → verify pipeline.
+
+    ``deadline`` (usually from ``--timeout-s``) is checked between
+    stages; on expiry the file is reported with an OPT-TIMEOUT finding
+    and left untouched — cooperative, so a stage in progress finishes.
+    """
     tr = _trace.ACTIVE
     taxonomy = taxonomy or stl_taxonomy()
     result = OptimizeResult(path=path, original=source, optimized=source)
+    if deadline is not None and deadline.expired():
+        return _timeout_result(result, path, deadline.budget)
 
     try:
         if tr is None:
@@ -274,6 +304,8 @@ def optimize_source(
         ))
         return result
 
+    if deadline is not None and deadline.expired():
+        return _timeout_result(result, path, deadline.budget)
     if tr is None:
         plans = plan_rewrites(table, taxonomy, resource, size)
     else:
@@ -289,6 +321,8 @@ def optimize_source(
     if not plans:
         return result
 
+    if deadline is not None and deadline.expired():
+        return _timeout_result(result, path, deadline.budget)
     if tr is None:
         optimized = apply_rewrites(source, plans)
     else:
@@ -316,6 +350,14 @@ def optimize_source(
             )
         return True, ""
 
+    if deadline is not None and deadline.expired():
+        return _timeout_result(result, path, deadline.budget)
+    # The verify stage must never leave the rewrite in force: whatever
+    # happens in here — a lint regression, a non-idempotent plan, a
+    # SyntaxError, or verification *itself* crashing — ``ok`` stays False
+    # unless verify() returned cleanly, and the finally-block pins
+    # ``result.optimized`` back to the original until ok is proven.
+    ok, reason = False, "verification did not complete"
     try:
         if tr is None:
             ok, reason = verify()
@@ -325,6 +367,13 @@ def optimize_source(
                 sp.set("ok", ok)
     except SyntaxError as exc:
         ok, reason = False, f"rewritten source does not parse: {exc.msg}"
+    except Exception as exc:  # noqa: BLE001 - verification crash == revert
+        ok, reason = False, (
+            f"verification raised {type(exc).__name__}: {exc}"
+        )
+    finally:
+        if not ok:
+            result.optimized = result.original
 
     src_lines = source.splitlines()
     for p in plans:
@@ -348,20 +397,56 @@ def optimize_source(
     return result
 
 
+def _internal_result(path: str, source: str, exc: Exception) -> OptimizeResult:
+    result = OptimizeResult(
+        path=path, original=source, optimized=source,
+        verified=False, reverted=True,
+        revert_reason=f"internal error: {type(exc).__name__}: {exc}",
+    )
+    result.findings.append(LintFinding(
+        path=path, function="<module>", line=0, severity="error",
+        check=OPT_INTERNAL,
+        message=(
+            f"internal error while optimizing this file: "
+            f"{type(exc).__name__}: {exc}; file skipped, run continues"
+        ),
+    ))
+    return result
+
+
 def optimize_file(
     path: PathLike,
     write: bool = False,
     taxonomy: Optional[Taxonomy] = None,
     resource: str = DEFAULT_RESOURCE,
     size: float = DEFAULT_SIZE,
+    timeout_s: Optional[float] = None,
 ) -> OptimizeResult:
     """Optimize one file on disk; with ``write=True`` the rewritten
-    source replaces the file (only when verification passed)."""
+    source replaces the file (only when verification passed).
+
+    Per-file crash isolation: any internal exception — decode failure,
+    pipeline bug, even a failing write — becomes an OPT-INTERNAL finding
+    on this file's result and the caller's loop continues.
+    """
     p = pathlib.Path(path)
-    source = p.read_text(encoding="utf-8")
-    result = optimize_source(
-        source, path=str(p), taxonomy=taxonomy, resource=resource, size=size
-    )
-    if write and result.changed and result.verified:
-        p.write_text(result.optimized, encoding="utf-8")
-    return result
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return _internal_result(str(p), "", exc)
+    deadline = Deadline.after(timeout_s) if timeout_s is not None else None
+    try:
+        result = optimize_source(
+            source, path=str(p), taxonomy=taxonomy, resource=resource,
+            size=size, deadline=deadline,
+        )
+        if write and result.changed and result.verified:
+            try:
+                p.write_text(result.optimized, encoding="utf-8")
+            except BaseException:
+                # A torn write must not strand a half-rewritten file.
+                p.write_text(source, encoding="utf-8")
+                raise
+        return result
+    except Exception as exc:  # noqa: BLE001 - per-file crash isolation
+        return _internal_result(str(p), source, exc)

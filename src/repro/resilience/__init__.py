@@ -1,0 +1,43 @@
+"""repro.resilience — concept-specified retry/timeout/backoff policies.
+
+The paper treats semantic requirements as first-class, checkable
+artifacts; this package applies that stance to *progress guarantees*:
+backoff schedules, retry budgets, deadlines, and circuit breakers are
+law-abiding objects whose laws are concept axioms
+(:mod:`repro.resilience.concepts`), checked by the same model/archetype
+machinery as the container and iterator concepts.  The reliable
+transport (:mod:`repro.distributed.reliable`) and the hardened
+lint/optimize drivers are its consumers.
+"""
+
+from .policy import (
+    Backoff,
+    CircuitBreaker,
+    CircuitOpenError,
+    ConstantBackoff,
+    Deadline,
+    DeadlineExceeded,
+    ExponentialBackoff,
+    ManualClock,
+    ResilienceError,
+    RetryBudgetExhausted,
+    RetryPolicy,
+)
+from .concepts import (
+    BackoffStrategy,
+    RetryableOperation,
+    backoff_archetype,
+    check_backoff_laws,
+    register_models,
+)
+from .runner import IsolatedFailure, call_with_policy, isolated
+
+__all__ = [
+    "Backoff", "ConstantBackoff", "ExponentialBackoff",
+    "RetryPolicy", "Deadline", "ManualClock", "CircuitBreaker",
+    "ResilienceError", "DeadlineExceeded", "RetryBudgetExhausted",
+    "CircuitOpenError",
+    "BackoffStrategy", "RetryableOperation",
+    "check_backoff_laws", "backoff_archetype", "register_models",
+    "call_with_policy", "isolated", "IsolatedFailure",
+]

@@ -1,0 +1,144 @@
+"""Concepts for the resilience layer: progress guarantees as requirements.
+
+Siek & Lumsdaine's "Generic Programming in the Large" argues for
+components whose contracts are *separately checkable*; the C++0x Concepts
+effort made requirements checkable entities.  Here the contract of a
+backoff schedule and of a retryable operation is written down the same
+way every other concept in this library is — valid expressions for the
+syntax, semantic axioms for the laws — and checked through the standard
+machinery: :func:`repro.concepts.modeling.ModelRegistry.check` for
+structure, ``check_semantics`` for the laws on sampled values, and
+:class:`repro.concepts.archetypes.ArchetypeSet` to prove that the generic
+retry code requires no syntax the concept does not grant.
+
+Laws:
+
+- ``BackoffStrategy``: ``delay(k) >= 0`` (non-negativity) and
+  ``delay(k+1) >= delay(k)`` (monotone non-decreasing schedule).
+- ``RetryableOperation``: a policy's attempts are finite and its
+  cumulative backoff never exceeds the declared ``max_total_delay``
+  (bounded total budget).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..concepts import Concept, models
+from ..concepts.archetypes import ArchetypeSet
+from ..concepts.modeling import ModelRegistry
+from ..concepts.requirements import Exact, Param, SemanticAxiom, method
+
+from .policy import Backoff, ConstantBackoff, ExponentialBackoff, RetryPolicy
+
+S = Param("S")
+P = Param("P")
+
+#: Attempt indices the axiom sampler exercises (small indices catch the
+#: off-by-one regimes: first retry, pre-cap growth, at-cap saturation).
+_SAMPLE_ATTEMPTS = (0, 1, 2, 3, 5, 8, 13, 21)
+
+
+BackoffStrategy = Concept(
+    "BackoffStrategy",
+    params=("S",),
+    requirements=[
+        method("s.delay(attempt)", "delay", [S, Exact(int)], Exact(float)),
+        SemanticAxiom(
+            "non_negative_delay", ("s", "k"),
+            lambda ops, s, k: ops["delay"](s, k) >= 0,
+            "delay(k) >= 0 for every attempt k",
+        ),
+        SemanticAxiom(
+            "monotone_non_decreasing", ("s", "k"),
+            lambda ops, s, k: ops["delay"](s, k + 1) >= ops["delay"](s, k),
+            "delay(k+1) >= delay(k): waiting never shrinks between retries",
+        ),
+    ],
+    doc="A retry delay schedule: non-negative and monotone non-decreasing "
+        "in the attempt index.  Jitter, if any, must respect monotonicity.",
+)
+
+
+RetryableOperation = Concept(
+    "RetryableOperation",
+    params=("P",),
+    requirements=[
+        method("p.delays()", "delays", [P], None),
+        method("p.total_budget()", "total_budget", [P], Exact(float)),
+        SemanticAxiom(
+            "finite_attempts", ("p",),
+            lambda ops, p: len(list(ops["delays"](p))) < p.max_attempts,
+            "the number of retry delays is strictly below max_attempts",
+        ),
+        SemanticAxiom(
+            "bounded_total_budget", ("p",),
+            lambda ops, p: (
+                p.max_total_delay is None
+                or ops["total_budget"](p) <= p.max_total_delay
+            ),
+            "sum of delays never exceeds the declared max_total_delay",
+        ),
+    ],
+    doc="An operation retried under a policy: finitely many attempts, "
+        "cumulative backoff inside a declared budget.",
+)
+
+
+def _backoff_samples() -> list[tuple[Backoff, int]]:
+    strategies: list[Backoff] = [
+        ConstantBackoff(0.5),
+        ExponentialBackoff(base=0.25, multiplier=2.0, cap=8.0,
+                           jitter=0.8, seed=7),
+        ExponentialBackoff(base=1.0, multiplier=1.5, cap=4.0,
+                           jitter=0.0, seed=0),
+    ]
+    return [(s, k) for s in strategies for k in _SAMPLE_ATTEMPTS]
+
+
+def _policy_samples() -> list[tuple[RetryPolicy]]:
+    return [
+        (RetryPolicy(max_attempts=1),),
+        (RetryPolicy(max_attempts=4, backoff=ConstantBackoff(1.0)),),
+        (RetryPolicy(max_attempts=8,
+                     backoff=ExponentialBackoff(base=0.5, seed=3),
+                     max_total_delay=10.0),),
+        (RetryPolicy(max_attempts=50,
+                     backoff=ExponentialBackoff(base=1.0, jitter=1.0,
+                                                seed=11),
+                     max_total_delay=5.0),),
+    ]
+
+
+def register_models(registry: Optional[ModelRegistry] = None) -> None:
+    """Declare the shipped strategies/policies as models of their concepts
+    (idempotent; runs against the default registry at import)."""
+    reg = registry if registry is not None else models
+    for cls in (ConstantBackoff, ExponentialBackoff):
+        if reg.concept_map_for(BackoffStrategy, (cls,)) is None:
+            reg.register(BackoffStrategy, cls, sampler=_backoff_samples)
+    if reg.concept_map_for(RetryableOperation, (RetryPolicy,)) is None:
+        reg.register(RetryableOperation, RetryPolicy,
+                     sampler=_policy_samples)
+
+
+def check_backoff_laws(
+    strategy: Backoff,
+    attempts: Sequence[int] = _SAMPLE_ATTEMPTS,
+    registry: Optional[ModelRegistry] = None,
+) -> None:
+    """Check one concrete strategy instance against the BackoffStrategy
+    axioms (raises ``SemanticAxiomViolation`` on the first broken law)."""
+    reg = registry if registry is not None else models
+    samples = [(strategy, k) for k in attempts]
+    reg.check_semantics(BackoffStrategy, type(strategy), samples=samples)
+
+
+def backoff_archetype() -> object:
+    """An instance of the synthesized BackoffStrategy archetype: generic
+    retry code run against it proves it uses only ``delay(attempt)``."""
+    arche = ArchetypeSet(BackoffStrategy)
+    return arche.param_types[0]()
+
+
+register_models()

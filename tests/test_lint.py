@@ -555,3 +555,93 @@ class TestCli:
         out = capsys.readouterr().out.splitlines()
         assert "singular-deref" in out
         assert "concept-conformance" in out
+
+
+class TestCrashIsolation:
+    """PR 5: per-file crash isolation, undecodable files, and per-file
+    deadlines — a bad file or an interpreter bug degrades one file's
+    report, never the run."""
+
+    def test_interpreter_crash_becomes_finding(self, tmp_path, monkeypatch):
+        # Inject a RuntimeError into the k-th Checker.run call: the run
+        # must finish with one LINT-INTERNAL finding naming the function
+        # and every other function still checked.
+        from repro.lint import driver as lint_driver
+
+        for name in ("alpha", "beta", "gamma"):
+            (tmp_path / f"{name}.py").write_text(BUGGY)
+
+        real_run = lint_driver.Checker.run
+        calls = {"n": 0}
+
+        def exploding_run(self):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected interpreter bug")
+            return real_run(self)
+
+        monkeypatch.setattr(lint_driver.Checker, "run", exploding_run)
+        report = lint_paths([tmp_path])
+        internal = [f for f in report.findings if f.check == "LINT-INTERNAL"]
+        assert len(internal) == 1
+        assert "injected interpreter bug" in internal[0].message
+        assert report.partial
+        assert report.summary()["internal_errors"] == 1
+        # The other files' analysis still ran and found the bug.
+        assert sum(1 for f in report.findings
+                   if f.check != "LINT-INTERNAL") >= 2
+
+    def test_crash_isolation_exit_code_without_traceback(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.lint import driver as lint_driver
+
+        (tmp_path / "a.py").write_text(CLEAN)
+        (tmp_path / "b.py").write_text(CLEAN)
+
+        def always_explode(self):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(lint_driver.Checker, "run", always_explode)
+        rc = main([str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 3                          # partial results
+        assert "Traceback" not in captured.err
+        assert "LINT-INTERNAL" in captured.out
+
+    def test_undecodable_file_skipped_run_continues(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_bytes(b"\xff\xfe not utf-8")
+        (tmp_path / "good.py").write_text(BUGGY)
+        report = lint_paths([tmp_path])
+        internal = [f for f in report.findings if f.check == "LINT-INTERNAL"]
+        assert len(internal) == 1
+        assert "decode" in internal[0].message
+        # good.py still linted.
+        assert any(f.path.endswith("good.py") for f in report.findings)
+        assert main([str(tmp_path)]) == 3
+        capsys.readouterr()
+
+    def test_timeout_becomes_finding(self, tmp_path):
+        (tmp_path / "slow.py").write_text(BUGGY)
+        report = lint_paths([tmp_path], LintConfig(timeout_s=0.0))
+        assert [f.check for f in report.findings] == ["LINT-TIMEOUT"]
+        assert report.partial
+
+    def test_internal_findings_are_not_suppressible(self, tmp_path,
+                                                    monkeypatch):
+        from repro.lint import driver as lint_driver
+
+        src = BUGGY.replace(
+            "it.deref()", "it.deref()  # stllint: ignore")
+        (tmp_path / "hushed.py").write_text(src)
+
+        def always_explode(self):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(lint_driver.Checker, "run", always_explode)
+        report = lint_paths([tmp_path])
+        assert any(f.check == "LINT-INTERNAL" for f in report.findings)
+
+    def test_internal_codes_listed(self):
+        codes = all_check_codes()
+        assert "LINT-INTERNAL" in codes
+        assert "LINT-TIMEOUT" in codes

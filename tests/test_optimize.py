@@ -209,3 +209,86 @@ class TestTracing:
         names = {ev.get("name") for ev in data["traceEvents"]}
         assert "optimize.run" in names
         assert "optimize.facts" in names
+
+
+class TestCrashIsolation:
+    """PR 5: the verify stage reverts even when verification *raises*;
+    per-file crash isolation and deadlines keep the run alive."""
+
+    def test_verify_crash_reverts_file(self, tmp_path, monkeypatch):
+        # The try/finally regression: an exception inside verification
+        # must restore the original source, on disk and in the result.
+        from repro.optimize import pipeline
+
+        target = tmp_path / "mod.py"
+        target.write_text(SORT_THEN_FIND)
+        real_collect = pipeline.collect_facts
+        calls = {"n": 0}
+
+        def exploding_verify_collect(source):
+            calls["n"] += 1
+            if calls["n"] >= 2:       # 1st call: facts stage; 2nd: verify
+                raise RuntimeError("verification crashed")
+            return real_collect(source)
+
+        monkeypatch.setattr(pipeline, "collect_facts",
+                            exploding_verify_collect)
+        result = optimize_file(target, write=True)
+        assert result.reverted
+        assert "verification crashed" in result.revert_reason
+        assert result.optimized == SORT_THEN_FIND
+        assert target.read_text() == SORT_THEN_FIND
+
+    def test_pipeline_crash_becomes_opt_internal(self, tmp_path,
+                                                 monkeypatch):
+        from repro.optimize import pipeline
+
+        target = tmp_path / "mod.py"
+        target.write_text(SORT_THEN_FIND)
+
+        def always_explode(source):
+            raise RuntimeError("boom in facts")
+
+        monkeypatch.setattr(pipeline, "collect_facts", always_explode)
+        result = optimize_file(target)
+        assert [f.check for f in result.findings] == ["OPT-INTERNAL"]
+        assert result.reverted and not result.verified
+        assert target.read_text() == SORT_THEN_FIND
+
+    def test_crash_isolation_exit_code_without_traceback(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.optimize import pipeline
+
+        (tmp_path / "a.py").write_text(SORT_THEN_FIND)
+        (tmp_path / "b.py").write_text(UNSORTED_FIND)
+        real_collect = pipeline.collect_facts
+
+        def explode_on_first(source):
+            if "sort(" in source:
+                raise RuntimeError("injected")
+            return real_collect(source)
+
+        monkeypatch.setattr(pipeline, "collect_facts", explode_on_first)
+        rc = main([str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 3
+        assert "Traceback" not in captured.err
+        assert "OPT-INTERNAL" in captured.out
+
+    def test_timeout_leaves_file_untouched(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(SORT_THEN_FIND)
+        rc = main([str(target), "--timeout-s", "0", "--write"])
+        capsys.readouterr()
+        assert rc == 3
+        assert target.read_text() == SORT_THEN_FIND
+
+    def test_undecodable_file_skipped_others_optimized(self, tmp_path,
+                                                       capsys):
+        (tmp_path / "bad.py").write_bytes(b"\xff\xfe junk")
+        good = tmp_path / "good.py"
+        good.write_text(SORT_THEN_FIND)
+        rc = main([str(tmp_path), "--write"])
+        capsys.readouterr()
+        assert rc == 3                          # partial, but...
+        assert "lower_bound" in good.read_text()  # ...good.py was optimized

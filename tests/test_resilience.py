@@ -1,0 +1,290 @@
+"""The resilience layer: backoff/retry/deadline/breaker policy laws, the
+concepts that state them, and the retry/isolation runners."""
+
+import pytest
+
+from repro.concepts import models
+from repro.concepts.modeling import ModelRegistry, SemanticAxiomViolation
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ConstantBackoff,
+    Deadline,
+    DeadlineExceeded,
+    ExponentialBackoff,
+    ManualClock,
+    RetryBudgetExhausted,
+    RetryPolicy,
+    call_with_policy,
+    isolated,
+)
+from repro.resilience.concepts import (
+    BackoffStrategy,
+    RetryableOperation,
+    backoff_archetype,
+    check_backoff_laws,
+    register_models,
+)
+from repro.resilience.policy import CLOSED, HALF_OPEN, OPEN
+
+
+class TestBackoffLaws:
+    def test_constant_is_constant(self):
+        b = ConstantBackoff(1.5)
+        assert b.schedule(5) == [1.5] * 5
+
+    def test_exponential_monotone_even_with_full_jitter_and_cap(self):
+        # The law, exhaustively over a long prefix at the most adversarial
+        # jitter setting: delay(k+1) >= delay(k), and the cap pins the tail.
+        b = ExponentialBackoff(base=0.1, multiplier=2.0, cap=30.0,
+                               jitter=1.0, seed=42)
+        sched = b.schedule(40)
+        assert all(a <= b2 for a, b2 in zip(sched, sched[1:]))
+        assert sched[-1] == 30.0
+        assert all(d >= 0 for d in sched)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = ExponentialBackoff(seed=5)
+        b = ExponentialBackoff(seed=5)
+        c = ExponentialBackoff(seed=6)
+        assert a.schedule(10) == b.schedule(10)
+        assert a.schedule(10) != c.schedule(10)
+
+    def test_delay_is_a_pure_function(self):
+        # delay(k) twice == delay(k): no hidden RNG state advances.
+        b = ExponentialBackoff(jitter=0.7, seed=3)
+        assert b.delay(4) == b.delay(4)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=0.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(multiplier=0.9)  # shrinking delays
+        with pytest.raises(ValueError):
+            ExponentialBackoff(jitter=1.5)
+        with pytest.raises(ValueError):
+            ConstantBackoff(-1.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff().delay(-1)
+
+
+class TestRetryPolicy:
+    def test_delay_count_strictly_below_max_attempts(self):
+        p = RetryPolicy(max_attempts=4, backoff=ConstantBackoff(1.0))
+        assert list(p.delays()) == [1.0, 1.0, 1.0]
+
+    def test_total_budget_truncated_to_max_total_delay(self):
+        p = RetryPolicy(max_attempts=50, backoff=ConstantBackoff(2.0),
+                        max_total_delay=5.0)
+        assert list(p.delays()) == [2.0, 2.0]  # a third would exceed 5.0
+        assert p.total_budget() <= 5.0
+
+    def test_allows_respects_both_bounds(self):
+        p = RetryPolicy(max_attempts=3, backoff=ConstantBackoff(1.0),
+                        max_total_delay=4.0)
+        assert p.allows(2, spent_delay=4.0)
+        assert not p.allows(3, spent_delay=0.0)   # attempt cap
+        assert not p.allows(1, spent_delay=4.5)   # budget cap
+
+    def test_at_least_one_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestDeadline:
+    def test_manual_clock_drives_expiry(self):
+        clock = ManualClock()
+        d = Deadline.after(2.0, clock=clock)
+        assert not d.expired()
+        assert d.remaining() == 2.0
+        clock.advance(1.5)
+        assert d.remaining() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert d.expired()
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            d.check("lint pass")
+        assert exc_info.value.overrun == pytest.approx(0.5)
+        assert "lint pass" in str(exc_info.value)
+
+    def test_clock_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestCircuitBreaker:
+    def test_full_state_cycle(self):
+        clock = ManualClock()
+        cb = CircuitBreaker(failure_threshold=2, reset_timeout=10.0,
+                            clock=clock)
+        assert cb.state == CLOSED and cb.allow()
+        cb.record_failure()
+        assert cb.state == CLOSED          # below threshold
+        cb.record_failure()
+        assert cb.state == OPEN and not cb.allow()
+        clock.advance(9.0)
+        assert cb.state == OPEN            # not yet
+        clock.advance(1.0)
+        assert cb.state == HALF_OPEN and cb.allow()
+        cb.record_success()
+        assert cb.state == CLOSED
+
+    def test_half_open_failure_reopens(self):
+        clock = ManualClock()
+        cb = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                            clock=clock)
+        cb.record_failure()
+        clock.advance(5.0)
+        assert cb.state == HALF_OPEN
+        cb.record_failure()
+        assert cb.state == OPEN
+
+    def test_guard_raises_when_open(self):
+        cb = CircuitBreaker(failure_threshold=1, clock=ManualClock())
+        cb.record_failure()
+        with pytest.raises(CircuitOpenError):
+            cb.guard("probe")
+
+
+class TestConcepts:
+    def test_shipped_strategies_model_backoff_strategy(self):
+        assert models.check(BackoffStrategy, ConstantBackoff).ok
+        assert models.check(BackoffStrategy, ExponentialBackoff).ok
+        assert models.check(RetryableOperation, RetryPolicy).ok
+
+    def test_axioms_hold_on_registered_samplers(self):
+        assert models.check_semantics(BackoffStrategy, ConstantBackoff) == []
+        assert models.check_semantics(BackoffStrategy,
+                                      ExponentialBackoff) == []
+        assert models.check_semantics(RetryableOperation, RetryPolicy) == []
+
+    def test_register_models_is_idempotent(self):
+        register_models()
+        register_models()
+        assert models.check(BackoffStrategy, ConstantBackoff).ok
+
+    def test_law_breaking_strategy_caught(self):
+        class Shrinking(ConstantBackoff):
+            def delay(self, attempt: int) -> float:
+                return 10.0 - attempt      # monotone *decreasing*
+
+        reg = ModelRegistry()
+        reg.register(BackoffStrategy, Shrinking,
+                     sampler=lambda: [(Shrinking(), k) for k in (0, 1, 2)])
+        with pytest.raises(SemanticAxiomViolation) as exc_info:
+            reg.check_semantics(BackoffStrategy, Shrinking)
+        assert "monotone_non_decreasing" in str(exc_info.value)
+
+    def test_check_backoff_laws_on_instances(self):
+        check_backoff_laws(ExponentialBackoff(jitter=1.0, seed=9))
+        check_backoff_laws(ConstantBackoff(0.0))
+
+    def test_archetype_supports_generic_retry_code(self):
+        # The generic delays() loop must compile against the minimal
+        # BackoffStrategy model: only delay(attempt) may be used.
+        arche = backoff_archetype()
+        p = RetryPolicy(max_attempts=4, backoff=arche)
+        assert len(list(p.delays())) == 3
+
+
+class TestCallWithPolicy:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionError("transient")
+            return "ok"
+
+        slept = []
+        out = call_with_policy(
+            flaky, RetryPolicy(max_attempts=5, backoff=ConstantBackoff(0.1)),
+            sleep=slept.append)
+        assert out == "ok"
+        assert calls["n"] == 3
+        assert slept == [pytest.approx(0.1)] * 2
+
+    def test_budget_exhaustion_carries_last_error(self):
+        def always_fails():
+            raise ValueError("no")
+
+        with pytest.raises(RetryBudgetExhausted) as exc_info:
+            call_with_policy(always_fails, RetryPolicy(
+                max_attempts=3, backoff=ConstantBackoff(0.0)))
+        assert exc_info.value.attempts == 3
+        assert isinstance(exc_info.value.last, ValueError)
+
+    def test_unexpected_exceptions_not_retried(self):
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            call_with_policy(wrong_kind, retry_on=(ConnectionError,))
+        assert calls["n"] == 1
+
+    def test_deadline_cuts_the_loop(self):
+        clock = ManualClock()
+
+        def fail_and_tick():
+            clock.advance(1.0)
+            raise ConnectionError
+
+        with pytest.raises(DeadlineExceeded):
+            call_with_policy(
+                fail_and_tick,
+                RetryPolicy(max_attempts=100, backoff=ConstantBackoff(0.0)),
+                deadline=Deadline.after(2.5, clock=clock))
+
+    def test_open_breaker_rejects_without_attempting(self):
+        cb = CircuitBreaker(failure_threshold=1, clock=ManualClock())
+        cb.record_failure()
+        calls = {"n": 0}
+
+        def op():
+            calls["n"] += 1
+            return 1
+
+        with pytest.raises(CircuitOpenError):
+            call_with_policy(op, breaker=cb)
+        assert calls["n"] == 0
+
+
+class TestIsolated:
+    def test_success_passes_through(self):
+        result, failure = isolated(lambda: 42, label="calc")
+        assert result == 42 and failure is None
+
+    def test_crash_becomes_a_value(self):
+        def boom():
+            raise RuntimeError("kaput")
+
+        result, failure = isolated(boom, label="stage")
+        assert result is None
+        assert failure.error == "RuntimeError"
+        assert "kaput" in failure.message
+        assert not failure.timed_out
+        assert "stage" in failure.describe()
+
+    def test_pre_expired_deadline_short_circuits(self):
+        clock = ManualClock()
+        d = Deadline.after(0.0, clock=clock)
+        calls = {"n": 0}
+
+        def op():
+            calls["n"] += 1
+
+        result, failure = isolated(op, deadline=d)
+        assert calls["n"] == 0
+        assert failure.timed_out
+
+    def test_operator_interrupts_not_swallowed(self):
+        def interrupt():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            isolated(interrupt)

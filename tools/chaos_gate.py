@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""CI gate: fault-inject the tool drivers and demand graceful degradation.
+
+Three scenarios, all seeded and in-process:
+
+1. **lint chaos** — a ``RuntimeError`` is injected into a fixed subset of
+   ``Checker.run`` calls while linting a scratch tree.  The run must exit
+   3 (partial results), print one LINT-INTERNAL finding per injection,
+   never a traceback, and still report the real bugs in spared files.
+2. **optimize chaos** — the same treatment for ``collect_facts`` during
+   ``python -m repro.optimize --write``.  The no-torn-write invariant is
+   checked: every file on disk is either the untouched original or the
+   fully verified rewrite.
+3. **transport chaos** — reliable echo/floodset runs across a grid of
+   loss probabilities and seeds; every run must reach the correct
+   decision with zero exhausted retry budgets.
+
+Run:  python tools/chaos_gate.py          (from the repo root)
+"""
+
+import contextlib
+import io
+import pathlib
+import shutil
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.distributed import (  # noqa: E402
+    FailurePlan, Ring, run_echo_reliable, run_floodset_reliable,
+)
+from repro.lint import driver as lint_driver  # noqa: E402
+from repro.lint.cli import main as lint_main  # noqa: E402
+from repro.optimize import pipeline  # noqa: E402
+from repro.optimize.cli import main as optimize_main  # noqa: E402
+
+BUGGY = '''
+def f(v: "vector"):
+    it = v.begin()
+    v.push_back(1)
+    return it.deref()
+'''
+
+OPTIMIZABLE = '''
+def lookup(v: "vector", key):
+    sort(v.begin(), v.end())
+    it = find(v.begin(), v.end(), key)
+    return it
+'''
+
+
+def _run_cli(fn, argv):
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        rc = fn(argv)
+    return rc, out.getvalue(), err.getvalue()
+
+
+def check(ok: bool, label: str, detail: str = "") -> bool:
+    print(f"chaos gate: {'PASS' if ok else 'FAIL'} — {label}"
+          + (f" ({detail})" if detail else ""))
+    return ok
+
+
+def lint_chaos(tmp: pathlib.Path) -> bool:
+    tree = tmp / "lint"
+    tree.mkdir()
+    n_files = 5
+    for i in range(n_files):
+        (tree / f"m{i}.py").write_text(BUGGY)
+
+    real_run = lint_driver.Checker.run
+    calls = {"n": 0}
+    inject_at = {2, 4}                    # fixed, replayable injections
+
+    def chaotic_run(self):
+        calls["n"] += 1
+        if calls["n"] in inject_at:
+            raise RuntimeError(f"chaos at Checker.run #{calls['n']}")
+        return real_run(self)
+
+    lint_driver.Checker.run = chaotic_run
+    try:
+        rc, out, err = _run_cli(lint_main, [str(tree)])
+    finally:
+        lint_driver.Checker.run = real_run
+
+    ok = True
+    ok &= check(rc == 3, "lint exits 3 on partial results", f"rc={rc}")
+    ok &= check("Traceback" not in err, "lint prints no traceback")
+    ok &= check(out.count("LINT-INTERNAL") == len(inject_at),
+                "one LINT-INTERNAL finding per injection")
+    ok &= check(out.count("singular-deref") == n_files - len(inject_at),
+                "spared files still report their real bug")
+    return ok
+
+
+def optimize_chaos(tmp: pathlib.Path) -> bool:
+    tree = tmp / "opt"
+    tree.mkdir()
+    n_files = 4
+    for i in range(n_files):
+        (tree / f"m{i}.py").write_text(OPTIMIZABLE)
+
+    real_collect = pipeline.collect_facts
+    calls = {"n": 0}
+    inject_at = {1, 4}
+
+    def chaotic_collect(source):
+        calls["n"] += 1
+        if calls["n"] in inject_at:
+            raise RuntimeError(f"chaos at collect_facts #{calls['n']}")
+        return real_collect(source)
+
+    pipeline.collect_facts = chaotic_collect
+    try:
+        rc, out, err = _run_cli(optimize_main, [str(tree), "--write"])
+    finally:
+        pipeline.collect_facts = real_collect
+
+    ok = True
+    ok &= check(rc == 3, "optimize exits 3 on partial results", f"rc={rc}")
+    ok &= check("Traceback" not in err, "optimize prints no traceback")
+    ok &= check("OPT-INTERNAL" in out, "crashes reported as OPT-INTERNAL")
+    torn = [
+        p.name for p in sorted(tree.glob("*.py"))
+        if p.read_text() != OPTIMIZABLE
+        and "lower_bound" not in p.read_text()
+    ]
+    ok &= check(not torn, "no torn writes on disk", ", ".join(torn))
+    rewritten = sum(
+        1 for p in tree.glob("*.py") if "lower_bound" in p.read_text()
+    )
+    ok &= check(rewritten >= 1, "spared files still rewritten",
+                f"{rewritten}/{n_files}")
+    return ok
+
+
+def transport_chaos() -> bool:
+    ok = True
+    for loss in (0.2, 0.5):
+        for seed in (0, 1):
+            m = run_echo_reliable(
+                Ring(6),
+                failures=FailurePlan(loss_probability=loss, seed=seed))
+            ok &= check(
+                m.decisions.get(0) == 6 and m.retries_gave_up == 0,
+                f"reliable echo at loss={loss} seed={seed}",
+                f"decision={m.decisions.get(0)} retx={m.retransmissions}")
+    m = run_floodset_reliable(
+        5, f=1, failures=FailurePlan(loss_probability=0.5, seed=3))
+    ok &= check(m.consensus() == 0 and len(m.decisions) == 5,
+                "reliable floodset consensus at loss=0.5",
+                f"consensus={m.consensus()} retx={m.retransmissions}")
+    return ok
+
+
+def main() -> int:
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="chaos_gate_"))
+    try:
+        ok = lint_chaos(tmp)
+        ok &= optimize_chaos(tmp)
+        ok &= transport_chaos()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    print(f"chaos gate: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
