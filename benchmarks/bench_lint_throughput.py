@@ -6,14 +6,37 @@ end-to-end: over the repo's own ``examples/`` directory (the self-hosted
 CI gate) and over a synthetic project sweep of clean scanner functions
 mixed with buggy Fig.-4-style purgers, reporting functions/second and
 confirming the driver's precision does not drift (every planted bug is
-found, every clean function stays clean)."""
+found, every clean function stays clean).
 
+Both analysis engines run side by side: the CFG + worklist ``fixpoint``
+engine (the default) and the legacy bounded-inlining ``inline`` engine
+(kept as a differential oracle).  Standalone mode (the CI analysis-bench
+smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_lint_throughput.py --quick
+
+times a whole-repo self-lint per engine and writes
+``benchmarks/out/lint_throughput.json``; it exits nonzero if the engines
+disagree on findings or the fixpoint engine falls far behind.
+"""
+
+import json
 import pathlib
 import time
 
 from repro.lint import LintConfig, lint_paths, lint_source
 
-EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+HERE = pathlib.Path(__file__).parent
+EXAMPLES = HERE.parent / "examples"
+SRC = HERE.parent / "src" / "repro"
+OUT_JSON = HERE / "out" / "lint_throughput.json"
+
+ENGINES = ("fixpoint", "inline")
+
+#: Standalone-mode budget: the fixpoint engine must stay within this
+#: factor of the legacy engine on the whole-repo self-lint (measured
+#: comfortably *faster* in practice; the slack absorbs CI timer noise).
+MAX_FIXPOINT_SLOWDOWN = 1.5
 
 CLEAN_TEMPLATE = '''
 def scan_{i}(v: "vector"):
@@ -52,6 +75,7 @@ def test_lint_examples_directory(record):
     # suggestion; every other example must stay clean.
     assert s["errors"] == 1, report.render_text()
     assert s["warnings"] == 3, report.render_text()
+    assert s["suggestions"] == 1, report.render_text()
     assert s["suppressed"] == 1
     dirty = {fr.path.split("/")[-1] for fr in report.files if fr.findings}
     assert dirty == {"lint_demo.py", "optimize_demo.py"}
@@ -61,35 +85,50 @@ def test_lint_examples_directory(record):
         "T-lint: self-hosted lint of examples/\n"
         f"  files: {s['files']}  functions checked: {s['functions_checked']}\n"
         f"  errors: {s['errors']}  warnings: {s['warnings']}  "
-        f"suppressed: {s['suppressed']}\n"
+        f"suggestions: {s['suggestions']}  suppressed: {s['suppressed']}\n"
         f"  wall time: {elapsed * 1e3:.1f} ms",
     )
 
 
 def test_lint_throughput_sweep(record):
-    """Functions/second as the synthetic project grows."""
+    """Functions/second as the synthetic project grows, per engine."""
     rows = ["T-lint: synthetic project sweep (clean scanners + buggy purgers)",
-            f"{'functions':>10} {'buggy':>6} {'ms':>9} {'fn/s':>9}"]
+            f"{'functions':>10} {'buggy':>6} "
+            f"{'fixpoint ms':>12} {'inline ms':>10} {'fix/inl':>8} "
+            f"{'fn/s (fix)':>11}"]
     throughputs = []
     for n_clean, n_buggy in [(5, 1), (20, 4), (60, 12)]:
         src = synthetic_module(n_clean, n_buggy)
-        t0 = time.perf_counter()
-        report = lint_source(src, path=f"synthetic_{n_clean + n_buggy}.py")
-        elapsed = time.perf_counter() - t0
+        elapsed = {}
+        for engine in ENGINES:
+            t0 = time.perf_counter()
+            report = lint_source(
+                src, path=f"synthetic_{n_clean + n_buggy}.py",
+                config=LintConfig(engine=engine),
+            )
+            elapsed[engine] = time.perf_counter() - t0
 
-        # Precision must not drift with scale: every planted bug is
-        # caught (advance + deref per buggy function, at the for line),
-        # and no clean scanner is flagged.
-        singular = [f for f in report.findings if "singular" in f.message]
-        assert len(singular) == 2 * n_buggy, report.path
-        assert report.functions_checked == n_clean + n_buggy
-        assert all("purge_" in f.function for f in report.findings)
+            # Precision must not drift with scale or engine: every
+            # planted bug is caught (advance + deref per buggy function,
+            # at the for line), and no clean scanner is flagged.
+            singular = [
+                f for f in report.findings if "singular" in f.message
+            ]
+            assert len(singular) == 2 * n_buggy, (engine, report.path)
+            assert report.functions_checked == n_clean + n_buggy
+            assert all(
+                "purge_" in f.function for f in report.findings
+                if f.severity in ("error", "warning")
+            )
 
-        fps = report.functions_checked / elapsed
+        fps = report.functions_checked / elapsed["fixpoint"]
         throughputs.append(fps)
         rows.append(
             f"{n_clean + n_buggy:>10} {n_buggy:>6} "
-            f"{elapsed * 1e3:>9.1f} {fps:>9.0f}"
+            f"{elapsed['fixpoint'] * 1e3:>12.1f} "
+            f"{elapsed['inline'] * 1e3:>10.1f} "
+            f"{elapsed['fixpoint'] / elapsed['inline']:>8.2f} "
+            f"{fps:>11.0f}"
         )
 
     # Loose floor: symbolic execution of these small functions should
@@ -107,3 +146,96 @@ def test_lint_single_function_cost(benchmark):
 
     report = benchmark(run)
     assert any("singular" in f.message for f in report.findings)
+
+
+# ---------------------------------------------------------------------------
+# standalone mode (CI analysis-bench smoke job)
+# ---------------------------------------------------------------------------
+
+
+def _finding_set(report):
+    return {
+        (f.path, f.line, f.check) for f in report.findings
+        if f.severity in ("error", "warning", "suggestion")
+    }
+
+
+def _measure(repeats: int) -> dict:
+    """Whole-repo self-lint (src/repro + examples) timed per engine."""
+    from repro.stllint.dataflow import reset_stats, stats
+
+    paths = [SRC, EXAMPLES]
+    result = {"workload": [str(SRC), str(EXAMPLES)], "engines": {}}
+    findings = {}
+    for engine in ENGINES:
+        if engine == "fixpoint":
+            reset_stats()
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            report = lint_paths(paths, LintConfig(engine=engine))
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        findings[engine] = _finding_set(report)
+        s = report.summary()
+        entry = {
+            "best_ms": best * 1e3,
+            "files": s["files"],
+            "errors": s["errors"],
+            "warnings": s["warnings"],
+            "suggestions": s["suggestions"],
+        }
+        if engine == "fixpoint":
+            entry["fixpoint_stats"] = stats()
+        result["engines"][engine] = entry
+
+    fix = result["engines"]["fixpoint"]
+    inl = result["engines"]["inline"]
+    result["fixpoint_over_inline"] = fix["best_ms"] / inl["best_ms"]
+    result["engines_agree"] = findings["fixpoint"] == findings["inline"]
+    result["unstable_loops"] = fix["fixpoint_stats"]["unstable_loops"]
+    result["ok"] = (
+        result["engines_agree"]
+        and result["unstable_loops"] == 0
+        and result["fixpoint_over_inline"] <= MAX_FIXPOINT_SLOWDOWN
+    )
+    return result
+
+
+def _render(m: dict) -> str:
+    fix = m["engines"]["fixpoint"]
+    inl = m["engines"]["inline"]
+    return "\n".join([
+        "T-lint standalone: whole-repo self-lint (src/repro + examples)",
+        f"  fixpoint: {fix['best_ms']:.1f} ms   "
+        f"inline: {inl['best_ms']:.1f} ms   "
+        f"ratio: {m['fixpoint_over_inline']:.2f}",
+        f"  engines agree on findings: {m['engines_agree']}   "
+        f"unstable loops: {m['unstable_loops']}",
+    ])
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single timing pass (CI smoke mode)")
+    parser.add_argument("--json", type=pathlib.Path, default=OUT_JSON,
+                        help=f"summary JSON output path (default {OUT_JSON})")
+    args = parser.parse_args(argv)
+
+    m = _measure(repeats=1 if args.quick else 3)
+    print(_render(m))
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(m, indent=2, default=str) + "\n")
+    print(f"summary written to {args.json}")
+    if not m["ok"]:
+        print("FAIL: engine disagreement, unstable loops, or fixpoint "
+              f"slower than {MAX_FIXPOINT_SLOWDOWN:.1f}x inline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

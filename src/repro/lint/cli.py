@@ -48,7 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--no-interprocedural", action="store_true",
-        help="do not inline same-module calls",
+        help="do not analyze same-module calls",
+    )
+    parser.add_argument(
+        "--engine", choices=("fixpoint", "inline"), default="fixpoint",
+        help="analysis engine: 'fixpoint' (CFG + worklist to a true "
+             "fixpoint, interprocedural summaries; the default) or "
+             "'inline' (legacy bounded loop re-execution and call "
+             "inlining, kept as a differential-testing oracle)",
     )
     parser.add_argument(
         "--exclude", action="append", default=[], metavar="GLOB",
@@ -89,6 +96,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         interprocedural=not args.no_interprocedural,
         exclude=tuple(args.exclude),
         timeout_s=args.timeout_s,
+        engine=args.engine,
     )
     tracer = trace.enable() if args.trace is not None else trace.active()
     with_trace = tracer is not None

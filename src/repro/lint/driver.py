@@ -23,7 +23,11 @@ from typing import Iterable, Optional, Sequence, Union
 
 from repro.resilience import Deadline, DeadlineExceeded
 from repro.stllint.diagnostics import Severity
-from repro.stllint.interpreter import Checker, module_function_table
+from repro.stllint.interpreter import (
+    DEFAULT_ENGINE,
+    make_checker,
+    module_function_table,
+)
 from repro.stllint.specs import CONTAINER_SPECS
 from repro.trace import core as _trace
 
@@ -56,9 +60,10 @@ class LintConfig:
 
     fail_on: str = "warning"          # least severe level that fails the run
     concept_pass: bool = True         # check @where call sites
-    interprocedural: bool = True      # inline same-module calls
+    interprocedural: bool = True      # analyze same-module calls
     exclude: tuple[str, ...] = ()     # glob patterns matched against paths
     timeout_s: Optional[float] = None  # per-file analysis deadline
+    engine: str = DEFAULT_ENGINE      # "fixpoint" (CFG worklist) | "inline"
 
 
 @dataclass
@@ -273,6 +278,14 @@ def lint_source(
                      function=function, check=check)
 
     functions = module_function_table(tree) if config.interprocedural else {}
+    summaries = None
+    if config.engine == "fixpoint":
+        from repro.stllint.summaries import SummaryTable
+
+        # One table per file: every function's interprocedural effects
+        # are summarized once per argument shape and reused across all
+        # callers in the module.
+        summaries = SummaryTable()
     seen: set[tuple[int, str]] = set()
     for node in ast.walk(tree):
         if not isinstance(node, ast.FunctionDef) or not _is_lintable(node):
@@ -286,12 +299,18 @@ def lint_source(
         report.functions_checked += 1
         try:
             if tr is None:
-                sink = Checker(node, lines, module_functions=functions).run()
+                sink = make_checker(
+                    config.engine, node, lines, module_functions=functions,
+                    summaries=summaries,
+                ).run()
             else:
                 with tr.span("lint.function", cat="lint", path=path,
-                             function=node.name, line=node.lineno) as sp:
-                    sink = Checker(
-                        node, lines, module_functions=functions).run()
+                             function=node.name, line=node.lineno,
+                             engine=config.engine) as sp:
+                    sink = make_checker(
+                        config.engine, node, lines,
+                        module_functions=functions, summaries=summaries,
+                    ).run()
                     sp.set("diagnostics", len(sink.diagnostics))
         except Exception as exc:  # noqa: BLE001 - crash isolation
             internal(LINT_INTERNAL, (

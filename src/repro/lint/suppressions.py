@@ -30,7 +30,14 @@ from repro.stllint.specs import (
     MSG_UNINLINED_CALL,
     MSG_UNMODELED_STMT,
     MSG_UNSORTED_LOWER_BOUND,
+    MSG_UNSTABLE_LOOP,
 )
+
+#: The legacy (inline) engine's loop-iteration bound expired before the
+#: abstract state stabilized — analysis past that point is incomplete.
+#: The fixpoint engine never emits this in normal operation (only if its
+#: runaway-safety cap fires, which would itself be a bug).
+LINT_UNSTABLE_LOOP = "LINT-UNSTABLE-LOOP"
 
 #: Exact message -> check code.
 MESSAGE_CHECKS: dict[str, str] = {
@@ -43,6 +50,7 @@ MESSAGE_CHECKS: dict[str, str] = {
     MSG_UNSORTED_LOWER_BOUND: "unsorted-range",
     MSG_NOT_A_HEAP: "not-a-heap",
     MSG_SORTED_LINEAR_FIND: "sorted-linear-find",
+    MSG_UNSTABLE_LOOP: LINT_UNSTABLE_LOOP,
 }
 
 #: Substring -> check code, tried in order, for the ad-hoc interpreter

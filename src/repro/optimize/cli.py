@@ -75,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default: {DEFAULT_SIZE:g})",
     )
     parser.add_argument(
+        "--engine", choices=("fixpoint", "inline"), default="fixpoint",
+        help="STLlint engine for the facts and verify stages "
+             "(default: fixpoint)",
+    )
+    parser.add_argument(
         "--trace", type=pathlib.Path, default=None, metavar="OUT.json",
         help="record per-stage pipeline spans and write a Chrome "
              "trace-event JSON (load via chrome://tracing)",
@@ -109,7 +114,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             results.append(optimize_file(
                 f, write=args.write,
                 resource=args.resource, size=args.size,
-                timeout_s=args.timeout_s,
+                timeout_s=args.timeout_s, engine=args.engine,
             ))
         return results
 

@@ -37,6 +37,7 @@ from ..lint.driver import LintConfig, LintFinding, lint_source
 from ..resilience import Deadline
 from ..sequences.taxonomy import CALL_TO_CONCEPT, CONCEPT_TO_CALL, stl_taxonomy
 from ..stllint.facts_collection import collect_facts
+from ..stllint.interpreter import DEFAULT_ENGINE
 from ..trace import core as _trace
 
 PathLike = Union[str, pathlib.Path]
@@ -239,9 +240,11 @@ def apply_rewrites(source: str, plans: list[PlannedRewrite]) -> str:
     return "".join(lines)
 
 
-def _problem_findings(source: str, path: str) -> set[tuple[int, str]]:
+def _problem_findings(
+    source: str, path: str, engine: str = DEFAULT_ENGINE,
+) -> set[tuple[int, str]]:
     """(line, check) pairs at warning severity or worse."""
-    report = lint_source(source, path=path, config=LintConfig())
+    report = lint_source(source, path=path, config=LintConfig(engine=engine))
     return {
         (f.line, f.check) for f in report.findings
         if f.severity in ("error", "warning")
@@ -275,25 +278,31 @@ def optimize_source(
     resource: str = DEFAULT_RESOURCE,
     size: float = DEFAULT_SIZE,
     deadline: Optional[Deadline] = None,
+    engine: Optional[str] = None,
 ) -> OptimizeResult:
     """Run the full facts → select → rewrite → verify pipeline.
 
     ``deadline`` (usually from ``--timeout-s``) is checked between
     stages; on expiry the file is reported with an OPT-TIMEOUT finding
     and left untouched — cooperative, so a stage in progress finishes.
+
+    ``engine`` selects the STLlint analysis engine used by the facts
+    and verify stages (default: the fixpoint engine).
     """
     tr = _trace.ACTIVE
     taxonomy = taxonomy or stl_taxonomy()
+    engine = engine or DEFAULT_ENGINE
     result = OptimizeResult(path=path, original=source, optimized=source)
     if deadline is not None and deadline.expired():
         return _timeout_result(result, path, deadline.budget)
 
     try:
         if tr is None:
-            table = collect_facts(source)
+            table = collect_facts(source, engine=engine)
         else:
-            with tr.span("optimize.facts", cat="optimize", path=path) as sp:
-                table = collect_facts(source)
+            with tr.span("optimize.facts", cat="optimize", path=path,
+                         engine=engine) as sp:
+                table = collect_facts(source, engine=engine)
                 sp.set("call_sites", len(table.call_sites()))
     except SyntaxError as exc:
         result.verified = False
@@ -332,8 +341,8 @@ def optimize_source(
 
     def verify() -> tuple[bool, str]:
         # No new warnings/errors relative to the input...
-        before = _problem_findings(source, path)
-        after = _problem_findings(optimized, path)
+        before = _problem_findings(source, path, engine)
+        after = _problem_findings(optimized, path, engine)
         introduced = after - before
         if introduced:
             rendered = ", ".join(
@@ -341,8 +350,8 @@ def optimize_source(
             )
             return False, f"re-lint found new problems ({rendered})"
         # ...and nothing further to do: the pipeline is idempotent.
-        again = plan_rewrites(collect_facts(optimized), taxonomy,
-                              resource, size)
+        again = plan_rewrites(collect_facts(optimized, engine=engine),
+                              taxonomy, resource, size)
         if again:
             return False, (
                 f"not idempotent: optimized output still proposes "
@@ -421,6 +430,7 @@ def optimize_file(
     resource: str = DEFAULT_RESOURCE,
     size: float = DEFAULT_SIZE,
     timeout_s: Optional[float] = None,
+    engine: Optional[str] = None,
 ) -> OptimizeResult:
     """Optimize one file on disk; with ``write=True`` the rewritten
     source replaces the file (only when verification passed).
@@ -438,7 +448,7 @@ def optimize_file(
     try:
         result = optimize_source(
             source, path=str(p), taxonomy=taxonomy, resource=resource,
-            size=size, deadline=deadline,
+            size=size, deadline=deadline, engine=engine,
         )
         if write and result.changed and result.verified:
             try:

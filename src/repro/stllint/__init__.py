@@ -35,16 +35,25 @@ from .archetype_check import (
     SinglePassSequence,
     check_traversal_requirement,
 )
+from .dataflow import FixpointChecker, FixpointStats
+from .dataflow import install_stats_report as install_fixpoint_stats_report
+from .dataflow import report as fixpoint_report
+from .dataflow import reset_stats as reset_fixpoint_stats
+from .dataflow import stats as fixpoint_stats
 from .diagnostics import Diagnostic, DiagnosticSink, Severity
 from .facts_collection import collect_facts
 from .interpreter import (
+    DEFAULT_ENGINE,
+    ENGINES,
     MAX_INLINE_DEPTH,
     Checker,
     Env,
     check_function,
     check_source,
+    make_checker,
     module_function_table,
 )
+from .summaries import Summary, SummaryTable
 from .specs import (
     ALGORITHM_SPECS,
     CONTAINER_SPECS,
@@ -58,6 +67,7 @@ from .specs import (
     MSG_UNINLINED_CALL,
     MSG_UNMODELED_STMT,
     MSG_UNSORTED_LOWER_BOUND,
+    MSG_UNSTABLE_LOOP,
     SORTED,
     ContainerSpec,
     InvalidationRule,
@@ -72,6 +82,10 @@ __all__ = [
     "Checker", "Env", "check_function", "check_source",
     "collect_facts",
     "module_function_table", "MAX_INLINE_DEPTH",
+    "DEFAULT_ENGINE", "ENGINES", "make_checker",
+    "FixpointChecker", "FixpointStats", "Summary", "SummaryTable",
+    "fixpoint_stats", "reset_fixpoint_stats", "fixpoint_report",
+    "install_fixpoint_stats_report",
     "ALGORITHM_SPECS", "CONTAINER_SPECS", "ContainerSpec",
     "InvalidationRule", "register_algorithm_spec",
     "unregister_algorithm_spec", "SORTED",
@@ -79,7 +93,7 @@ __all__ = [
     "MSG_PAST_END_DEREF", "MSG_SINGULAR_ADVANCE",
     "MSG_SINGULAR_DEREF", "MSG_SORTED_LINEAR_FIND",
     "MSG_UNINLINED_CALL", "MSG_UNMODELED_STMT",
-    "MSG_UNSORTED_LOWER_BOUND",
+    "MSG_UNSORTED_LOWER_BOUND", "MSG_UNSTABLE_LOOP",
     "SinglePassSequence", "SinglePassIterator", "MultiPassSequence",
     "MultipassViolation", "check_traversal_requirement",
 ]

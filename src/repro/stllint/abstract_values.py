@@ -178,6 +178,48 @@ class AbstractValue:
         return f"<value {self.note}>" if self.note else "<value>"
 
 
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """Container epochs captured at one program point (a ``try`` entry).
+
+    The CFG engine stores one of these in the environment under a hidden
+    name so exception-edge havoc can compare "epoch now" against "epoch
+    when the protected region began" even after joins.  Joining snapshots
+    takes the pointwise *minimum* epoch: the lower pre-epoch makes more
+    containers look mutated, which havocs more iterators — conservative
+    for a may-analysis.
+    """
+
+    epochs: frozenset[tuple[int, int]]  # (cid, epoch) pairs
+
+    @staticmethod
+    def of(env_values: Any) -> "EpochSnapshot":
+        return EpochSnapshot(frozenset(
+            (v.cid, v.epoch) for v in env_values
+            if isinstance(v, AbstractContainer)
+        ))
+
+    def epoch_of(self, cid: int, default: int) -> int:
+        for c, e in self.epochs:
+            if c == cid:
+                return e
+        return default
+
+    def copy(self) -> "EpochSnapshot":
+        return self
+
+    def join(self, other: "EpochSnapshot") -> "EpochSnapshot":
+        merged: dict[int, int] = dict(self.epochs)
+        for cid, epoch in other.epochs:
+            merged[cid] = min(merged.get(cid, epoch), epoch)
+        return EpochSnapshot(frozenset(merged.items()))
+
+    def same_state(self, other: "EpochSnapshot") -> bool:
+        # Epoch-insensitive on purpose: snapshots must not keep the
+        # fixpoint engine iterating after everything observable stabilized.
+        return True
+
+
 def join_values(a: Any, b: Any) -> Any:
     """Join two abstract values of possibly different kinds."""
     if a is b:
@@ -191,12 +233,15 @@ def join_values(a: Any, b: Any) -> Any:
         return a if a is b else AbstractBool.UNKNOWN
     if isinstance(a, AbstractValue) and isinstance(b, AbstractValue):
         return a.join(b)
+    if isinstance(a, EpochSnapshot) and isinstance(b, EpochSnapshot):
+        return a.join(b)
     return AbstractValue()
 
 
 def same_state(a: Any, b: Any) -> bool:
     if type(a) is not type(b):
         return False
-    if isinstance(a, (AbstractIterator, AbstractContainer, AbstractValue)):
+    if isinstance(a, (AbstractIterator, AbstractContainer, AbstractValue,
+                      EpochSnapshot)):
         return a.same_state(b)
     return a == b

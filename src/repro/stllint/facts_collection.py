@@ -15,12 +15,17 @@ from __future__ import annotations
 import ast
 import textwrap
 
+from typing import Any, Optional
+
 from ..facts.records import FactRecorder, FactTable
 from ..trace import core as _trace
-from .interpreter import Checker, module_function_table
+from .interpreter import DEFAULT_ENGINE, make_checker, module_function_table
 
 
-def collect_facts(source: str, *, interprocedural: bool = True) -> FactTable:
+def collect_facts(
+    source: str, *, interprocedural: bool = True,
+    engine: Optional[str] = None,
+) -> FactTable:
     """Analyze every function in ``source`` and return the facts learned.
 
     Diagnostics are still produced internally (the analysis is identical
@@ -28,27 +33,36 @@ def collect_facts(source: str, *, interprocedural: bool = True) -> FactTable:
     lint separately — the runs are cheap and independent.
 
     With ``interprocedural=True`` (the default), calls between functions
-    defined in ``source`` are analyzed by bounded inlining, so a helper's
-    ``sort`` establishes sortedness visible at the caller's ``find``.
+    defined in ``source`` are analyzed across function boundaries — via
+    memoized summaries under the default ``fixpoint`` engine, or by
+    bounded inlining under ``engine="inline"`` — so a helper's ``sort``
+    establishes sortedness visible at the caller's ``find``.
     """
     source = textwrap.dedent(source)
     tree = ast.parse(source)
     lines = source.splitlines()
     functions = module_function_table(tree) if interprocedural else {}
     recorder = FactRecorder()
+    resolved = engine or DEFAULT_ENGINE
+    summaries: Any = None
+    if resolved == "fixpoint":
+        from .summaries import SummaryTable
+
+        summaries = SummaryTable()
 
     def run() -> None:
         for node in tree.body:
             if isinstance(node, ast.FunctionDef):
-                Checker(
-                    node, lines, module_functions=functions, facts=recorder
+                make_checker(
+                    resolved, node, lines, module_functions=functions,
+                    facts=recorder, summaries=summaries,
                 ).run()
 
     tr = _trace.ACTIVE
     if tr is None:
         run()
     else:
-        with tr.span("facts.collect", cat="facts") as sp:
+        with tr.span("facts.collect", cat="facts", engine=resolved) as sp:
             run()
             sp.set("call_sites", len(recorder.calls))
             sp.set("facts", len(recorder.facts))

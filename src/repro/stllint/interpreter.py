@@ -53,8 +53,17 @@ from .specs import (
     MSG_SINGULAR_DEREF,
     MSG_UNINLINED_CALL,
     MSG_UNMODELED_STMT,
+    MSG_UNSTABLE_LOOP,
     AlgorithmContext,
 )
+
+#: Engine used by :func:`check_source`/:func:`check_function` when none is
+#: named: "fixpoint" (CFG + worklist, :mod:`repro.stllint.dataflow`) or
+#: "inline" (this module's legacy bounded re-execution, kept as the
+#: differential-testing oracle).
+DEFAULT_ENGINE = "fixpoint"
+
+ENGINES = ("fixpoint", "inline")
 
 MAX_LOOP_ITERATIONS = 6
 
@@ -346,6 +355,8 @@ class Checker:
                 state = new_state
                 break
             state = new_state
+        else:
+            self._note_loop_bound(node.lineno)
         self._refine(node.test, state, False)
         env.vars = state.vars
 
@@ -408,10 +419,25 @@ class Checker:
                 state = new_state
                 break
             state = new_state
+        else:
+            self._note_loop_bound(node.lineno)
         if node.orelse:
             self._exec_block(node.orelse, state)
         state.vars.pop(it_name, None)
         env.vars = state.vars
+
+    def _note_loop_bound(self, line: int) -> None:
+        """The loop exhausted ``MAX_LOOP_ITERATIONS`` without the joined
+        state stabilizing: effects of further iterations are invisible to
+        this (legacy) engine.  Say so instead of pretending convergence."""
+        tr = _trace.ACTIVE
+        if tr is not None:
+            tr.event(
+                "stllint.loop_bound", cat="lint", engine="inline",
+                function=self._inline_stack[0], line=line,
+                bound=MAX_LOOP_ITERATIONS,
+            )
+        self.sink.note(MSG_UNSTABLE_LOOP, line)
 
     def _bind_loop_target(self, target: ast.expr, env: Env) -> None:
         if isinstance(target, ast.Name):
@@ -913,30 +939,74 @@ def module_function_table(tree: ast.Module) -> dict[str, ast.FunctionDef]:
     }
 
 
-def check_source(source: str, *, interprocedural: bool = True) -> DiagnosticSink:
+def make_checker(
+    engine: Optional[str],
+    tree: ast.FunctionDef,
+    source_lines: list[str],
+    *,
+    module_functions: Optional[dict[str, ast.FunctionDef]] = None,
+    facts: Optional[FactRecorder] = None,
+    summaries: Any = None,
+) -> Checker:
+    """Construct the checker for ``engine`` (None means
+    :data:`DEFAULT_ENGINE`).  ``summaries`` is only meaningful for the
+    fixpoint engine: share one table across a module's functions so
+    interprocedural summaries are computed once per shape."""
+    engine = engine or DEFAULT_ENGINE
+    if engine == "inline":
+        return Checker(tree, source_lines, module_functions=module_functions,
+                       facts=facts)
+    if engine == "fixpoint":
+        from .dataflow import FixpointChecker
+
+        return FixpointChecker(
+            tree, source_lines, module_functions=module_functions,
+            facts=facts, summaries=summaries,
+        )
+    raise ValueError(
+        f"unknown analysis engine {engine!r}; expected one of {ENGINES}"
+    )
+
+
+def check_source(
+    source: str, *, interprocedural: bool = True,
+    engine: Optional[str] = None,
+) -> DiagnosticSink:
     """Check every function in ``source``; returns a combined sink.
 
     With ``interprocedural=True`` (the default), calls between functions
-    defined in ``source`` are analyzed by bounded inlining.
+    defined in ``source`` are analyzed across function boundaries —
+    via memoized summaries under the default ``fixpoint`` engine, or by
+    bounded inlining under ``engine="inline"`` (the legacy oracle).
     """
     source = textwrap.dedent(source)
     tree = ast.parse(source)
     lines = source.splitlines()
     functions = module_function_table(tree) if interprocedural else {}
     combined = DiagnosticSink(lines)
+    summaries: Any = None
+    if (engine or DEFAULT_ENGINE) == "fixpoint":
+        from .summaries import SummaryTable
+
+        summaries = SummaryTable()
     for node in tree.body:
         if isinstance(node, ast.FunctionDef):
-            sink = Checker(node, lines, module_functions=functions).run()
+            sink = make_checker(
+                engine, node, lines, module_functions=functions,
+                summaries=summaries,
+            ).run()
             for d in sink.diagnostics:
                 combined.emit(d.severity, d.message, d.line)
     return combined
 
 
-def check_function(fn_or_source: Any) -> DiagnosticSink:
+def check_function(
+    fn_or_source: Any, *, engine: Optional[str] = None
+) -> DiagnosticSink:
     """Check a single function given as source text or a Python function
     object (its source is retrieved with :mod:`inspect`)."""
     if isinstance(fn_or_source, str):
-        return check_source(fn_or_source)
+        return check_source(fn_or_source, engine=engine)
     import inspect
 
-    return check_source(inspect.getsource(fn_or_source))
+    return check_source(inspect.getsource(fn_or_source), engine=engine)

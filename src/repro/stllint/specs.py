@@ -130,6 +130,11 @@ MSG_UNINLINED_CALL = (
     "call passes tracked container state to a function the checker cannot "
     "inline (recursion or depth limit); its effects are not analyzed"
 )
+MSG_UNSTABLE_LOOP = (
+    "loop analysis hit the iteration bound before the abstract state "
+    "stabilized; effects of later iterations may be missed (re-run with "
+    "--engine fixpoint for a sound result)"
+)
 
 
 class AlgorithmContext:

@@ -187,6 +187,28 @@ class Tracer:
             "misses": totals["where_misses"],
         }, cat="dispatch")
 
+    def fold_stllint_counters(self) -> None:
+        """Sample the fixpoint engine's process-wide counters
+        (:func:`repro.stllint.dataflow.stats`) into counter records, the
+        same way :meth:`fold_runtime_counters` samples dispatch stats."""
+        from repro.stllint import dataflow
+
+        s = dataflow.stats()
+        if not any(s.values()):
+            return  # fixpoint engine never ran; keep the trace quiet
+        self.counter("stllint.fixpoint", {
+            "functions": s["functions"],
+            "blocks": s["blocks"],
+            "iterations": s["iterations"],
+            "widenings": s["widenings"],
+            "unstable_loops": s["unstable_loops"],
+        }, cat="stllint")
+        self.counter("stllint.summaries", {
+            "hits": s["summary_hits"],
+            "misses": s["summary_misses"],
+            "recursion_bails": s["summary_recursion_bails"],
+        }, cat="stllint")
+
 
 def enable(tracer: Optional[Tracer] = None) -> Tracer:
     """Install ``tracer`` (or a fresh one) as the process-global tracer and

@@ -86,6 +86,10 @@ def _fold(tracer: Tracer) -> None:
         tracer.fold_runtime_counters()
     except ImportError:  # pragma: no cover - runtime layer always present
         pass
+    try:
+        tracer.fold_stllint_counters()
+    except ImportError:  # pragma: no cover - stllint layer always present
+        pass
 
 
 _PHASES_REQUIRING_DUR = {"X"}

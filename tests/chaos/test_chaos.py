@@ -63,13 +63,20 @@ class TestLintUnderChaos:
             (tmp_path / f"m{i}.py").write_text(BUGGY)
 
         monkey = _ChaosMonkey(seed)
-        real_run = lint_driver.Checker.run
+        real_make = lint_driver.make_checker
 
-        def chaotic_run(self):
-            monkey.maybe_raise()
-            return real_run(self)
+        def chaotic_make(*args, **kwargs):
+            checker = real_make(*args, **kwargs)
+            real_run = checker.run
 
-        monkeypatch.setattr(lint_driver.Checker, "run", chaotic_run)
+            def chaotic_run():
+                monkey.maybe_raise()
+                return real_run()
+
+            checker.run = chaotic_run
+            return checker
+
+        monkeypatch.setattr(lint_driver, "make_checker", chaotic_make)
         report = lint_paths([tmp_path])     # must never raise
         assert len(report.files) == n_files
         internal = [f for f in report.findings
@@ -89,9 +96,9 @@ class TestOptimizeUnderChaos:
         monkey = _ChaosMonkey(seed, rate=0.4)
         real_collect = pipeline.collect_facts
 
-        def chaotic_collect(source):
+        def chaotic_collect(source, **kwargs):
             monkey.maybe_raise()
-            return real_collect(source)
+            return real_collect(source, **kwargs)
 
         monkeypatch.setattr(pipeline, "collect_facts", chaotic_collect)
         for i in range(4):

@@ -1,0 +1,399 @@
+"""Differential tests for the CFG + worklist fixpoint engine against the
+legacy bounded-inlining engine.
+
+The contract: on every program the legacy engine analyzed soundly, the
+fixpoint engine reports the *same* warnings/errors/suggestions — and on
+programs the legacy bounds truncated (loops needing more than
+MAX_LOOP_ITERATIONS passes, call chains deeper than MAX_INLINE_DEPTH),
+the fixpoint engine keeps going and finds the bugs the bounds hid.
+"""
+
+import pathlib
+
+import pytest
+
+from repro import trace
+from repro.stllint import (
+    MSG_SINGULAR_DEREF,
+    MSG_UNINLINED_CALL,
+    MSG_UNSTABLE_LOOP,
+    Severity,
+    check_source,
+    make_checker,
+)
+from repro.stllint.dataflow import reset_stats, stats
+from repro.stllint.interpreter import MAX_INLINE_DEPTH, MAX_LOOP_ITERATIONS
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def findings(report):
+    """Comparable finding set: notes are engine commentary (uninlined
+    calls, loop bounds) and legitimately differ between engines."""
+    return {
+        (d.severity.value, d.message, d.line)
+        for d in report.diagnostics
+        if d.severity is not Severity.NOTE
+    }
+
+
+BUGGY_EXTRACT_FAILS = '''
+def extract_fails(students: "vector", fails: "vector"):
+    it = students.begin()
+    while not it.equals(students.end()):
+        if fgrade(it.deref()):
+            fails.push_back(it.deref())
+            students.erase(it)
+        else:
+            it.increment()
+'''
+
+FIXED_EXTRACT_FAILS = BUGGY_EXTRACT_FAILS.replace(
+    "            students.erase(it)",
+    "            it = students.erase(it)",
+).replace("extract_fails", "extract_ok")
+
+
+# A call chain one deeper than the legacy inliner follows.  The erase at
+# the bottom invalidates the caller's iterator; only an engine that
+# analyzes through every level can see the deref afterwards is singular.
+_DEPTH = MAX_INLINE_DEPTH + 2
+DEEP_CHAIN = "\n".join(
+    [f'def g{_DEPTH}(v: "vector", it):\n    v.erase(it)\n']
+    + [
+        f'def g{i}(v: "vector", it):\n    g{i + 1}(v, it)\n'
+        for i in range(_DEPTH - 1, 0, -1)
+    ]
+    + [
+        'def caller(v: "vector"):',
+        "    it = v.begin()",
+        "    g1(v, it)",
+        "    x = it.deref()",
+    ]
+)
+
+# Singularity that needs MAX_LOOP_ITERATIONS + 2 passes to ripple down a
+# copy chain: each iteration moves the taint one variable further, so the
+# legacy 6-pass bound never reaches i8 and misses the singular deref.
+_COPIES = MAX_LOOP_ITERATIONS + 2
+SLOW_LOOP = "\n".join(
+    ['def slow_propagation(v: "vector", w: "vector"):',
+     "    j = w.begin()",
+     "    w.erase(j)"]
+    + [f"    i{k} = v.begin()" for k in range(1, _COPIES + 1)]
+    + ["    while unknown():"]
+    + [f"        i{k} = i{k - 1}" for k in range(_COPIES, 1, -1)]
+    + ["        i1 = j",
+       f"    x = i{_COPIES}.deref()"]
+)
+
+RECURSIVE = '''
+def walk(v: "vector", n):
+    it = v.begin()
+    walk(v, n)
+    return it.deref()
+'''
+
+# Shapes where the legacy engine is structurally blind: a break/continue
+# raised while exploring the then-branch of an `if` aborts the sibling
+# else-branch *before it is analyzed*, so the erase on the fallthrough
+# path never reaches the loop join.  The CFG lowering gives each path its
+# own edge, so the fixpoint engine sees the erase — these findings are
+# fixpoint-only, and they are true positives.
+BREAK_SHAPE = '''
+def break_shape(v: "vector"):
+    it = v.begin()
+    while unknown():
+        if done():
+            break
+        v.erase(it)
+    it.deref()
+'''
+
+CONTINUE_SHAPE = '''
+def continue_shape(v: "vector"):
+    it = v.begin()
+    while unknown():
+        if skip():
+            continue
+        v.erase(it)
+    it.deref()
+'''
+
+EDGE_SHAPES = [
+    # an except handler observes the mutation from the try body
+    '''
+def try_shape(v: "vector"):
+    it = v.begin()
+    try:
+        v.erase(it)
+        risky()
+    except ValueError:
+        it.deref()
+''',
+    # finally runs on the return path
+    '''
+def finally_shape(v: "vector"):
+    it = v.begin()
+    try:
+        return frob()
+    finally:
+        v.erase(it)
+''',
+    # for-loop over a container with nested break/continue
+    '''
+def for_shape(v: "vector"):
+    total = 0
+    for x in v:
+        if skip(x):
+            continue
+        if done(x):
+            break
+        total = total + x
+    return total
+''',
+    # while/else and nested loops
+    '''
+def nested_shape(v: "vector", w: "vector"):
+    it = v.begin()
+    while unknown():
+        jt = w.begin()
+        while more():
+            jt.increment()
+            jt.deref()
+    else:
+        it.deref()
+''',
+]
+
+
+class TestDifferentialExamples:
+    """Both engines over every example module: the fixpoint engine must
+    reproduce the legacy findings exactly — no losses, no spurious
+    extras on code the bounds already covered."""
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[p.name for p in EXAMPLES])
+    def test_engines_agree(self, path):
+        source = path.read_text(encoding="utf-8")
+        fix = check_source(source, engine="fixpoint")
+        inl = check_source(source, engine="inline")
+        assert findings(fix) == findings(inl)
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[p.name for p in EXAMPLES])
+    def test_fixpoint_never_loses_a_finding(self, path):
+        source = path.read_text(encoding="utf-8")
+        fix = check_source(source, engine="fixpoint")
+        inl = check_source(source, engine="inline")
+        assert findings(fix) >= findings(inl)
+
+
+class TestFig4Family:
+    def test_buggy_flagged_by_both_engines(self):
+        for engine in ("fixpoint", "inline"):
+            report = check_source(BUGGY_EXTRACT_FAILS, engine=engine)
+            assert any(
+                d.message == MSG_SINGULAR_DEREF for d in report.warnings
+            ), engine
+
+    def test_fixed_clean_under_both_engines(self):
+        for engine in ("fixpoint", "inline"):
+            report = check_source(FIXED_EXTRACT_FAILS, engine=engine)
+            assert report.clean, engine
+
+    def test_fixpoint_superset_on_fig4(self):
+        fix = check_source(BUGGY_EXTRACT_FAILS, engine="fixpoint")
+        inl = check_source(BUGGY_EXTRACT_FAILS, engine="inline")
+        assert findings(fix) >= findings(inl)
+
+
+class TestDeepCallChains:
+    """Summaries have no depth bound: the invalidation at the bottom of a
+    MAX_INLINE_DEPTH+2 chain reaches the caller."""
+
+    def test_fixpoint_finds_deep_invalidation(self):
+        report = check_source(DEEP_CHAIN, engine="fixpoint")
+        assert any(
+            d.message == MSG_SINGULAR_DEREF for d in report.warnings
+        )
+
+    def test_inline_engine_misses_it_but_says_so(self):
+        report = check_source(DEEP_CHAIN, engine="inline")
+        assert not any(
+            d.message == MSG_SINGULAR_DEREF for d in report.warnings
+        )
+        assert any(
+            MSG_UNINLINED_CALL in d.message
+            for d in report.of(Severity.NOTE)
+        )
+
+    def test_shallow_chains_agree(self):
+        shallow = '''
+def inner(v: "vector", it):
+    v.erase(it)
+
+def outer(v: "vector"):
+    it = v.begin()
+    inner(v, it)
+    x = it.deref()
+'''
+        fix = check_source(shallow, engine="fixpoint")
+        inl = check_source(shallow, engine="inline")
+        assert findings(fix) == findings(inl)
+        assert any(d.message == MSG_SINGULAR_DEREF for d in fix.warnings)
+
+
+class TestSlowLoops:
+    """The worklist iterates until the abstract state stops changing, not
+    until an arbitrary pass count runs out."""
+
+    def test_fixpoint_finds_slow_taint(self):
+        report = check_source(SLOW_LOOP, engine="fixpoint")
+        assert any(
+            d.message == MSG_SINGULAR_DEREF for d in report.warnings
+        )
+
+    def test_inline_engine_reports_the_unstable_loop(self):
+        report = check_source(SLOW_LOOP, engine="inline")
+        assert not any(
+            d.message == MSG_SINGULAR_DEREF for d in report.warnings
+        )
+        assert any(
+            d.message == MSG_UNSTABLE_LOOP
+            for d in report.of(Severity.NOTE)
+        )
+
+    def test_inline_loop_bound_trace_event(self):
+        tracer = trace.enable(trace.Tracer())
+        try:
+            check_source(SLOW_LOOP, engine="inline")
+        finally:
+            trace.disable()
+        events = [
+            r for r in tracer.records
+            if r["type"] == "event" and r["name"] == "stllint.loop_bound"
+        ]
+        assert events
+        assert events[0]["attrs"]["engine"] == "inline"
+
+    def test_fixpoint_converges_without_bound_notes(self):
+        report = check_source(SLOW_LOOP, engine="fixpoint")
+        assert not any(
+            d.message == MSG_UNSTABLE_LOOP for d in report.diagnostics
+        )
+
+
+class TestRecursion:
+    def test_both_engines_terminate_and_degrade_gracefully(self):
+        for engine in ("fixpoint", "inline"):
+            report = check_source(RECURSIVE, engine=engine)
+            assert report is not None
+            assert any(
+                MSG_UNINLINED_CALL in d.message
+                for d in report.of(Severity.NOTE)
+            ), engine
+
+    def test_mutual_recursion(self):
+        src = '''
+def ping(v: "vector"):
+    pong(v)
+
+def pong(v: "vector"):
+    ping(v)
+'''
+        for engine in ("fixpoint", "inline"):
+            assert check_source(src, engine=engine) is not None
+
+
+class TestEdgeShapes:
+    """break/continue/raise/finally lower to explicit CFG edges; the
+    engines must agree on all of them."""
+
+    @pytest.mark.parametrize("src", EDGE_SHAPES)
+    def test_engines_agree(self, src):
+        fix = check_source(src, engine="fixpoint")
+        inl = check_source(src, engine="inline")
+        assert findings(fix) == findings(inl)
+
+    @pytest.mark.parametrize("src", [BREAK_SHAPE, CONTINUE_SHAPE])
+    def test_fixpoint_sees_the_path_legacy_truncates(self, src):
+        # The erase sits on the fallthrough path past an exiting `if`
+        # arm.  Legacy signal-based break/continue aborts the sibling
+        # branch unanalyzed; the CFG engine must flag the deref after
+        # the loop (the erase path is feasible and loops back).
+        fix = check_source(src, engine="fixpoint")
+        inl = check_source(src, engine="inline")
+        assert any(
+            d.message == MSG_SINGULAR_DEREF for d in fix.warnings
+        )
+        assert findings(fix) > findings(inl)
+
+    def test_handler_sees_body_mutation(self):
+        fix = check_source(EDGE_SHAPES[0], engine="fixpoint")
+        assert any(
+            d.message == MSG_SINGULAR_DEREF for d in fix.warnings
+        )
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        import ast
+
+        fn = ast.parse("def f(v: 'vector'):\n    pass").body[0]
+        with pytest.raises(ValueError):
+            make_checker("magic", fn, [])
+
+    def test_check_source_default_is_fixpoint(self):
+        # The default engine emits no uninlined-call note on a deep
+        # chain — only the legacy engine would.
+        report = check_source(DEEP_CHAIN)
+        assert any(
+            d.message == MSG_SINGULAR_DEREF for d in report.warnings
+        )
+
+
+class TestFixpointStats:
+    def test_counters_advance_and_loops_stay_stable(self):
+        reset_stats()
+        check_source(SLOW_LOOP, engine="fixpoint")
+        s = stats()
+        assert s["functions"] >= 1
+        assert s["blocks"] >= 3
+        assert s["iterations"] > s["blocks"]  # the loop actually iterated
+        assert s["widenings"] >= 1
+        assert s["unstable_loops"] == 0
+
+    def test_summary_cache_hits_on_repeated_shapes(self):
+        reset_stats()
+        src = '''
+def helper(v: "vector"):
+    v.sort()
+
+def a(v: "vector"):
+    helper(v)
+
+def b(v: "vector"):
+    helper(v)
+'''
+        check_source(src, engine="fixpoint")
+        s = stats()
+        assert s["summary_misses"] >= 1
+        assert s["summary_hits"] >= 1
+
+    def test_fixpoint_spans_carry_iteration_counts(self):
+        tracer = trace.enable(trace.Tracer())
+        try:
+            check_source(SLOW_LOOP, engine="fixpoint")
+        finally:
+            trace.disable()
+        spans = [
+            r for r in tracer.records
+            if r["type"] == "span" and r["name"] == "stllint.fixpoint"
+        ]
+        assert spans
+        attrs = spans[0]["attrs"]
+        assert attrs["iterations"] > 0
+        assert attrs["converged"] is True

@@ -571,16 +571,19 @@ class TestCrashIsolation:
         for name in ("alpha", "beta", "gamma"):
             (tmp_path / f"{name}.py").write_text(BUGGY)
 
-        real_run = lint_driver.Checker.run
+        real_make = lint_driver.make_checker
         calls = {"n": 0}
 
-        def exploding_run(self):
+        def exploding_make(*args, **kwargs):
+            checker = real_make(*args, **kwargs)
             calls["n"] += 1
             if calls["n"] == 2:
-                raise RuntimeError("injected interpreter bug")
-            return real_run(self)
+                def boom():
+                    raise RuntimeError("injected interpreter bug")
+                checker.run = boom
+            return checker
 
-        monkeypatch.setattr(lint_driver.Checker, "run", exploding_run)
+        monkeypatch.setattr(lint_driver, "make_checker", exploding_make)
         report = lint_paths([tmp_path])
         internal = [f for f in report.findings if f.check == "LINT-INTERNAL"]
         assert len(internal) == 1
@@ -598,10 +601,16 @@ class TestCrashIsolation:
         (tmp_path / "a.py").write_text(CLEAN)
         (tmp_path / "b.py").write_text(CLEAN)
 
-        def always_explode(self):
-            raise RuntimeError("boom")
+        real_make = lint_driver.make_checker
 
-        monkeypatch.setattr(lint_driver.Checker, "run", always_explode)
+        def exploding_make(*args, **kwargs):
+            checker = real_make(*args, **kwargs)
+            def boom():
+                raise RuntimeError("boom")
+            checker.run = boom
+            return checker
+
+        monkeypatch.setattr(lint_driver, "make_checker", exploding_make)
         rc = main([str(tmp_path)])
         captured = capsys.readouterr()
         assert rc == 3                          # partial results
@@ -634,10 +643,16 @@ class TestCrashIsolation:
             "it.deref()", "it.deref()  # stllint: ignore")
         (tmp_path / "hushed.py").write_text(src)
 
-        def always_explode(self):
-            raise RuntimeError("boom")
+        real_make = lint_driver.make_checker
 
-        monkeypatch.setattr(lint_driver.Checker, "run", always_explode)
+        def exploding_make(*args, **kwargs):
+            checker = real_make(*args, **kwargs)
+            def boom():
+                raise RuntimeError("boom")
+            checker.run = boom
+            return checker
+
+        monkeypatch.setattr(lint_driver, "make_checker", exploding_make)
         report = lint_paths([tmp_path])
         assert any(f.check == "LINT-INTERNAL" for f in report.findings)
 

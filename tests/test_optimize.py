@@ -225,11 +225,11 @@ class TestCrashIsolation:
         real_collect = pipeline.collect_facts
         calls = {"n": 0}
 
-        def exploding_verify_collect(source):
+        def exploding_verify_collect(source, **kwargs):
             calls["n"] += 1
             if calls["n"] >= 2:       # 1st call: facts stage; 2nd: verify
                 raise RuntimeError("verification crashed")
-            return real_collect(source)
+            return real_collect(source, **kwargs)
 
         monkeypatch.setattr(pipeline, "collect_facts",
                             exploding_verify_collect)

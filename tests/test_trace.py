@@ -309,8 +309,13 @@ class TestLintTraceCLI:
         assert {s["args"]["function"] for s in fn_spans} == {
             "extract_fails", "drop_front_twice", "peek_sentinel",
         }
-        # The interprocedural demo exercises the inline choke point.
-        assert "stllint.inline" in names
+        # The default engine runs each function to a fixpoint and the
+        # interprocedural demo exercises the summary choke point; the
+        # process-wide fixpoint counters are folded in at export.
+        assert "stllint.fixpoint" in names
+        assert "stllint.summary" in names
+        counters = {e["name"] for e in evs if e["ph"] == "C"}
+        assert "stllint.summaries" in counters
 
     def test_env_activation_subprocess(self, tmp_path):
         """The acceptance-criteria command: REPRO_TRACE=1 python -m

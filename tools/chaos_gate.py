@@ -4,9 +4,10 @@
 Three scenarios, all seeded and in-process:
 
 1. **lint chaos** — a ``RuntimeError`` is injected into a fixed subset of
-   ``Checker.run`` calls while linting a scratch tree.  The run must exit
-   3 (partial results), print one LINT-INTERNAL finding per injection,
-   never a traceback, and still report the real bugs in spared files.
+   checker runs (through the ``make_checker`` engine seam) while linting
+   a scratch tree.  The run must exit 3 (partial results), print one
+   LINT-INTERNAL finding per injection, never a traceback, and still
+   report the real bugs in spared files.
 2. **optimize chaos** — the same treatment for ``collect_facts`` during
    ``python -m repro.optimize --write``.  The no-torn-write invariant is
    checked: every file on disk is either the untouched original or the
@@ -71,21 +72,27 @@ def lint_chaos(tmp: pathlib.Path) -> bool:
     for i in range(n_files):
         (tree / f"m{i}.py").write_text(BUGGY)
 
-    real_run = lint_driver.Checker.run
+    real_make = lint_driver.make_checker
     calls = {"n": 0}
     inject_at = {2, 4}                    # fixed, replayable injections
 
-    def chaotic_run(self):
+    def chaotic_make(*args, **kwargs):
+        checker = real_make(*args, **kwargs)
         calls["n"] += 1
         if calls["n"] in inject_at:
-            raise RuntimeError(f"chaos at Checker.run #{calls['n']}")
-        return real_run(self)
+            n = calls["n"]
 
-    lint_driver.Checker.run = chaotic_run
+            def boom():
+                raise RuntimeError(f"chaos at checker run #{n}")
+
+            checker.run = boom
+        return checker
+
+    lint_driver.make_checker = chaotic_make
     try:
         rc, out, err = _run_cli(lint_main, [str(tree)])
     finally:
-        lint_driver.Checker.run = real_run
+        lint_driver.make_checker = real_make
 
     ok = True
     ok &= check(rc == 3, "lint exits 3 on partial results", f"rc={rc}")
@@ -108,11 +115,11 @@ def optimize_chaos(tmp: pathlib.Path) -> bool:
     calls = {"n": 0}
     inject_at = {1, 4}
 
-    def chaotic_collect(source):
+    def chaotic_collect(source, **kwargs):
         calls["n"] += 1
         if calls["n"] in inject_at:
             raise RuntimeError(f"chaos at collect_facts #{calls['n']}")
-        return real_collect(source)
+        return real_collect(source, **kwargs)
 
     pipeline.collect_facts = chaotic_collect
     try:
