@@ -15,16 +15,19 @@ smoke job)::
 
     PYTHONPATH=src python benchmarks/bench_lint_throughput.py --quick
 
-times a whole-repo self-lint per engine and writes
+times a whole-repo self-lint per engine, then a cold → warm incremental
+pass through the analysis service's result cache, and writes
 ``benchmarks/out/lint_throughput.json``; it exits nonzero if the engines
-disagree on findings or the fixpoint engine falls far behind.
+disagree on findings, the fixpoint engine falls far behind, or the warm
+cached pass fails to beat the cold one by :data:`MAX_WARM_RATIO`.
 """
 
 import json
 import pathlib
+import tempfile
 import time
 
-from repro.lint import LintConfig, lint_paths, lint_source
+from repro.analysis import AnalysisConfig, AnalysisSession
 
 HERE = pathlib.Path(__file__).parent
 EXAMPLES = HERE.parent / "examples"
@@ -37,6 +40,10 @@ ENGINES = ("fixpoint", "inline")
 #: factor of the legacy engine on the whole-repo self-lint (measured
 #: comfortably *faster* in practice; the slack absorbs CI timer noise).
 MAX_FIXPOINT_SLOWDOWN = 1.5
+
+#: A warm (all-cached) re-lint of src/repro must take at most this
+#: fraction of the cold wall time (measured far below; slack for CI).
+MAX_WARM_RATIO = 0.5
 
 CLEAN_TEMPLATE = '''
 def scan_{i}(v: "vector"):
@@ -66,7 +73,7 @@ def synthetic_module(n_clean: int, n_buggy: int) -> str:
 def test_lint_examples_directory(record):
     """The CI gate workload: lint every example shipped with the repo."""
     t0 = time.perf_counter()
-    report = lint_paths([EXAMPLES], LintConfig())
+    report = AnalysisSession(AnalysisConfig()).lint_paths([EXAMPLES])
     elapsed = time.perf_counter() - t0
     s = report.summary()
 
@@ -101,10 +108,10 @@ def test_lint_throughput_sweep(record):
         src = synthetic_module(n_clean, n_buggy)
         elapsed = {}
         for engine in ENGINES:
+            session = AnalysisSession(AnalysisConfig(engine=engine))
             t0 = time.perf_counter()
-            report = lint_source(
+            report = session.lint_source(
                 src, path=f"synthetic_{n_clean + n_buggy}.py",
-                config=LintConfig(engine=engine),
             )
             elapsed[engine] = time.perf_counter() - t0
 
@@ -140,9 +147,10 @@ def test_lint_throughput_sweep(record):
 def test_lint_single_function_cost(benchmark):
     """Per-function symbolic-execution cost for the Fig. 4 bug."""
     src = BUGGY_TEMPLATE.format(i=0)
+    session = AnalysisSession(AnalysisConfig())
 
     def run():
-        return lint_source(src)
+        return session.lint_source(src)
 
     report = benchmark(run)
     assert any("singular" in f.message for f in report.findings)
@@ -172,8 +180,9 @@ def _measure(repeats: int) -> dict:
             reset_stats()
         best = None
         for _ in range(repeats):
+            session = AnalysisSession(AnalysisConfig(engine=engine))
             t0 = time.perf_counter()
-            report = lint_paths(paths, LintConfig(engine=engine))
+            report = session.lint_paths(paths)
             elapsed = time.perf_counter() - t0
             best = elapsed if best is None else min(best, elapsed)
         findings[engine] = _finding_set(report)
@@ -202,6 +211,40 @@ def _measure(repeats: int) -> dict:
     return result
 
 
+def _measure_cache() -> dict:
+    """Cold → warm self-lint of ``src/repro`` through the result cache."""
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache_dir:
+        config = AnalysisConfig(cache=True, cache_dir=cache_dir)
+
+        cold_session = AnalysisSession(config)
+        t0 = time.perf_counter()
+        cold = cold_session.lint_paths([SRC])
+        cold_ms = (time.perf_counter() - t0) * 1e3
+
+        warm_session = AnalysisSession(config)
+        t0 = time.perf_counter()
+        warm = warm_session.lint_paths([SRC])
+        warm_ms = (time.perf_counter() - t0) * 1e3
+
+    identical = cold.to_dict() == warm.to_dict()
+    hits = warm_session.counters["lint_from_cache"]
+    return {
+        "workload": str(SRC),
+        "cold_ms": cold_ms,
+        "warm_ms": warm_ms,
+        "warm_over_cold": warm_ms / cold_ms if cold_ms else 1.0,
+        "warm_hits": hits,
+        "warm_misses": warm_session.counters["lint_analyzed"],
+        "identical_reports": identical,
+        "ok": (
+            identical
+            and hits > 0
+            and warm_session.counters["lint_analyzed"] == 0
+            and warm_ms / cold_ms <= MAX_WARM_RATIO
+        ),
+    }
+
+
 def _render(m: dict) -> str:
     fix = m["engines"]["fixpoint"]
     inl = m["engines"]["inline"]
@@ -226,13 +269,24 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     m = _measure(repeats=1 if args.quick else 3)
+    m["cache"] = _measure_cache()
     print(_render(m))
+    c = m["cache"]
+    print("T-lint cache: cold -> warm self-lint of src/repro through the "
+          "analysis service")
+    print(f"  cold: {c['cold_ms']:.1f} ms   warm: {c['warm_ms']:.1f} ms   "
+          f"ratio: {c['warm_over_cold']:.3f} "
+          f"(budget {MAX_WARM_RATIO})")
+    print(f"  warm cache hits: {c['warm_hits']}   "
+          f"re-analyzed: {c['warm_misses']}   "
+          f"identical reports: {c['identical_reports']}")
     args.json.parent.mkdir(parents=True, exist_ok=True)
     args.json.write_text(json.dumps(m, indent=2, default=str) + "\n")
     print(f"summary written to {args.json}")
-    if not m["ok"]:
-        print("FAIL: engine disagreement, unstable loops, or fixpoint "
-              f"slower than {MAX_FIXPOINT_SLOWDOWN:.1f}x inline")
+    if not m["ok"] or not c["ok"]:
+        print("FAIL: engine disagreement, unstable loops, fixpoint "
+              f"slower than {MAX_FIXPOINT_SLOWDOWN:.1f}x inline, or warm "
+              f"cached pass above {MAX_WARM_RATIO}x cold")
         return 1
     return 0
 

@@ -1,0 +1,138 @@
+"""Same-project import dependencies, for cross-file cache invalidation.
+
+STLlint's interprocedural reasoning is summary-based
+(:mod:`repro.stllint.summaries`): a caller's findings can depend on the
+bodies of the functions it calls.  Today those summaries are scoped to
+one module, but a *sound* cache has to be built for the day they cross
+files — so a file's cache key folds in a **dependency fingerprint**: the
+content hashes of every file it (transitively) imports from within the
+analyzed project.  Editing a callee's module then changes the dependency
+fingerprint of every direct and transitive importer, forcing exactly
+those files to re-analyze while the rest of the project stays warm.
+
+Resolution is deliberately an **over-approximation**: an import is
+matched against every dotted-suffix spelling of every file in the
+analyzed set (``src/repro/lint/driver.py`` answers to
+``repro.lint.driver``, ``lint.driver`` and ``driver``), and relative
+imports are matched by their trailing module names.  A false edge only
+costs an unnecessary re-analysis; a missed edge would serve stale
+results — so ties break toward more invalidation.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import pathlib
+from typing import Iterable
+
+#: Registering every dotted suffix of a deep path would be quadratic in
+#: path depth for no benefit; real imports rarely spell more than this
+#: many segments.
+_MAX_SUFFIX_SEGMENTS = 5
+
+
+def module_aliases(path: pathlib.Path) -> set[str]:
+    """Every dotted name under which ``path`` could plausibly be
+    imported (all dotted suffixes of its package path)."""
+    parts = list(path.parts)
+    stem = path.stem
+    if stem == "__init__":
+        parts = parts[:-1]          # package dir itself
+        if not parts:
+            return set()
+    else:
+        parts[-1] = stem
+    parts = [p for p in parts if p not in ("/", "")]
+    aliases: set[str] = set()
+    for n in range(1, min(len(parts), _MAX_SUFFIX_SEGMENTS) + 1):
+        aliases.add(".".join(parts[-n:]))
+    return aliases
+
+
+def imported_names(source: str) -> set[str]:
+    """Dotted names mentioned by ``import``/``from-import`` statements,
+    including the ``from X import Y`` spelling of submodule imports.
+    Unparseable sources import nothing (the parse error itself is the
+    analysis result, and it only depends on the file's own content)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return set()
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if base:
+                names.add(base)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(f"{base}.{alias.name}" if base else alias.name)
+    return names
+
+
+def dependency_graph(
+    files: Iterable[pathlib.Path], sources: dict[pathlib.Path, str],
+) -> dict[pathlib.Path, set[pathlib.Path]]:
+    """Direct same-project import edges among ``files`` (file -> files it
+    imports).  ``sources`` maps each file to its already-read text."""
+    alias_to_files: dict[str, set[pathlib.Path]] = {}
+    files = list(files)
+    for f in files:
+        for alias in module_aliases(f):
+            alias_to_files.setdefault(alias, set()).add(f)
+    graph: dict[pathlib.Path, set[pathlib.Path]] = {}
+    for f in files:
+        deps: set[pathlib.Path] = set()
+        for name in imported_names(sources.get(f, "")):
+            for target in alias_to_files.get(name, ()):
+                if target != f:
+                    deps.add(target)
+        graph[f] = deps
+    return graph
+
+
+def transitive_closure(
+    graph: dict[pathlib.Path, set[pathlib.Path]],
+) -> dict[pathlib.Path, set[pathlib.Path]]:
+    """Reachability (excluding the node itself unless it sits on a
+    cycle); iterative DFS, robust to import cycles."""
+    closure: dict[pathlib.Path, set[pathlib.Path]] = {}
+    for start in graph:
+        seen: set[pathlib.Path] = set()
+        stack = list(graph[start])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        closure[start] = seen
+    return closure
+
+
+def dependency_fingerprints(
+    files: Iterable[pathlib.Path],
+    sources: dict[pathlib.Path, str],
+    hashes: dict[pathlib.Path, str],
+) -> dict[pathlib.Path, str]:
+    """Per-file digest over the (path-stem, content-hash) pairs of the
+    file's transitive same-project imports.  Stems rather than full
+    paths keep the fingerprint stable when the same tree is analyzed
+    from a different working directory."""
+    closure = transitive_closure(dependency_graph(files, sources))
+    out: dict[pathlib.Path, str] = {}
+    for f, deps in closure.items():
+        if not deps:
+            out[f] = ""
+            continue
+        items = sorted(
+            f"{d.name}:{hashes.get(d, '')}" for d in deps if d != f
+        )
+        blob = "\x1f".join(items).encode("utf-8")
+        out[f] = hashlib.sha256(blob).hexdigest()[:16]
+    return out

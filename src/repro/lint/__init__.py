@@ -8,13 +8,17 @@ interpreter and the :mod:`repro.concepts` modeling machinery::
     python -m repro.lint src/ --format json        # machine-readable
     python -m repro.lint app.py --fail-on error    # gate only on errors
 
-Or from Python::
+Or from Python, via the unified analysis session::
 
-    from repro.lint import LintConfig, lint_paths
+    from repro.analysis import AnalysisConfig, AnalysisSession
 
-    report = lint_paths(["examples/"], LintConfig(fail_on="warning"))
+    session = AnalysisSession(AnalysisConfig(fail_on="warning"))
+    report = session.lint_paths(["examples/"])
     print(report.render_text())
     bad = report.fails("warning")
+
+(The free functions ``lint_source``/``lint_file``/``lint_paths`` still
+work but are deprecated shims over the session.)
 
 Per-line suppression uses ``# stllint: ignore[<check>]`` comments; the
 available check codes are listed by ``python -m repro.lint --list-checks``.

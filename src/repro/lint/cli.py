@@ -1,22 +1,25 @@
 """Command-line entry point: ``python -m repro.lint <paths>``.
 
-Exit status: 0 when no finding reaches the ``--fail-on`` threshold, 1
-when one does, 2 on usage errors, 3 when the run completed with
-*partial* results (an internal error or per-file ``--timeout-s``
-deadline converted part of the analysis into LINT-INTERNAL /
-LINT-TIMEOUT findings instead of aborting the run).
+A thin batch view over :class:`repro.analysis.AnalysisSession`; shares
+the common flag set and the 0/1/2/3 exit-code contract with
+``repro.optimize`` and ``repro.analysis`` (see ``--help``).
 """
 
 from __future__ import annotations
 
 import argparse
-import pathlib
 import sys
 from typing import Optional, Sequence
 
 from repro import trace
+from repro.analysis.args import (
+    EXIT_CODES_EPILOG,
+    EXIT_USAGE,
+    common_parser,
+    lint_exit_code,
+    session_from_args,
+)
 
-from .driver import LintConfig, lint_paths
 from .suppressions import all_check_codes
 
 
@@ -28,13 +31,17 @@ def build_parser() -> argparse.ArgumentParser:
             "iterator/invalidation checking, library pre/postconditions, "
             "and @where concept-conformance checking over Python sources."
         ),
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[common_parser(cache_default=False)],
     )
     parser.add_argument(
         "paths", nargs="*", help="files or directories to lint",
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        help="output format (default: text; --json is equivalent "
+             "to --format json)",
     )
     parser.add_argument(
         "--fail-on", choices=("error", "warning", "suggestion", "note",
@@ -51,13 +58,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not analyze same-module calls",
     )
     parser.add_argument(
-        "--engine", choices=("fixpoint", "inline"), default="fixpoint",
-        help="analysis engine: 'fixpoint' (CFG + worklist to a true "
-             "fixpoint, interprocedural summaries; the default) or "
-             "'inline' (legacy bounded loop re-execution and call "
-             "inlining, kept as a differential-testing oracle)",
-    )
-    parser.add_argument(
         "--exclude", action="append", default=[], metavar="GLOB",
         help="glob pattern of paths to skip (repeatable)",
     )
@@ -65,16 +65,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-checks", action="store_true",
         help="print every check code usable in "
              "'# stllint: ignore[<check>]' and exit",
-    )
-    parser.add_argument(
-        "--trace", type=pathlib.Path, default=None, metavar="OUT.json",
-        help="record per-file/per-function analysis spans and write a "
-             "Chrome trace-event JSON (load via chrome://tracing)",
-    )
-    parser.add_argument(
-        "--timeout-s", type=float, default=None, metavar="SECONDS",
-        help="per-file analysis deadline; on expiry the file gets a "
-             "LINT-TIMEOUT finding and the run continues (exit code 3)",
     )
     return parser
 
@@ -89,35 +79,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("error: no paths given", file=sys.stderr)
-        return 2
-    config = LintConfig(
+        return EXIT_USAGE
+    session = session_from_args(
+        args,
         fail_on=args.fail_on,
         concept_pass=not args.no_concept_pass,
         interprocedural=not args.no_interprocedural,
         exclude=tuple(args.exclude),
-        timeout_s=args.timeout_s,
-        engine=args.engine,
     )
     tracer = trace.enable() if args.trace is not None else trace.active()
-    with_trace = tracer is not None
-    if with_trace:
+    if tracer is not None:
         with tracer.span("lint.run", cat="lint",
                          paths=[str(p) for p in args.paths]):
-            report = lint_paths(args.paths, config)
+            report = session.lint_paths(args.paths)
     else:
-        report = lint_paths(args.paths, config)
+        report = session.lint_paths(args.paths)
     if args.trace is not None:
         trace.export_chrome(tracer, args.trace)
         print(f"trace written to {args.trace}", file=sys.stderr)
-    if args.format == "json":
+    if args.json or args.format == "json":
         print(report.to_json())
     else:
         print(report.render_text())
-    # 3 = partial results: crash isolation or a deadline cut analysis
-    # short somewhere, so the (otherwise valid) findings are incomplete.
-    if report.partial:
-        return 3
-    return 1 if report.fails(args.fail_on) else 0
+    return lint_exit_code(report, args.fail_on)
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from __future__ import annotations
 import ast
 import json
 import pathlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
@@ -158,8 +159,11 @@ class ProjectReport:
         }
 
     def to_dict(self) -> dict:
+        from repro.analysis.schema import SCHEMA_VERSION
+
         return {
-            "version": 1,
+            "version": 1,               # legacy key, frozen forever
+            "schema_version": SCHEMA_VERSION,
             "files": [fr.to_dict() for fr in self.files],
             "summary": self.summary(),
         }
@@ -219,12 +223,18 @@ def _is_lintable(fn: ast.FunctionDef) -> bool:
     return False
 
 
-def lint_source(
+def _lint_source_impl(
     source: str,
     path: str = "<string>",
     config: Optional[LintConfig] = None,
+    summaries: object = None,
 ) -> FileReport:
-    """Lint one module given as source text."""
+    """Lint one module given as source text (implementation).
+
+    ``summaries`` optionally pre-seeds the fixpoint engine's
+    interprocedural :class:`~repro.stllint.summaries.SummaryTable` — the
+    analysis service passes a table deserialized from its cache, which
+    is sound because tables are keyed by this file's content hash."""
     config = config or LintConfig()
     report = FileReport(path=path)
     lines = source.splitlines()
@@ -278,8 +288,9 @@ def lint_source(
                      function=function, check=check)
 
     functions = module_function_table(tree) if config.interprocedural else {}
-    summaries = None
-    if config.engine == "fixpoint":
+    if config.engine != "fixpoint":
+        summaries = None
+    elif summaries is None:
         from repro.stllint.summaries import SummaryTable
 
         # One table per file: every function's interprocedural effects
@@ -390,8 +401,9 @@ def _failed_file_report(path: str, check: str, message: str) -> FileReport:
     return report
 
 
-def lint_file(
-    path: PathLike, config: Optional[LintConfig] = None
+def _lint_file_impl(
+    path: PathLike, config: Optional[LintConfig] = None,
+    summaries: object = None,
 ) -> FileReport:
     p = pathlib.Path(path)
     try:
@@ -409,9 +421,11 @@ def lint_file(
     try:
         tr = _trace.ACTIVE
         if tr is None:
-            return lint_source(source, path=str(p), config=config)
+            return _lint_source_impl(source, path=str(p), config=config,
+                                     summaries=summaries)
         with tr.span("lint.file", cat="lint", path=str(p)) as sp:
-            report = lint_source(source, path=str(p), config=config)
+            report = _lint_source_impl(source, path=str(p), config=config,
+                                       summaries=summaries)
             sp.set("functions_checked", report.functions_checked)
             sp.set("findings", len(report.findings))
         return report
@@ -457,12 +471,67 @@ def discover_files(
     return unique
 
 
-def lint_paths(
+def _lint_paths_impl(
     paths: Sequence[PathLike], config: Optional[LintConfig] = None
 ) -> ProjectReport:
-    """Lint every Python file under ``paths`` (files or directories)."""
+    """Serial whole-project lint (implementation).  The analysis service
+    (:class:`repro.analysis.AnalysisSession`) layers caching and the
+    worker pool on top of this; results are identical by construction."""
     config = config or LintConfig()
     report = ProjectReport()
     for f in discover_files(paths, config.exclude):
-        report.files.append(lint_file(f, config))
+        report.files.append(_lint_file_impl(f, config))
     return report
+
+
+# ---------------------------------------------------------------------------
+# Deprecated public surface (one-release migration window)
+# ---------------------------------------------------------------------------
+# The functions below were the public API before the analysis service
+# unified linting and optimization behind one façade.  They now delegate
+# to an (uncached, serial) ``AnalysisSession`` so old callers keep the
+# exact historical behaviour, and they warn so new code migrates.
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.lint.{name}() is deprecated; construct a "
+        "repro.analysis.AnalysisSession and call its equivalent method "
+        "(this shim is kept for one release)",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> FileReport:
+    """Deprecated: use :meth:`repro.analysis.AnalysisSession.lint_source`."""
+    _deprecated("lint_source")
+    from repro.analysis import AnalysisConfig, AnalysisSession
+
+    session = AnalysisSession(AnalysisConfig.from_lint_config(config))
+    return session.lint_source(source, path=path)
+
+
+def lint_file(
+    path: PathLike, config: Optional[LintConfig] = None
+) -> FileReport:
+    """Deprecated: use :meth:`repro.analysis.AnalysisSession.lint_file`."""
+    _deprecated("lint_file")
+    from repro.analysis import AnalysisConfig, AnalysisSession
+
+    session = AnalysisSession(AnalysisConfig.from_lint_config(config))
+    return session.lint_file(path)
+
+
+def lint_paths(
+    paths: Sequence[PathLike], config: Optional[LintConfig] = None
+) -> ProjectReport:
+    """Deprecated: use :meth:`repro.analysis.AnalysisSession.lint_paths`."""
+    _deprecated("lint_paths")
+    from repro.analysis import AnalysisConfig, AnalysisSession
+
+    session = AnalysisSession(AnalysisConfig.from_lint_config(config))
+    return session.lint_paths(paths)

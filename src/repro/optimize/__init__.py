@@ -10,9 +10,11 @@ pipeline applies the replacement source-to-source — then re-lints its own
 output to verify no precondition was broken and nothing further remains
 (idempotence).
 
-Use :func:`optimize_source` / :func:`optimize_file` programmatically, or
-``python -m repro.optimize <paths>`` (``--check`` for CI, ``--write`` to
-apply, ``--diff`` to inspect).
+Use :meth:`repro.analysis.AnalysisSession.optimize_source` /
+``optimize_file`` programmatically (the free functions here are
+deprecated shims over the session), or ``python -m repro.optimize
+<paths>`` (``--check`` for CI, ``--write`` to apply, ``--diff`` to
+inspect).
 """
 
 from .pipeline import (

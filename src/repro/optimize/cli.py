@@ -8,32 +8,28 @@ Modes:
 - ``--check``: CI mode — exit 1 if any file has outstanding rewrites
   (so a tree that should already be optimal gates the build).
 
-Exit status: 0 when nothing needs rewriting (or ``--write`` applied
-everything cleanly), 1 when ``--check`` found outstanding rewrites or a
-verification failure reverted a file, 2 on usage errors, 3 when the run
-completed with *partial* results (an internal error or per-file
-``--timeout-s`` deadline converted part of the pipeline into
-OPT-INTERNAL / OPT-TIMEOUT findings instead of aborting the run).
+A thin batch view over :class:`repro.analysis.AnalysisSession`; shares
+the common flag set and the 0/1/2/3 exit-code contract with
+``repro.lint`` and ``repro.analysis`` (see ``--help``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import pathlib
 import sys
 from typing import Optional, Sequence
 
 from repro import trace
-
-from ..lint.driver import discover_files
-from .pipeline import (
-    DEFAULT_RESOURCE,
-    DEFAULT_SIZE,
-    OPT_INTERNAL,
-    OPT_TIMEOUT,
-    optimize_file,
+from repro.analysis.args import (
+    EXIT_CODES_EPILOG,
+    EXIT_USAGE,
+    common_parser,
+    optimize_exit_code,
+    session_from_args,
 )
+
+from .pipeline import DEFAULT_RESOURCE, DEFAULT_SIZE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
             "asymptotically better algorithms from the sequence taxonomy, "
             "rewrites call sites, and verifies the result by re-linting."
         ),
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[common_parser(cache_default=False)],
     )
     parser.add_argument(
         "paths", nargs="*", help="files or directories to optimize",
@@ -62,7 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        help="output format (default: text; --json is equivalent "
+             "to --format json)",
     )
     parser.add_argument(
         "--resource", default=DEFAULT_RESOURCE,
@@ -74,22 +74,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="size n at which estimated savings are priced "
              f"(default: {DEFAULT_SIZE:g})",
     )
-    parser.add_argument(
-        "--engine", choices=("fixpoint", "inline"), default="fixpoint",
-        help="STLlint engine for the facts and verify stages "
-             "(default: fixpoint)",
-    )
-    parser.add_argument(
-        "--trace", type=pathlib.Path, default=None, metavar="OUT.json",
-        help="record per-stage pipeline spans and write a Chrome "
-             "trace-event JSON (load via chrome://tracing)",
-    )
-    parser.add_argument(
-        "--timeout-s", type=float, default=None, metavar="SECONDS",
-        help="per-file pipeline deadline; on expiry the file gets an "
-             "OPT-TIMEOUT finding, stays untouched, and the run "
-             "continues (exit code 3)",
-    )
     return parser
 
 
@@ -100,41 +84,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.print_usage(sys.stderr)
         print("error: --check and --write are mutually exclusive",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("error: no paths given", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
+    session = session_from_args(
+        args, resource=args.resource, size=args.size,
+    )
     tracer = trace.enable() if args.trace is not None else trace.active()
-
-    def run() -> list:
-        results = []
-        for f in discover_files(args.paths):
-            results.append(optimize_file(
-                f, write=args.write,
-                resource=args.resource, size=args.size,
-                timeout_s=args.timeout_s, engine=args.engine,
-            ))
-        return results
 
     if tracer is not None:
         with tracer.span("optimize.run", cat="optimize",
                          paths=[str(p) for p in args.paths]):
-            results = run()
+            results = session.optimize_paths(args.paths, write=args.write)
     else:
-        results = run()
+        results = session.optimize_paths(args.paths, write=args.write)
     if args.trace is not None:
         trace.export_chrome(tracer, args.trace)
         print(f"trace written to {args.trace}", file=sys.stderr)
 
-    outstanding = sum(
-        len(r.plans) for r in results if not (args.write and r.verified)
-    )
     reverted = sum(1 for r in results if r.reverted)
-    if args.format == "json":
+    if args.json or args.format == "json":
+        from repro.analysis.schema import SCHEMA_VERSION
+
         print(json.dumps({
-            "version": 1,
+            "version": 1,               # legacy key, frozen forever
+            "schema_version": SCHEMA_VERSION,
             "files": [r.to_dict() for r in results],
             "summary": {
                 "files": len(results),
@@ -156,19 +133,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"{total} rewrite(s) {action} across {len(results)} file(s)"
               + (f", {reverted} reverted" if reverted else ""))
 
-    # 3 = partial results: one or more files hit crash isolation or a
-    # deadline; their findings name them, the other files completed.
-    partial = any(
-        f.check in (OPT_INTERNAL, OPT_TIMEOUT)
-        for r in results for f in r.findings
-    )
-    if partial:
-        return 3
-    if reverted:
-        return 1
-    if args.check and outstanding:
-        return 1
-    return 0
+    return optimize_exit_code(results, check=args.check, write=args.write)
 
 
 if __name__ == "__main__":

@@ -28,12 +28,13 @@ import ast
 import difflib
 import json
 import pathlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..concepts.taxonomy import Taxonomy
 from ..facts.records import FactTable
-from ..lint.driver import LintConfig, LintFinding, lint_source
+from ..lint.driver import LintConfig, LintFinding, _lint_source_impl
 from ..resilience import Deadline
 from ..sequences.taxonomy import CALL_TO_CONCEPT, CONCEPT_TO_CALL, stl_taxonomy
 from ..stllint.facts_collection import collect_facts
@@ -244,7 +245,8 @@ def _problem_findings(
     source: str, path: str, engine: str = DEFAULT_ENGINE,
 ) -> set[tuple[int, str]]:
     """(line, check) pairs at warning severity or worse."""
-    report = lint_source(source, path=path, config=LintConfig(engine=engine))
+    report = _lint_source_impl(source, path=path,
+                               config=LintConfig(engine=engine))
     return {
         (f.line, f.check) for f in report.findings
         if f.severity in ("error", "warning")
@@ -271,7 +273,7 @@ def _timeout_result(result: OptimizeResult, path: str,
     return result
 
 
-def optimize_source(
+def _optimize_source_impl(
     source: str,
     path: str = "<string>",
     taxonomy: Optional[Taxonomy] = None,
@@ -423,7 +425,18 @@ def _internal_result(path: str, source: str, exc: Exception) -> OptimizeResult:
     return result
 
 
-def optimize_file(
+def _write_optimized(p: pathlib.Path, source: str,
+                     result: OptimizeResult) -> None:
+    """Apply a verified rewrite to disk with torn-write protection."""
+    try:
+        p.write_text(result.optimized, encoding="utf-8")
+    except BaseException:
+        # A torn write must not strand a half-rewritten file.
+        p.write_text(source, encoding="utf-8")
+        raise
+
+
+def _optimize_file_impl(
     path: PathLike,
     write: bool = False,
     taxonomy: Optional[Taxonomy] = None,
@@ -446,17 +459,79 @@ def optimize_file(
         return _internal_result(str(p), "", exc)
     deadline = Deadline.after(timeout_s) if timeout_s is not None else None
     try:
-        result = optimize_source(
+        result = _optimize_source_impl(
             source, path=str(p), taxonomy=taxonomy, resource=resource,
             size=size, deadline=deadline, engine=engine,
         )
         if write and result.changed and result.verified:
-            try:
-                p.write_text(result.optimized, encoding="utf-8")
-            except BaseException:
-                # A torn write must not strand a half-rewritten file.
-                p.write_text(source, encoding="utf-8")
-                raise
+            _write_optimized(p, source, result)
         return result
     except Exception as exc:  # noqa: BLE001 - per-file crash isolation
         return _internal_result(str(p), source, exc)
+
+
+# ---------------------------------------------------------------------------
+# Deprecated public surface (one-release migration window)
+# ---------------------------------------------------------------------------
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.optimize.{name}() is deprecated; construct a "
+        "repro.analysis.AnalysisSession and call its equivalent method "
+        "(this shim is kept for one release)",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+def optimize_source(
+    source: str,
+    path: str = "<string>",
+    taxonomy: Optional[Taxonomy] = None,
+    resource: str = DEFAULT_RESOURCE,
+    size: float = DEFAULT_SIZE,
+    deadline: Optional[Deadline] = None,
+    engine: Optional[str] = None,
+) -> OptimizeResult:
+    """Deprecated: use
+    :meth:`repro.analysis.AnalysisSession.optimize_source`."""
+    _deprecated("optimize_source")
+    from repro.analysis import AnalysisConfig, AnalysisSession
+
+    if taxonomy is not None or deadline is not None:
+        # Injected taxonomies/deadlines have no config-level equivalent;
+        # serve these calls directly (still deprecated).
+        return _optimize_source_impl(
+            source, path=path, taxonomy=taxonomy, resource=resource,
+            size=size, deadline=deadline, engine=engine,
+        )
+    session = AnalysisSession(AnalysisConfig(
+        engine=engine or DEFAULT_ENGINE, resource=resource, size=size,
+    ))
+    return session.optimize_source(source, path=path)
+
+
+def optimize_file(
+    path: PathLike,
+    write: bool = False,
+    taxonomy: Optional[Taxonomy] = None,
+    resource: str = DEFAULT_RESOURCE,
+    size: float = DEFAULT_SIZE,
+    timeout_s: Optional[float] = None,
+    engine: Optional[str] = None,
+) -> OptimizeResult:
+    """Deprecated: use
+    :meth:`repro.analysis.AnalysisSession.optimize_file`."""
+    _deprecated("optimize_file")
+    from repro.analysis import AnalysisConfig, AnalysisSession
+
+    if taxonomy is not None:
+        return _optimize_file_impl(
+            path, write=write, taxonomy=taxonomy, resource=resource,
+            size=size, timeout_s=timeout_s, engine=engine,
+        )
+    session = AnalysisSession(AnalysisConfig(
+        engine=engine or DEFAULT_ENGINE, resource=resource, size=size,
+        timeout_s=timeout_s,
+    ))
+    return session.optimize_file(path, write=write)

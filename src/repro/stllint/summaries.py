@@ -119,6 +119,22 @@ class SummaryTable:
     def __len__(self) -> int:
         return len(self._cache)
 
+    # -- persistence accessors ----------------------------------------------
+    # The analysis service serializes tables to disk keyed by file
+    # content hash (:mod:`repro.analysis.schema`); these two methods are
+    # its stable seam into the memo so the cache never reaches into
+    # ``_cache`` directly.
+
+    def export_items(self):
+        """Iterate ``((callee_name, shapes), Summary)`` pairs."""
+        return self._cache.items()
+
+    def insert(self, key: tuple, summary: "Summary") -> None:
+        """Pre-seed one memoized summary (deserialized from disk).  Only
+        sound when ``key`` was computed for the *same* module content —
+        the cache guarantees that by keying tables on the file hash."""
+        self._cache[key] = summary
+
     # -- call-site entry ----------------------------------------------------
 
     def apply(

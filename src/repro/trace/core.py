@@ -209,6 +209,17 @@ class Tracer:
             "recursion_bails": s["summary_recursion_bails"],
         }, cat="stllint")
 
+    def fold_analysis_counters(self) -> None:
+        """Sample the analysis service's process-wide cache counters
+        (:func:`repro.analysis.cache.stats`) into a counter record, the
+        same way :meth:`fold_stllint_counters` samples the engine's."""
+        from repro.analysis import cache as analysis_cache
+
+        s = analysis_cache.stats()
+        if not any(s.values()):
+            return  # cache never touched; keep the trace quiet
+        self.counter("analysis.cache", dict(s), cat="analysis")
+
 
 def enable(tracer: Optional[Tracer] = None) -> Tracer:
     """Install ``tracer`` (or a fresh one) as the process-global tracer and

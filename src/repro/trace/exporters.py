@@ -90,6 +90,10 @@ def _fold(tracer: Tracer) -> None:
         tracer.fold_stllint_counters()
     except ImportError:  # pragma: no cover - stllint layer always present
         pass
+    try:
+        tracer.fold_analysis_counters()
+    except ImportError:  # pragma: no cover - analysis layer always present
+        pass
 
 
 _PHASES_REQUIRING_DUR = {"X"}

@@ -12,7 +12,12 @@ Three scenarios, all seeded and in-process:
    ``python -m repro.optimize --write``.  The no-torn-write invariant is
    checked: every file on disk is either the untouched original or the
    fully verified rewrite.
-3. **transport chaos** — reliable echo/floodset runs across a grid of
+3. **cache chaos** — the same checker-seam injection through
+   ``python -m repro.analysis lint`` with the result cache enabled.
+   Partial (LINT-INTERNAL) results must never be cached: a clean re-run
+   over the same cache must re-analyze the crashed file, report the real
+   findings, and serve the spared files from cache.
+4. **transport chaos** — reliable echo/floodset runs across a grid of
    loss probabilities and seeds; every run must reach the correct
    decision with zero exhausted retry budgets.
 
@@ -29,6 +34,8 @@ import tempfile
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.analysis import cache as analysis_cache  # noqa: E402
+from repro.analysis.cli import main as analysis_main  # noqa: E402
 from repro.distributed import (  # noqa: E402
     FailurePlan, Ring, run_echo_reliable, run_floodset_reliable,
 )
@@ -145,6 +152,62 @@ def optimize_chaos(tmp: pathlib.Path) -> bool:
     return ok
 
 
+def cache_chaos(tmp: pathlib.Path) -> bool:
+    tree = tmp / "cachetree"
+    tree.mkdir()
+    n_files = 3
+    for i in range(n_files):
+        (tree / f"m{i}.py").write_text(BUGGY)
+    cache_dir = str(tmp / "cachestore")
+
+    real_make = lint_driver.make_checker
+    calls = {"n": 0}
+    inject_at = {2}
+
+    def chaotic_make(*args, **kwargs):
+        checker = real_make(*args, **kwargs)
+        calls["n"] += 1
+        if calls["n"] in inject_at:
+            n = calls["n"]
+
+            def boom():
+                raise RuntimeError(f"chaos at checker run #{n}")
+
+            checker.run = boom
+        return checker
+
+    lint_driver.make_checker = chaotic_make
+    try:
+        rc, out, err = _run_cli(
+            analysis_main, ["lint", str(tree), "--cache-dir", cache_dir])
+    finally:
+        lint_driver.make_checker = real_make
+
+    ok = True
+    ok &= check(rc == 3, "analysis lint exits 3 under injection",
+                f"rc={rc}")
+    ok &= check(out.count("LINT-INTERNAL") == len(inject_at),
+                "crash reported as LINT-INTERNAL")
+
+    # Clean re-run over the same cache: the crashed file must be
+    # re-analyzed (its partial result was never cached), the spared
+    # files served from cache, and every real bug reported.
+    analysis_cache.reset_stats()
+    rc, out, err = _run_cli(
+        analysis_main, ["lint", str(tree), "--cache-dir", cache_dir])
+    ok &= check(rc == 1, "clean re-run exits 1 on the real findings",
+                f"rc={rc}")
+    ok &= check("LINT-INTERNAL" not in out,
+                "partial result was not served from cache")
+    ok &= check(out.count("singular-deref") == n_files,
+                "re-run reports every real bug",
+                f"{out.count('singular-deref')}/{n_files}")
+    hits = analysis_cache.stats()["hits"]
+    ok &= check(hits >= n_files - len(inject_at),
+                "spared files served from cache", f"hits={hits}")
+    return ok
+
+
 def transport_chaos() -> bool:
     ok = True
     for loss in (0.2, 0.5):
@@ -169,6 +232,7 @@ def main() -> int:
     try:
         ok = lint_chaos(tmp)
         ok &= optimize_chaos(tmp)
+        ok &= cache_chaos(tmp)
         ok &= transport_chaos()
     finally:
         shutil.rmtree(tmp, ignore_errors=True)

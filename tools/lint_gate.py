@@ -30,7 +30,7 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.lint import LintConfig, lint_paths  # noqa: E402
+from repro.analysis import AnalysisConfig, AnalysisSession  # noqa: E402
 from repro.stllint.dataflow import reset_stats, stats  # noqa: E402
 from repro.stllint.interpreter import (  # noqa: E402
     make_checker,
@@ -103,7 +103,8 @@ def self_host_fixpoint() -> tuple[bool, int, list[str]]:
 
 
 def main() -> int:
-    report = lint_paths([REPO / "examples"], LintConfig())
+    session = AnalysisSession(AnalysisConfig())
+    report = session.lint_paths([REPO / "examples"])
     actual = {
         (f.path.split("/")[-1], f.function, f.check)
         for f in report.findings
@@ -113,8 +114,7 @@ def main() -> int:
 
     clean_functions = 0
     for sub in CLEAN_DIRS:
-        clean_report = lint_paths([REPO / "src" / "repro" / sub],
-                                  LintConfig())
+        clean_report = session.lint_paths([REPO / "src" / "repro" / sub])
         clean_functions += clean_report.summary()["functions_checked"]
         if clean_report.findings:
             ok = False

@@ -23,7 +23,7 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.optimize import optimize_source  # noqa: E402
+from repro.analysis import AnalysisConfig, AnalysisSession  # noqa: E402
 
 #: The complete set of (file, function, call, replacement) rewrites the
 #: example directory must produce — no more, no less.
@@ -35,9 +35,10 @@ EXPECTED = {
 def main() -> int:
     ok = True
     actual: set = set()
+    session = AnalysisSession(AnalysisConfig())
     for path in sorted((REPO / "examples").glob("*.py")):
         source = path.read_text(encoding="utf-8")
-        result = optimize_source(source, path=str(path))
+        result = session.optimize_source(source, path=str(path))
         for plan in result.plans:
             actual.add((path.name, plan.function, plan.call,
                         plan.replacement))
@@ -50,7 +51,7 @@ def main() -> int:
             ok = False
             print(f"optimize gate: {path.name} changed but did not verify")
         if result.changed:
-            again = optimize_source(result.optimized, path=str(path))
+            again = session.optimize_source(result.optimized, path=str(path))
             if again.plans:
                 ok = False
                 print(f"optimize gate: {path.name} not idempotent — "
