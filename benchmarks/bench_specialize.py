@@ -1,0 +1,299 @@
+"""Experiment T-specialize: monomorphized call sites vs dispatch.
+
+PR 2 made cached dispatch a dict hit; the specialization tier
+(:mod:`repro.runtime.specialize`) removes even that.  This bench measures
+the same call three ways:
+
+- **specialized**: a ``specialize()`` trampoline — type guards + one
+  direct call through a cell, no table lookup, no generation check;
+- **cached**: end-to-end ``f(x)`` through ``GenericFunction.__call__``
+  with a warm table (the PR 2 fast path);
+- **uncached**: ``registry.invalidate()`` before every call — what every
+  call would cost with no runtime layer at all.
+
+Plus a curve over overload-set sizes (dispatch tables grow with the
+overload count; the trampoline does not), and the correctness gate:
+**a registry mutation mid-benchmark must flip EVERY live trampoline**
+back to the dispatching path — asserted per trampoline, not sampled —
+and the next call through each must re-resolve to the post-mutation
+outcome.
+
+Shape asserted: specialized calls are at least ``MIN_SPECIALIZED_SPEEDUP``x
+faster than cached dispatch, and no trampoline ever serves a stale
+binding across a mutation.
+
+Standalone mode (used by the CI bench-smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_specialize.py --quick
+
+prints the table, writes ``benchmarks/out/specialize.json``, and exits
+nonzero if the floor is missed or the mutation gate fails.
+"""
+
+import json
+import pathlib
+import timeit
+
+MIN_SPECIALIZED_SPEEDUP = 2.0
+#: Live trampolines in the mutation gate; every single one is asserted.
+GATE_TRAMPOLINES = 48
+OUT_JSON = pathlib.Path(__file__).parent / "out" / "specialize.json"
+
+
+def _make_generic(k: int, registry=None, tag: str = ""):
+    """A generic function with ``k`` overloads along a refinement chain,
+    and a probe type matching the most specific one."""
+    from repro.concepts import Concept, GenericFunction, ModelRegistry
+
+    reg = registry if registry is not None else ModelRegistry(
+        label=f"bench-specialize{tag}"
+    )
+    concepts = []
+    for i in range(k):
+        concepts.append(Concept(
+            f"BenchSpec{tag}C{i}",
+            refines=[concepts[-1]] if concepts else [],
+            nominal=(i > 0),
+        ))
+    f = GenericFunction(f"bench_specialize{tag}", registry=reg)
+    for i, c in enumerate(concepts):
+        @f.overload(requires=[(c, 0)], name=f"impl{i}")
+        def _impl(x, _i=i):
+            return _i
+
+    class Probe:
+        pass
+
+    for c in concepts[1:]:
+        reg.register(c, Probe)
+    return reg, f, Probe
+
+
+def _time_per_call(fn, iterations: int, repeat: int) -> float:
+    return min(
+        timeit.repeat(fn, number=iterations, repeat=repeat)
+    ) / iterations
+
+
+def _measure(iterations: int, repeat: int = 5) -> dict:
+    """Specialized vs cached vs uncached, at several overload counts."""
+    curve = []
+    for k in (1, 2, 4, 8):
+        reg, f, Probe = _make_generic(k, tag=f"_k{k}")
+        x = Probe()
+        expected = f(x)                      # warm table
+        tramp = f.specialize(Probe)
+        assert tramp(x) == expected          # bind + correctness
+
+        t_spec = _time_per_call(lambda: tramp(x), iterations, repeat)
+        t_cached = _time_per_call(lambda: f(x), iterations, repeat)
+
+        cold_iters = max(10, iterations // 100)
+
+        def cold():
+            reg.invalidate()
+            f(x)
+
+        t_uncached = _time_per_call(cold, cold_iters, repeat)
+        tramp(x)                             # re-bind after invalidations
+        curve.append({
+            "overloads": k,
+            "specialized_us": t_spec * 1e6,
+            "cached_us": t_cached * 1e6,
+            "uncached_us": t_uncached * 1e6,
+            "specialized_vs_cached": t_cached / t_spec,
+            "specialized_vs_uncached": t_uncached / t_spec,
+        })
+
+    # The headline number: the common small-overload-set case.
+    head = curve[1]
+    speedup = head["specialized_vs_cached"]
+    mutation = _mutation_gate()
+    return {
+        "iterations": iterations,
+        "curve": curve,
+        "specialized_us": head["specialized_us"],
+        "cached_us": head["cached_us"],
+        "uncached_us": head["uncached_us"],
+        "speedup_vs_cached": speedup,
+        "speedup_vs_uncached": head["specialized_vs_uncached"],
+        "min_speedup": MIN_SPECIALIZED_SPEEDUP,
+        "mutation_gate": mutation,
+        "ok": speedup >= MIN_SPECIALIZED_SPEEDUP and mutation["ok"],
+    }
+
+
+def _mutation_gate() -> dict:
+    """Correctness under mutation, asserted for EVERY live trampoline.
+
+    ``GATE_TRAMPOLINES`` specializations share one registry.  Each starts
+    dispatching to its generic overload; after a mid-benchmark
+    ``register`` flips its probe type to a more specific model, every
+    single trampoline must (a) have been swapped off its direct binding
+    by the mutation and (b) serve the NEW outcome on its next call.
+    The unregister direction is asserted the same way.
+    """
+    from repro.concepts import Concept, GenericFunction, ModelRegistry
+
+    reg = ModelRegistry(label="bench-specialize-gate")
+    Base = Concept("BenchGateBase")
+    Special = Concept("BenchGateSpecial", refines=[Base], nominal=True)
+
+    tramps = []
+    for i in range(GATE_TRAMPOLINES):
+        f = GenericFunction(f"bench_gate_{i}", registry=reg)
+
+        @f.overload(requires=[(Base, 0)])
+        def generic(x):
+            return "generic"
+
+        @f.overload(requires=[(Special, 0)], name="special")
+        def special(x):
+            return "special"
+
+        Probe = type(f"GateProbe{i}", (), {})
+        tramps.append((f.specialize(Probe), Probe))
+
+    checked = 0
+    stale = 0
+    for tramp, Probe in tramps:               # bind every trampoline
+        assert tramp(Probe()) == "generic"
+        assert tramp.__specialization__.bound
+
+    for _, Probe in tramps:                   # the mid-benchmark mutation
+        reg.register(Special, Probe)
+
+    for tramp, Probe in tramps:
+        spec = tramp.__specialization__
+        if spec.bound:                        # (a) flipped, not sampled
+            stale += 1
+        if tramp(Probe()) != "special":       # (b) post-mutation outcome
+            stale += 1
+        checked += 1
+
+    for _, Probe in tramps:                   # and back again
+        reg.unregister(Special, Probe)
+    for tramp, Probe in tramps:
+        spec = tramp.__specialization__
+        if spec.bound:
+            stale += 1
+        if tramp(Probe()) != "generic":
+            stale += 1
+        assert spec.invalidations >= 2        # both mutation waves reached it
+
+    return {
+        "trampolines": checked,
+        "stale_bindings": stale,
+        "ok": checked == GATE_TRAMPOLINES and stale == 0,
+    }
+
+
+def _render(m: dict) -> str:
+    lines = [
+        f"{'path':<30s} {'per-op':>12s}",
+        f"{'specialized trampoline':<30s} {m['specialized_us']:>10.3f}us",
+        f"{'cached dispatch f(x)':<30s} {m['cached_us']:>10.3f}us",
+        f"{'uncached (invalidate each)':<30s} {m['uncached_us']:>10.3f}us",
+        (
+            f"speedup vs cached: {m['speedup_vs_cached']:.1f}x "
+            f"(floor {m['min_speedup']:.0f}x); vs uncached: "
+            f"{m['speedup_vs_uncached']:.0f}x"
+        ),
+        f"{'overloads':>10s} {'spec us':>10s} {'cached us':>10s} "
+        f"{'vs cached':>10s}",
+    ]
+    for row in m["curve"]:
+        lines.append(
+            f"{row['overloads']:>10d} {row['specialized_us']:>10.3f} "
+            f"{row['cached_us']:>10.3f} "
+            f"{row['specialized_vs_cached']:>9.1f}x"
+        )
+    g = m["mutation_gate"]
+    lines.append(
+        f"mutation gate: {g['trampolines']} trampolines, "
+        f"{g['stale_bindings']} stale bindings "
+        f"({'OK' if g['ok'] else 'FAIL'})"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+
+def test_specialized_speedup(benchmark, record):
+    m = _measure(iterations=2_000)
+    record("specialize", _render(m))
+    assert m["mutation_gate"]["ok"], m["mutation_gate"]
+    assert m["speedup_vs_cached"] >= MIN_SPECIALIZED_SPEEDUP, (
+        f"specialized calls only {m['speedup_vs_cached']:.1f}x faster "
+        f"than cached dispatch; floor is {MIN_SPECIALIZED_SPEEDUP}x"
+    )
+    reg, f, Probe = _make_generic(2, tag="_pytest")
+    tramp = f.specialize(Probe)
+    x = Probe()
+    benchmark(lambda: tramp(x))
+
+
+def test_every_trampoline_flips_on_mutation(benchmark):
+    gate = _mutation_gate()
+    assert gate["ok"], gate
+    assert gate["trampolines"] == GATE_TRAMPOLINES
+    benchmark(lambda: None)
+
+
+def test_specialized_sort_matches_generic_sort(benchmark):
+    """The shipped monomorphized spellings sort exactly like ``sort``."""
+    from repro.sequences import DList, Vector
+    from repro.sequences.algorithms import sort, sort__list, sort__vector
+
+    def run():
+        data = [5, 3, 8, 1, 9, 2]
+        v1, v2 = Vector(data), Vector(data)
+        sort(v1)
+        sort__vector(v2)
+        assert v1.to_list() == v2.to_list() == sorted(data)
+        l1, l2 = DList(data), DList(data)
+        sort(l1)
+        sort__list(l2)
+        assert list(l1) == list(l2) == sorted(data)
+        return v2
+
+    benchmark(run)
+
+
+# ---------------------------------------------------------------------------
+# standalone mode (CI bench-smoke job)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations (CI smoke mode)")
+    parser.add_argument("--json", type=pathlib.Path, default=OUT_JSON,
+                        help=f"stats JSON output path (default {OUT_JSON})")
+    args = parser.parse_args(argv)
+
+    m = _measure(iterations=500 if args.quick else 5_000)
+    print(_render(m))
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(m, indent=2, default=str) + "\n")
+    print(f"stats written to {args.json}")
+    if not m["mutation_gate"]["ok"]:
+        print("FAIL: a registry mutation left a trampoline stale")
+        return 1
+    if m["speedup_vs_cached"] < MIN_SPECIALIZED_SPEEDUP:
+        print(
+            f"FAIL: specialized only {m['speedup_vs_cached']:.1f}x faster "
+            f"than cached dispatch; floor is {MIN_SPECIALIZED_SPEEDUP:.0f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

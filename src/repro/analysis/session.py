@@ -85,7 +85,7 @@ def _optimize_worker(item: tuple):
     return _optimize_file_impl(
         pathlib.Path(path_str), write=write, resource=config.resource,
         size=config.size, timeout_s=config.timeout_s,
-        engine=config.engine,
+        engine=config.engine, monomorphize=config.monomorphize,
     )
 
 
@@ -285,6 +285,7 @@ class AnalysisSession:
             source, path=path, resource=self.config.resource,
             size=self.config.size, deadline=deadline,
             engine=self.config.engine,
+            monomorphize=self.config.monomorphize,
         )
 
     def _optimize_miss(self, f: pathlib.Path, sha: Optional[str],
@@ -295,6 +296,7 @@ class AnalysisSession:
             f, write=write, resource=self.config.resource,
             size=self.config.size, timeout_s=self.config.timeout_s,
             engine=self.config.engine,
+            monomorphize=self.config.monomorphize,
         )
         self.counters["optimize_analyzed"] += 1
         # ``--write`` changes the file after analysis, so the cached

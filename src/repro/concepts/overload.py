@@ -21,11 +21,15 @@ high-level diagnostics the paper calls for.
 from __future__ import annotations
 
 import functools
+import inspect
+import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from ..runtime import metrics as runtime_metrics
-from ..runtime.dispatch import DispatchTable
+from ..runtime.dispatch import DispatchTable, compile_table
+from ..runtime.specialize import Specialization
 from .concept import Concept
 from .modeling import ModelRegistry, models as default_registry
 
@@ -76,12 +80,23 @@ class Overload:
             return f"{self.name}: matches"
         return f"{self.name}: " + "; ".join(reasons)
 
-    def at_least_as_specific_as(self, other: "Overload") -> bool:
+    def at_least_as_specific_as(
+        self,
+        other: "Overload",
+        refines: Optional[Callable[[Concept, Concept], bool]] = None,
+    ) -> bool:
         """Every requirement of ``other`` is implied by one of ours on the
-        same argument positions."""
+        same argument positions.
+
+        ``refines`` lets the caller supply a memoized refinement predicate
+        (the registry's shared
+        :class:`~repro.runtime.dispatch.SpecificityMatrix`) in place of
+        per-call lattice walks."""
+        if refines is None:
+            refines = Concept.refines_concept
         return all(
             any(
-                mine_pos == their_pos and mine_c.refines_concept(their_c)
+                mine_pos == their_pos and refines(mine_c, their_c)
                 for mine_c, mine_pos in self.requires
             )
             for their_c, their_pos in other.requires
@@ -125,6 +140,19 @@ class GenericFunction:
         self._misses = 0
         self._rebuilds = 0
         self._check_time_s = 0.0
+        # Guards retire/rebuild/stats — everything that moves counters
+        # between a live table and the folded totals.  Deliberately NOT
+        # taken on the table-hit fast path: a hit only increments a live
+        # table's own counter, which folding reads exactly once.
+        self._lock = threading.Lock()
+        # Keyword -> positional binder, derived lazily from the first
+        # overload's implementation signature; reset on registration.
+        self._binder: Optional[inspect.Signature] = None
+        #: Live call-site specializations; invalidated on registration
+        #: (registry mutations reach them through the registry's hooks).
+        self._specializations: "weakref.WeakSet[Specialization]" = (
+            weakref.WeakSet()
+        )
         functools.update_wrapper(self, self.__call__, updated=())
         self.__name__ = name
         runtime_metrics.track_generic_function(self)
@@ -137,17 +165,31 @@ class GenericFunction:
         """Decorator registering an implementation with its requirements."""
 
         def deco(impl: Callable) -> Callable:
-            self.overloads.append(
-                Overload(impl, _normalize_requires(requires), name or impl.__name__)
-            )
-            self._retire_table()
+            with self._lock:
+                self.overloads.append(
+                    Overload(
+                        impl, _normalize_requires(requires),
+                        name or impl.__name__,
+                    )
+                )
+                self._binder = None
+                self._retire_table_locked()
+            # A new overload can change any resolution; flip every live
+            # trampoline back to the dispatching path (outside our lock —
+            # each specialization takes its own).
+            for spec in tuple(self._specializations):
+                spec.invalidate()
             return impl
 
         return deco
 
     # -- the decision table ---------------------------------------------------
 
-    def _retire_table(self) -> None:
+    def _retire_table_locked(self) -> None:
+        """Fold a retiring table's counters into the running totals.
+        Caller holds ``self._lock``: without it, two threads observing the
+        same stale table would each fold its hits/misses — double-counting
+        every dispatch the table ever served."""
         table = self._table
         if table is not None:
             self._hits += table.hits
@@ -159,12 +201,17 @@ class GenericFunction:
         table = self._table
         gen = self.registry._generation
         if table is None or table.generation != gen:
-            self._retire_table()
-            table = DispatchTable(
-                self.name, tuple(self.overloads), self.registry, gen
-            )
-            self._table = table
-            self._rebuilds += 1
+            with self._lock:
+                # Re-check under the lock: another thread may have rebuilt.
+                table = self._table
+                gen = self.registry._generation
+                if table is None or table.generation != gen:
+                    self._retire_table_locked()
+                    table = compile_table(
+                        self.name, tuple(self.overloads), self.registry, gen
+                    )
+                    self._table = table
+                    self._rebuilds += 1
         return table
 
     def resolve(self, arg_types: Sequence[type]) -> Overload:
@@ -172,9 +219,53 @@ class GenericFunction:
         benchmarks can measure dispatch in isolation)."""
         return self._current_table().resolve(tuple(arg_types))
 
+    def _bind_keywords(self, args: tuple, kwargs: dict) -> tuple:
+        """Bind keyword arguments onto positional slots so the dispatch key
+        is the same however the call spells its arguments.
+
+        ``sort(xs)`` and ``sort(container=xs)`` must dispatch identically:
+        keying on positional args alone would give the second call an empty
+        type tuple and a spurious NoMatchingOverloadError (or a silently
+        less-specific overload).  Defaults are NOT applied — an argument
+        the caller didn't pass stays out of the key, exactly as in the
+        all-positional spelling.  Falls back to the positional-only prefix
+        when the keywords don't bind (the target impl will raise the real
+        TypeError with its own diagnostics)."""
+        binder = self._binder
+        if binder is None:
+            if not self.overloads:
+                return args
+            try:
+                binder = inspect.signature(self.overloads[0].impl)
+            except (TypeError, ValueError):
+                binder = False  # type: ignore[assignment]
+            self._binder = binder
+        if binder is False:  # unintrospectable impl: positional key only
+            return args
+        try:
+            bound = binder.bind(*args, **kwargs)
+        except TypeError:
+            return args
+        out = list(args)
+        for param in list(binder.parameters.values())[len(args):]:
+            if param.kind not in (
+                param.POSITIONAL_ONLY, param.POSITIONAL_OR_KEYWORD
+            ):
+                break
+            if param.name not in bound.arguments:
+                break  # hole: later keywords can't take positional slots
+            out.append(bound.arguments[param.name])
+        return tuple(out)
+
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
         # Fast path, inlined: current-generation table, known type tuple.
-        key = tuple(map(type, args))
+        # Keyword-passed arguments are bound onto their positional slots
+        # first (off the common all-positional path) so the dispatch key —
+        # and therefore the chosen overload — is spelling-independent.
+        if kwargs:
+            key = tuple(map(type, self._bind_keywords(args, kwargs)))
+        else:
+            key = tuple(map(type, args))
         table = self._table
         if table is None or table.generation != self.registry._generation:
             table = self._current_table()
@@ -186,39 +277,77 @@ class GenericFunction:
         chosen.calls += 1
         return chosen.impl(*args, **kwargs)
 
+    # -- monomorphization ------------------------------------------------------
+
+    def specialize(self, *arg_types: type) -> Callable:
+        """Monomorphize this function for ``arg_types``: resolve once and
+        return a direct-call trampoline (no table lookup, no generation
+        check on the hot path).
+
+        The trampoline stays correct under mutation: registry mutations
+        and later ``overload()`` registrations atomically swap it back to
+        the dispatching path, and its next call re-resolves against the
+        new state.  Calls whose shape differs from ``arg_types`` (other
+        types, extra positionals, any keywords) fall back to full
+        dispatch.  See :mod:`repro.runtime.specialize`."""
+        key = tuple(arg_types)
+        label = (
+            f"{self.name}__"
+            + "_".join(getattr(t, "__name__", str(t)).lower() for t in key)
+            if key else f"{self.name}__nullary"
+        )
+        spec = Specialization(
+            name=label,
+            key=key,
+            resolve=lambda: self.resolve(key).impl,
+            fallback=self,
+            registry=self.registry,
+        )
+        self._specializations.add(spec)
+        return spec.trampoline
+
     # -- observability ---------------------------------------------------------
 
     def stats(self) -> dict:
         """Runtime metrics: table hits/misses, rebuilds, per-overload
-        dispatch counts, time spent in uncached resolution."""
-        table = self._table
-        live_hits = table.hits if table is not None else 0
-        live_misses = table.misses if table is not None else 0
-        live_check = table.check_time_s if table is not None else 0.0
-        return {
-            "name": self.name,
-            "overloads": len(self.overloads),
-            "table_size": len(table.entries) if table is not None else 0,
-            "table_generation": table.generation if table is not None else None,
-            "hits": self._hits + live_hits,
-            "misses": self._misses + live_misses,
-            "rebuilds": self._rebuilds,
-            "check_time_s": self._check_time_s + live_check,
-            "overload_calls": {o.name: o.calls for o in self.overloads},
-        }
+        dispatch counts, time spent in uncached resolution.
+
+        Taken under the per-function lock so a table retired mid-read
+        cannot be counted both live and folded."""
+        with self._lock:
+            table = self._table
+            live_hits = table.hits if table is not None else 0
+            live_misses = table.misses if table is not None else 0
+            live_check = table.check_time_s if table is not None else 0.0
+            specs = [s.snapshot() for s in self._specializations]
+            return {
+                "name": self.name,
+                "overloads": len(self.overloads),
+                "table_size": len(table.entries) if table is not None else 0,
+                "table_generation": (
+                    table.generation if table is not None else None
+                ),
+                "hits": self._hits + live_hits,
+                "misses": self._misses + live_misses,
+                "rebuilds": self._rebuilds,
+                "check_time_s": self._check_time_s + live_check,
+                "overload_calls": {o.name: o.calls for o in self.overloads},
+                "specializations": specs,
+            }
 
     def reset_stats(self) -> None:
-        self._hits = 0
-        self._misses = 0
-        self._rebuilds = 0
-        self._check_time_s = 0.0
-        table = self._table
-        if table is not None:
-            table.hits = 0
-            table.misses = 0
-            table.check_time_s = 0.0
-        for o in self.overloads:
-            o.calls = 0
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._rebuilds = 0
+            self._check_time_s = 0.0
+            table = self._table
+            if table is not None:
+                table.hits = 0
+                table.misses = 0
+                table.check_time_s = 0.0
+            for o in self.overloads:
+                o.calls = 0
 
     def dispatch_table(self) -> list[str]:
         """Human-readable list of overloads with their requirements."""

@@ -33,9 +33,11 @@ import functools
 import inspect
 import sys
 import warnings
+import weakref
 from typing import Any, Callable, Optional, Sequence, Union
 
 from ..runtime import metrics as runtime_metrics
+from ..runtime.specialize import Specialization
 from .concept import Concept
 from .errors import ConceptCheckError
 from .modeling import ModelRegistry, models as default_registry
@@ -156,8 +158,55 @@ def where(
                 checked_ok.add(key)
             return fn(*args, **kwargs)
 
+        def specialize(*arg_types: type) -> Callable:
+            """Monomorphize this @where site for ``arg_types``: check the
+            constraints once and return a trampoline that calls the
+            *undecorated* function directly — no per-call generation check
+            or verdict lookup.  Registry mutations flip the trampoline
+            back; its next call re-checks against the new model state (and
+            raises :class:`ConceptCheckError` if the types no longer
+            satisfy the clause).  Non-matching call shapes fall back to
+            the checking wrapper."""
+            key = tuple(arg_types)
+
+            def resolve() -> Callable:
+                bound = sig.bind_partial(*key)
+                for concept, params in specs:
+                    try:
+                        types = tuple(
+                            bound.arguments[p] for p in params
+                        )
+                    except KeyError as exc:
+                        raise TypeError(
+                            f"specialize({fn.__name__}): constrained "
+                            f"parameter {exc.args[0]!r} not covered by "
+                            f"the {len(key)} specialized argument type(s)"
+                        ) from None
+                    report = reg.check(concept, types)
+                    if not report.ok:
+                        raise ConceptCheckError(
+                            concept.name, types, report.failures,
+                            context=(
+                                f"specialize({fn.__name__}) — where "
+                                f"{', '.join(params)} : {concept.name}"
+                            ),
+                        )
+                return fn
+
+            spec = Specialization(
+                name=f"{fn.__name__}__specialized",
+                key=key,
+                resolve=resolve,
+                fallback=wrapper,
+                registry=reg,
+            )
+            wrapper.__specializations__.add(spec)  # type: ignore[attr-defined]
+            return spec.trampoline
+
         wrapper.__concept_constraints__ = tuple(specs)  # type: ignore[attr-defined]
         wrapper.__where_stats__ = site  # type: ignore[attr-defined]
+        wrapper.__specializations__ = weakref.WeakSet()  # type: ignore[attr-defined]
+        wrapper.specialize = specialize  # type: ignore[attr-defined]
         runtime_metrics.track_where_site(site)
         return wrapper
 

@@ -74,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="size n at which estimated savings are priced "
              f"(default: {DEFAULT_SIZE:g})",
     )
+    parser.add_argument(
+        "--monomorphize", action="store_true",
+        help="also run the OPT-MONO pass: rewrite generic call sites "
+             "whose container kind is the same on every path to their "
+             "specialized direct-call spellings (e.g. sort -> "
+             "sort__vector)",
+    )
     return parser
 
 
@@ -92,6 +99,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     session = session_from_args(
         args, resource=args.resource, size=args.size,
+        monomorphize=args.monomorphize,
     )
     tracer = trace.enable() if args.trace is not None else trace.active()
 

@@ -1,0 +1,109 @@
+"""OPT-MONO: rewrite proven-monomorphic generic call sites to their
+specialized spellings.
+
+The taxonomy passes in :mod:`repro.optimize.pipeline` swap one algorithm
+for an asymptotically better one.  This pass removes a different cost:
+*dispatch itself*.  When STLlint's facts prove that the container reaching
+a generic call site has the same representation kind on every explored
+path — ``sort(v)`` where ``v`` is a ``vector`` everywhere — the dynamic
+concept-based overload resolution at that site can only ever pick one
+overload.  The pass resolves it once, statically, and rewrites the callee
+to the matching monomorphized spelling (``sort`` → ``sort__vector``), a
+direct-call trampoline from :mod:`repro.runtime.specialize` that skips
+the table lookup and generation check entirely.
+
+Soundness is split between static and dynamic guarantees:
+
+- statically, the rewrite only fires when the facts engine derived one
+  container kind on every path into the site (a meet, not a sample), and
+  the spelling's semantic spec aliases the base algorithm's
+  (:data:`repro.stllint.specs.MONO_ALGORITHM_SPELLINGS`), so the verify
+  stage's re-lint sees identical container effects;
+- dynamically, the trampoline itself falls back to full dispatch for any
+  unexpected call shape and is invalidated by registry mutations, so even
+  a wrongly-assumed-monomorphic site degrades to correct dispatch, never
+  to a wrong overload.
+
+Disabled by default (``monomorphize=False`` / ``--monomorphize``): the
+rewrite trades a dispatch per call for a named-spelling dependency, which
+is an opt-in, not a default cleanup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..facts.records import FactTable
+from ..sequences.algorithms import sort
+from ..sequences.deque import Deque
+from ..sequences.dlist import DList
+from ..sequences.vector import Vector
+from ..stllint.specs import MONO_ALGORITHM_SPELLINGS
+from .pipeline import PlannedRewrite
+
+#: STLlint container kind -> the concrete container type dispatch would
+#: see at runtime for a value of that kind.
+KIND_TO_TYPE: dict[str, type] = {
+    "vector": Vector,
+    "list": DList,
+    "deque": Deque,
+}
+
+#: Source callee name -> the GenericFunction it denotes (the functions
+#: whose dispatch this pass can resolve statically).
+GENERIC_CALLS = {
+    "sort": sort,
+}
+
+OPT_MONO_PREFIX = "OPT-MONO"
+
+
+def plan_monomorphizations(
+    table: FactTable,
+    already: Optional[set[tuple[int, str]]] = None,
+) -> list[PlannedRewrite]:
+    """Plan ``generic call -> specialized spelling`` rewrites for every
+    call site whose container kind is the same on all paths.
+
+    ``already`` holds ``(line, callee)`` pairs claimed by earlier passes
+    (the taxonomy selection); a site being rewritten to a different
+    algorithm must not also be monomorphized.
+    """
+    claimed = already or set()
+    plans: list[PlannedRewrite] = []
+    for site in table.call_sites():
+        if (site.line, site.algorithm) in claimed:
+            continue
+        spelling = MONO_ALGORITHM_SPELLINGS.get(
+            (site.algorithm, site.container_kind)
+        )
+        if spelling is None:
+            continue
+        gf = GENERIC_CALLS.get(site.algorithm)
+        arg_type = KIND_TO_TYPE.get(site.container_kind)
+        if gf is None or arg_type is None:
+            continue
+        # Resolve the dispatch the rewrite freezes — and skip the site if
+        # resolution fails (no matching/ambiguous overload): OPT-MONO only
+        # rewrites calls whose dynamic outcome it can name.
+        try:
+            overload = gf.resolve((arg_type,))
+        except Exception:  # noqa: BLE001 - unresolvable site: leave it
+            continue
+        plans.append(PlannedRewrite(
+            line=site.line,
+            function=site.function,
+            subject=site.subject,
+            call=site.algorithm,
+            replacement=spelling,
+            concept_from="generic dispatch",
+            concept_to=f"monomorphic: {overload.name}",
+            bound_from="1 dispatch per call",
+            bound_to="0 dispatches per call",
+            properties=(
+                f"container kind {site.container_kind!r} on every path",
+            ),
+            savings=0.0,
+            code=f"{OPT_MONO_PREFIX}-{site.algorithm}".replace("_", "-"),
+        ))
+    return plans

@@ -74,6 +74,12 @@ class PlannedRewrite:
 
     def describe(self) -> str:
         props = ", ".join(self.properties) or "-"
+        if self.code.startswith("OPT-MONO"):
+            return (
+                f"{self.call} -> {self.replacement}: [{props}] for "
+                f"'{self.subject}', so dispatch resolves statically to "
+                f"{self.concept_to} ({self.bound_from} -> {self.bound_to})"
+            )
         return (
             f"{self.call} -> {self.replacement}: [{props}] holds for "
             f"'{self.subject}' on every path, so {self.concept_to} "
@@ -281,6 +287,7 @@ def _optimize_source_impl(
     size: float = DEFAULT_SIZE,
     deadline: Optional[Deadline] = None,
     engine: Optional[str] = None,
+    monomorphize: bool = False,
 ) -> OptimizeResult:
     """Run the full facts → select → rewrite → verify pipeline.
 
@@ -290,6 +297,11 @@ def _optimize_source_impl(
 
     ``engine`` selects the STLlint analysis engine used by the facts
     and verify stages (default: the fixpoint engine).
+
+    ``monomorphize`` additionally runs the OPT-MONO pass
+    (:func:`repro.optimize.monomorphize.plan_monomorphizations`):
+    generic call sites whose container kind is provably the same on
+    every path are rewritten to their specialized direct-call spellings.
     """
     tr = _trace.ACTIVE
     taxonomy = taxonomy or stl_taxonomy()
@@ -315,13 +327,23 @@ def _optimize_source_impl(
         ))
         return result
 
+    def select() -> list[PlannedRewrite]:
+        selected = plan_rewrites(table, taxonomy, resource, size)
+        if monomorphize:
+            from .monomorphize import plan_monomorphizations
+
+            selected += plan_monomorphizations(
+                table, {(p.line, p.call) for p in selected}
+            )
+        return selected
+
     if deadline is not None and deadline.expired():
         return _timeout_result(result, path, deadline.budget)
     if tr is None:
-        plans = plan_rewrites(table, taxonomy, resource, size)
+        plans = select()
     else:
         with tr.span("optimize.select", cat="optimize", path=path) as sp:
-            plans = plan_rewrites(table, taxonomy, resource, size)
+            plans = select()
             sp.set("plans", len(plans))
             for p in plans:
                 tr.event(
@@ -351,9 +373,16 @@ def _optimize_source_impl(
                 f"L{line}:{check}" for line, check in sorted(introduced)
             )
             return False, f"re-lint found new problems ({rendered})"
-        # ...and nothing further to do: the pipeline is idempotent.
-        again = plan_rewrites(collect_facts(optimized, engine=engine),
-                              taxonomy, resource, size)
+        # ...and nothing further to do: the pipeline is idempotent (the
+        # re-plan runs the same pass set, including OPT-MONO when on).
+        retable = collect_facts(optimized, engine=engine)
+        again = plan_rewrites(retable, taxonomy, resource, size)
+        if monomorphize:
+            from .monomorphize import plan_monomorphizations
+
+            again += plan_monomorphizations(
+                retable, {(p.line, p.call) for p in again}
+            )
         if again:
             return False, (
                 f"not idempotent: optimized output still proposes "
@@ -444,6 +473,7 @@ def _optimize_file_impl(
     size: float = DEFAULT_SIZE,
     timeout_s: Optional[float] = None,
     engine: Optional[str] = None,
+    monomorphize: bool = False,
 ) -> OptimizeResult:
     """Optimize one file on disk; with ``write=True`` the rewritten
     source replaces the file (only when verification passed).
@@ -462,6 +492,7 @@ def _optimize_file_impl(
         result = _optimize_source_impl(
             source, path=str(p), taxonomy=taxonomy, resource=resource,
             size=size, deadline=deadline, engine=engine,
+            monomorphize=monomorphize,
         )
         if write and result.changed and result.verified:
             _write_optimized(p, source, result)

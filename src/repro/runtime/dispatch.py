@@ -34,6 +34,78 @@ def _type_names(key: TypeKey) -> list[str]:
     return [getattr(t, "__name__", str(t)) for t in key]
 
 
+def registry_generation(registry: Any) -> int:
+    """The registry's current generation counter (0 for registry-likes that
+    don't track generations).  THE one default used everywhere a table or
+    memoization guard needs a generation — :func:`compile_table`,
+    :class:`DispatchTable`, and the slow-path memo guard all route through
+    this, so they can never disagree about what "missing" means."""
+    return getattr(registry, "_generation", 0)
+
+
+class SpecificityMatrix:
+    """Concept-refinement verdicts for one registry generation, shared by
+    every :class:`DispatchTable` compiled against that generation.
+
+    ``refines(a, b)`` memoizes ``a.refines_concept(b)`` — the refinement
+    lattice walk — per concept pair.  Tables previously re-walked the
+    lattice for every pairwise overload comparison on every rebuild; with
+    the matrix held at registry level, each pair is decided once per
+    generation no matter how many generic functions rebuild their tables.
+    Concepts are immutable between registry mutations, so the verdicts are
+    valid exactly as long as the generation they were computed under.
+    """
+
+    __slots__ = ("generation", "_refines", "hits", "walks")
+
+    def __init__(self, generation: int) -> None:
+        self.generation = generation
+        self._refines: dict[tuple[int, int], bool] = {}
+        self.hits = 0
+        self.walks = 0
+
+    def refines(self, a: Any, b: Any) -> bool:
+        if a is b:
+            return True
+        pair = (id(a), id(b))
+        cached = self._refines.get(pair)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.walks += 1
+        verdict = bool(a.refines_concept(b))
+        self._refines[pair] = verdict
+        return verdict
+
+    def seed(self, concepts: Sequence[Any]) -> None:
+        """Precompute all pairwise verdicts for ``concepts`` (the static
+        matrix: pay the lattice walks up front, off the dispatch path)."""
+        for a in concepts:
+            for b in concepts:
+                self.refines(a, b)
+
+    def snapshot(self) -> dict:
+        return {
+            "generation": self.generation,
+            "pairs": len(self._refines),
+            "hits": self.hits,
+            "walks": self.walks,
+        }
+
+
+def _shared_matrix(registry: Any, generation: int) -> Optional[SpecificityMatrix]:
+    """The registry's specificity matrix for ``generation``, if it exposes
+    one (plain registry-likes in tests may not)."""
+    accessor = getattr(registry, "specificity_matrix", None)
+    if callable(accessor):
+        matrix = accessor()
+        if isinstance(matrix, SpecificityMatrix) and (
+            matrix.generation == generation
+        ):
+            return matrix
+    return None
+
+
 class DispatchTable:
     """One compiled decision table: a snapshot of an overload set resolved
     against one registry generation."""
@@ -56,13 +128,15 @@ class DispatchTable:
         name: str,
         overloads: Sequence[Any],
         registry: Any,
-        generation: int,
+        generation: Optional[int] = None,
     ) -> None:
         tr = _trace.ACTIVE
         t0 = perf_counter_ns() if tr is not None else 0
         self.name = name
         self.overloads = tuple(overloads)
         self.registry = registry
+        if generation is None:
+            generation = registry_generation(registry)
         self.generation = generation
         #: type tuple -> chosen Overload; THE fast path.
         self.entries: dict[TypeKey, Any] = {}
@@ -70,10 +144,15 @@ class DispatchTable:
         self.misses = 0
         self.check_time_s = 0.0
         n = len(self.overloads)
-        # Pairwise specificity, resolved once: at_least[i][j] iff overload i
-        # is at least as specific as overload j.
+        # Pairwise specificity, resolved once per table — but the underlying
+        # concept-refinement walks are resolved once per *generation*: the
+        # registry's shared SpecificityMatrix memoizes the concept-pair
+        # verdicts across every table compiled against this generation.
+        matrix = _shared_matrix(registry, generation)
+        refines = matrix.refines if matrix is not None else None
         al = [
-            [a.at_least_as_specific_as(b) for b in self.overloads]
+            [a.at_least_as_specific_as(b, refines=refines)
+             for b in self.overloads]
             for a in self.overloads
         ]
         self._at_least = al
@@ -177,7 +256,7 @@ class DispatchTable:
         # Only memoize a verdict computed against the current generation: a
         # concurrent registry mutation mid-resolution must not plant a stale
         # entry in a table that will keep being consulted.
-        if self.generation == getattr(reg, "_generation", self.generation):
+        if self.generation == registry_generation(reg):
             self.entries[key] = chosen
         return chosen
 
@@ -197,8 +276,12 @@ def compile_table(
     registry: Any,
     generation: Optional[int] = None,
 ) -> DispatchTable:
-    """Compile a decision table against the registry's current generation."""
-    gen = generation if generation is not None else getattr(
-        registry, "_generation", 0
-    )
-    return DispatchTable(name, overloads, registry, gen)
+    """Compile a decision table against the registry's current generation.
+
+    THE constructor seam: all callers (including
+    :class:`~repro.concepts.overload.GenericFunction`) build tables through
+    here, and a missing generation defaults via :func:`registry_generation`
+    — the same default the slow-path memo guard uses, so a registry-like
+    without a generation counter gets a coherent table rather than one
+    whose guard and compile disagree."""
+    return DispatchTable(name, overloads, registry, generation)

@@ -1,0 +1,255 @@
+"""Monomorphized call sites: ahead-of-time specialization trampolines.
+
+The dispatch tables in :mod:`repro.runtime.dispatch` make the steady-state
+cost of a generic call one dict hit plus a generation check.  This module
+removes even that: :func:`specialize` resolves a call site *once* and
+returns a generated **trampoline** — a plain function whose hot path is a
+handful of exact ``type(x) is T`` guards and one direct call through a
+mutable cell.  No dict lookup, no generation check.
+
+Correctness under model mutation is preserved by an invalidation protocol
+instead of a per-call check:
+
+1. A :class:`Specialization` registers itself (weakly) with its registry's
+   invalidation hooks (:meth:`ModelRegistry.add_invalidation_hook`) and
+   with its generic function's specialization set.
+2. Every registry mutation — ``register`` / ``unregister`` / ``restore`` /
+   ``invalidate`` — and every late overload registration calls
+   :meth:`Specialization.invalidate`, which **atomically swaps the
+   trampoline's target cell back to the re-dispatching slow path** (a
+   single list-item store under the specialization's lock).  By the time
+   the mutating call returns, no live trampoline can serve a stale
+   binding.
+3. The slow path re-resolves against the *current* generation and
+   re-installs the direct binding — but only if no further invalidation
+   arrived while it was resolving (an epoch counter, checked under the
+   same lock that the swap takes, closes the install/invalidate race).
+
+The trampoline falls back to the full dispatching path for any call shape
+it was not specialized for — different argument types, extra positional
+arguments, or keyword arguments — so a specialized spelling is always
+*safe* to call, merely fastest on the monomorphic shape it was built for.
+
+This module sits below :mod:`repro.concepts` and imports nothing from it;
+generic functions and ``@where`` wrappers are handled duck-typed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from . import metrics as runtime_metrics
+
+
+def _type_label(t: Any) -> str:
+    return getattr(t, "__name__", str(t))
+
+
+class _Missing:
+    """Sentinel default for the trampoline's leading parameters, so a call
+    that omits them (keywords, too few positionals) reaches the fallback
+    instead of raising the trampoline's own TypeError."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def _compile_trampoline(
+    key: tuple, cell: list, fallback: Callable, name: str
+) -> Callable:
+    """Generate the direct-call trampoline for ``key``.
+
+    The generated function takes exactly ``len(key)`` leading positional
+    parameters; the guard is a chain of identity checks on their types.
+    On a guard hit the call goes straight through ``cell[0]`` — the
+    resolved implementation, or the re-specializing slow path after an
+    invalidation.  Everything else routes to ``fallback``.
+    """
+    n = len(key)
+    params = ", ".join(f"a{i}" for i in range(n))
+    sig = ", ".join(f"a{i}=_m" for i in range(n))
+    guards = [f"type(a{i}) is _t{i}" for i in range(n)]
+    guards += ["not _args", "not _kw"]
+    lead = f"{sig}, " if n else ""
+    # The leading parameters default to a sentinel so ANY call shape lands
+    # here rather than in a generated-signature TypeError; unfilled slots
+    # are a contiguous suffix (Python binds positionals left to right) and
+    # are stripped before forwarding to the fallback.
+    if n:
+        forward = (
+            f"    _pos = ({params},) + _args\n"
+            f"    if a{n - 1} is _m:\n"
+            f"        _pos = tuple(v for v in _pos if v is not _m)\n"
+            f"    return _fallback(*_pos, **_kw)\n"
+        )
+    else:
+        forward = "    return _fallback(*_args, **_kw)\n"
+    src = (
+        f"def _trampoline({lead}*_args, **_kw):\n"
+        f"    if {' and '.join(guards)}:\n"
+        f"        return _cell[0]({params})\n"
+        f"{forward}"
+    )
+    ns: dict[str, Any] = {"_cell": cell, "_fallback": fallback, "_m": _MISSING}
+    for i, t in enumerate(key):
+        ns[f"_t{i}"] = t
+    exec(src, ns)  # noqa: S102 - generated from a fixed template
+    fn = ns["_trampoline"]
+    fn.__name__ = name
+    fn.__qualname__ = name
+    fn.__doc__ = (
+        f"Monomorphized binding of {name}: direct call for "
+        f"({', '.join(_type_label(t) for t in key)}), full dispatch "
+        f"otherwise."
+    )
+    return fn
+
+
+class Specialization:
+    """One monomorphized call-site binding (the state behind a trampoline).
+
+    ``resolve`` is a zero-argument callable returning the concrete target
+    for ``key`` against the *current* registry state; ``fallback`` is the
+    full dispatching path used for non-monomorphic call shapes (and, after
+    an invalidation, until the slow path re-installs a binding).
+    """
+
+    __slots__ = (
+        "name",
+        "key",
+        "trampoline",
+        "invalidations",
+        "respecializations",
+        "_resolve",
+        "_fallback",
+        "_cell",
+        "_lock",
+        "_epoch",
+        "_dispatching",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        key: Sequence[type],
+        resolve: Callable[[], Callable],
+        fallback: Callable,
+        registry: Optional[Any] = None,
+    ) -> None:
+        self.name = name
+        self.key = tuple(key)
+        self._resolve = resolve
+        self._fallback = fallback
+        self._lock = threading.Lock()
+        self._epoch = 0
+        #: Times a mutation swapped the trampoline back to dispatch.
+        self.invalidations = 0
+        #: Times the slow path (re-)installed a direct binding.
+        self.respecializations = 0
+        # ONE bound-method object for the slow path: `self._miss` creates a
+        # fresh bound method per attribute access, so identity comparisons
+        # (bound, invalidate) must go through this stable reference.
+        self._dispatching = self._miss
+        # The cell starts on the slow path: the first call resolves and
+        # installs the direct binding, so constructing a specialization
+        # never dispatches eagerly (and never at import time).
+        self._cell = [self._dispatching]
+        self.trampoline = _compile_trampoline(
+            self.key, self._cell, fallback, name
+        )
+        self.trampoline.__specialization__ = self  # type: ignore[attr-defined]
+        hook = getattr(registry, "add_invalidation_hook", None)
+        if callable(hook):
+            hook(self)
+        runtime_metrics.track_specialization(self)
+
+    # -- hot-path state ------------------------------------------------------
+
+    @property
+    def bound(self) -> bool:
+        """True while the trampoline holds a direct binding (False right
+        after construction or an invalidation, until the next call)."""
+        return self._cell[0] is not self._dispatching
+
+    def _miss(self, *args: Any) -> Any:
+        """Cold path: resolve against the current registry state, install
+        the direct binding, and complete the call.
+
+        The epoch check under the lock means an invalidation that fires
+        *while we are resolving* wins: the possibly-stale target completes
+        this one call (the same window an ordinary dispatch racing a
+        mutation has) but is never installed.
+        """
+        with self._lock:
+            epoch = self._epoch
+        target = self._resolve()
+        with self._lock:
+            if self._epoch == epoch:
+                self._cell[0] = target
+                self.respecializations += 1
+        return target(*args)
+
+    # -- invalidation protocol -----------------------------------------------
+
+    def invalidate(self) -> None:
+        """Atomically swap the trampoline back to the dispatching path.
+
+        Called by the registry's invalidation hooks on every generation
+        bump and by the generic function on every overload registration.
+        Idempotent; safe from any thread.
+        """
+        with self._lock:
+            self._epoch += 1
+            self.invalidations += 1
+            self._cell[0] = self._dispatching
+
+    def respecialize(self) -> None:
+        """Eagerly re-resolve and re-install the direct binding (the lazy
+        default is to re-resolve on the next call)."""
+        with self._lock:
+            epoch = self._epoch
+        target = self._resolve()
+        with self._lock:
+            if self._epoch == epoch:
+                self._cell[0] = target
+                self.respecializations += 1
+
+    # -- observability --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "key": [_type_label(t) for t in self.key],
+            "bound": self.bound,
+            "invalidations": self.invalidations,
+            "respecializations": self.respecializations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "bound" if self.bound else "dispatching"
+        return f"<Specialization {self.name} [{state}]>"
+
+
+def specialize(fn: Callable, arg_types: Sequence[type]) -> Callable:
+    """Monomorphize ``fn`` for ``arg_types`` and return the trampoline.
+
+    ``fn`` may be a :class:`~repro.concepts.overload.GenericFunction`
+    (resolved to the winning overload's implementation) or a ``@where``-
+    decorated function (constraints checked once; the undecorated function
+    is the target).  The returned trampoline carries its
+    :class:`Specialization` as ``__specialization__``.
+    """
+    method = getattr(fn, "specialize", None)
+    if callable(method):
+        return method(*arg_types)
+    raise TypeError(
+        f"cannot specialize {fn!r}: expected a GenericFunction or a "
+        f"@where-decorated function (an object exposing .specialize)"
+    )

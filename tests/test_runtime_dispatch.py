@@ -340,12 +340,15 @@ class TestRuntimeStats:
     def test_stats_shape(self):
         snap = runtime.stats()
         assert set(snap) == {
-            "registries", "generic_functions", "where_sites", "totals",
+            "registries", "generic_functions", "where_sites",
+            "specializations", "totals",
         }
         for key in (
             "model_cache_hits", "model_cache_misses", "invalidations",
             "dispatch_hits", "dispatch_misses", "table_rebuilds",
             "where_hits", "where_misses", "check_time_s",
+            "specializations", "specializations_bound",
+            "specialization_invalidations",
         ):
             assert key in snap["totals"]
 
@@ -402,6 +405,385 @@ class TestRuntimeStats:
         buf = io.StringIO()
         runtime.install_stats_report(buf)
         runtime.install_stats_report(buf)   # second call is a no-op
+
+
+class TestKeywordDispatch:
+    """Satellite regression: keyword-passed constrained arguments must
+    produce the same dispatch key — and therefore the same overload — as
+    the positional spelling."""
+
+    def _make(self):
+        reg = ModelRegistry()
+        Q = _quackable()
+        f = GenericFunction("kw_probe", registry=reg)
+
+        @f.overload(requires=[(Q, 0)])
+        def impl(d, limit=3):
+            return ("quacked", limit)
+
+        return reg, f
+
+    def test_keyword_spelling_dispatches_identically(self):
+        _, f = self._make()
+        assert f(Duck()) == f(d=Duck()) == ("quacked", 3)
+
+    def test_keyword_for_later_positional(self):
+        _, f = self._make()
+        assert f(Duck(), limit=7) == ("quacked", 7)
+
+    def test_keyword_call_hits_same_table_entry(self):
+        _, f = self._make()
+        f(Duck())
+        before = f.stats()
+        f(d=Duck())
+        after = f.stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_unbindable_keywords_fall_back_to_positional_key(self):
+        """Keywords the impl signature can't bind must not crash keying;
+        the chosen impl raises its own TypeError."""
+        _, f = self._make()
+        with pytest.raises(TypeError):
+            f(Duck(), nonsense=1)
+
+    def test_real_sort_keyword_call(self):
+        from repro.sequences import Vector
+        from repro.sequences.algorithms import sort
+
+        data = [4, 1, 3, 2]
+        v_pos, v_kw = Vector(data), Vector(data)
+        sort(v_pos)
+        sort(container=v_kw)
+        assert v_pos.to_list() == v_kw.to_list() == sorted(data)
+        # Same overload (the quicksort), not a less specific one.
+        counts = sort.stats()["overload_calls"]
+        quick = counts["sort<RandomAccessContainer & Sequence> (quicksort)"]
+        assert quick >= 2
+
+
+class TestStatsConservation:
+    """Satellite regression: concurrent retire/rebuild must never fold a
+    table's counters twice — hits+misses can lose in-flight increments
+    during a swap, but can never EXCEED the number of calls made."""
+
+    def test_threaded_fold_never_double_counts(self):
+        reg = ModelRegistry()
+        Any_ = Concept("RtConsAny")
+        f = GenericFunction("conserve", registry=reg)
+
+        @f.overload(requires=[(Any_, 0)])
+        def impl(x):
+            return x
+
+        n_threads, n_calls = 4, 300
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(n_threads + 1)
+
+        def caller():
+            barrier.wait()
+            for _ in range(n_calls):
+                try:
+                    f(1)
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        def mutator():
+            barrier.wait()
+            for _ in range(50):
+                reg.invalidate()
+
+        threads = [threading.Thread(target=caller)
+                   for _ in range(n_threads)]
+        threads.append(threading.Thread(target=mutator))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+
+        total = n_threads * n_calls
+        stats = f.stats()
+        counted = stats["hits"] + stats["misses"]
+        # Double-folding manifests as counting ABOVE the true call count;
+        # losing a few in-flight increments during a table swap is
+        # inherent and bounded below by the mutation count.
+        assert counted <= total, (
+            f"{counted} dispatches counted for {total} calls — "
+            f"a table's counters were folded twice"
+        )
+        assert counted >= total - 200
+
+    def test_quiesced_stats_are_exact(self):
+        reg = ModelRegistry()
+        Any_ = Concept("RtExactAny")
+        f = GenericFunction("exact", registry=reg)
+
+        @f.overload(requires=[(Any_, 0)])
+        def impl(x):
+            return x
+
+        for _ in range(10):
+            f(1)
+        reg.invalidate()
+        for _ in range(10):
+            f(1)
+        stats = f.stats()
+        assert stats["hits"] + stats["misses"] == 20
+
+
+class TestCompileTableSeam:
+    """Satellite regression: one constructor seam, one generation
+    default — a registry-like without a generation counter gets tables
+    whose compile-time generation and slow-path memo guard agree."""
+
+    def test_registry_generation_default(self):
+        from repro.runtime.dispatch import registry_generation
+
+        class Bare:
+            pass
+
+        assert registry_generation(Bare()) == 0
+        reg = ModelRegistry()
+        reg.invalidate()
+        assert registry_generation(reg) == reg.generation
+
+    def test_compile_table_and_table_default_agree(self):
+        from repro.runtime import compile_table
+        from repro.runtime.dispatch import DispatchTable
+
+        class Bare:
+            """No _generation attribute at all."""
+
+        t1 = compile_table("seam", (), Bare())
+        t2 = DispatchTable("seam", (), Bare())
+        assert t1.generation == t2.generation == 0
+
+    def test_memo_guard_consistent_without_generation(self):
+        """A table over a generation-less registry-like must still memoize
+        resolved entries (the old guard/compile defaults disagreed, which
+        silently disabled memoization for such tables)."""
+        from repro.runtime import compile_table
+
+        reg = ModelRegistry()
+        Any_ = Concept("RtSeamAny")
+        f = GenericFunction("seam_probe", registry=reg)
+
+        @f.overload(requires=[(Any_, 0)])
+        def impl(x):
+            return x
+
+        class Shim:
+            """Forwards checks but exposes no _generation."""
+
+            def models(self, concept, types):
+                return reg.models(concept, types)
+
+            def check(self, concept, types):
+                return reg.check(concept, types)
+
+        table = compile_table("seam_probe", tuple(f.overloads), Shim())
+        table.resolve((int,))
+        assert (int,) in table.entries
+
+    def test_generic_function_goes_through_the_seam(self):
+        """GenericFunction's table now comes from compile_table and tracks
+        the registry generation."""
+        reg = ModelRegistry()
+        Any_ = Concept("RtSeamGfAny")
+        f = GenericFunction("seam_gf", registry=reg)
+
+        @f.overload(requires=[(Any_, 0)])
+        def impl(x):
+            return x
+
+        f(1)
+        assert f._table.generation == reg.generation
+        reg.invalidate()
+        f(1)
+        assert f._table.generation == reg.generation
+
+
+class TestSpecificityMatrix:
+    def test_shared_across_tables_per_generation(self):
+        reg = ModelRegistry()
+        m1 = reg.specificity_matrix()
+        m2 = reg.specificity_matrix()
+        assert m1 is m2
+        assert m1.generation == reg.generation
+        reg.invalidate()
+        m3 = reg.specificity_matrix()
+        assert m3 is not m1
+        assert m3.generation == reg.generation
+
+    def test_memoizes_refinement_walks(self):
+        reg = ModelRegistry()
+        A = Concept("RtMatA")
+        B = Concept("RtMatB", refines=[A])
+        m = reg.specificity_matrix()
+        assert m.refines(B, A) and not m.refines(A, B)
+        walks = m.walks
+        assert m.refines(B, A)
+        assert m.walks == walks and m.hits >= 1
+        m.seed([A, B])
+        assert m.snapshot()["pairs"] >= 2
+
+    def test_dispatch_outcomes_unchanged_by_matrix(self):
+        """The matrix is a cache, not a semantics change: the doubly-
+        constrained sort still resolves Vector to quicksort."""
+        from repro.sequences import Vector
+        from repro.sequences.algorithms import sort
+
+        chosen = sort.resolve((Vector,))
+        assert "quicksort" in chosen.name
+
+
+class TestSpecialization:
+    """Tentpole + satellite: specialize() trampolines never serve a stale
+    binding across register/unregister/scoped/restore mutations."""
+
+    def _make(self):
+        reg = ModelRegistry()
+        Base = Concept("RtSpzBase")
+        Special = Concept(
+            "RtSpzSpecial", refines=[Base],
+            requirements=[method("t.quack()", "quack", [T])],
+            nominal=True,
+        )
+        f = GenericFunction("spz", registry=reg)
+
+        @f.overload(requires=[(Base, 0)])
+        def generic(x):
+            return "generic"
+
+        @f.overload(requires=[(Special, 0)], name="special")
+        def special(x):
+            return "special"
+
+        return reg, Special, f
+
+    def test_direct_call_binds_and_matches_dispatch(self):
+        reg, _, f = self._make()
+        tramp = f.specialize(Duck)
+        spec = tramp.__specialization__
+        assert not spec.bound                 # lazy: binds on first call
+        assert tramp(Duck()) == f(Duck()) == "generic"
+        assert spec.bound
+
+    def test_register_flips_trampoline(self):
+        reg, Special, f = self._make()
+        tramp = f.specialize(Duck)
+        assert tramp(Duck()) == "generic"
+        reg.register(Special, Duck)
+        assert not tramp.__specialization__.bound
+        assert tramp(Duck()) == "special"
+
+    def test_unregister_flips_back(self):
+        reg, Special, f = self._make()
+        tramp = f.specialize(Duck)
+        reg.register(Special, Duck)
+        assert tramp(Duck()) == "special"
+        reg.unregister(Special, Duck)
+        assert not tramp.__specialization__.bound
+        assert tramp(Duck()) == "generic"
+
+    def test_scoped_registry_mutations_flip(self):
+        reg, Special, f = self._make()
+        tramp = f.specialize(Duck)
+        assert tramp(Duck()) == "generic"
+        with reg.scoped():
+            reg.register(Special, Duck)
+            assert tramp(Duck()) == "special"
+        # Leaving the scope restores (a mutation): stale 'special' binding
+        # must not survive.
+        assert not tramp.__specialization__.bound
+        assert tramp(Duck()) == "generic"
+
+    def test_new_overload_flips(self):
+        reg, Special, f = self._make()
+        tramp = f.specialize(Duck)
+        assert tramp(Duck()) == "generic"
+        Later = Concept("RtSpzLater", refines=[Special], nominal=True)
+
+        @f.overload(requires=[(Later, 0)], name="later")
+        def later(x):
+            return "later"
+
+        assert not tramp.__specialization__.bound
+        reg.register(Special, Duck)
+        reg.register(Later, Duck)
+        assert tramp(Duck()) == "later"
+
+    def test_fallback_for_other_types_and_shapes(self):
+        reg, _, f = self._make()
+        tramp = f.specialize(Duck)
+        tramp(Duck())
+        assert tramp(Robot()) == "generic"    # other type: full dispatch
+        assert tramp(x=Duck()) == "generic"   # kwargs: full dispatch
+        with pytest.raises(NoMatchingOverloadError):
+            tramp()                            # no args: full dispatch error
+
+    def test_counters_and_snapshot(self):
+        reg, Special, f = self._make()
+        tramp = f.specialize(Duck)
+        spec = tramp.__specialization__
+        tramp(Duck())
+        reg.register(Special, Duck)
+        tramp(Duck())
+        snap = spec.snapshot()
+        assert snap["invalidations"] >= 1
+        assert snap["respecializations"] == 2
+        assert snap["key"] == ["Duck"]
+        assert spec in runtime.metrics.specializations()
+
+    def test_respecialize_eagerly(self):
+        reg, _, f = self._make()
+        tramp = f.specialize(Duck)
+        spec = tramp.__specialization__
+        spec.respecialize()
+        assert spec.bound
+
+    def test_free_function_and_type_error(self):
+        from repro.runtime import specialize
+
+        reg, _, f = self._make()
+        tramp = specialize(f, (Duck,))
+        assert tramp(Duck()) == "generic"
+        with pytest.raises(TypeError):
+            specialize(len, (list,))
+
+    def test_where_site_specialization(self):
+        reg = ModelRegistry()
+        Nominal = Concept(
+            "RtSpzWhere",
+            requirements=[method("t.quack()", "quack", [T])],
+            nominal=True,
+        )
+
+        @where((Nominal, "d"), registry=reg)
+        def speak(d):
+            return d.quack()
+
+        reg.register(Nominal, Duck)
+        tramp = speak.specialize(Duck)
+        assert tramp(Duck()) == "quack"
+        assert tramp.__specialization__.bound
+        reg.unregister(Nominal, Duck)
+        assert not tramp.__specialization__.bound
+        with pytest.raises(ConceptCheckError):
+            tramp(Duck())                     # re-check against new state
+        reg.register(Nominal, Duck)
+        assert tramp(Duck()) == "quack"       # and recovers
+
+    def test_stats_surface(self):
+        reg, _, f = self._make()
+        tramp = f.specialize(Duck)
+        tramp(Duck())
+        per_fn = f.stats()["specializations"]
+        assert any(s["bound"] for s in per_fn)
+        snap = runtime.stats()
+        assert snap["totals"]["specializations"] >= 1
 
 
 class TestLateOverloadRegistration:
