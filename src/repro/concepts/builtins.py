@@ -317,6 +317,45 @@ RandomAccessContainer = Concept(
         "the trigger for quicksort in Section 2.1's overloading example.",
 )
 
+ContiguousContainer = Concept(
+    "Contiguous Container",
+    params=("C",),
+    refines=[RandomAccessContainer],
+    requirements=[
+        SemanticAxiom(
+            "contiguity", (),
+            lambda ops: True,
+            "elements occupy one machine-addressable block, so a "
+            "subrange can be transferred as a single bulk operation",
+        ),
+    ],
+    doc="Random access backed by one contiguous block (array / mmap) — "
+        "the trigger for bulk copy paths.  Nominal: contiguity is a "
+        "representation promise no structural check can see.",
+    nominal=True,
+)
+
+PersistentContainer = Concept(
+    "Persistent Container",
+    params=("C",),
+    refines=[ForwardContainer],
+    requirements=[
+        method("c.flush()", "flush", [C]),
+        method("c.close()", "close", [C]),
+        SemanticAxiom(
+            "durability", (),
+            lambda ops: True,
+            "elements and recorded facts survive close() and a later "
+            "reopen from the same location",
+        ),
+    ],
+    doc="Container whose contents outlive the process (sqlite-backed "
+        "sequences).  Nominal: durability is a representation promise, "
+        "and declaring it is what licenses io-aware algorithm selection "
+        "(indexed lookup instead of a scan).",
+    nominal=True,
+)
+
 SortedRange = Concept(
     "Sorted Range",
     params=("C",),
@@ -343,5 +382,5 @@ ALL_CONCEPTS = [
     BidirectionalIterator, RandomAccessIterator,
     Container, ForwardContainer, ReversibleContainer, Sequence,
     FrontInsertionSequence, BackInsertionSequence, RandomAccessContainer,
-    SortedRange,
+    ContiguousContainer, PersistentContainer, SortedRange,
 ]

@@ -16,7 +16,7 @@ cheapest algorithm whose requirements my types satisfy").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from .complexity import BigO
 from .concept import Concept
@@ -43,6 +43,10 @@ class AlgorithmConcept:
             names like ``"sorted"``) the input range must satisfy — the
             machine-readable form of "binary_search requires a sorted
             range", checked against STLlint-derived facts.
+        requires_capabilities: Storage capability tags (``"persistent"``,
+            ``"contiguous"`` — see :class:`repro.sequences.storage.
+            StorageCapabilities`) the container's backend must provide.
+            An indexed lookup only exists where there is an index.
         establishes: Properties holding on the range afterwards.
         destroys: Properties the algorithm's reordering invalidates.
         result: What the call returns, for substitutability during
@@ -58,6 +62,7 @@ class AlgorithmConcept:
     implementation: Optional[object] = None
     doc: str = ""
     requires_properties: tuple[str, ...] = ()
+    requires_capabilities: tuple[str, ...] = ()
     establishes: tuple[str, ...] = ()
     destroys: tuple[str, ...] = ()
     result: str = ""
@@ -76,6 +81,22 @@ class AlgorithmConcept:
             merged.update(parent.all_guarantees())
         merged.update(self.guarantees)
         return merged
+
+    def weighted_cost(self, weights: "Mapping[str, float]",
+                      size: float = 1000.0) -> float:
+        """Concrete cost at ``n = size`` as a weighted sum over resources:
+        ``sum(weights[r] * guarantee[r].at(n=size))``.  A resource the
+        algorithm declares no guarantee for contributes zero — an
+        algorithm that never touches the backing store has no io cost.
+        This is how a single ranking can trade cpu against io once the
+        two are priced against each other."""
+        total = 0.0
+        guarantees = self.all_guarantees()
+        for resource, weight in weights.items():
+            bound = guarantees.get(resource)
+            if bound is not None:
+                total += weight * bound.at(n=size)
+        return total
 
     def validate(self) -> list[str]:
         """Refinement must not loosen any inherited complexity guarantee."""
@@ -203,10 +224,13 @@ class Taxonomy:
         resource: str,
         result: Optional[str] = None,
         require_implementation: bool = True,
+        capabilities: Iterable[str] = (),
+        weights: Optional[Mapping[str, float]] = None,
+        size: float = 1000.0,
     ) -> Optional[AlgorithmConcept]:
-        """Pick the algorithm with the asymptotically best ``resource``
-        guarantee whose *property* requirements are satisfied by
-        ``properties`` (STLlint-derived facts, closed under implication).
+        """Pick the algorithm with the best ``resource`` guarantee whose
+        *property* requirements are satisfied by ``properties``
+        (STLlint-derived facts, closed under implication).
 
         This is the data-driven half of the paper's Section 3.2 loop:
         the facts layer proves ``sorted(v)`` holds at a ``find`` call, and
@@ -215,12 +239,26 @@ class Taxonomy:
         ``result`` restricts candidates to substitutable ones (a rewrite
         of ``find`` needs another position-returning search, not the
         bool-returning ``binary_search``).
+
+        ``capabilities`` are the storage capability tags the container's
+        backend provides; algorithms whose ``requires_capabilities``
+        exceed them are never candidates (no index, no indexed lookup).
+
+        Without ``weights`` candidates are ranked asymptotically on
+        ``resource`` alone, exactly as before the io/cpu split.  With
+        ``weights`` (``{"comparisons": 1.0, "io_ops": 8.0}``) they are
+        ranked by concrete weighted cost at ``n = size`` — this is what
+        routes ``find`` on a sorted *persistent* sequence to the indexed
+        lookup: lower_bound's O(log n) comparisons lose to one indexed
+        round trip once every comparison is itself a round trip.
         """
         from ..facts.properties import closure
 
         have = closure(properties)
+        have_caps = frozenset(capabilities)
         best: Optional[AlgorithmConcept] = None
         best_bound: Optional[BigO] = None
+        best_cost: Optional[float] = None
         for algo in self.algorithms_for_problem(problem):
             if require_implementation and algo.implementation is None:
                 continue
@@ -228,10 +266,16 @@ class Taxonomy:
                 continue
             if not set(algo.requires_properties) <= have:
                 continue
+            if not set(algo.requires_capabilities) <= have_caps:
+                continue
             bound = algo.all_guarantees().get(resource)
             if bound is None:
                 continue
-            if best_bound is None or bound < best_bound:
+            if weights is not None:
+                cost = algo.weighted_cost(weights, size)
+                if best_cost is None or cost < best_cost:
+                    best, best_cost = algo, cost
+            elif best_bound is None or bound < best_bound:
                 best, best_bound = algo, bound
         return best
 

@@ -33,6 +33,7 @@ MUTATIONS = (
     "pop",         # pop_back / pop_front
     "reverse",     # in-place reordering that flips order
     "make-heap",   # heapify reordering
+    "write",       # element overwrite through set_at / iterator set
     "clear",
 )
 
@@ -97,13 +98,14 @@ def get_property(name: str) -> Optional[Property]:
 SORTED = Property(
     "sorted",
     description="elements are in nondecreasing order",
-    destroyed_by=("insert", "append", "remove", "reverse", "make-heap"),
+    destroyed_by=("insert", "append", "remove", "reverse", "make-heap",
+                  "write"),
 )
 
 HEAP = Property(
     "heap",
     description="elements satisfy the binary-heap ordering",
-    destroyed_by=("insert", "erase", "remove", "reverse", "append"),
+    destroyed_by=("insert", "erase", "remove", "reverse", "append", "write"),
     weakens_to={"append": "heap-except-last"},
 )
 
@@ -111,19 +113,20 @@ HEAP_TAIL = Property(
     "heap-except-last",
     description="a heap plus one appended element (push_heap's "
                 "precondition)",
-    destroyed_by=("insert", "erase", "remove", "reverse", "append"),
+    destroyed_by=("insert", "erase", "remove", "reverse", "append", "write"),
 )
 
 DISTINCT = Property(
     "unique",
     description="no two elements compare equal",
-    destroyed_by=("insert", "append"),
+    destroyed_by=("insert", "append", "write"),
 )
 
 STRICTLY_SORTED = Property(
     "strictly-sorted",
     description="sorted with no duplicates",
-    destroyed_by=("insert", "append", "remove", "reverse", "make-heap"),
+    destroyed_by=("insert", "append", "remove", "reverse", "make-heap",
+                  "write"),
     implies=("sorted", "unique"),
 )
 

@@ -36,7 +36,13 @@ from ..concepts.taxonomy import Taxonomy
 from ..facts.records import FactTable
 from ..lint.driver import LintConfig, LintFinding, _lint_source_impl
 from ..resilience import Deadline
-from ..sequences.taxonomy import CALL_TO_CONCEPT, CONCEPT_TO_CALL, stl_taxonomy
+from ..sequences.taxonomy import (
+    CALL_TO_CONCEPT,
+    CONCEPT_TO_CALL,
+    KIND_CAPABILITIES,
+    kind_weights,
+    stl_taxonomy,
+)
 from ..stllint.facts_collection import collect_facts
 from ..stllint.interpreter import DEFAULT_ENGINE
 from ..trace import core as _trace
@@ -174,9 +180,13 @@ def plan_rewrites(
     size: float = DEFAULT_SIZE,
 ) -> list[PlannedRewrite]:
     """Stage 2: data-driven selection.  A site is rewritten only when the
-    taxonomy offers a *strictly* asymptotically better algorithm, with
-    the same result kind, whose property requirements are met by the
-    site's must-hold facts."""
+    taxonomy offers a *strictly* better algorithm, with the same result
+    kind, whose property requirements are met by the site's must-hold
+    facts.  "Better" is asymptotic for RAM-resident container kinds;
+    for kinds whose storage charges per round trip (``kind_weights``
+    returns io/cpu weights), both selection and the strictness check
+    price the io dimension, and the site's kind unlocks
+    capability-gated algorithms (``find`` → ``indexed_find``)."""
     taxonomy = taxonomy or stl_taxonomy()
     plans: list[PlannedRewrite] = []
     for site in table.call_sites():
@@ -186,9 +196,15 @@ def plan_rewrites(
         current = taxonomy.algorithms.get(concept_name)
         if current is None:
             continue
+        weights = kind_weights(site.container_kind, cpu_resource=resource)
+        capabilities: frozenset[str] = frozenset()
+        if weights is not None:
+            capabilities = KIND_CAPABILITIES[
+                site.container_kind].capability_names()
         best = taxonomy.select_for_properties(
             current.problem, site.properties, resource,
             result=current.result or None,
+            capabilities=capabilities, weights=weights, size=size,
         )
         if best is None or best.name == current.name:
             continue
@@ -196,8 +212,16 @@ def plan_rewrites(
         new_bound = best.all_guarantees().get(resource)
         if cur_bound is None or new_bound is None:
             continue
-        if not (new_bound < cur_bound):
-            continue
+        if weights is None:
+            if not (new_bound < cur_bound):
+                continue
+            saved = cur_bound.at(n=size) - new_bound.at(n=size)
+        else:
+            cur_cost = current.weighted_cost(weights, size)
+            new_cost = best.weighted_cost(weights, size)
+            if not (new_cost < cur_cost):
+                continue
+            saved = cur_cost - new_cost
         replacement = CONCEPT_TO_CALL.get(best.name)
         if replacement is None or replacement == site.algorithm:
             continue
@@ -214,7 +238,7 @@ def plan_rewrites(
             properties=tuple(sorted(
                 str(p) for p in best.requires_properties
             )),
-            savings=cur_bound.at(n=size) - new_bound.at(n=size),
+            savings=saved,
             code=f"OPT-{site.algorithm}-to-{replacement}".replace("_", "-"),
         ))
     return plans

@@ -53,12 +53,19 @@ from .iterators import (
     python_range,
     require_same_container,
 )
+from .storage import (
+    SequenceFacade,
+    Storage,
+    StorageCapabilities,
+    StorageError,
+)
 from .tree import SortedAssociativeContainer, TreeIterator, TreeMap
 from .vector import Vector, VectorIterator
 
 __all__ = [
     "Deque", "DequeIterator", "DList", "DListIterator",
     "Vector", "VectorIterator",
+    "Storage", "StorageCapabilities", "StorageError", "SequenceFacade",
     "TreeMap", "TreeIterator", "SortedAssociativeContainer",
     "IteratorBase", "IndexIterator", "NodeIterator",
     "python_range", "require_same_container", "typed",

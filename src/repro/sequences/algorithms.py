@@ -25,9 +25,13 @@ from typing import Any, Callable, Optional
 
 from ..concepts import GenericFunction
 from ..concepts.builtins import (
+    BackInsertionSequence,
     BidirectionalIterator,
+    Container,
+    ContiguousContainer,
     ForwardIterator,
     InputIterator,
+    PersistentContainer,
     RandomAccessContainer,
     RandomAccessIterator,
     Sequence,
@@ -326,6 +330,92 @@ def binary_search(
 
 
 # ---------------------------------------------------------------------------
+# Backend-aware search (the storage-split payoff)
+# ---------------------------------------------------------------------------
+
+
+def indexed_find(container: Any, value: Any = None,
+                 _range_value: Any = None) -> IteratorBase:
+    """First position of ``value`` via the backend's value index — one
+    O(log n) round trip instead of an n-round-trip scan.
+
+    Requires: Persistent Container whose store supports ``index_lookup``.
+    **Precondition: the container carries the ``sorted`` fact** (the same
+    entry condition as :func:`lower_bound`; the taxonomy entry for
+    "indexed lookup" declares it, which is what licenses the optimizer's
+    ``find`` → ``indexed_find`` rewrite on sorted persistent sequences).
+
+    Accepts both spellings a rewritten call site can have: the container
+    form ``indexed_find(c, value)`` and, because the optimizer replaces
+    only the callee name of ``find(first, last, value)``, the iterator
+    range form ``indexed_find(first, last, value)`` — the range bounds
+    narrow the lookup to ``[first, last)``.
+    """
+    if isinstance(container, IteratorBase):
+        first, last, sought = container, value, _range_value
+        require_same_container(first, last)
+        seq = first.container
+        index = seq.index_lookup(sought, lo=first._index, hi=last._index)
+        return last.clone() if index is None else _at_index(seq, index)
+    index = container.index_lookup(value)
+    return container.end() if index is None else _at_index(container, index)
+
+
+def _at_index(container: Any, index: int) -> IteratorBase:
+    it = container.begin()
+    advance(it, index)
+    return it
+
+
+find_in = GenericFunction("find_in")
+
+
+@find_in.overload(requires=[(Container, 0)],
+                  name="find_in<Container> (linear scan)")
+def _find_in_scan(container: Any, value: Any) -> IteratorBase:
+    """Whole-container find: the generic linear scan."""
+    return find(container.begin(), container.end(), value)
+
+
+@find_in.overload(requires=[(PersistentContainer, 0)],
+                  name="find_in<PersistentContainer> (fact-routed)")
+def _find_in_persistent(container: Any, value: Any) -> IteratorBase:
+    """On a persistent backend every element access is a round trip, so
+    routing matters: with the ``sorted`` fact recorded the backend's
+    indexed lookup answers in one trip; without it we must still scan."""
+    if container.has_fact("sorted"):
+        return indexed_find(container, value)
+    return find(container.begin(), container.end(), value)
+
+
+copy_into = GenericFunction("copy_into")
+
+
+@copy_into.overload(requires=[(Container, 0), (BackInsertionSequence, 1)],
+                    name="copy_into<Container> (element-wise)")
+def _copy_into_elementwise(src: Any, dst: Any) -> Any:
+    """Append all of ``src`` onto ``dst``, one element at a time."""
+    it = src.begin()
+    last = src.end()
+    while not it.equals(last):
+        dst.push_back(it.deref())
+        it.increment()
+    return dst
+
+
+@copy_into.overload(
+    requires=[(ContiguousContainer, 0), (BackInsertionSequence, 1)],
+    name="copy_into<ContiguousContainer> (bulk slice)",
+)
+def _copy_into_bulk(src: Any, dst: Any) -> Any:
+    """Contiguous sources hand over their block as one bulk slice —
+    no per-element iterator traffic on the read side."""
+    for value in src.storage().slice(0, src.size()):
+        dst.push_back(value)
+    return dst
+
+
+# ---------------------------------------------------------------------------
 # Mutating algorithms
 # ---------------------------------------------------------------------------
 
@@ -391,6 +481,15 @@ def remove_if(
 # ---------------------------------------------------------------------------
 
 sort = GenericFunction("sort")
+
+
+def _note_sorted(container: Any, less: Callable[[Any, Any], bool]) -> None:
+    """Record the runtime ``sorted`` fact a sort establishes by
+    construction — only under the default order (the fact means
+    nondecreasing under ``<=``, not under an arbitrary comparator), and
+    only on façades that track facts."""
+    if less is _default_less and hasattr(container, "assert_fact"):
+        container.assert_fact("sorted", check=False)
 
 
 def _quicksort_indices(c: Any, lo: int, hi: int, less: Callable) -> None:
@@ -470,6 +569,7 @@ def _sort_linear(container: Any, less: Callable[[Any, Any], bool] = _default_les
     for v in result:
         it.set(v)
         it.increment()
+    _note_sorted(container, less)
     return container
 
 
@@ -481,6 +581,7 @@ def _sort_indexed(container: Any, less: Callable[[Any, Any], bool] = _default_le
     """"If they can be accessed efficiently via indexing (as with an array)
     we can apply the more-efficient quicksort algorithm" (Section 2.1)."""
     _quicksort_indices(container, 0, container.size(), less)
+    _note_sorted(container, less)
     return container
 
 
@@ -492,6 +593,34 @@ sort.overload(
     requires=[(RandomAccessContainer, 0), (Sequence, 0)],
     name="sort<RandomAccessContainer & Sequence> (quicksort)",
 )(_sort_indexed)
+
+
+@sort.overload(
+    requires=[(PersistentContainer, 0), (RandomAccessContainer, 0),
+              (Sequence, 0)],
+    name="sort<PersistentContainer> (backend order-by)",
+)
+def _sort_backend(container: Any,
+                  less: Callable[[Any, Any], bool] = _default_less) -> Any:
+    """On a persistent backend, element-swapping quicksort pays a round
+    trip per access; pushing the whole reorder to the backend (one
+    ORDER BY renumbering) costs O(1) trips.  Only the default order can
+    be delegated — a custom comparator falls back to the generic
+    quicksort through the container interface."""
+    if less is not _default_less:
+        return _sort_indexed(container, less)
+    container.backend_sort()
+    return container
+
+
+def backend_sort(container: Any,
+                 less: Callable[[Any, Any], bool] = _default_less) -> Any:
+    """Monomorphic spelling of the persistent-backend ``sort`` overload —
+    the optimizer's rewrite target for ``sort`` on persistent container
+    kinds.  Its STLlint spec aliases ``sort``'s, so the SORTED fact it
+    establishes (and everything downstream that relies on it) survives
+    the rewrite."""
+    return _sort_backend(container, less)
 
 
 # Monomorphized spellings of ``sort``, one per container representation —

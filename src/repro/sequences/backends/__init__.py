@@ -1,0 +1,25 @@
+"""Alternative storage backends behind the same container concepts.
+
+Each backend is one module exporting a :class:`~repro.sequences.storage.
+Storage` implementation plus a façade class that models exactly the same
+container/iterator concepts as the in-memory containers — the point of
+the storage-backend split is that ``check_concept`` and concept-overloaded
+algorithms cannot tell the representations apart, while capability-aware
+selection can:
+
+- :mod:`.contiguous` — ``array``/mmap-backed contiguous store
+  (:class:`~repro.sequences.backends.contiguous.ContiguousVector`).
+- :mod:`.sqlite_store` — sqlite-backed persistent sequence
+  (:class:`~repro.sequences.backends.sqlite_store.SqliteSequence`) with
+  durable facts and an indexed lookup path.
+"""
+
+from __future__ import annotations
+
+from .contiguous import ContiguousStorage, ContiguousVector
+from .sqlite_store import SqliteSequence, SqliteStorage
+
+__all__ = [
+    "ContiguousStorage", "ContiguousVector",
+    "SqliteStorage", "SqliteSequence",
+]

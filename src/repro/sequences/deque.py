@@ -6,14 +6,18 @@ in the middle invalidates all iterators; push/pop at either end invalidates
 all iterators but in C++ leaves references valid (references are not a
 distinct notion in Python, so here end-ops also invalidate iterators, the
 conservative reading STLlint's specification uses).
+
+Like :class:`~repro.sequences.vector.Vector`, the class is a façade over a
+pluggable :class:`~repro.sequences.storage.Storage` (a ``collections.deque``
+by default) with every mutation routed through the shared choke point.
 """
 
 from __future__ import annotations
 
-from collections import deque as _pydeque
-from typing import Any, Iterable
+from typing import Any, ClassVar, Iterable, Optional
 
 from .iterators import IndexIterator, IteratorRegistry
+from .storage import DequeStorage, SequenceFacade, Storage
 
 
 class DequeIterator(IndexIterator):
@@ -22,15 +26,22 @@ class DequeIterator(IndexIterator):
     value_type: type = object
 
 
-class Deque:
+class Deque(SequenceFacade):
     """Double-ended queue; models Random Access Container plus Front and
     Back Insertion Sequence."""
 
     value_type: type = object
     iterator: type = DequeIterator
+    storage_factory: ClassVar[type] = DequeStorage
 
-    def __init__(self, items: Iterable[Any] = ()) -> None:
-        self._data: _pydeque[Any] = _pydeque(items)
+    def __init__(self, items: Iterable[Any] = (),
+                 storage: Optional[Storage] = None) -> None:
+        if storage is None:
+            storage = self.storage_factory(items)
+        else:
+            for item in items:
+                storage.append(item)
+        self._init_facade(storage)
         self._iterators = IteratorRegistry()
         self.invalidation_events = 0
 
@@ -40,13 +51,14 @@ class Deque:
         self._iterators.register(it)
 
     def _end_index(self) -> int:
-        return len(self._data)
+        return self._store.length()
 
     def _get(self, index: int) -> Any:
-        return self._data[index]
+        return self._store.get(index)
 
     def _set(self, index: int, value: Any) -> None:
-        self._data[index] = value
+        self._store.set(index, value)
+        self._commit_mutation("write")
 
     # -- Container interface --------------------------------------------------------
 
@@ -54,23 +66,24 @@ class Deque:
         return self.iterator(self, 0)
 
     def end(self) -> DequeIterator:
-        return self.iterator(self, len(self._data))
+        return self.iterator(self, self._store.length())
 
     def size(self) -> int:
-        return len(self._data)
+        return self._store.length()
 
     def empty(self) -> bool:
-        return not self._data
+        return self._store.length() == 0
 
     def at(self, index: int) -> Any:
-        if not 0 <= index < len(self._data):
+        if not 0 <= index < self._store.length():
             raise IndexError(f"deque index {index} out of range")
-        return self._data[index]
+        return self._store.get(index)
 
     def set_at(self, index: int, value: Any) -> None:
-        if not 0 <= index < len(self._data):
+        if not 0 <= index < self._store.length():
             raise IndexError(f"deque index {index} out of range")
-        self._data[index] = value
+        self._store.set(index, value)
+        self._commit_mutation("write")
 
     def __getitem__(self, index: int) -> Any:
         return self.at(index)
@@ -81,60 +94,72 @@ class Deque:
     # -- mutations ----------------------------------------------------------------------
 
     def push_back(self, value: Any) -> None:
-        self._data.append(value)
-        self.invalidation_events += self._iterators.invalidate_all()
+        self._store.append(value)
+        self._commit_mutation("append",
+                              invalidated=self._iterators.invalidate_all())
 
     def push_front(self, value: Any) -> None:
-        self._data.appendleft(value)
-        self.invalidation_events += self._iterators.invalidate_all()
+        self._store.insert(0, value)
+        self._commit_mutation("append",
+                              invalidated=self._iterators.invalidate_all())
 
     def pop_back(self) -> Any:
-        if not self._data:
+        if self._store.length() == 0:
             raise IndexError("pop_back on empty deque")
-        self.invalidation_events += self._iterators.invalidate_all()
-        return self._data.pop()
+        last = self._store.length() - 1
+        value = self._store.get(last)
+        self._store.erase(last)
+        self._commit_mutation("pop",
+                              invalidated=self._iterators.invalidate_all())
+        return value
 
     def pop_front(self) -> Any:
-        if not self._data:
+        if self._store.length() == 0:
             raise IndexError("pop_front on empty deque")
-        self.invalidation_events += self._iterators.invalidate_all()
-        return self._data.popleft()
+        value = self._store.get(0)
+        self._store.erase(0)
+        self._commit_mutation("pop",
+                              invalidated=self._iterators.invalidate_all())
+        return value
 
     def insert(self, pos: DequeIterator, value: Any) -> DequeIterator:
         pos._require_valid()
         index = pos.index
-        self._data.insert(index, value)
-        self.invalidation_events += self._iterators.invalidate_all()
+        self._store.insert(index, value)
+        self._commit_mutation("insert",
+                              invalidated=self._iterators.invalidate_all())
         return self.iterator(self, index)
 
     def erase(self, pos: DequeIterator) -> DequeIterator:
         pos._require_valid()
         index = pos.index
-        if index >= len(self._data):
+        if index >= self._store.length():
             raise IndexError("erase of past-the-end iterator")
-        del self._data[index]
-        self.invalidation_events += self._iterators.invalidate_all()
+        self._store.erase(index)
+        self._commit_mutation("erase",
+                              invalidated=self._iterators.invalidate_all())
         return self.iterator(self, index)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.invalidation_events += self._iterators.invalidate_all()
+        self._store.clear()
+        self._commit_mutation("clear",
+                              invalidated=self._iterators.invalidate_all())
 
     # -- Python interop ---------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._store.length()
 
     def __iter__(self):
-        return iter(list(self._data))
+        return iter(self.to_list())
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Deque):
-            return list(self._data) == list(other._data)
+            return self.to_list() == other.to_list()
         return NotImplemented
 
     def __repr__(self) -> str:
-        return f"Deque({list(self._data)!r})"
+        return f"Deque({self.to_list()!r})"
 
     def to_list(self) -> list[Any]:
-        return list(self._data)
+        return self._store.slice(0, self._store.length())

@@ -6,22 +6,23 @@ asymmetry with :class:`~repro.sequences.vector.Vector` is exactly why the
 invalidation behaviour "varies greatly across domains" yet "the semantic
 iterator concept — including requirements pertaining to invalidation —
 cross-cuts various domains" (Section 3.1): one concept, per-model rules.
+
+The class is a façade over :class:`~repro.sequences.storage.LinkedStorage`;
+the node graph lives in the store, and every mutation — including the
+push/pop paths that (correctly) invalidate no iterators — goes through the
+shared choke point so runtime facts are invalidated and the mutation epoch
+bumps even when no iterator dies.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, ClassVar, Iterable, Optional
 
 from .iterators import IteratorRegistry, NodeIterator
+from .storage import LinkedStorage, SequenceFacade, _LinkNode
 
-
-class _Node:
-    __slots__ = ("value", "prev", "next")
-
-    def __init__(self, value: Any = None) -> None:
-        self.value = value
-        self.prev: "_Node" = self
-        self.next: "_Node" = self
+#: Retained name: the node type now lives in the storage layer.
+_Node = _LinkNode
 
 
 class DListIterator(NodeIterator):
@@ -30,17 +31,20 @@ class DListIterator(NodeIterator):
     value_type: type = object
 
 
-class DList:
+class DList(SequenceFacade):
     """Doubly linked list; models Reversible Container, Front and Back
     Insertion Sequence — but *not* Random Access Container, which is what
     steers concept-overloaded ``sort`` away from quicksort for lists."""
 
     value_type: type = object
     iterator: type = DListIterator
+    storage_factory: ClassVar[type] = LinkedStorage
 
-    def __init__(self, items: Iterable[Any] = ()) -> None:
-        self._sentinel = _Node()
-        self._size = 0
+    def __init__(self, items: Iterable[Any] = (),
+                 storage: Optional[LinkedStorage] = None) -> None:
+        if storage is None:
+            storage = self.storage_factory()
+        self._init_facade(storage)
         self._iterators = IteratorRegistry()
         self.invalidation_events = 0
         for item in items:
@@ -48,20 +52,18 @@ class DList:
 
     # -- internal plumbing -------------------------------------------------------
 
+    @property
+    def _sentinel(self) -> _Node:
+        return self._store.sentinel
+
     def _register_iterator(self, it: DListIterator) -> None:
         self._iterators.register(it)
 
     def _link_before(self, node: _Node, new: _Node) -> None:
-        new.prev = node.prev
-        new.next = node
-        node.prev.next = new
-        node.prev = new
-        self._size += 1
+        self._store.link_before(node, new)
 
     def _unlink(self, node: _Node) -> None:
-        node.prev.next = node.next
-        node.next.prev = node.prev
-        self._size -= 1
+        self._store.unlink(node)
 
     # -- Container interface ---------------------------------------------------------
 
@@ -72,46 +74,51 @@ class DList:
         return self.iterator(self, self._sentinel)
 
     def size(self) -> int:
-        return self._size
+        return self._store.length()
 
     def empty(self) -> bool:
-        return self._size == 0
+        return self._store.length() == 0
 
     # -- Sequence mutations --------------------------------------------------------------
 
     def push_back(self, value: Any) -> None:
-        self._link_before(self._sentinel, _Node(value))
+        self._store.link_before(self._sentinel, _Node(value))
+        self._commit_mutation("append")
 
     def push_front(self, value: Any) -> None:
-        self._link_before(self._sentinel.next, _Node(value))
+        self._store.link_before(self._sentinel.next, _Node(value))
+        self._commit_mutation("append")
 
     def pop_front(self) -> Any:
-        if self._size == 0:
+        if self._store.length() == 0:
             raise IndexError("pop_front on empty list")
         node = self._sentinel.next
         value = node.value
         self._iterators.invalidate_if(
             lambda it: isinstance(it, NodeIterator) and it.node is node
         )
-        self._unlink(node)
+        self._store.unlink(node)
+        self._commit_mutation("pop")
         return value
 
     def pop_back(self) -> Any:
-        if self._size == 0:
+        if self._store.length() == 0:
             raise IndexError("pop_back on empty list")
         node = self._sentinel.prev
         value = node.value
         self._iterators.invalidate_if(
             lambda it: isinstance(it, NodeIterator) and it.node is node
         )
-        self._unlink(node)
+        self._store.unlink(node)
+        self._commit_mutation("pop")
         return value
 
     def insert(self, pos: DListIterator, value: Any) -> DListIterator:
         """Insert before ``pos``; invalidates nothing."""
         pos._require_valid()
         new = _Node(value)
-        self._link_before(pos.node, new)
+        self._store.link_before(pos.node, new)
+        self._commit_mutation("insert")
         return self.iterator(self, new)
 
     def erase(self, pos: DListIterator) -> DListIterator:
@@ -122,10 +129,11 @@ class DList:
         if node is self._sentinel:
             raise IndexError("erase of past-the-end iterator")
         after = node.next
-        self.invalidation_events += self._iterators.invalidate_if(
+        invalidated = self._iterators.invalidate_if(
             lambda it: isinstance(it, NodeIterator) and it.node is node
         )
-        self._unlink(node)
+        self._store.unlink(node)
+        self._commit_mutation("erase", invalidated=invalidated)
         return self.iterator(self, after)
 
     def splice(self, pos: DListIterator, other: "DList") -> None:
@@ -136,35 +144,36 @@ class DList:
         if other is self or other.empty():
             return
         first, last = other._sentinel.next, other._sentinel.prev
-        other._sentinel.next = other._sentinel
-        other._sentinel.prev = other._sentinel
-        moved = other._size
-        other._size = 0
+        other._store.sentinel.next = other._store.sentinel
+        other._store.sentinel.prev = other._store.sentinel
+        moved = other._store._size
+        other._store._size = 0
         at = pos.node
         first.prev = at.prev
         at.prev.next = first
         last.next = at
         at.prev = last
-        self._size += moved
+        self._store._size += moved
         # Iterators into `other` now belong to `self`'s node graph; re-home
         # the live ones so same-container range checks keep working.
         for it in other._iterators.live():
             if isinstance(it, NodeIterator) and it.node is not other._sentinel:
                 it._container = self
                 self._iterators.register(it)
+        self._commit_mutation("insert")
+        other._commit_mutation("clear")
 
     def clear(self) -> None:
-        self.invalidation_events += self._iterators.invalidate_if(
+        invalidated = self._iterators.invalidate_if(
             lambda it: isinstance(it, NodeIterator) and it.node is not self._sentinel
         )
-        self._sentinel.next = self._sentinel
-        self._sentinel.prev = self._sentinel
-        self._size = 0
+        self._store.clear()
+        self._commit_mutation("clear", invalidated=invalidated)
 
     # -- Python interop --------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return self._size
+        return self._store.length()
 
     def __iter__(self):
         node = self._sentinel.next

@@ -12,13 +12,24 @@ container's semantic specification):
 
 Capacity doubles on growth, as real implementations do, so reallocation
 events happen at realistic points.
+
+Since the storage-backend split the class is a *façade*: elements live in
+a pluggable :class:`~repro.sequences.storage.Storage` (a Python list by
+default; ``array``/mmap and sqlite representations in
+:mod:`repro.sequences.backends` plug in underneath without changing the
+modeled concepts), and every mutation is routed through the shared
+:class:`~repro.sequences.storage.SequenceFacade` choke point, which
+keeps the mutation epoch and the runtime fact set honest.  The
+invalidation rules above are a property of the *interface* and hold
+uniformly across backends.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Any, ClassVar, Iterable, Optional
 
 from .iterators import IndexIterator, IteratorRegistry
+from .storage import ListStorage, SequenceFacade, Storage
 
 
 class VectorIterator(IndexIterator):
@@ -27,16 +38,23 @@ class VectorIterator(IndexIterator):
     value_type: type = object
 
 
-class Vector:
+class Vector(SequenceFacade):
     """Contiguous sequence; models Random Access Container and Back
     Insertion Sequence (verified in the test suite via ``check_concept``)."""
 
     value_type: type = object
     iterator: type = VectorIterator
+    storage_factory: ClassVar[type] = ListStorage
 
-    def __init__(self, items: Iterable[Any] = ()) -> None:
-        self._data: list[Any] = list(items)
-        self._capacity: int = max(len(self._data), 1)
+    def __init__(self, items: Iterable[Any] = (),
+                 storage: Optional[Storage] = None) -> None:
+        if storage is None:
+            storage = self.storage_factory(items)
+        else:
+            for item in items:
+                storage.append(item)
+        self._init_facade(storage)
+        self._capacity: int = max(storage.length(), 1)
         self._iterators = IteratorRegistry()
         #: Counters the invalidation tests and benches inspect.
         self.invalidation_events: int = 0
@@ -48,17 +66,18 @@ class Vector:
         self._iterators.register(it)
 
     def _end_index(self) -> int:
-        return len(self._data)
+        return self._store.length()
 
     def _get(self, index: int) -> Any:
-        return self._data[index]
+        return self._store.get(index)
 
     def _set(self, index: int, value: Any) -> None:
-        self._data[index] = value
+        self._store.set(index, value)
+        self._commit_mutation("write")
 
     def _grow_for(self, extra: int) -> bool:
         """Ensure capacity; returns True when a reallocation happened."""
-        needed = len(self._data) + extra
+        needed = self._store.length() + extra
         if needed <= self._capacity:
             return False
         while self._capacity < needed:
@@ -72,13 +91,13 @@ class Vector:
         return self.iterator(self, 0)
 
     def end(self) -> VectorIterator:
-        return self.iterator(self, len(self._data))
+        return self.iterator(self, self._store.length())
 
     def size(self) -> int:
-        return len(self._data)
+        return self._store.length()
 
     def empty(self) -> bool:
-        return not self._data
+        return self._store.length() == 0
 
     def capacity(self) -> int:
         return self._capacity
@@ -86,14 +105,19 @@ class Vector:
     # -- Random Access Container ---------------------------------------------------
 
     def at(self, index: int) -> Any:
-        if not 0 <= index < len(self._data):
-            raise IndexError(f"vector index {index} out of range [0, {len(self._data)})")
-        return self._data[index]
+        if not 0 <= index < self._store.length():
+            raise IndexError(
+                f"vector index {index} out of range [0, {self._store.length()})"
+            )
+        return self._store.get(index)
 
     def set_at(self, index: int, value: Any) -> None:
-        if not 0 <= index < len(self._data):
-            raise IndexError(f"vector index {index} out of range [0, {len(self._data)})")
-        self._data[index] = value
+        if not 0 <= index < self._store.length():
+            raise IndexError(
+                f"vector index {index} out of range [0, {self._store.length()})"
+            )
+        self._store.set(index, value)
+        self._commit_mutation("write")
 
     def __getitem__(self, index: int) -> Any:
         return self.at(index)
@@ -105,31 +129,33 @@ class Vector:
 
     def push_back(self, value: Any) -> None:
         realloc = self._grow_for(1)
-        self._data.append(value)
-        if realloc:
-            self.invalidation_events += self._iterators.invalidate_all()
+        self._store.append(value)
+        invalidated = self._iterators.invalidate_all() if realloc else 0
+        self._commit_mutation("append", invalidated=invalidated)
 
     def pop_back(self) -> Any:
-        if not self._data:
+        if self._store.length() == 0:
             raise IndexError("pop_back on empty vector")
-        last = len(self._data) - 1
-        self.invalidation_events += self._iterators.invalidate_if(
-            lambda it: it.index >= last
-        )
-        return self._data.pop()
+        last = self._store.length() - 1
+        invalidated = self._iterators.invalidate_if(lambda it: it.index >= last)
+        value = self._store.get(last)
+        self._store.erase(last)
+        self._commit_mutation("pop", invalidated=invalidated)
+        return value
 
     def insert(self, pos: VectorIterator, value: Any) -> VectorIterator:
         """Insert before ``pos``; returns an iterator to the new element."""
         pos._require_valid()
         index = pos.index
         realloc = self._grow_for(1)
-        self._data.insert(index, value)
+        self._store.insert(index, value)
         if realloc:
-            self.invalidation_events += self._iterators.invalidate_all()
+            invalidated = self._iterators.invalidate_all()
         else:
-            self.invalidation_events += self._iterators.invalidate_if(
+            invalidated = self._iterators.invalidate_if(
                 lambda it: it.index >= index
             )
+        self._commit_mutation("insert", invalidated=invalidated)
         return self.iterator(self, index)
 
     def erase(self, pos: VectorIterator) -> VectorIterator:
@@ -138,33 +164,33 @@ class Vector:
         correct idiom Fig. 4's buggy code fails to use)."""
         pos._require_valid()
         index = pos.index
-        if index >= len(self._data):
+        if index >= self._store.length():
             raise IndexError("erase of past-the-end iterator")
-        del self._data[index]
-        self.invalidation_events += self._iterators.invalidate_if(
-            lambda it: it.index >= index
-        )
+        self._store.erase(index)
+        invalidated = self._iterators.invalidate_if(lambda it: it.index >= index)
+        self._commit_mutation("erase", invalidated=invalidated)
         return self.iterator(self, index)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.invalidation_events += self._iterators.invalidate_all()
+        self._store.clear()
+        self._commit_mutation("clear",
+                              invalidated=self._iterators.invalidate_all())
 
     # -- Python interop -----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._store.length()
 
     def __iter__(self):
-        return iter(list(self._data))
+        return iter(self.to_list())
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Vector):
-            return self._data == other._data
+            return self.to_list() == other.to_list()
         return NotImplemented
 
     def __repr__(self) -> str:
-        return f"Vector({self._data!r})"
+        return f"{type(self).__name__}({self.to_list()!r})"
 
     def to_list(self) -> list[Any]:
-        return list(self._data)
+        return self._store.slice(0, self._store.length())

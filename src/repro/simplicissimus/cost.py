@@ -41,12 +41,21 @@ DEFAULT_WEIGHTS: dict[tuple[str, str], float] = {
 CALL = "<call>"
 
 
-def taxonomy_weights(n: float = 1000.0) -> dict[tuple[str, str], float]:
+def taxonomy_weights(n: float = 1000.0,
+                     io_cost_per_op: float = 0.0) -> dict[tuple[str, str], float]:
     """Per-call weights derived from the STL taxonomy's complexity
     guarantees evaluated at size ``n`` — ``find`` costs ``linear().at(n=n)``,
     ``lower_bound`` costs ``logarithmic().at(n=n)``.  This is how the
     expression-level cost model prices the *asymptotic* wins the optimizer
     finds, instead of counting every call as 1.
+
+    The price splits into cpu and io: cpu operations (``comparisons`` /
+    ``operations``) cost one unit each, and each backend round trip (the
+    ``io_ops`` guarantee) costs ``io_cost_per_op`` units.  The default of
+    zero reproduces the RAM-resident pricing exactly; passing a backend's
+    ``StorageCapabilities.io_cost_per_op`` prices calls the way the
+    backend-aware optimizer does — on a sqlite kind ``find`` costs
+    ``n * (1 + io)`` while ``indexed_find`` costs ``log n + io``.
     """
     from ..sequences.taxonomy import CONCEPT_TO_CALL, stl_taxonomy
 
@@ -56,10 +65,15 @@ def taxonomy_weights(n: float = 1000.0) -> dict[tuple[str, str], float]:
         if call is None:
             continue
         bounds = algo.all_guarantees()
-        bound = bounds.get("comparisons") or bounds.get("operations")
-        if bound is None:
+        cpu_bound = bounds.get("comparisons") or bounds.get("operations")
+        if cpu_bound is None:
             continue
-        out[(CALL, call)] = bound.at(n=n)
+        price = cpu_bound.at(n=n)
+        if io_cost_per_op > 0:
+            io_bound = bounds.get("io_ops")
+            if io_bound is not None:
+                price += io_cost_per_op * io_bound.at(n=n)
+        out[(CALL, call)] = price
     return out
 
 

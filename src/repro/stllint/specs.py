@@ -95,6 +95,22 @@ CONTAINER_SPECS: dict[str, ContainerSpec] = {
         push_back=InvalidationRule(target="keep", others="maybe"),
         push_front=InvalidationRule(target="keep", others="maybe"),
     ),
+    # Storage backends behind the Vector façade: the invalidation rules
+    # are a property of the container *interface*, not the
+    # representation, so the contiguous (array/mmap) and sqlite-backed
+    # kinds follow the vector rules verbatim.
+    "contig": ContainerSpec(
+        "contig",
+        erase=InvalidationRule(target="singular", others="maybe"),
+        insert=InvalidationRule(target="singular", others="maybe"),
+        push_back=InvalidationRule(target="keep", others="maybe"),
+    ),
+    "sqlite": ContainerSpec(
+        "sqlite",
+        erase=InvalidationRule(target="singular", others="maybe"),
+        insert=InvalidationRule(target="singular", others="maybe"),
+        push_back=InvalidationRule(target="keep", others="maybe"),
+    ),
 }
 
 #: Messages, worded as the paper reports them.
@@ -260,6 +276,30 @@ def _spec_lower_bound(ctx: AlgorithmContext) -> Any:
     )
 
 
+def _spec_indexed_find(ctx: AlgorithmContext) -> Any:
+    """indexed_find(c, value) or indexed_find(first, last, value): search
+    through a persistent backend's value index.  Entry handler checks the
+    same sortedness precondition as lower_bound — the fact that licenses
+    the optimizer's rewrite must still hold when the rewritten code is
+    re-analyzed."""
+    for it in ctx.iterator_args():
+        ctx.check_use(it)
+    c = ctx.range_container()
+    if c is None:
+        for a in ctx.args:
+            if isinstance(a, AbstractContainer):
+                c = a
+                break
+    if c is not None:
+        ctx.require(c, SORTED, MSG_UNSORTED_LOWER_BOUND)
+    if c is None:
+        return AbstractValue("indexed-find-result")
+    return AbstractIterator(
+        c, Position.UNKNOWN, Validity.VALID, c.epoch,
+        may_be_end=True, origin_line=ctx.line,
+    )
+
+
 def _spec_binary_search(ctx: AlgorithmContext) -> Any:
     for it in ctx.iterator_args():
         ctx.check_use(it)
@@ -388,6 +428,7 @@ ALGORITHM_SPECS: dict[str, AlgorithmHandler] = {
     "stable_sort": _spec_sort,
     "lower_bound": _spec_lower_bound,
     "upper_bound": _spec_lower_bound,
+    "indexed_find": _spec_indexed_find,
     "binary_search": _spec_binary_search,
     "max_element": _spec_max_element,
     "min_element": _spec_max_element,
@@ -418,6 +459,22 @@ MONO_ALGORITHM_SPELLINGS: dict[tuple[str, str], str] = {
 for _mono_key, _mono_name in MONO_ALGORITHM_SPELLINGS.items():
     ALGORITHM_SPECS[_mono_name] = ALGORITHM_SPECS[_mono_key[0]]
 del _mono_key, _mono_name
+
+
+#: Backend-optimal spellings the cost-aware pass may rewrite a generic
+#: call on a persistent container kind to, keyed by (algorithm, kind).
+#: Like the monomorphized spellings, each aliases the base algorithm's
+#: semantic specification where the container effects are identical —
+#: ``backend_sort`` still establishes SORTED, so a verified rewrite keeps
+#: the facts every downstream selection relied on.  ``indexed_find`` is
+#: NOT an alias: it acquires lower_bound's sortedness *pre*condition
+#: (spec above), which the verify re-lint then actually checks.
+BACKEND_ALGORITHM_SPELLINGS: dict[tuple[str, str], str] = {
+    ("find", "sqlite"): "indexed_find",
+    ("sort", "sqlite"): "backend_sort",
+}
+
+ALGORITHM_SPECS["backend_sort"] = ALGORITHM_SPECS["sort"]
 
 
 def register_algorithm_spec(
