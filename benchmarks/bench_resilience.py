@@ -17,13 +17,27 @@ Standalone mode (CI chaos-smoke job)::
 
 writes ``benchmarks/out/resilience.json`` and exits nonzero if any run
 misses its decision or exhausts a retry budget.
+
+Scaling mode (CI bench-smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --quick --scale
+
+runs the replicated log over a processes x loss x partition-count grid,
+re-asserts the acceptance scenario (commits preserved under a seeded
+partition->heal->churn plan at loss 0.3), and checks that a
+1000-process run under the sharded event loop is bit-identical to the
+serial loop on the same seed.  Writes
+``benchmarks/out/resilience_scale.json``; exits nonzero on any
+violation.
 """
 
 import json
 import pathlib
+import time
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 OUT_JSON = OUT_DIR / "resilience.json"
+SCALE_JSON = OUT_DIR / "resilience_scale.json"
 
 LOSS_GRID = (0.0, 0.1, 0.3, 0.5)
 
@@ -103,8 +117,214 @@ def _render(m: dict) -> str:
 
 
 # ---------------------------------------------------------------------------
+# scaling mode: replicated log across processes x loss x partitions
+# ---------------------------------------------------------------------------
+
+
+def _acceptance_plan():
+    """The ISSUE acceptance fault schedule: partition -> heal -> churn
+    with state loss, all at loss probability 0.3, seeded."""
+    from repro.distributed import FailurePlan, heal, partition
+
+    plan = FailurePlan(loss_probability=0.3, seed=7,
+                       churn={4: [(40.0, 70.0)]})
+    plan = partition(10.0, [{0, 1, 2}, {3, 4}], plan=plan)
+    return heal(35.0, plan=plan)
+
+
+def _measure_acceptance() -> dict:
+    """Replicated log at loss 0.3 under partition->heal->churn: every
+    replica — including the churned one that lost all state — must end
+    on the full committed command set, and no applied prefix may be
+    lost from any final state."""
+    from repro.distributed.algorithms.replog import (
+        record_run,
+        run_replicated_log,
+    )
+
+    m = run_replicated_log(
+        5, {0: ["a", "b", "c"], 3: ["x"]}, failures=_acceptance_plan(),
+        seed=2, heartbeat_interval=4.0, max_time=5000,
+        on_limit="truncate")
+    rec = record_run(m, 5)
+    expected = set(rec.expected_commands())
+    finals = rec.final_prefixes()
+    committed_preserved = all(
+        any(f[: len(p)] == p for f in finals)
+        for p in rec.applied_prefixes()
+    )
+    ok = (
+        not m.truncated
+        and len(m.decisions) == 5
+        and all(set(p) == expected for p in m.decisions.values())
+        and committed_preserved
+        and m.recoveries == 1
+    )
+    return {
+        "ok": ok,
+        "decided": len(m.decisions),
+        "committed_preserved": committed_preserved,
+        "log_commits": m.log_commits,
+        "elections_started": m.elections_started,
+        "term_changes": m.term_changes,
+        "partition_drops": m.partition_drops,
+        "partition_retx": m.partition_retx,
+        "recoveries": m.recoveries,
+        "recovery_replays": m.recovery_replays,
+        "finish_time": m.finish_time,
+    }
+
+
+def _scale_row(n: int, loss: float, parts: int, shards: int) -> dict:
+    """One curve point: an n-replica log at the given loss rate, split
+    into ``parts`` groups (healing mid-run) when parts > 1."""
+    from repro.distributed import FailurePlan, heal, partition
+    from repro.distributed.algorithms.replog import run_replicated_log
+
+    plan = FailurePlan(loss_probability=loss, seed=11) \
+        if loss or parts > 1 else None
+    if parts > 1:
+        # Contiguous split; the first group keeps a quorum.
+        cut = n // 2 + 1
+        plan = partition(10.0, [set(range(cut)), set(range(cut, n))],
+                         plan=plan)
+        plan = heal(30.0, plan=plan)
+    t0 = time.perf_counter()
+    m = run_replicated_log(
+        n, {0: ["a", "b"], 1: ["z"]}, failures=plan, seed=3,
+        shards=shards if shards > 1 else None,
+        max_time=5000, on_limit="truncate")
+    wall = time.perf_counter() - t0
+    expected = set(m.expected_commands)
+    ok = (
+        not m.truncated
+        and len(m.decisions) == n
+        and all(set(p) == expected for p in m.decisions.values())
+    )
+    return {
+        "processes": n,
+        "loss": loss,
+        "partitions": parts,
+        "shards": shards,
+        "ok": ok,
+        "messages": m.messages_sent,
+        "elections_started": m.elections_started,
+        "term_changes": m.term_changes,
+        "partition_retx": m.partition_retx,
+        "finish_time": m.finish_time,
+        "wall_s": round(wall, 3),
+    }
+
+
+def _measure_scale(quick: bool, big_n: int = 1000,
+                   shards: int = 8) -> dict:
+    """The --scale payload: acceptance scenario, scaling curve, and the
+    big-run serial-vs-sharded bit-identity check."""
+    from repro.distributed import FailurePlan
+    from repro.distributed.algorithms.replog import run_replicated_log
+
+    acceptance = _measure_acceptance()
+
+    n_grid = (16, 64) if quick else (16, 64, 256)
+    rows = [
+        _scale_row(n, loss, parts, shards=shards if n >= 64 else 1)
+        for n in n_grid
+        for loss in (0.0, 0.1)
+        for parts in (1, 2)
+    ]
+
+    # The headline: a big run completes under the sharded loop and its
+    # RunMetrics are bit-identical to the serial loop on the same seed.
+    # A wide election-timeout spread keeps 1000 replicas from sounding
+    # out candidacies in lockstep; the first timer to fire wins.
+    big_kwargs = dict(
+        proposals={0: ["a", "b"], 1: ["z"]},
+        failures=FailurePlan(loss_probability=0.05, seed=11),
+        seed=3, max_time=5000, on_limit="truncate",
+        election_timeout=(8.0, 64.0),
+    )
+    t0 = time.perf_counter()
+    serial = run_replicated_log(big_n, **big_kwargs)
+    serial_wall = time.perf_counter() - t0
+    big_kwargs["failures"] = FailurePlan(loss_probability=0.05, seed=11)
+    t0 = time.perf_counter()
+    sharded = run_replicated_log(big_n, shards=shards, **big_kwargs)
+    sharded_wall = time.perf_counter() - t0
+    bit_identical = serial.as_comparable() == sharded.as_comparable()
+    big = {
+        "processes": big_n,
+        "shards": shards,
+        "decided": len(sharded.decisions),
+        "messages": sharded.messages_sent,
+        "bit_identical": bit_identical,
+        "serial_wall_s": round(serial_wall, 3),
+        "sharded_wall_s": round(sharded_wall, 3),
+        "ok": bit_identical and len(sharded.decisions) == big_n
+        and not sharded.truncated,
+    }
+
+    return {
+        "acceptance": acceptance,
+        "curve": rows,
+        "big_run": big,
+        "ok": acceptance["ok"] and all(r["ok"] for r in rows)
+        and big["ok"],
+    }
+
+
+def _render_scale(m: dict) -> str:
+    lines = [
+        "acceptance (n=5, loss 0.3, partition->heal->churn): "
+        f"ok={m['acceptance']['ok']} "
+        f"commits={m['acceptance']['log_commits']} "
+        f"replays={m['acceptance']['recovery_replays']}",
+        f"{'n':>6s} {'loss':>5s} {'parts':>5s} {'shards':>6s} "
+        f"{'msgs':>8s} {'elect':>5s} {'wall s':>7s} {'ok':>3s}",
+    ]
+    for r in m["curve"]:
+        lines.append(
+            f"{r['processes']:>6d} {r['loss']:>5.2f} "
+            f"{r['partitions']:>5d} {r['shards']:>6d} "
+            f"{r['messages']:>8d} {r['elections_started']:>5d} "
+            f"{r['wall_s']:>7.2f} {str(r['ok']):>3s}")
+    b = m["big_run"]
+    lines.append(
+        f"big run n={b['processes']}: decided={b['decided']} "
+        f"msgs={b['messages']} serial={b['serial_wall_s']}s "
+        f"sharded({b['shards']})={b['sharded_wall_s']}s "
+        f"bit-identical={b['bit_identical']}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # pytest entry points
 # ---------------------------------------------------------------------------
+
+
+def test_replicated_log_acceptance_scenario(record):
+    m = _measure_acceptance()
+    record("resilience-acceptance",
+           "replicated log, loss 0.3 partition->heal->churn: "
+           f"ok={m['ok']} commits={m['log_commits']} "
+           f"partition_retx={m['partition_retx']} "
+           f"replays={m['recovery_replays']}")
+    assert m["ok"], m
+    assert m["committed_preserved"]
+
+
+def test_scale_curve_small(record):
+    # The 1000-process bit-identity run lives in standalone --scale
+    # mode (CI bench-smoke); under pytest only the small curve runs.
+    rows = [
+        _scale_row(n, loss, parts, shards=4 if n >= 64 else 1)
+        for n in (16, 64)
+        for loss in (0.0, 0.1)
+        for parts in (1, 2)
+    ]
+    record("resilience-scale", "\n".join(
+        f"n={r['processes']} loss={r['loss']} parts={r['partitions']} "
+        f"msgs={r['messages']} ok={r['ok']}" for r in rows))
+    assert all(r["ok"] for r in rows), [r for r in rows if not r["ok"]]
 
 
 def test_reliability_is_correct_at_every_loss_rate(record):
@@ -129,19 +349,34 @@ def main(argv=None) -> int:
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
-                        help="fewer seeds (CI smoke mode)")
-    parser.add_argument("--json", type=pathlib.Path, default=OUT_JSON,
-                        help=f"summary JSON output path (default {OUT_JSON})")
+                        help="fewer seeds / smaller curve (CI smoke mode)")
+    parser.add_argument("--scale", action="store_true",
+                        help="replicated-log scaling mode: processes x "
+                             "loss x partition curve, acceptance scenario "
+                             "at loss 0.3, and 1000-process sharded-vs-"
+                             "serial bit-identity")
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help=f"summary JSON output path (default {OUT_JSON}"
+                             f", or {SCALE_JSON} with --scale)")
     args = parser.parse_args(argv)
 
-    m = _measure(seeds=range(2 if args.quick else 10))
-    print(_render(m))
-    args.json.parent.mkdir(parents=True, exist_ok=True)
-    args.json.write_text(json.dumps(m, indent=2) + "\n")
-    print(f"summary written to {args.json}")
+    if args.scale:
+        m = _measure_scale(quick=args.quick)
+        print(_render_scale(m))
+        out = args.json if args.json is not None else SCALE_JSON
+        fail_msg = ("FAIL: a replicated-log run lost a commit, missed a "
+                    "decision, or the sharded loop diverged from serial")
+    else:
+        m = _measure(seeds=range(2 if args.quick else 10))
+        print(_render(m))
+        out = args.json if args.json is not None else OUT_JSON
+        fail_msg = ("FAIL: a reliable run missed its decision, exhausted "
+                    "its retry budget, or broke the retx-vs-loss shape")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(m, indent=2) + "\n")
+    print(f"summary written to {out}")
     if not m["ok"]:
-        print("FAIL: a reliable run missed its decision, exhausted its "
-              "retry budget, or broke the retx-vs-loss shape")
+        print(fail_msg)
         return 1
     return 0
 

@@ -4,7 +4,16 @@ injection, local-computation accounting, classic algorithms, and the
 seven-dimension concept taxonomy."""
 
 from .core import Context, Message, Process
-from .failures import FailurePlan, byzantine_lying_id, crash
+from .failures import (
+    FailurePlan,
+    FailurePlanError,
+    PartitionEvent,
+    byzantine_lying_id,
+    churn,
+    crash,
+    heal,
+    partition,
+)
 from .metrics import RunMetrics
 from .network import (
     Arbitrary,
@@ -25,6 +34,13 @@ from .reliable import (
     run_floodset_reliable,
     wrap_reliable,
 )
+from .algorithms.replog import (
+    ReplicatedLog,
+    ReplicatedLogRecord,
+    record_run,
+    run_replicated_log,
+)
+from .sharded import ShardedSimulator
 from .simulator import SimulationError, Simulator, run_algorithm
 from .taxonomy import (
     DIMENSIONS,
@@ -39,13 +55,16 @@ from . import algorithms
 
 __all__ = [
     "Context", "Message", "Process",
-    "FailurePlan", "crash", "byzantine_lying_id",
+    "FailurePlan", "FailurePlanError", "PartitionEvent",
+    "crash", "churn", "partition", "heal", "byzantine_lying_id",
     "RunMetrics",
     "Topology", "Ring", "Complete", "Star", "Line", "Tree", "Grid",
     "Arbitrary", "random_connected",
-    "Simulator", "SimulationError", "run_algorithm",
+    "Simulator", "ShardedSimulator", "SimulationError", "run_algorithm",
     "ReliableChannel", "ReliableProcess", "ResilientFloodSet",
     "wrap_reliable", "run_echo_reliable", "run_floodset_reliable",
+    "ReplicatedLog", "ReplicatedLogRecord", "record_run",
+    "run_replicated_log",
     "TimingModel", "Synchronous", "Asynchronous", "PartiallySynchronous",
     "DIMENSIONS", "Classification", "DistributedTaxonomy", "TaxonomyEntry",
     "refines", "standard_taxonomy",

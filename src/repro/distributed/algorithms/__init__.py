@@ -16,6 +16,12 @@ from .floodset import FloodSet, run_floodset
 from .itai_rodeh import ItaiRodeh, run_itai_rodeh
 from .dynamic_tree import DynamicSpanningTree, run_dynamic_spanning_tree
 from .token_ring import TokenRing, run_token_ring
+from .replog import (
+    ReplicatedLog,
+    ReplicatedLogRecord,
+    record_run,
+    run_replicated_log,
+)
 
 __all__ = [
     "ChangRoberts", "run_chang_roberts", "worst_case_ids", "best_case_ids",
@@ -28,4 +34,6 @@ __all__ = [
     "ItaiRodeh", "run_itai_rodeh",
     "DynamicSpanningTree", "run_dynamic_spanning_tree",
     "TokenRing", "run_token_ring",
+    "ReplicatedLog", "ReplicatedLogRecord", "record_run",
+    "run_replicated_log",
 ]

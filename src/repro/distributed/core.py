@@ -106,5 +106,14 @@ class Process:
         """Called at the start of each round under synchronous timing
         (optional)."""
 
+    def on_recover(self, ctx: Context) -> None:
+        """Called when the simulator revives this process after a churn
+        downtime.  By then the simulator has already rolled the instance
+        back to its construction-time state (state loss); the default
+        models a reboot by replaying ``on_start``.  Timers armed before
+        the crash may still fire afterwards — handlers must tolerate
+        stale self-messages (the reliable transport's do)."""
+        self.on_start(ctx)
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} rank={self.rank}>"

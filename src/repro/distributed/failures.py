@@ -5,18 +5,69 @@ failures while some can tolerate particular kinds of failures.  Further
 refining this concept leads to Byzantine and non-Byzantine failures of
 nodes and links."
 
-A :class:`FailurePlan` tells the simulator which processes crash (and
-when), which behave Byzantine (how their outgoing payloads are corrupted),
-and which links drop messages.
+A :class:`FailurePlan` is a schedulable fault DSL the simulator consults:
+
+- **crashes** — permanent crash-stop times per rank;
+- **churn** — crash-*recovery* intervals per rank (the process is down for
+  ``[down, up)`` and comes back with **state loss**: the simulator restores
+  its construction-time state and replays ``on_recover``);
+- **partitions** — timed :class:`PartitionEvent`\\ s splitting the ranks
+  into groups; cross-group traffic is dropped *deterministically* (no RNG
+  sample is consumed, so adding a partition never perturbs the loss
+  stream of an existing seed).  A ``heal`` is the event with no groups;
+- **byzantine** payload corruption, **dead links**, scalar and per-link
+  **loss** — as before, bit-identical for plans that use no new fields.
+
+Plans *validate* (:meth:`FailurePlan.validate`) and *compose*
+(:meth:`FailurePlan.compose`), so a loss plan, a partition schedule, and
+a churn schedule written separately combine into one run's fault model.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from .core import Message
+
+
+class FailurePlanError(ValueError):
+    """An ill-formed failure plan (overlapping churn intervals,
+    non-disjoint partition groups, unordered events, ...)."""
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """At time ``at`` the network splits into ``groups`` (a heal when
+    ``groups`` is None): each group is a frozenset of ranks, ranks listed
+    in no group form one implicit remainder group."""
+
+    at: float
+    groups: Optional[tuple[frozenset, ...]] = None
+
+    @property
+    def is_heal(self) -> bool:
+        return self.groups is None
+
+
+def _normalize_groups(
+    groups: Optional[Iterable[Iterable[int]]],
+) -> Optional[tuple[frozenset, ...]]:
+    if groups is None:
+        return None
+    out = tuple(frozenset(g) for g in groups)
+    seen: set[int] = set()
+    for g in out:
+        if not g:
+            raise FailurePlanError("empty partition group")
+        if seen & g:
+            raise FailurePlanError(
+                f"partition groups are not disjoint: rank(s) "
+                f"{sorted(seen & g)} appear twice"
+            )
+        seen |= g
+    return out
 
 
 @dataclass
@@ -35,6 +86,11 @@ class FailurePlan:
     #: ``(min, max)`` normalized); a link's entry overrides the scalar
     #: ``loss_probability`` for traffic on that link only.
     link_loss: dict[tuple[int, int], float] = field(default_factory=dict)
+    #: timed partition/heal schedule, consulted deterministically.
+    partitions: list[PartitionEvent] = field(default_factory=list)
+    #: rank -> sorted, non-overlapping ``(down, up)`` downtime intervals;
+    #: at ``up`` the process recovers with state loss.
+    churn: dict[int, list[tuple[float, float]]] = field(default_factory=dict)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -42,15 +98,145 @@ class FailurePlan:
         self.link_loss = {
             (min(u, v), max(u, v)): p for (u, v), p in self.link_loss.items()
         }
+        self.partitions = [
+            e if isinstance(e, PartitionEvent)
+            else PartitionEvent(e[0], _normalize_groups(e[1]))
+            for e in self.partitions
+        ]
+        self.validate()
+
+    # -- validation / composition ---------------------------------------------
+
+    def validate(self) -> "FailurePlan":
+        """Raise :class:`FailurePlanError` on an ill-formed schedule;
+        returns self so construction pipelines can chain."""
+        for e in self.partitions:
+            _normalize_groups(e.groups)  # disjointness / non-emptiness
+        at = None
+        for e in sorted(self.partitions, key=lambda e: e.at):
+            if at is not None and e.at == at:
+                raise FailurePlanError(
+                    f"two partition events at the same time {e.at}"
+                )
+            at = e.at
+        self.partitions.sort(key=lambda e: e.at)
+        for rank, intervals in self.churn.items():
+            intervals.sort()
+            prev_up = None
+            for down, up in intervals:
+                if not down < up:
+                    raise FailurePlanError(
+                        f"churn interval for rank {rank} must have "
+                        f"down < up, got [{down}, {up})"
+                    )
+                if prev_up is not None and down < prev_up:
+                    raise FailurePlanError(
+                        f"overlapping churn intervals for rank {rank}"
+                    )
+                prev_up = up
+            t = self.crashes.get(rank)
+            if t is not None and intervals and intervals[-1][1] > t:
+                raise FailurePlanError(
+                    f"rank {rank} recovers at {intervals[-1][1]} after its "
+                    f"permanent crash at {t}"
+                )
+        for p in list(self.link_loss.values()) + [self.loss_probability]:
+            if not 0.0 <= p <= 1.0:
+                raise FailurePlanError(f"loss probability {p} outside [0, 1]")
+        return self
+
+    def compose(self, other: "FailurePlan") -> "FailurePlan":
+        """Merge two plans into a new one (the RNG seed is taken from
+        ``self``).  Crashes take the earlier time, loss takes the max
+        (scalar and per-link), dead links and churn union, partition
+        schedules concatenate; a byzantine rank in both plans is an error.
+        """
+        overlap = set(self.byzantine) & set(other.byzantine)
+        if overlap:
+            raise FailurePlanError(
+                f"both plans corrupt rank(s) {sorted(overlap)}; compose "
+                f"cannot pick one"
+            )
+        crashes = dict(self.crashes)
+        for r, t in other.crashes.items():
+            crashes[r] = min(t, crashes[r]) if r in crashes else t
+        link_loss = dict(self.link_loss)
+        for k, p in other.link_loss.items():
+            link_loss[k] = max(p, link_loss.get(k, 0.0))
+        churn: dict[int, list[tuple[float, float]]] = {
+            r: list(iv) for r, iv in self.churn.items()
+        }
+        for r, iv in other.churn.items():
+            churn.setdefault(r, []).extend(iv)
+        return FailurePlan(
+            crashes=crashes,
+            byzantine={**self.byzantine, **other.byzantine},
+            dead_links=self.dead_links | other.dead_links,
+            loss_probability=max(self.loss_probability,
+                                 other.loss_probability),
+            link_loss=link_loss,
+            partitions=list(self.partitions) + list(other.partitions),
+            churn=churn,
+            seed=self.seed,
+        )
 
     # -- queries used by the simulator ---------------------------------------
 
     def crashed(self, rank: int, now: float) -> bool:
+        """Is ``rank`` down at ``now``?  True from a permanent crash time
+        onward and inside every churn ``[down, up)`` interval."""
         t = self.crashes.get(rank)
-        return t is not None and now >= t
+        if t is not None and now >= t:
+            return True
+        for down, up in self.churn.get(rank, ()):
+            if down <= now < up:
+                return True
+        return False
+
+    def recoveries(self) -> list[tuple[float, int]]:
+        """Every ``(up_time, rank)`` at which a churned process comes back
+        (sorted) — the simulator schedules a recovery event for each."""
+        out = [
+            (up, rank)
+            for rank, intervals in self.churn.items()
+            for _down, up in intervals
+        ]
+        out.sort()
+        return out
+
+    def partition_groups(
+        self, now: float
+    ) -> Optional[tuple[frozenset, ...]]:
+        """The partition in force at ``now`` (None when fully connected)."""
+        active: Optional[tuple[frozenset, ...]] = None
+        for e in self.partitions:
+            if e.at > now:
+                break
+            active = e.groups
+        return active
+
+    def partitioned(self, u: int, v: int, now: float) -> bool:
+        """Does the active partition separate ``u`` and ``v``?  Purely
+        deterministic — consumes no RNG sample."""
+        groups = self.partition_groups(now)
+        if groups is None or u == v:
+            return False
+        gu = gv = None
+        for i, g in enumerate(groups):
+            if u in g:
+                gu = i
+            if v in g:
+                gv = i
+        # Unlisted ranks share the implicit remainder group (None == None).
+        return gu != gv
 
     def link_dead(self, u: int, v: int) -> bool:
         return (min(u, v), max(u, v)) in self.dead_links
+
+    def blocked(self, u: int, v: int, now: float) -> bool:
+        """Deterministically unreachable right now: dead link or active
+        partition between the endpoints."""
+        return self.link_dead(u, v) or self.partitioned(u, v, now)
 
     def drops(self, src: Optional[int] = None,
               dst: Optional[int] = None) -> bool:
@@ -58,10 +244,19 @@ class FailurePlan:
 
         The per-link table is consulted only when it is non-empty and the
         endpoints are known, so plans without ``link_loss`` consume RNG
-        samples exactly as before — same seed, same dropped indices.
+        samples exactly as before — same seed, same dropped indices.  A
+        caller that holds a per-link plan but cannot name the link would
+        silently fall back to the scalar rate and desynchronize the RNG
+        stream from endpoint-aware callers; that is an error, not a
+        default.
         """
         p = self.loss_probability
-        if self.link_loss and src is not None and dst is not None:
+        if self.link_loss:
+            if src is None or dst is None:
+                raise FailurePlanError(
+                    "plan has per-link loss but the caller did not "
+                    "identify the link (src/dst required)"
+                )
             p = self.link_loss.get(
                 (min(src, dst), max(src, dst)), p
             )
@@ -80,6 +275,8 @@ class FailurePlan:
             and not self.byzantine
             and not self.dead_links
             and not self.link_loss
+            and not self.partitions
+            and not self.churn
             and self.loss_probability == 0
         )
 
@@ -89,6 +286,30 @@ def crash(rank: int, at: float = 0.0, plan: Optional[FailurePlan] = None) -> Fai
     plan = plan or FailurePlan()
     plan.crashes[rank] = at
     return plan
+
+
+def churn(rank: int, down_at: float, up_at: float,
+          plan: Optional[FailurePlan] = None) -> FailurePlan:
+    """Convenience: ``rank`` crashes at ``down_at`` and recovers (with
+    state loss) at ``up_at``."""
+    plan = plan or FailurePlan()
+    plan.churn.setdefault(rank, []).append((down_at, up_at))
+    return plan.validate()
+
+
+def partition(at: float, groups: Sequence[Iterable[int]],
+              plan: Optional[FailurePlan] = None) -> FailurePlan:
+    """Convenience: split the network into ``groups`` at time ``at``."""
+    plan = plan or FailurePlan()
+    plan.partitions.append(PartitionEvent(at, _normalize_groups(groups)))
+    return plan.validate()
+
+
+def heal(at: float, plan: Optional[FailurePlan] = None) -> FailurePlan:
+    """Convenience: dissolve any partition at time ``at``."""
+    plan = plan or FailurePlan()
+    plan.partitions.append(PartitionEvent(at, None))
+    return plan.validate()
 
 
 def byzantine_lying_id(rank: int, fake_id: int,

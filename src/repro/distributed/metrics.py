@@ -38,6 +38,23 @@ class RunMetrics:
     acks_sent: int = 0
     retries_gave_up: int = 0
     fd_suspicions: int = 0
+    #: Partition/churn accounting: messages deterministically dropped by
+    #: an active partition, retransmissions attempted across an active
+    #: partition, processes recovered from churn, and leader-driven log
+    #: replays after a follower lost state (next_index rollbacks).
+    partition_drops: int = 0
+    partition_retx: int = 0
+    recoveries: int = 0
+    recovery_replays: int = 0
+    #: Replicated-log accounting: elections started, term adoptions,
+    #: entries newly committed at a leader, every leadership assumption
+    #: (term, rank), and the applied-prefix history
+    #: (time, rank, applied-commands tuple) the safety axioms check.
+    elections_started: int = 0
+    term_changes: int = 0
+    log_commits: int = 0
+    leadership_events: list = field(default_factory=list)
+    commit_history: list = field(default_factory=list)
     #: True when the run was cut off by ``max_time``/``max_messages``
     #: rather than reaching quiescence — a truncated run is NOT a
     #: completed one, and every consumer can (and should) tell them apart.
@@ -80,6 +97,50 @@ class RunMetrics:
                 f"dups={self.duplicates_suppressed} acks={self.acks_sent} "
                 f"gave-up={self.retries_gave_up}]"
             )
+        if self.partition_drops or self.recoveries:
+            out += (
+                f" faults[part-drops={self.partition_drops} "
+                f"part-retx={self.partition_retx} "
+                f"recoveries={self.recoveries}]"
+            )
+        if self.elections_started or self.log_commits:
+            out += (
+                f" replog[elections={self.elections_started} "
+                f"terms={self.term_changes} commits={self.log_commits} "
+                f"replays={self.recovery_replays}]"
+            )
         if self.truncated:
             out += f" TRUNCATED[{self.truncation_reason}]"
         return out
+
+    def as_comparable(self) -> dict:
+        """Every field as plain data — the bit-identity oracle the sharded
+        event loop is held to (``sharded.as_comparable() ==
+        serial.as_comparable()`` on the same seed)."""
+        return {
+            "n": self.n,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "per_process_sent": dict(self.per_process_sent),
+            "local_computation": dict(self.local_computation),
+            "decisions": dict(self.decisions),
+            "finish_time": self.finish_time,
+            "rounds": self.rounds,
+            "retransmissions": self.retransmissions,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "acks_sent": self.acks_sent,
+            "retries_gave_up": self.retries_gave_up,
+            "fd_suspicions": self.fd_suspicions,
+            "partition_drops": self.partition_drops,
+            "partition_retx": self.partition_retx,
+            "recoveries": self.recoveries,
+            "recovery_replays": self.recovery_replays,
+            "elections_started": self.elections_started,
+            "term_changes": self.term_changes,
+            "log_commits": self.log_commits,
+            "leadership_events": list(self.leadership_events),
+            "commit_history": list(self.commit_history),
+            "truncated": self.truncated,
+            "truncation_reason": self.truncation_reason,
+        }

@@ -142,6 +142,10 @@ class ReliableChannel:
         entry[0] = attempt
         entry[3] = spent + delay
         ctx.metrics.retransmissions += 1
+        if ctx._sim.failures.partitioned(self.rank, dst, ctx.now):
+            # A retransmission burned on traffic the active partition is
+            # going to drop — the cost of healing visible as a counter.
+            ctx.metrics.partition_retx += 1
         tr = _trace.ACTIVE
         if tr is not None:
             tr.event("resilience.retry", cat="resilience", src=self.rank,

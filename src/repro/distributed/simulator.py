@@ -8,6 +8,7 @@ timing, integer time boundaries are rounds and ``on_round`` hooks fire.
 
 from __future__ import annotations
 
+import copy
 import heapq
 import math
 from typing import Any, Callable, Optional, Sequence, Type
@@ -82,6 +83,9 @@ class Simulator:
         self._pending_spawns: list[tuple[float, Process, list[int]]] = []
         #: First limit breached (set by _send, consumed by the run loop).
         self._breach: Optional[str] = None
+        #: rank -> construction-time state snapshot, taken before on_start
+        #: for every churned rank (recovery = restore + on_recover).
+        self._churn_snapshots: dict[int, dict] = {}
 
     # -- internal API used by Context ----------------------------------------
 
@@ -101,8 +105,25 @@ class Simulator:
                     f"runaway algorithm?)"
                 )
             return
-        if self.failures.link_dead(msg.src, msg.dst) \
-                or self.failures.drops(msg.src, msg.dst):
+        # Deterministic blocks (dead link, active partition) are checked
+        # before the seeded loss draw, so plans without the new fields
+        # consume RNG samples exactly as before.
+        if self.failures.link_dead(msg.src, msg.dst):
+            self.metrics.messages_dropped += 1
+            tr = self._tracer
+            if tr is not None:
+                tr.event("sim.drop", cat="sim", src=msg.src, dst=msg.dst,
+                         tag=msg.tag, t=self.now)
+            return
+        if self.failures.partitioned(msg.src, msg.dst, self.now):
+            self.metrics.messages_dropped += 1
+            self.metrics.partition_drops += 1
+            tr = self._tracer
+            if tr is not None:
+                tr.event("sim.drop", cat="sim", src=msg.src, dst=msg.dst,
+                         tag=msg.tag, t=self.now, reason="partition")
+            return
+        if self.failures.drops(msg.src, msg.dst):
             self.metrics.messages_dropped += 1
             tr = self._tracer
             if tr is not None:
@@ -205,7 +226,38 @@ class Simulator:
             sp.set("truncated", metrics.truncated)
         return metrics
 
+    def _recover(self, rank: int) -> None:
+        """Revive a churned process: state rolls back to the construction
+        snapshot (state loss), then ``on_recover`` replays its boot."""
+        snapshot = self._churn_snapshots.get(rank)
+        if snapshot is not None:
+            proc = self.processes[rank]
+            proc.__dict__.clear()
+            proc.__dict__.update(copy.deepcopy(snapshot))
+        self._halted.discard(rank)
+        self.metrics.recoveries += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.event("sim.recover", cat="sim", rank=rank, t=self.now)
+        self.processes[rank].on_recover(self._context(rank))
+
+    def _schedule_churn(self) -> None:
+        """Snapshot churned processes and queue their recovery events."""
+        for rank in self.failures.churn:
+            if not 0 <= rank < len(self.processes):
+                raise SimulationError(
+                    f"churn plan names rank {rank}, but only "
+                    f"{len(self.processes)} processes exist"
+                )
+            self._churn_snapshots[rank] = copy.deepcopy(
+                self.processes[rank].__dict__)
+        for up, rank in self.failures.recoveries():
+            heapq.heappush(
+                self._queue, (up, self._seq, Message(-1, rank, "__recover__")))
+            self._seq += 1
+
     def _run(self) -> RunMetrics:
+        self._schedule_churn()
         # Start every live process.
         for p in self.processes:
             if not self.failures.crashed(p.rank, 0.0):
@@ -227,6 +279,9 @@ class Simulator:
             self.now = t
             if msg.tag == "__spawn__" and msg.dst == -1:
                 self._run_due_spawns(t)
+                continue
+            if msg.tag == "__recover__" and msg.src == -1:
+                self._recover(msg.dst)
                 continue
             self._deliver(msg)
         if self._breach is not None:

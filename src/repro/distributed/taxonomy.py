@@ -33,6 +33,7 @@ DIMENSIONS: dict[str, dict[str, Optional[str]]] = {
         "spanning tree": "any",
         "mutual exclusion": "any",
         "consensus": "any",
+        "replication": "consensus",
     },
     "topology": {
         "arbitrary": None,
@@ -45,8 +46,9 @@ DIMENSIONS: dict[str, dict[str, Optional[str]]] = {
         "grid": "arbitrary",
     },
     "failures": {
-        "byzantine": None,          # tolerates the most
-        "crash": "byzantine",       # a crash-tolerant alg tolerates less
+        "byzantine": None,           # tolerates the most
+        "crash-recovery": "byzantine",  # crash + rejoin with state loss
+        "crash": "crash-recovery",   # crash-stop tolerates less
         "none": "crash",
     },
     "communication": {
@@ -228,9 +230,11 @@ def standard_taxonomy() -> DistributedTaxonomy:
         run_echo,
         run_flooding,
         run_hirschberg_sinclair,
+        run_replicated_log,
         run_spanning_tree,
         run_token_ring,
     )
+    from .reliable import run_floodset_reliable
 
     t = DistributedTaxonomy()
     t.register(TaxonomyEntry(
@@ -325,6 +329,30 @@ def standard_taxonomy() -> DistributedTaxonomy:
         implementation=run_dynamic_spanning_tree,
         doc="Spanning tree that admits dynamically joining nodes — the "
             "'dynamic' value of the process-management dimension.",
+    ))
+    t.register(TaxonomyEntry(
+        "resilient-floodset",
+        Classification("consensus", "complete", "crash",
+                       "message passing", "compositional",
+                       "partially synchronous", "static"),
+        guarantees={"messages": parse("f n^2"), "time": parse("f"),
+                    "local computation": parse("f n^2")},
+        implementation=run_floodset_reliable,
+        doc="FloodSet composed over the reliable transport: survives lossy "
+            "links (retransmission) without a synchronous network.",
+    ))
+    t.register(TaxonomyEntry(
+        "raft-replicated-log",
+        Classification("replication", "complete", "crash-recovery",
+                       "message passing", "heart beat",
+                       "partially synchronous", "static"),
+        guarantees={"messages": parse("f n"), "time": parse("f"),
+                    "local computation": parse("f n")},
+        implementation=run_replicated_log,
+        doc="Leader election + quorum-committed log (Raft-style terms and "
+            "heartbeats) over the reliable transport's failure detector; "
+            "tolerates partitions, healing, and node churn with state "
+            "loss — the 'crash-recovery' and 'replication' refinements.",
     ))
     t.register(TaxonomyEntry(
         "token-ring",

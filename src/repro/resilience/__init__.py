@@ -25,10 +25,12 @@ from .policy import (
 )
 from .concepts import (
     BackoffStrategy,
+    ReplicatedLogSafety,
     RetryableOperation,
     backoff_archetype,
     check_backoff_laws,
     register_models,
+    register_replicated_log_models,
 )
 from .runner import IsolatedFailure, call_with_policy, isolated
 
@@ -37,7 +39,8 @@ __all__ = [
     "RetryPolicy", "Deadline", "ManualClock", "CircuitBreaker",
     "ResilienceError", "DeadlineExceeded", "RetryBudgetExhausted",
     "CircuitOpenError",
-    "BackoffStrategy", "RetryableOperation",
+    "BackoffStrategy", "RetryableOperation", "ReplicatedLogSafety",
     "check_backoff_laws", "backoff_archetype", "register_models",
+    "register_replicated_log_models",
     "call_with_policy", "isolated", "IsolatedFailure",
 ]

@@ -18,6 +18,14 @@ Laws:
 - ``RetryableOperation``: a policy's attempts are finite and its
   cumulative backoff never exceeds the declared ``max_total_delay``
   (bounded total budget).
+- ``ReplicatedLogSafety``: the Raft-style safety laws over one run's
+  :class:`~repro.distributed.algorithms.replog.ReplicatedLogRecord` —
+  at most one leader per term (election safety), every pair of applied
+  prefixes ordered by the prefix relation (state-machine safety), no
+  committed entry ever lost across partition/heal/churn (durability),
+  and, at quiescence, every proposed command applied everywhere
+  (completeness).  Checked over seeded simulation runs that actually
+  partition, heal, and churn the network.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from .policy import Backoff, ConstantBackoff, ExponentialBackoff, RetryPolicy
 
 S = Param("S")
 P = Param("P")
+R = Param("R")
 
 #: Attempt indices the axiom sampler exercises (small indices catch the
 #: off-by-one regimes: first retry, pre-cap growth, at-cap saturation).
@@ -83,6 +92,121 @@ RetryableOperation = Concept(
     doc="An operation retried under a policy: finitely many attempts, "
         "cumulative backoff inside a declared budget.",
 )
+
+
+def _is_prefix(a: tuple, b: tuple) -> bool:
+    return len(a) <= len(b) and b[: len(a)] == a
+
+
+def _pairwise_prefix_ordered(prefixes: Sequence[tuple]) -> bool:
+    ordered = sorted(set(prefixes), key=len)
+    return all(
+        _is_prefix(ordered[i], ordered[i + 1])
+        for i in range(len(ordered) - 1)
+    )
+
+
+ReplicatedLogSafety = Concept(
+    "ReplicatedLogSafety",
+    params=("R",),
+    requirements=[
+        method("r.quorum()", "quorum", [R], Exact(int)),
+        method("r.leaders_by_term()", "leaders_by_term", [R], Exact(dict)),
+        method("r.applied_prefixes()", "applied_prefixes", [R], None),
+        method("r.final_prefixes()", "final_prefixes", [R], None),
+        method("r.expected_commands()", "expected_commands", [R],
+               Exact(tuple)),
+        SemanticAxiom(
+            "election_safety", ("r",),
+            lambda ops, r: all(
+                len(leaders) <= 1
+                for leaders in ops["leaders_by_term"](r).values()
+            ),
+            "at most one leader is elected per term",
+        ),
+        SemanticAxiom(
+            "state_machine_safety", ("r",),
+            lambda ops, r: _pairwise_prefix_ordered(
+                ops["applied_prefixes"](r)),
+            "any two applied prefixes (historical or final, any replica) "
+            "are ordered by the prefix relation: replicas never apply "
+            "conflicting commands at the same index",
+        ),
+        SemanticAxiom(
+            "committed_never_lost", ("r",),
+            lambda ops, r: all(
+                any(_is_prefix(p, f) for f in ops["final_prefixes"](r))
+                for p in ops["applied_prefixes"](r)
+            ),
+            "every prefix a replica ever applied survives as a prefix of "
+            "some final state — partitions, healing, and churn with state "
+            "loss cannot un-commit an entry",
+        ),
+        SemanticAxiom(
+            "completeness_at_quiescence", ("r",),
+            lambda ops, r: all(
+                all(cmd in f for cmd in ops["expected_commands"](r))
+                for f in ops["final_prefixes"](r)
+            ) and len(ops["final_prefixes"](r)) == r.n,
+            "a run driven to quiescence applies every proposed command on "
+            "every replica",
+        ),
+    ],
+    doc="Safety laws of a leader-based replicated log, quantified over "
+        "complete run records: election safety, state-machine safety, "
+        "durability of committed entries, completeness at quiescence.",
+)
+
+
+def _replicated_log_samples() -> list[tuple]:
+    """Seeded runs the axioms quantify over: a clean run, the
+    partition->heal->churn acceptance scenario at loss 0.3, and a
+    leader-isolating partition that forces a re-election."""
+    from ..distributed.algorithms.replog import (
+        record_run,
+        run_replicated_log,
+    )
+    from ..distributed.failures import FailurePlan, heal, partition
+
+    samples: list[tuple] = []
+
+    m = run_replicated_log(3, {0: ["a", "b"]}, seed=1)
+    samples.append((record_run(m, 3),))
+
+    plan = FailurePlan(loss_probability=0.3, seed=7,
+                       churn={4: [(40.0, 70.0)]})
+    plan = partition(10.0, [{0, 1, 2}, {3, 4}], plan=plan)
+    plan = heal(35.0, plan=plan)
+    m = run_replicated_log(
+        5, {0: ["a", "b", "c"], 3: ["x"]}, failures=plan, seed=2,
+        heartbeat_interval=4.0, max_time=5000, on_limit="truncate")
+    samples.append((record_run(m, 5),))
+
+    plan = FailurePlan(loss_probability=0.15, seed=13)
+    plan = partition(14.0, [{0}, {1, 2, 3, 4}], plan=plan)
+    plan = heal(60.0, plan=plan)
+    m = run_replicated_log(
+        5, {1: ["p", "q"], 2: ["r"]}, failures=plan, seed=5,
+        heartbeat_interval=4.0, max_time=5000, on_limit="truncate")
+    samples.append((record_run(m, 5),))
+
+    return samples
+
+
+def register_replicated_log_models(
+    registry: Optional[ModelRegistry] = None,
+) -> None:
+    """Declare ``ReplicatedLogRecord`` a model of ``ReplicatedLogSafety``
+    (idempotent).  Deliberately NOT run at import: the distributed layer
+    imports this module through the reliable transport, and the sampler
+    runs whole simulations — callers opt in."""
+    from ..distributed.algorithms.replog import ReplicatedLogRecord
+
+    reg = registry if registry is not None else models
+    if reg.concept_map_for(ReplicatedLogSafety,
+                           (ReplicatedLogRecord,)) is None:
+        reg.register(ReplicatedLogSafety, ReplicatedLogRecord,
+                     sampler=_replicated_log_samples)
 
 
 def _backoff_samples() -> list[tuple[Backoff, int]]:

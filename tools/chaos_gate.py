@@ -20,6 +20,12 @@ Three scenarios, all seeded and in-process:
 4. **transport chaos** — reliable echo/floodset runs across a grid of
    loss probabilities and seeds; every run must reach the correct
    decision with zero exhausted retry budgets.
+5. **replicated-log chaos** — the Raft-style log under a seeded
+   partition/churn schedule at loss 0.3, with ``max_time`` set low
+   enough that the run is cut off mid-recovery.  The run must exit
+   cleanly (no exception escapes), honor truncation (``truncated`` set,
+   ``finish_time <= max_time``, every event past the limit dropped),
+   and the same plan driven to quiescence must still commit everything.
 
 Run:  python tools/chaos_gate.py          (from the repo root)
 """
@@ -37,7 +43,11 @@ sys.path.insert(0, str(REPO / "src"))
 from repro.analysis import cache as analysis_cache  # noqa: E402
 from repro.analysis.cli import main as analysis_main  # noqa: E402
 from repro.distributed import (  # noqa: E402
-    FailurePlan, Ring, run_echo_reliable, run_floodset_reliable,
+    FailurePlan, Ring, heal, partition,
+    run_echo_reliable, run_floodset_reliable,
+)
+from repro.distributed.algorithms.replog import (  # noqa: E402
+    run_replicated_log,
 )
 from repro.lint import driver as lint_driver  # noqa: E402
 from repro.lint.cli import main as lint_main  # noqa: E402
@@ -227,6 +237,51 @@ def transport_chaos() -> bool:
     return ok
 
 
+def _partition_churn_plan() -> FailurePlan:
+    plan = FailurePlan(loss_probability=0.3, seed=7,
+                       churn={4: [(40.0, 70.0)]})
+    plan = partition(10.0, [{0, 1, 2}, {3, 4}], plan=plan)
+    return heal(35.0, plan=plan)
+
+
+def replog_chaos() -> bool:
+    ok = True
+
+    # Cut the run off mid-recovery: rank 4 is still down at t=50, the
+    # partition has healed, retransmissions are in flight.  The loop
+    # must stop cleanly at the limit, not raise.
+    try:
+        m = run_replicated_log(
+            5, {0: ["a", "b", "c"], 3: ["x"]},
+            failures=_partition_churn_plan(), seed=2,
+            heartbeat_interval=4.0, max_time=50.0, on_limit="truncate")
+    except Exception as exc:  # noqa: BLE001 — the gate's whole point
+        return check(False, "replicated log truncates without raising",
+                     repr(exc))
+    ok &= check(m.truncated, "truncation flag set at max_time")
+    ok &= check(m.finish_time <= 50.0, "no event processed past max_time",
+                f"finish_time={m.finish_time}")
+    ok &= check("TRUNCATED" in m.summary() and "replog[" in m.summary(),
+                "summary reports truncation and replog counters")
+
+    # The same plan driven to quiescence still commits everything on
+    # every replica — truncation was a budget, not a correctness hole.
+    m = run_replicated_log(
+        5, {0: ["a", "b", "c"], 3: ["x"]},
+        failures=_partition_churn_plan(), seed=2,
+        heartbeat_interval=4.0, max_time=5000, on_limit="truncate")
+    expected = set(m.expected_commands)
+    ok &= check(
+        not m.truncated and len(m.decisions) == 5
+        and all(set(p) == expected for p in m.decisions.values()),
+        "full run commits every entry on every replica",
+        f"decided={len(m.decisions)}")
+    ok &= check(m.recoveries == 1 and m.recovery_replays > 0,
+                "churned replica recovered via leader replay",
+                f"replays={m.recovery_replays}")
+    return ok
+
+
 def main() -> int:
     tmp = pathlib.Path(tempfile.mkdtemp(prefix="chaos_gate_"))
     try:
@@ -234,6 +289,7 @@ def main() -> int:
         ok &= optimize_chaos(tmp)
         ok &= cache_chaos(tmp)
         ok &= transport_chaos()
+        ok &= replog_chaos()
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
     print(f"chaos gate: {'OK' if ok else 'FAILED'}")
